@@ -1,0 +1,96 @@
+//! Benchmarks of the circuit-level kernels: DC operating points, transfer
+//! curves, FO4 transients, ring-oscillator transients, and the butterfly
+//! SNM extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_device::table::TableGrid;
+use gnr_device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnr_spice::builders::{ExtrinsicParasitics, InverterCell, RingOscillator};
+use gnr_spice::measure::{
+    butterfly_snm, fo4_metrics_for_cell, inverter_static_power, inverter_vtc,
+    ring_oscillator_metrics,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn nominal_cell() -> (InverterCell, f64) {
+    let cfg = DeviceConfig::test_small(12).expect("valid");
+    let model = SbfetModel::new(&cfg).expect("builds");
+    let vmin = model.minimum_leakage_vg(0.4).expect("minimum");
+    let grid = TableGrid {
+        vgs: (-0.35, 1.0),
+        vds: (0.0, 0.85),
+        points: 21,
+    };
+    let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)
+        .expect("table")
+        .with_vg_shift(-vmin);
+    let p = n.mirrored();
+    (
+        InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("cell"),
+        0.4,
+    )
+}
+
+fn bench_dc(c: &mut Criterion) {
+    let (cell, vdd) = nominal_cell();
+    c.bench_function("inverter_static_power_dc", |b| {
+        b.iter(|| black_box(inverter_static_power(&cell, vdd).expect("solves")))
+    });
+    c.bench_function("inverter_vtc_33pts", |b| {
+        b.iter(|| black_box(inverter_vtc(&cell, vdd, 33).expect("sweeps")))
+    });
+}
+
+fn bench_snm(c: &mut Criterion) {
+    let (cell, vdd) = nominal_cell();
+    let vtc = inverter_vtc(&cell, vdd, 41).expect("sweeps");
+    c.bench_function("butterfly_snm_maxsquare_dp", |b| {
+        b.iter(|| black_box(butterfly_snm(&vtc, &vtc, vdd)))
+    });
+}
+
+fn bench_transients(c: &mut Criterion) {
+    let (cell, vdd) = nominal_cell();
+    c.bench_function("fo4_inverter_transient", |b| {
+        b.iter(|| black_box(fo4_metrics_for_cell(&cell, vdd).expect("measures")))
+    });
+    let inv = fo4_metrics_for_cell(&cell, vdd).expect("measures");
+    let ro = RingOscillator::uniform(&cell, 15, vdd).expect("builds");
+    c.bench_function("ring_oscillator_15stage_transient", |b| {
+        b.iter(|| {
+            black_box(
+                ring_oscillator_metrics(&ro, inv.delay_s, inv.static_power_w)
+                    .expect("oscillates"),
+            )
+        })
+    });
+}
+
+fn bench_table_ops(c: &mut Criterion) {
+    let (cell, _) = nominal_cell();
+    c.bench_function("table_lookup_current_gm_gds", |b| {
+        b.iter(|| {
+            let t = &cell.nfet;
+            black_box((
+                t.current(black_box(0.31), black_box(0.22)),
+                t.gm(0.31, 0.22),
+                t.gds(0.31, 0.22),
+            ))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dc, bench_snm, bench_transients, bench_table_ops
+}
+criterion_main!(benches);

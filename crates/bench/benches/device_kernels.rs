@@ -1,0 +1,88 @@
+//! Benchmarks of the device-level kernels: band structure, contact
+//! self-energies, RGF transmission, 3D Poisson solves, and the
+//! semi-analytic SBFET evaluation that feeds table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_device::{DeviceConfig, SbfetModel};
+use gnr_lattice::{unit_cell_hamiltonian, AGnr, DeviceHamiltonian};
+use gnr_negf::lead::surface_gf;
+use gnr_negf::{Lead, RgfSolver};
+use gnr_poisson::{Grid3, PoissonProblem, Region};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_band_structure(c: &mut Criterion) {
+    let gnr = AGnr::new(12).expect("valid index");
+    c.bench_function("band_structure_n12_64k", |b| {
+        b.iter(|| black_box(gnr.band_structure(64).expect("bands solve")))
+    });
+}
+
+fn bench_surface_gf(c: &mut Criterion) {
+    let gnr = AGnr::new(12).expect("valid index");
+    let (h00, h01) = unit_cell_hamiltonian(gnr);
+    c.bench_function("sancho_rubio_surface_gf_24x24", |b| {
+        b.iter(|| black_box(surface_gf(black_box(0.9), &h00, &h01, 1e-5, 200).expect("converges")))
+    });
+}
+
+fn bench_rgf_transmission(c: &mut Criterion) {
+    let gnr = AGnr::new(12).expect("valid index");
+    let h = DeviceHamiltonian::flat_band(gnr, 12).expect("builds");
+    let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
+    c.bench_function("rgf_transmission_12layers", |b| {
+        b.iter(|| black_box(solver.transmission(black_box(0.7)).expect("solves")))
+    });
+    c.bench_function("rgf_spectral_slice_12layers", |b| {
+        b.iter(|| black_box(solver.spectral_slice(black_box(0.7)).expect("solves")))
+    });
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let grid = Grid3::new(40, 12, 12, 0.5).expect("valid grid");
+    let mut p = PoissonProblem::new(grid);
+    p.set_electrode(Region::slab_x(0, 0), 0.0);
+    p.set_electrode(Region::slab_x(39, 39), 0.5);
+    p.set_dielectric(Region::new((1, 38), (0, 11), (0, 11)), 3.9);
+    p.add_point_charge(5.0, 3.0, 3.0, 1.0);
+    c.bench_function("poisson_cg_5760_cells_cold", |b| {
+        b.iter(|| black_box(p.solve(None).expect("solves")))
+    });
+    let warm = p.solve(None).expect("solves");
+    c.bench_function("poisson_cg_5760_cells_warm", |b| {
+        b.iter(|| black_box(p.solve(Some(warm.raw())).expect("solves")))
+    });
+}
+
+fn bench_zigzag_bands(c: &mut Criterion) {
+    let z = gnr_lattice::ZGnr::new(8).expect("valid index");
+    c.bench_function("zigzag_band_structure_n8_64k", |b| {
+        b.iter(|| black_box(z.band_structure(64).expect("solves")))
+    });
+}
+
+fn bench_sbfet(c: &mut Criterion) {
+    let cfg = DeviceConfig::test_small(12).expect("valid");
+    c.bench_function("sbfet_model_build", |b| {
+        b.iter(|| black_box(SbfetModel::new(&cfg).expect("builds")))
+    });
+    let model = SbfetModel::new(&cfg).expect("builds");
+    c.bench_function("sbfet_bias_point_eval", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(0.45), black_box(0.4)).expect("evaluates")))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_band_structure, bench_zigzag_bands, bench_surface_gf,
+              bench_rgf_transmission, bench_poisson, bench_sbfet
+}
+criterion_main!(benches);

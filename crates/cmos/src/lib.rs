@@ -1,0 +1,296 @@
+//! `gnr-cmos` — the scaled-CMOS comparison baseline.
+//!
+//! The paper's Table 1 compares GNRFET ring oscillators with scaled CMOS at
+//! the 22, 32, and 45 nm nodes "simulated using the PTM model". The PTM
+//! cards and HSPICE flow are proprietary, so this crate substitutes a
+//! smooth velocity-saturated alpha-power compact model with subthreshold
+//! conduction and DIBL, carded per node to PTM-reported drive currents,
+//! thresholds, and gate capacitances (see DESIGN.md §2, substitution 2).
+//! The model is sampled into a [`gnr_device::DeviceTable`], so the exact
+//! same `gnr-spice` benchmarks run on CMOS and GNRFET devices.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_cmos::{CmosNode, CmosTransistor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = CmosTransistor::nominal(CmosNode::N22);
+//! // Strong inversion: hundreds of uA for a ~0.5 um device.
+//! let i_on = t.drain_current(0.8, 0.8);
+//! assert!(i_on > 1e-4 && i_on < 2e-3, "I_on = {i_on:.3e}");
+//! // Subthreshold: orders of magnitude lower.
+//! assert!(t.drain_current(0.0, 0.8) < 1e-6 * i_on * 1e4);
+//! # Ok(())
+//! # }
+//! ```
+
+use gnr_device::table::TableGrid;
+use gnr_device::{DeviceError, DeviceTable, Polarity};
+use gnr_num::consts::thermal_voltage;
+
+/// Scaled technology nodes of the paper's Table 1.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum CmosNode {
+    /// 22 nm node.
+    N22,
+    /// 32 nm node.
+    N32,
+    /// 45 nm node.
+    N45,
+}
+
+impl CmosNode {
+    /// All nodes, in the paper's order.
+    pub const ALL: [CmosNode; 3] = [CmosNode::N22, CmosNode::N32, CmosNode::N45];
+
+    /// Display label ("22nm", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CmosNode::N22 => "22nm",
+            CmosNode::N32 => "32nm",
+            CmosNode::N45 => "45nm",
+        }
+    }
+}
+
+/// A velocity-saturated alpha-power-law MOSFET with subthreshold
+/// conduction and DIBL — a PTM-like predictive compact model.
+///
+/// The drive strength corresponds to a logic-sized device (minimum-pitch
+/// width), *not* per-micron normalization, so inverter netlists can use it
+/// directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CmosTransistor {
+    /// Zero-bias threshold voltage \[V\].
+    pub vth0: f64,
+    /// Velocity-saturation exponent (1 = full saturation, 2 = long channel).
+    pub alpha: f64,
+    /// Drive coefficient `k` \[A/V^alpha\].
+    pub k: f64,
+    /// Subthreshold ideality factor (SS = n·ln10·kT/q).
+    pub n_sub: f64,
+    /// DIBL coefficient \[V/V\].
+    pub dibl: f64,
+    /// Saturation-voltage coefficient: `V_dsat = k_sat · V_ov`.
+    pub k_sat: f64,
+    /// Total gate capacitance of the device \[F\].
+    pub c_gate: f64,
+    /// Temperature \[K\].
+    pub temperature_k: f64,
+}
+
+impl CmosTransistor {
+    /// Nominal logic transistor of a node, carded against PTM-class
+    /// numbers: V_th ≈ 0.3–0.4 V, I_on ≈ 0.5–0.9 mA/µm at V_DD = 0.8–1 V,
+    /// C_gate ≈ 1 fF/µm, for minimum-pitch logic widths (W ≈ 10 F).
+    pub fn nominal(node: CmosNode) -> Self {
+        // Width W ~ 10x the half-pitch; capacitance ~1 fF/um of width plus
+        // wiring-less FO4 assumption; drive scaled per node.
+        match node {
+            CmosNode::N22 => CmosTransistor {
+                vth0: 0.32,
+                alpha: 1.25,
+                k: 9.0e-4,
+                n_sub: 1.35,
+                dibl: 0.10,
+                k_sat: 0.75,
+                c_gate: 0.30e-15,
+                temperature_k: 300.0,
+            },
+            CmosNode::N32 => CmosTransistor {
+                vth0: 0.34,
+                alpha: 1.30,
+                k: 8.0e-4,
+                n_sub: 1.30,
+                dibl: 0.08,
+                k_sat: 0.80,
+                c_gate: 0.42e-15,
+                temperature_k: 300.0,
+            },
+            CmosNode::N45 => CmosTransistor {
+                vth0: 0.36,
+                alpha: 1.35,
+                k: 7.2e-4,
+                n_sub: 1.25,
+                dibl: 0.06,
+                k_sat: 0.85,
+                c_gate: 0.60e-15,
+                temperature_k: 300.0,
+            },
+        }
+    }
+
+    /// Drain current \[A\] in the internal n-type convention; smooth across
+    /// the subthreshold/strong-inversion boundary (EKV-style soft-plus
+    /// overdrive), monotone in both arguments — Newton-friendly.
+    pub fn drain_current(&self, v_gs: f64, v_ds: f64) -> f64 {
+        if v_ds == 0.0 {
+            return 0.0;
+        }
+        if v_ds < 0.0 {
+            // Source/drain exchange symmetry.
+            return -self.drain_current(v_gs - v_ds, -v_ds);
+        }
+        let vt = thermal_voltage(self.temperature_k);
+        let nvt = self.n_sub * vt;
+        let vth = self.vth0 - self.dibl * v_ds;
+        // Soft-plus effective overdrive: exponential below threshold,
+        // linear above.
+        // Soft-plus overdrive with the alpha exponent compensated so the
+        // subthreshold slope stays exactly n.kT/q per e-fold:
+        // v_ov = alpha.n.vt.softplus(x/alpha)  =>  I ~ e^x below threshold
+        // and I ~ k (v_gs - v_th)^alpha above it.
+        let x = (v_gs - vth) / nvt;
+        let v_ov = self.alpha * nvt * softplus(x / self.alpha);
+        let i_sat = self.k * v_ov.powf(self.alpha);
+        // Saturation-voltage smoothing of the output characteristic.
+        let v_dsat = (self.k_sat * v_ov).max(2.0 * vt);
+        let sat = 1.0 - (-v_ds / v_dsat).exp();
+        i_sat * sat
+    }
+
+    /// Channel charge \[C\]: a constant-capacitance charge model
+    /// `Q = C_g·(V_GS − V_DS/2)` giving `C_GS = C_g/2`, `C_GD = C_g/2`.
+    pub fn channel_charge(&self, v_gs: f64, v_ds: f64) -> f64 {
+        -self.c_gate * (v_gs - 0.5 * v_ds)
+    }
+
+    /// Samples the model into a lookup table compatible with the GNRFET
+    /// circuit flow. The grid must cover the intended supply range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures.
+    pub fn to_table(&self, polarity: Polarity, vmax: f64) -> Result<DeviceTable, DeviceError> {
+        let grid = TableGrid {
+            vgs: (-0.2, vmax + 0.25),
+            vds: (0.0, vmax + 0.2),
+            points: 31,
+        };
+        let me = *self;
+        DeviceTable::from_samples(
+            grid,
+            polarity,
+            |vg, vd| me.drain_current(vg, vd),
+            |vg, vd| me.channel_charge(vg, vd),
+        )
+    }
+}
+
+/// Numerically-stable `ln(1 + e^x)` (soft-plus), linear for large `x`.
+fn softplus(x: f64) -> f64 {
+    if x > 40.0 {
+        x
+    } else if x < -40.0 {
+        0.0
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t22() -> CmosTransistor {
+        CmosTransistor::nominal(CmosNode::N22)
+    }
+
+    #[test]
+    fn on_off_ratio_is_large() {
+        let t = t22();
+        let on = t.drain_current(0.8, 0.8);
+        let off = t.drain_current(0.0, 0.8);
+        assert!(on / off > 1e3, "on/off = {}", on / off);
+    }
+
+    #[test]
+    fn subthreshold_slope_near_card() {
+        let t = t22();
+        // SS = n kT/q ln10 ~ 80 mV/dec for n = 1.35.
+        let i1 = t.drain_current(0.05, 0.8);
+        let i2 = t.drain_current(0.13, 0.8);
+        let ss = 0.08 / (i2 / i1).log10();
+        assert!((ss - 0.080).abs() < 0.01, "SS = {ss}");
+    }
+
+    #[test]
+    fn dibl_raises_leakage_with_vds() {
+        let t = t22();
+        let i_low = t.drain_current(0.0, 0.1);
+        let i_high = t.drain_current(0.0, 0.8);
+        assert!(i_high > 2.0 * i_low);
+    }
+
+    #[test]
+    fn current_monotone_in_both_biases() {
+        let t = t22();
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let vg = i as f64 * 0.05;
+            let id = t.drain_current(vg, 0.8);
+            assert!(id >= prev);
+            prev = id;
+        }
+        prev = 0.0;
+        for j in 0..20 {
+            let vd = j as f64 * 0.05;
+            let id = t.drain_current(0.8, vd);
+            assert!(id >= prev - 1e-15);
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn negative_vds_antisymmetry() {
+        let t = t22();
+        let a = t.drain_current(0.5, -0.3);
+        let b = -t.drain_current(0.8, 0.3);
+        assert!((a - b).abs() < 1e-15);
+        assert_eq!(t.drain_current(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn nodes_scale_sensibly() {
+        // Older nodes: bigger caps, slightly higher Vth, lower drive.
+        let (t22, t32, t45) = (
+            CmosTransistor::nominal(CmosNode::N22),
+            CmosTransistor::nominal(CmosNode::N32),
+            CmosTransistor::nominal(CmosNode::N45),
+        );
+        assert!(t22.c_gate < t32.c_gate && t32.c_gate < t45.c_gate);
+        assert!(t22.vth0 < t45.vth0);
+        assert!(t22.drain_current(0.8, 0.8) > t45.drain_current(0.8, 0.8));
+    }
+
+    #[test]
+    fn table_matches_model() {
+        let t = t22();
+        let table = t.to_table(Polarity::NType, 0.8).unwrap();
+        for (vg, vd, tol) in [(0.4, 0.4, 0.05), (0.8, 0.8, 0.05), (0.2, 0.6, 0.3)] {
+            // Bilinear interpolation of an exponential subthreshold region
+            // carries larger midpoint error; the paper's lookup tables have
+            // the same property.
+            let a = t.drain_current(vg, vd);
+            let b = table.current(vg, vd);
+            assert!(
+                (a - b).abs() < tol * a.abs().max(1e-9),
+                "({vg},{vd}): {a:.3e} vs {b:.3e}"
+            );
+        }
+        // Capacitances from the charge model: |dQ/dVgs| = C_g.
+        let cg = table.cg_intrinsic(0.4, 0.4);
+        assert!((cg - t.c_gate).abs() < 0.05 * t.c_gate, "cg = {cg:.3e}");
+    }
+
+    #[test]
+    fn ptype_mirror_through_table() {
+        let t = t22();
+        let table = t.to_table(Polarity::PType, 0.8).unwrap();
+        // Pull-up convention: negative vgs/vds give negative current.
+        let i = table.current(-0.8, -0.4);
+        assert!(i < 0.0);
+        assert!((i + t.drain_current(0.8, 0.4)).abs() < 0.05 * i.abs());
+    }
+}

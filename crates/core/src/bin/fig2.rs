@@ -1,0 +1,65 @@
+//! Regenerates paper Fig. 2: (a) I-V characteristics of the ideal N=12
+//! GNRFET at V_D ∈ {0.05, 0.25, 0.5, 0.75} V; (b) threshold-voltage
+//! extraction at low V_D with and without gate work-function offset.
+
+use gnrfet_explore::devices::Fidelity;
+use gnrfet_explore::report;
+use gnr_device::vt::extract_vt_from;
+use gnr_device::{DeviceConfig, SbfetModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = Fidelity::from_env();
+    println!("== gnrlab :: fig2 — ideal N=12 GNRFET I-V and V_T extraction ==");
+    println!("fidelity: {fidelity:?}");
+    let cfg = match fidelity {
+        Fidelity::Paper => DeviceConfig::paper_nominal(12)?,
+        Fidelity::Fast => DeviceConfig::test_small(12)?,
+    };
+    let model = SbfetModel::new(&cfg)?;
+    println!(
+        "channel: N=12 A-GNR, {:.1} nm, Eg = {:.3} eV",
+        cfg.channel_nm(),
+        model.band_gap()
+    );
+
+    // --- Fig 2(a): I_D(V_G) for several drain voltages ---
+    for vd in [0.05, 0.25, 0.5, 0.75] {
+        let mut data = Vec::new();
+        for i in 0..=30 {
+            let vg = i as f64 * 0.025;
+            data.push((vg, model.drain_current(vg, vd)?));
+        }
+        println!("{}", report::series(
+            &format!("fig2a: I_D vs V_G at V_D = {vd} V"),
+            "V_G (V)",
+            "I_D (A)",
+            &data,
+        ));
+        let vmin = model.minimum_leakage_vg(vd)?;
+        let imin = model.drain_current(vmin, vd)?;
+        println!(
+            "  minimum leakage: {} at V_G = {vmin:.3} V (paper: V_G ~ V_D/2 = {:.3})\n",
+            report::eng(imin, "A"),
+            vd / 2.0
+        );
+    }
+    let i_on = model.drain_current(0.5, 0.5)?;
+    println!(
+        "I_on(V_G = V_D = 0.5 V) = {} -> {:.0} uA/um over {:.2} nm width",
+        report::eng(i_on, "A"),
+        i_on * 1e6 / (cfg.gnr.width_nm() * 1e-3),
+        cfg.gnr.width_nm()
+    );
+    println!("paper: 6300 uA/um for the N=12 GNRFET at V_D = 0.5 V\n");
+
+    // --- Fig 2(b): V_T extraction at low V_D, offset engineering ---
+    let vt0 = extract_vt_from(|vg| model.drain_current(vg, 0.05), 0.0, 0.8, 60)?;
+    println!("fig2b: V_T (offset = 0 V, V_D = 0.05 V)    = {vt0:.3} V (paper ~0.3 V)");
+    let mut cfg_off = cfg.clone();
+    cfg_off.gate_offset_v = 0.2;
+    let shifted = SbfetModel::new(&cfg_off)?;
+    let vt1 = extract_vt_from(|vg| shifted.drain_current(vg, 0.05), -0.2, 0.6, 60)?;
+    println!("fig2b: V_T (offset = 0.2 V, V_D = 0.05 V)  = {vt1:.3} V (paper ~0.1 V)");
+    println!("offset moves V_T by {:.3} V (paper: by the offset, 0.2 V)", vt0 - vt1);
+    Ok(())
+}

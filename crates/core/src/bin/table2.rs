@@ -1,0 +1,33 @@
+//! Regenerates paper Table 2: the effect of independent GNR-width
+//! variations (N = 9/12/15/18) in the n- and p-GNRFET channels on FO4
+//! inverter delay, static/dynamic power, and SNM, for both the one-of-four
+//! and all-four array scenarios.
+
+use gnrfet_explore::report;
+use gnrfet_explore::variability::{width_variation_table, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut lib = report::standard_library("table2 — GNR width variation");
+    let vdd = 0.4;
+    let table = width_variation_table(&mut lib, vdd)?;
+    println!(
+        "\nnominal inverter (N=12 x4, V_DD = {vdd} V): delay {:.2} ps, static {:.4} uW, dynamic {:.4} uW, SNM {:.3} V\n",
+        table.nominal.delay_s * 1e12,
+        table.nominal.static_w * 1e6,
+        table.nominal.dynamic_w * 1e6,
+        table.nominal.snm_v
+    );
+    println!("{table}");
+    for (metric, name, paper) in [
+        (Metric::Delay, "delay", "+6..+77% worst case"),
+        (Metric::StaticPower, "static power", "+313..+643% worst case"),
+        (Metric::DynamicPower, "dynamic power", "+37..+215% worst case"),
+        (Metric::Snm, "SNM", "-27..-80% worst case"),
+    ] {
+        let ((one_lo, one_hi), (all_lo, all_hi)) = table.delta_range(metric);
+        println!(
+            "{name:>14}: one-of-4 range {one_lo:+.0}%..{one_hi:+.0}%, all-4 range {all_lo:+.0}%..{all_hi:+.0}%   (paper: {paper})"
+        );
+    }
+    Ok(())
+}

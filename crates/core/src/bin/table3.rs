@@ -1,0 +1,34 @@
+//! Regenerates paper Table 3: the effect of independent oxide charge
+//! impurities (−2q…+2q) in the n- and p-GNRFET channels on FO4 inverter
+//! delay, static/dynamic power, and SNM, for both array scenarios.
+
+use gnrfet_explore::report;
+use gnrfet_explore::variability::{charge_impurity_table, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut lib = report::standard_library("table3 — oxide charge impurities");
+    let vdd = 0.4;
+    let table = charge_impurity_table(&mut lib, vdd)?;
+    println!(
+        "\nnominal inverter (V_DD = {vdd} V): delay {:.2} ps, static {:.4} uW, dynamic {:.4} uW, SNM {:.3} V\n",
+        table.nominal.delay_s * 1e12,
+        table.nominal.static_w * 1e6,
+        table.nominal.dynamic_w * 1e6,
+        table.nominal.snm_v
+    );
+    println!("{table}");
+    for (metric, name, paper) in [
+        (Metric::Delay, "delay", "+8..+92% worst case (-2q on n, +2q on p)"),
+        (Metric::StaticPower, "static power", "+11..+37% worst case"),
+        (Metric::DynamicPower, "dynamic power", "+5..+19% worst case"),
+        (Metric::Snm, "SNM", "-14..-40% worst case"),
+    ] {
+        let ((one_lo, one_hi), (all_lo, all_hi)) = table.delta_range(metric);
+        println!(
+            "{name:>14}: one-of-4 range {one_lo:+.0}%..{one_hi:+.0}%, all-4 range {all_lo:+.0}%..{all_hi:+.0}%   (paper: {paper})"
+        );
+    }
+    println!("\nnote: a +q charge affects the p-device exactly as -q affects the");
+    println!("n-device (ambipolar mirror), as the paper states.");
+    Ok(())
+}

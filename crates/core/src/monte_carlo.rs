@@ -1,0 +1,291 @@
+//! Monte Carlo study of the 15-stage ring oscillator — the paper's Fig. 6.
+//!
+//! Per the paper: "Monte Carlo simulations with independent variations in
+//! width (N = 9/12/15) and charge impurities (−q/0/+q) of all inverters
+//! were run on the 15-stage ring oscillator. The width and charge
+//! impurities for the GNRFETs were drawn from a normal distribution, with
+//! mean width N = 12 and mean charge equal to zero", discretized at ±1σ.
+//!
+//! The study pre-characterizes the 9 × 9 stage-configuration universe once
+//! (FO4 delay/energy/leakage per n/p device pair, driving a nominal load)
+//! and then composes ring periods as the sum of per-stage delays — exact
+//! for ring oscillators up to loading cross-terms, and what makes 10⁴
+//! samples tractable.
+
+use crate::devices::{ArrayScenario, DeviceLibrary, DeviceVariant};
+use crate::error::ExploreError;
+use crate::variability::{inverter_figures, InverterFigures};
+use gnr_num::stats::{summarize, Histogram, Summary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Discrete ±1σ device-parameter distribution of the paper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiscreteNormal {
+    /// Probability mass at −1σ (N = 9 / charge −q).
+    pub p_low: f64,
+    /// Probability mass at +1σ (N = 15 / charge +q).
+    pub p_high: f64,
+}
+
+impl Default for DiscreteNormal {
+    fn default() -> Self {
+        // Tails of a unit normal beyond +-1 sigma: 15.87% each.
+        DiscreteNormal {
+            p_low: 0.1587,
+            p_high: 0.1587,
+        }
+    }
+}
+
+impl DiscreteNormal {
+    fn draw<T: Copy>(&self, rng: &mut impl Rng, low: T, mid: T, high: T) -> T {
+        let u: f64 = rng.gen();
+        if u < self.p_low {
+            low
+        } else if u < self.p_low + self.p_high {
+            high
+        } else {
+            mid
+        }
+    }
+}
+
+/// Result of the Monte Carlo study.
+#[derive(Clone, Debug)]
+pub struct MonteCarloResult {
+    /// Oscillator frequency per sample \[Hz\].
+    pub frequency_hz: Vec<f64>,
+    /// Dynamic power per sample \[W\].
+    pub dynamic_w: Vec<f64>,
+    /// Static power per sample \[W\].
+    pub static_w: Vec<f64>,
+    /// Nominal (no-variation) reference metrics.
+    pub nominal_frequency_hz: f64,
+    /// Nominal dynamic power \[W\].
+    pub nominal_dynamic_w: f64,
+    /// Nominal static power \[W\].
+    pub nominal_static_w: f64,
+    /// Samples whose ring contained a non-functional stage (logic levels
+    /// collapsed under the drawn variations): the ring stalls, so no
+    /// frequency/power is recorded for them.
+    pub stalled_samples: usize,
+}
+
+impl MonteCarloResult {
+    /// Summary statistics of the frequency distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates empty-sample errors (cannot occur for `samples > 0`).
+    pub fn frequency_summary(&self) -> Result<Summary, ExploreError> {
+        summarize(&self.frequency_hz).map_err(|e| ExploreError::config(e.to_string()))
+    }
+
+    /// Summary statistics of the static power distribution.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloResult::frequency_summary`].
+    pub fn static_summary(&self) -> Result<Summary, ExploreError> {
+        summarize(&self.static_w).map_err(|e| ExploreError::config(e.to_string()))
+    }
+
+    /// Summary statistics of the dynamic power distribution.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloResult::frequency_summary`].
+    pub fn dynamic_summary(&self) -> Result<Summary, ExploreError> {
+        summarize(&self.dynamic_w).map_err(|e| ExploreError::config(e.to_string()))
+    }
+
+    /// Builds a histogram of one sample vector spanning its min–max range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for empty samples.
+    pub fn histogram(values: &[f64], bins: usize) -> Result<Histogram, ExploreError> {
+        let s = summarize(values).map_err(|e| ExploreError::config(e.to_string()))?;
+        let pad = (s.max - s.min).max(1e-30) * 0.05;
+        let mut h = Histogram::new(s.min - pad, s.max + pad, bins)
+            .map_err(|e| ExploreError::config(e.to_string()))?;
+        h.record_all(values.iter().copied());
+        Ok(h)
+    }
+}
+
+/// The pre-characterized 9 × 9 stage-configuration universe: inverter
+/// figures for every (n-device, p-device) pairing of widths {9, 12, 15}
+/// and charges {−q, 0, +q}.
+#[derive(Clone, Debug)]
+pub struct StageUniverse {
+    figures: Vec<InverterFigures>,
+    stages: usize,
+}
+
+/// Characterizes the stage universe once; sampling via
+/// [`monte_carlo_from_universe`] is then microseconds per ring.
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn characterize_stage_universe(
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+    stages: usize,
+) -> Result<StageUniverse, ExploreError> {
+    let widths = [9usize, 12, 15];
+    let charges = [-1.0f64, 0.0, 1.0];
+    let shift = lib.min_leakage_shift(vdd)?;
+    let mut figures: Vec<InverterFigures> = Vec::with_capacity(81);
+    let nominal_freq_guess = {
+        let nominal = inverter_figures(
+            lib,
+            DeviceVariant::nominal(),
+            DeviceVariant::nominal(),
+            vdd,
+            shift,
+            None,
+        )?;
+        1.0 / (2.0 * stages as f64 * nominal.delay_s)
+    };
+    for (nw, nq) in widths.iter().flat_map(|w| charges.iter().map(move |q| (*w, *q))) {
+        for (pw, pq) in widths.iter().flat_map(|w| charges.iter().map(move |q| (*w, *q))) {
+            let nv = DeviceVariant {
+                n: nw,
+                charge_q: nq,
+                scenario: ArrayScenario::AllFour,
+            };
+            let pv = DeviceVariant {
+                n: pw,
+                charge_q: pq,
+                scenario: ArrayScenario::AllFour,
+            };
+            figures.push(inverter_figures(
+                lib,
+                nv,
+                pv,
+                vdd,
+                shift,
+                Some(nominal_freq_guess),
+            )?);
+        }
+    }
+    Ok(StageUniverse { figures, stages })
+}
+
+const MC_WIDTHS: [usize; 3] = [9, 12, 15];
+const MC_CHARGES: [f64; 3] = [-1.0, 0.0, 1.0];
+
+fn cfg_index(w: usize, q: f64) -> usize {
+    let wi = MC_WIDTHS.iter().position(|&x| x == w).expect("width in set");
+    let qi = MC_CHARGES.iter().position(|&x| x == q).expect("charge in set");
+    wi * 3 + qi
+}
+
+/// Runs the Monte Carlo study: `samples` oscillators of `stages` stages,
+/// devices drawn per the paper's discretized normal.
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn ring_oscillator_monte_carlo(
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+    stages: usize,
+    samples: usize,
+    seed: u64,
+) -> Result<MonteCarloResult, ExploreError> {
+    let universe = characterize_stage_universe(lib, vdd, stages)?;
+    Ok(monte_carlo_from_universe(&universe, samples, seed))
+}
+
+/// Samples `samples` rings from a pre-characterized universe.
+pub fn monte_carlo_from_universe(
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloResult {
+    let stages = universe.stages;
+    let pair =
+        |ncfg: usize, pcfg: usize| -> &InverterFigures { &universe.figures[ncfg * 9 + pcfg] };
+    let nominal = pair(cfg_index(12, 0.0), cfg_index(12, 0.0));
+    let nominal_period = 2.0 * stages as f64 * nominal.delay_s;
+    let nominal_frequency_hz = 1.0 / nominal_period;
+    let nominal_dynamic_w = stages as f64 * nominal.energy_j / nominal_period;
+    let nominal_static_w = 4.0 * stages as f64 * nominal.static_w;
+
+    let dist = DiscreteNormal::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut frequency_hz = Vec::with_capacity(samples);
+    let mut dynamic_w = Vec::with_capacity(samples);
+    let mut static_w = Vec::with_capacity(samples);
+    let mut stalled_samples = 0usize;
+    for _ in 0..samples {
+        let mut period = 0.0;
+        let mut energy = 0.0;
+        let mut leak = 0.0;
+        for _ in 0..stages {
+            let nw = dist.draw(&mut rng, 9usize, 12, 15);
+            let nq = dist.draw(&mut rng, -1.0f64, 0.0, 1.0);
+            let pw = dist.draw(&mut rng, 9usize, 12, 15);
+            let pq = dist.draw(&mut rng, -1.0f64, 0.0, 1.0);
+            let figs = pair(cfg_index(nw, nq), cfg_index(pw, pq));
+            period += 2.0 * figs.delay_s;
+            energy += figs.energy_j;
+            // Dummies (3 per stage) share the driving stage's config.
+            leak += 4.0 * figs.static_w;
+        }
+        // A drawn stage with collapsed logic levels (NaN delay) stalls the
+        // ring: count it as a functional-yield loss, keep its leakage.
+        if !period.is_finite() || !energy.is_finite() {
+            stalled_samples += 1;
+            static_w.push(leak);
+            continue;
+        }
+        frequency_hz.push(1.0 / period);
+        dynamic_w.push(energy / period);
+        static_w.push(leak);
+    }
+    MonteCarloResult {
+        frequency_hz,
+        dynamic_w,
+        static_w,
+        nominal_frequency_hz,
+        nominal_dynamic_w,
+        nominal_static_w,
+        stalled_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_normal_masses() {
+        let d = DiscreteNormal::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            match d.draw(&mut rng, 0usize, 1, 2) {
+                0 => counts[0] += 1,
+                1 => counts[1] += 1,
+                _ => counts[2] += 1,
+            }
+        }
+        let f = |c: usize| c as f64 / 30_000.0;
+        assert!((f(counts[0]) - 0.1587).abs() < 0.01);
+        assert!((f(counts[2]) - 0.1587).abs() < 0.01);
+        assert!((f(counts[1]) - 0.6826).abs() < 0.015);
+    }
+
+    #[test]
+    fn histogram_covers_samples() {
+        let values = vec![1.0, 2.0, 3.0, 2.5, 2.0];
+        let h = MonteCarloResult::histogram(&values, 5).unwrap();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.outliers(), (0, 0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the device simulator.
+
+use gnr_lattice::LatticeError;
+use gnr_negf::NegfError;
+use gnr_num::NumError;
+use gnr_poisson::PoissonError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or solving GNRFET devices.
+#[derive(Debug)]
+pub enum DeviceError {
+    /// Lattice/band-structure failure.
+    Lattice(LatticeError),
+    /// Quantum-transport failure.
+    Negf(NegfError),
+    /// Electrostatics failure.
+    Poisson(PoissonError),
+    /// Numerics failure.
+    Num(NumError),
+    /// Self-consistent loop did not converge.
+    ScfDiverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final potential update (V).
+        residual_v: f64,
+    },
+    /// Invalid device configuration.
+    Config {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Lattice(e) => write!(f, "lattice: {e}"),
+            DeviceError::Negf(e) => write!(f, "negf: {e}"),
+            DeviceError::Poisson(e) => write!(f, "poisson: {e}"),
+            DeviceError::Num(e) => write!(f, "numerics: {e}"),
+            DeviceError::ScfDiverged {
+                iterations,
+                residual_v,
+            } => write!(
+                f,
+                "self-consistent loop did not converge after {iterations} iterations (residual {residual_v:.3e} V)"
+            ),
+            DeviceError::Config { detail } => write!(f, "invalid device configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for DeviceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeviceError::Lattice(e) => Some(e),
+            DeviceError::Negf(e) => Some(e),
+            DeviceError::Poisson(e) => Some(e),
+            DeviceError::Num(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LatticeError> for DeviceError {
+    fn from(e: LatticeError) -> Self {
+        DeviceError::Lattice(e)
+    }
+}
+
+impl From<NegfError> for DeviceError {
+    fn from(e: NegfError) -> Self {
+        DeviceError::Negf(e)
+    }
+}
+
+impl From<PoissonError> for DeviceError {
+    fn from(e: PoissonError) -> Self {
+        DeviceError::Poisson(e)
+    }
+}
+
+impl From<NumError> for DeviceError {
+    fn from(e: NumError) -> Self {
+        DeviceError::Num(e)
+    }
+}
+
+impl DeviceError {
+    /// Builds a [`DeviceError::Config`] from a detail string.
+    pub fn config(detail: impl Into<String>) -> Self {
+        DeviceError::Config {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DeviceError::config("bad grid");
+        assert!(e.to_string().contains("bad grid"));
+        assert!(e.source().is_none());
+        let e = DeviceError::from(NumError::invalid("x"));
+        assert!(e.source().is_some());
+    }
+}

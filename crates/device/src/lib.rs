@@ -1,0 +1,56 @@
+//! `gnr-device` — the GNRFET device simulator.
+//!
+//! Reproduces the device level of the paper (§2 and §4): a 15 nm
+//! armchair-edge GNR channel in a double-gate stack with 1.5 nm SiO₂
+//! insulators and metal Schottky-barrier source/drain contacts pinned at
+//! mid-gap (`Φ_Bn = Φ_Bp = E_g/2`), operated as an ambipolar SBFET.
+//!
+//! Two solution paths expose the same physics at different cost:
+//!
+//! * [`scf`] — the rigorous path: atomistic NEGF (`gnr-negf`) coupled
+//!   self-consistently to the 3D Poisson solver (`gnr-poisson`), exactly as
+//!   the paper describes. Cubic-in-width, linear-in-length cost; used at
+//!   full fidelity in benches and validated at reduced fidelity in tests.
+//! * [`sbfet`] — a semi-analytic ballistic surrogate: the exact 3D *Laplace*
+//!   response of the same geometry (superposed electrode Green's functions
+//!   from `gnr-poisson`), WKB tunneling through the resulting Schottky
+//!   barriers using the GNR 2-band complex dispersion, Landauer current,
+//!   and a local quantum-capacitance charge correction. Milliseconds per
+//!   bias point; used to populate the dense `I(V_G, V_D)`/`Q(V_G, V_D)`
+//!   lookup tables the circuit level consumes (see DESIGN.md §2 for the
+//!   substitution rationale).
+//!
+//! Device non-idealities from §4 — GNR width variation via the index N, and
+//! oxide charge impurities via real screened-Coulomb profiles solved on the
+//! 3D grid — enter both paths through [`variation`].
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_device::{DeviceConfig, SbfetModel};
+//!
+//! # fn main() -> Result<(), gnr_device::DeviceError> {
+//! let cfg = DeviceConfig::paper_nominal(12)?; // N = 12 GNRFET
+//! let model = SbfetModel::new(&cfg)?;
+//! let on = model.drain_current(0.75, 0.5)?;  // n-branch on-state
+//! let off = model.drain_current(0.25, 0.5)?; // minimum-leakage point
+//! assert!(on > 20.0 * off, "ambipolar SBFET on/off: {on:.3e}/{off:.3e}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod sbfet;
+pub mod scf;
+pub mod table;
+pub mod variation;
+pub mod vt;
+
+pub use config::DeviceConfig;
+pub use error::DeviceError;
+pub use sbfet::SbfetModel;
+pub use scf::{ScfOptions, ScfResult, ScfSolver};
+pub use table::{DeviceTable, Polarity};
+pub use variation::{ChargeImpurity, GnrVariant};
+pub use vt::extract_vt;

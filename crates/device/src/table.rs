@@ -1,0 +1,538 @@
+//! Device lookup tables — the interface between device and circuit levels.
+//!
+//! The paper's circuit simulator is "based on table lookup techniques": the
+//! drain current `I_D(V_GS, V_DS)` and channel charge `Q(V_GS, V_DS)` of the
+//! intrinsic device are tabulated on a uniform bias grid, and the intrinsic
+//! capacitances follow by differentiation:
+//! `C_GD,i = |∂Q/∂V_DS|`, `C_GS,i = |∂Q/∂V_GS| − |∂Q/∂V_DS|` (§3).
+//!
+//! A [`DeviceTable`] represents one FET (n- or p-type) built from one or
+//! more ribbons. P-type devices mirror the n-type table
+//! (`I_p(V_GS,V_DS) = −I_n(−V_GS,−V_DS)`), which the paper justifies by the
+//! ambipolar symmetry of the SBFET. Negative `V_DS` on an n-type device is
+//! handled by source/drain exchange symmetry.
+
+use crate::error::DeviceError;
+use crate::sbfet::SbfetModel;
+use gnr_num::{BilinearTable, Grid1, Grid2};
+use serde::{Deserialize, Serialize};
+
+/// Carrier-type role of a FET in a logic gate.
+#[derive(Clone, Copy, Debug, Deserialize, Eq, Hash, PartialEq, Serialize)]
+pub enum Polarity {
+    /// Electron-conducting pull-down device.
+    NType,
+    /// Hole-conducting pull-up device (mirrored table).
+    PType,
+}
+
+/// Bias-grid specification for table construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableGrid {
+    /// Gate-source range \[V\].
+    pub vgs: (f64, f64),
+    /// Drain-source range \[V\] (non-negative; negative bias is mapped by
+    /// device symmetry).
+    pub vds: (f64, f64),
+    /// Points per axis.
+    pub points: usize,
+}
+
+impl TableGrid {
+    /// The paper's grid (§3: "discrete voltage steps of V_GS and V_DS
+    /// ranging from 0 V to 0.75 V"), widened slightly so transient
+    /// excursions stay on-table.
+    pub fn paper() -> Self {
+        TableGrid {
+            vgs: (-0.35, 1.0),
+            vds: (0.0, 0.85),
+            points: 46,
+        }
+    }
+
+    /// A coarse grid for fast tests.
+    pub fn coarse() -> Self {
+        TableGrid {
+            vgs: (-0.3, 0.9),
+            vds: (0.0, 0.8),
+            points: 13,
+        }
+    }
+}
+
+/// Lookup-table model of one extrinsic-ready FET: current, charge, and
+/// intrinsic capacitances on a uniform `(V_GS, V_DS)` grid.
+#[derive(Clone, Debug)]
+pub struct DeviceTable {
+    id_a: BilinearTable,
+    q_c: BilinearTable,
+    polarity: Polarity,
+    /// Parallel ribbons represented by the table.
+    ribbons: usize,
+    /// V_T-engineering shift applied at lookup time \[V\] (positive shift
+    /// raises the threshold).
+    vg_shift: f64,
+}
+
+impl DeviceTable {
+    /// Builds a table by sampling a single-ribbon model and scaling by
+    /// `ribbons` identical parallel ribbons (the paper's 4-GNR array).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-evaluation failures.
+    pub fn from_model(
+        model: &SbfetModel,
+        polarity: Polarity,
+        grid: TableGrid,
+        ribbons: usize,
+    ) -> Result<Self, DeviceError> {
+        let ribbons = ribbons.max(1);
+        let mut single = Self::from_ribbon_models(&[model], polarity, grid)?;
+        // Identical parallel ribbons scale linearly: evaluate once.
+        let k = ribbons as f64;
+        single.id_a = single.id_a.map(|v| v * k);
+        single.q_c = single.q_c.map(|v| v * k);
+        single.ribbons = ribbons;
+        Ok(single)
+    }
+
+    /// Builds a table by sampling arbitrary current/charge functions — the
+    /// hook that lets non-GNR devices (e.g. the scaled-CMOS baseline in
+    /// `gnr-cmos`) flow through the same circuit machinery.
+    ///
+    /// `id_fn(v_gs, v_ds)` returns amperes, `q_fn` coulombs, both in the
+    /// device's *internal n-type* convention (p-type mirroring is applied
+    /// at lookup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Config`] for a degenerate grid.
+    pub fn from_samples(
+        grid: TableGrid,
+        polarity: Polarity,
+        mut id_fn: impl FnMut(f64, f64) -> f64,
+        mut q_fn: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Self, DeviceError> {
+        if grid.points < 3 {
+            return Err(DeviceError::config("table grid needs >= 3 points/axis"));
+        }
+        let gx = Grid1::new(grid.vgs.0, grid.vgs.1, grid.points)?;
+        let gy = Grid1::new(grid.vds.0, grid.vds.1, grid.points)?;
+        let g2 = Grid2::new(gx, gy);
+        let mut id_vals = Vec::with_capacity(g2.len());
+        let mut q_vals = Vec::with_capacity(g2.len());
+        for i in 0..grid.points {
+            let vg = gx.point(i);
+            for j in 0..grid.points {
+                let vd = gy.point(j);
+                id_vals.push(id_fn(vg, vd));
+                q_vals.push(q_fn(vg, vd));
+            }
+        }
+        Ok(DeviceTable {
+            id_a: BilinearTable::new(g2, id_vals)?,
+            q_c: BilinearTable::new(g2, q_vals)?,
+            polarity,
+            ribbons: 1,
+            vg_shift: 0.0,
+        })
+    }
+
+    /// Builds a table for a parallel array of per-ribbon models — the
+    /// mechanism behind the paper's "one of four GNRs affected" scenarios:
+    /// pass three nominal models and one variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Config`] for an empty model list or a
+    /// degenerate grid; propagates model failures.
+    pub fn from_ribbon_models<M: std::borrow::Borrow<SbfetModel>>(
+        models: &[M],
+        polarity: Polarity,
+        grid: TableGrid,
+    ) -> Result<Self, DeviceError> {
+        if models.is_empty() {
+            return Err(DeviceError::config("need at least one ribbon model"));
+        }
+        if grid.points < 3 {
+            return Err(DeviceError::config("table grid needs >= 3 points/axis"));
+        }
+        let gx = Grid1::new(grid.vgs.0, grid.vgs.1, grid.points)?;
+        let gy = Grid1::new(grid.vds.0, grid.vds.1, grid.points)?;
+        let g2 = Grid2::new(gx, gy);
+        let mut id_vals = vec![0.0; g2.len()];
+        let mut q_vals = vec![0.0; g2.len()];
+        for model in models {
+            let model = model.borrow();
+            for i in 0..grid.points {
+                let vg = gx.point(i);
+                for j in 0..grid.points {
+                    let vd = gy.point(j);
+                    let idx = i * grid.points + j;
+                    let (id, q) = model.evaluate(vg, vd)?;
+                    id_vals[idx] += id;
+                    q_vals[idx] += q;
+                }
+            }
+        }
+        Ok(DeviceTable {
+            id_a: BilinearTable::new(g2, id_vals)?,
+            q_c: BilinearTable::new(g2, q_vals)?,
+            polarity,
+            ribbons: models.len(),
+            vg_shift: 0.0,
+        })
+    }
+
+    /// The device polarity.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// The internal bias-grid node coordinates `(vgs_nodes, vds_nodes)` the
+    /// table was sampled on (raw n-type convention, before shift/mirror).
+    pub fn bias_nodes(&self) -> (Vec<f64>, Vec<f64>) {
+        let g = self.id_a.grid();
+        (g.x.points(), g.y.points())
+    }
+
+    /// Number of parallel ribbons folded into the table.
+    pub fn ribbons(&self) -> usize {
+        self.ribbons
+    }
+
+    /// The current V_T-engineering shift \[V\].
+    pub fn vg_shift(&self) -> f64 {
+        self.vg_shift
+    }
+
+    /// Returns a copy with an additional gate shift: positive `delta_v`
+    /// moves the I-V curve towards higher |V_GS|, raising the threshold —
+    /// the paper's work-function V_T engineering (§2/§3.1).
+    pub fn with_vg_shift(&self, delta_v: f64) -> DeviceTable {
+        let mut t = self.clone();
+        t.vg_shift += delta_v;
+        t
+    }
+
+    /// Mirrors this table to the opposite polarity (n↔p).
+    pub fn mirrored(&self) -> DeviceTable {
+        let mut t = self.clone();
+        t.polarity = match self.polarity {
+            Polarity::NType => Polarity::PType,
+            Polarity::PType => Polarity::NType,
+        };
+        t
+    }
+
+    /// Maps external `(v_gs, v_ds)` to internal n-type table coordinates,
+    /// returning `(vg, vd, sign)` where `sign` flips the looked-up current.
+    fn map_bias(&self, v_gs: f64, v_ds: f64) -> (f64, f64, f64) {
+        // Polarity mirror first.
+        let (mut vg, mut vd, mut sign) = match self.polarity {
+            Polarity::NType => (v_gs, v_ds, 1.0),
+            Polarity::PType => (-v_gs, -v_ds, -1.0),
+        };
+        vg -= self.vg_shift;
+        // Source/drain exchange for negative internal drain bias:
+        // I(vg, -vd) = -I(vg - vd ... with both terminals swapped the
+        // gate-to-new-source voltage is vg - vd.
+        if vd < 0.0 {
+            vg -= vd;
+            vd = -vd;
+            sign = -sign;
+        }
+        (vg, vd, sign)
+    }
+
+    /// Drain current \[A\] at the external bias `(v_gs, v_ds)`.
+    pub fn current(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let (vg, vd, sign) = self.map_bias(v_gs, v_ds);
+        sign * self.id_a.eval(vg, vd)
+    }
+
+    /// Output conductance `∂I_D/∂V_DS` \[S\].
+    pub fn gds(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let (vg, vd, _) = self.map_bias(v_gs, v_ds);
+        // Both sign flips (current and axis) cancel for the derivative.
+        self.id_a.deriv_y(vg, vd)
+    }
+
+    /// Transconductance `∂I_D/∂V_GS` \[S\].
+    pub fn gm(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let (vg, vd, sign) = self.map_bias(v_gs, v_ds);
+        let mut g = self.id_a.deriv_x(vg, vd);
+        // Internal sign: dI/dVgs external = sign * dI/dvg * dvg/dVgs.
+        let chain = match self.polarity {
+            Polarity::NType => 1.0,
+            Polarity::PType => -1.0,
+        };
+        g *= sign * chain;
+        g
+    }
+
+    /// Net channel charge \[C\] at the external bias.
+    pub fn charge(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let (vg, vd, sign) = self.map_bias(v_gs, v_ds);
+        sign * self.q_c.eval(vg, vd)
+    }
+
+    /// Intrinsic gate-drain capacitance `C_GD,i = |∂Q/∂V_DS|` \[F\] (§3).
+    pub fn cgd_intrinsic(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let (vg, vd, _) = self.map_bias(v_gs, v_ds);
+        self.q_c.deriv_y(vg, vd).abs()
+    }
+
+    /// Intrinsic gate-source capacitance
+    /// `C_GS,i = |∂Q/∂V_GS| − |∂Q/∂V_DS|` \[F\], clamped at zero (§3).
+    pub fn cgs_intrinsic(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let (vg, vd, _) = self.map_bias(v_gs, v_ds);
+        (self.q_c.deriv_x(vg, vd).abs() - self.q_c.deriv_y(vg, vd).abs()).max(0.0)
+    }
+
+    /// Total intrinsic gate capacitance `C_G,i = |∂Q/∂V_GS|` \[F\].
+    pub fn cg_intrinsic(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let (vg, vd, _) = self.map_bias(v_gs, v_ds);
+        self.q_c.deriv_x(vg, vd).abs()
+    }
+
+    /// Folds series contact resistances `R_S`/`R_D` (Ω) into the table,
+    /// returning a new table expressed in *external* terminal voltages.
+    ///
+    /// The paper's extrinsic model (Fig. 3a) places `R_S = R_D ∈ [1, 100] kΩ`
+    /// in series with the intrinsic device; because the resistors are
+    /// static, they fold exactly into the DC I-V relation by solving
+    /// `i = I_int(v_gs − i·R_S, v_ds − i·(R_S+R_D))` at every external grid
+    /// node. This keeps logic-gate netlists free of internal nodes, which
+    /// is what makes the exploration sweeps cheap. (The displacement
+    /// current error introduced by also reading the charge at the internal
+    /// bias is O(R·C) ≈ 0.02 ps, negligible against gate delays.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Config`] for negative resistances.
+    pub fn fold_series_resistance(&self, r_s: f64, r_d: f64) -> Result<DeviceTable, DeviceError> {
+        if r_s < 0.0 || r_d < 0.0 {
+            return Err(DeviceError::config("contact resistances must be >= 0"));
+        }
+        if r_s == 0.0 && r_d == 0.0 {
+            return Ok(self.clone());
+        }
+        let g = self.id_a.grid();
+        let (nx, ny) = (g.x.len(), g.y.len());
+        let mut id_vals = Vec::with_capacity(nx * ny);
+        let mut q_vals = Vec::with_capacity(nx * ny);
+        // A current bound for the bisection bracket: the table's largest
+        // magnitude plus margin.
+        let mut i_max = 0.0f64;
+        for i in 0..nx {
+            for j in 0..ny {
+                i_max = i_max.max(self.id_a.node(i, j).abs());
+            }
+        }
+        let bound = 2.0 * i_max + 1e-9;
+        for i in 0..nx {
+            let vg_ext = g.x.point(i);
+            for j in 0..ny {
+                let vd_ext = g.y.point(j);
+                // Solve f(i) = i - I_int(vg - i R_S, vd - i (R_S+R_D)) = 0.
+                let f = |cur: f64| {
+                    cur - self
+                        .id_a
+                        .eval(vg_ext - cur * r_s, vd_ext - cur * (r_s + r_d))
+                };
+                let cur = match gnr_num::roots::brent(f, -bound, bound, 1e-18, 200) {
+                    Ok(c) => c,
+                    // Monotone in practice; fall back to the unloaded value
+                    // if the bracket degenerates at an extreme corner.
+                    Err(_) => self.id_a.eval(vg_ext, vd_ext),
+                };
+                id_vals.push(cur);
+                q_vals.push(
+                    self.q_c
+                        .eval(vg_ext - cur * r_s, vd_ext - cur * (r_s + r_d)),
+                );
+            }
+        }
+        Ok(DeviceTable {
+            id_a: BilinearTable::new(g, id_vals)?,
+            q_c: BilinearTable::new(g, q_vals)?,
+            polarity: self.polarity,
+            ribbons: self.ribbons,
+            vg_shift: self.vg_shift,
+        })
+    }
+
+    /// Serializes to a JSON string (inspection / caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Config`] if serialization fails (does not
+    /// occur for finite tables).
+    pub fn to_json(&self) -> Result<String, DeviceError> {
+        let g = self.id_a.grid();
+        let dto = TableDto {
+            vgs: (g.x.start(), g.x.stop(), g.x.len()),
+            vds: (g.y.start(), g.y.stop(), g.y.len()),
+            id_a: (0..g.x.len())
+                .flat_map(|i| (0..g.y.len()).map(move |j| (i, j)))
+                .map(|(i, j)| self.id_a.node(i, j))
+                .collect(),
+            q_c: (0..g.x.len())
+                .flat_map(|i| (0..g.y.len()).map(move |j| (i, j)))
+                .map(|(i, j)| self.q_c.node(i, j))
+                .collect(),
+            polarity: self.polarity,
+            ribbons: self.ribbons,
+            vg_shift: self.vg_shift,
+        };
+        serde_json::to_string(&dto).map_err(|e| DeviceError::config(e.to_string()))
+    }
+
+    /// Deserializes a table previously produced by [`DeviceTable::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Config`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, DeviceError> {
+        let dto: TableDto =
+            serde_json::from_str(json).map_err(|e| DeviceError::config(e.to_string()))?;
+        let gx = Grid1::new(dto.vgs.0, dto.vgs.1, dto.vgs.2)?;
+        let gy = Grid1::new(dto.vds.0, dto.vds.1, dto.vds.2)?;
+        let g2 = Grid2::new(gx, gy);
+        Ok(DeviceTable {
+            id_a: BilinearTable::new(g2, dto.id_a)?,
+            q_c: BilinearTable::new(g2, dto.q_c)?,
+            polarity: dto.polarity,
+            ribbons: dto.ribbons,
+            vg_shift: dto.vg_shift,
+        })
+    }
+}
+
+#[derive(Deserialize, Serialize)]
+struct TableDto {
+    vgs: (f64, f64, usize),
+    vds: (f64, f64, usize),
+    id_a: Vec<f64>,
+    q_c: Vec<f64>,
+    polarity: Polarity,
+    ribbons: usize,
+    vg_shift: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use std::sync::OnceLock;
+
+    fn shared_table() -> &'static DeviceTable {
+        static TABLE: OnceLock<DeviceTable> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let cfg = DeviceConfig::test_small(12).unwrap();
+            let model = SbfetModel::new(&cfg).unwrap();
+            DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 4).unwrap()
+        })
+    }
+
+    #[test]
+    fn four_ribbons_carry_four_times_single_current() {
+        let cfg = DeviceConfig::test_small(12).unwrap();
+        let model = SbfetModel::new(&cfg).unwrap();
+        let one =
+            DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 1).unwrap();
+        let four = shared_table();
+        let i1 = one.current(0.5, 0.5);
+        let i4 = four.current(0.5, 0.5);
+        assert!((i4 - 4.0 * i1).abs() < 1e-3 * i4.abs(), "{i1:.3e} vs {i4:.3e}");
+        assert_eq!(four.ribbons(), 4);
+    }
+
+    #[test]
+    fn ptype_mirror_symmetry() {
+        let t = shared_table();
+        let p = t.mirrored();
+        assert_eq!(p.polarity(), Polarity::PType);
+        // I_p(-vg, -vd) = -I_n(vg, vd)
+        let a = t.current(0.4, 0.3);
+        let b = p.current(-0.4, -0.3);
+        assert!((a + b).abs() < 1e-12 * a.abs().max(1e-18), "{a:.3e} {b:.3e}");
+    }
+
+    #[test]
+    fn negative_vds_antisymmetry_at_matched_gate() {
+        // Swapping source and drain: I(vg, -vd) = -I(vg - vd, vd).
+        let t = shared_table();
+        let a = t.current(0.2, -0.3);
+        let b = -t.current(0.5, 0.3);
+        assert!((a - b).abs() <= 1e-9 * b.abs().max(1e-15), "{a:.3e} vs {b:.3e}");
+    }
+
+    #[test]
+    fn zero_vds_zero_current() {
+        let t = shared_table();
+        for vg in [-0.2, 0.0, 0.3, 0.7] {
+            let i = t.current(vg, 0.0);
+            assert!(i.abs() < 1e-9, "I({vg}, 0) = {i:.3e}");
+        }
+    }
+
+    #[test]
+    fn vg_shift_translates_curve() {
+        let t = shared_table();
+        let shifted = t.with_vg_shift(0.15);
+        let a = t.current(0.5, 0.4);
+        let b = shifted.current(0.65, 0.4);
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1e-15));
+        assert!((shifted.vg_shift() - 0.15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn capacitances_positive_and_finite() {
+        let t = shared_table();
+        for vg in [0.0, 0.3, 0.6] {
+            for vd in [0.05, 0.3, 0.6] {
+                let cgd = t.cgd_intrinsic(vg, vd);
+                let cgs = t.cgs_intrinsic(vg, vd);
+                let cg = t.cg_intrinsic(vg, vd);
+                assert!(cgd >= 0.0 && cgd.is_finite());
+                assert!(cgs >= 0.0 && cgs.is_finite());
+                assert!(cg > 0.0 && cg < 1e-15, "C_G = {cg:.3e} F");
+            }
+        }
+    }
+
+    #[test]
+    fn gm_positive_in_ntype_branch() {
+        let t = shared_table();
+        assert!(t.gm(0.6, 0.5) > 0.0);
+        // p-type mirror: gm of the p-device at its active branch.
+        let p = t.mirrored();
+        assert!(p.gm(-0.6, -0.5) > 0.0, "gm_p = {}", p.gm(-0.6, -0.5));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_lookup() {
+        let t = shared_table();
+        let json = t.to_json().unwrap();
+        let back = DeviceTable::from_json(&json).unwrap();
+        for vg in [-0.1, 0.2, 0.55] {
+            for vd in [0.0, 0.25, 0.7] {
+                assert!((t.current(vg, vd) - back.current(vg, vd)).abs() < 1e-18);
+                assert!((t.charge(vg, vd) - back.charge(vg, vd)).abs() < 1e-30);
+            }
+        }
+        assert!(DeviceTable::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_model_list() {
+        let models: Vec<SbfetModel> = Vec::new();
+        assert!(matches!(
+            DeviceTable::from_ribbon_models(&models, Polarity::NType, TableGrid::coarse()),
+            Err(DeviceError::Config { .. })
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+//! Threshold-voltage extraction.
+//!
+//! The paper (§2, Fig. 2b) uses "traditional V_T extraction methods for MOS
+//! devices": at low drain bias, the tangent of the I-V curve at its maximum
+//! transconductance point is extrapolated to the V_G axis; the intercept is
+//! V_T. An applied gate work-function offset shifts V_T by the same amount.
+
+use crate::error::DeviceError;
+use gnr_num::linfit::fit_line;
+
+/// Extracts the threshold voltage from `(V_G, I_D)` samples of an I-V curve
+/// at low drain bias, via linear extrapolation at the maximum-slope point.
+///
+/// # Errors
+///
+/// Returns [`DeviceError::Config`] if fewer than four samples are given or
+/// the fitted tangent is horizontal (no gate control in the sampled range).
+pub fn extract_vt(samples: &[(f64, f64)]) -> Result<f64, DeviceError> {
+    if samples.len() < 4 {
+        return Err(DeviceError::config(
+            "vt extraction needs at least four I-V samples",
+        ));
+    }
+    // Locate the maximum forward slope.
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for w in 0..samples.len() - 1 {
+        let (v0, i0) = samples[w];
+        let (v1, i1) = samples[w + 1];
+        let slope = (i1 - i0) / (v1 - v0);
+        if slope > best.1 {
+            best = (w, slope);
+        }
+    }
+    // Fit the tangent through a window around the max-gm point.
+    let lo = best.0.saturating_sub(1);
+    let hi = (best.0 + 2).min(samples.len() - 1);
+    let xs: Vec<f64> = samples[lo..=hi].iter().map(|s| s.0).collect();
+    let ys: Vec<f64> = samples[lo..=hi].iter().map(|s| s.1).collect();
+    let fit = fit_line(&xs, &ys).map_err(DeviceError::from)?;
+    fit.x_intercept()
+        .ok_or_else(|| DeviceError::config("i-v curve has no gate control (zero slope)"))
+}
+
+/// Samples an I-V curve from a current function over `[v_lo, v_hi]` and
+/// extracts V_T; convenience wrapper over [`extract_vt`].
+///
+/// # Errors
+///
+/// Propagates evaluation and extraction failures.
+pub fn extract_vt_from<F>(
+    mut current: F,
+    v_lo: f64,
+    v_hi: f64,
+    points: usize,
+) -> Result<f64, DeviceError>
+where
+    F: FnMut(f64) -> Result<f64, DeviceError>,
+{
+    let points = points.max(4);
+    let step = (v_hi - v_lo) / (points - 1) as f64;
+    let mut samples = Vec::with_capacity(points);
+    for i in 0..points {
+        let v = v_lo + step * i as f64;
+        samples.push((v, current(v)?));
+    }
+    extract_vt(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_square_law_vt() {
+        // I = k (V - VT)^2 above VT: the tangent at the top of the sampled
+        // range extrapolates to (V + VT)/2 ... for a pure square law the
+        // max-gm tangent intercept is midway; use a linear-above-threshold
+        // device for an exact check instead.
+        let vt_true = 0.3;
+        let samples: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let v = i as f64 * 0.025;
+                (v, (v - vt_true).max(0.0) * 2.0e-6)
+            })
+            .collect();
+        let vt = extract_vt(&samples).unwrap();
+        assert!((vt - vt_true).abs() < 0.03, "vt = {vt}");
+    }
+
+    #[test]
+    fn offset_shifts_vt_equally() {
+        // Paper: "when the off-set is applied ... VT changes by an amount
+        // equal to the off-set".
+        let curve = |v: f64, off: f64| ((v + off) - 0.3).max(0.0) * 1e-6;
+        let base: Vec<_> = (0..40).map(|i| (i as f64 * 0.02, curve(i as f64 * 0.02, 0.0))).collect();
+        let shifted: Vec<_> =
+            (0..40).map(|i| (i as f64 * 0.02, curve(i as f64 * 0.02, 0.2))).collect();
+        let vt0 = extract_vt(&base).unwrap();
+        let vt1 = extract_vt(&shifted).unwrap();
+        assert!(((vt0 - vt1) - 0.2).abs() < 0.03, "{vt0} vs {vt1}");
+    }
+
+    #[test]
+    fn rejects_too_few_samples() {
+        assert!(extract_vt(&[(0.0, 0.0), (0.1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_flat_curve() {
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 * 0.1, 1.0)).collect();
+        assert!(extract_vt(&flat).is_err());
+    }
+
+    #[test]
+    fn wrapper_samples_function() {
+        let vt = extract_vt_from(|v| Ok((v - 0.25).max(0.0) * 3e-6), 0.0, 0.8, 33).unwrap();
+        assert!((vt - 0.25).abs() < 0.03);
+    }
+}

@@ -1,0 +1,214 @@
+//! Bloch band structure of the infinite A-GNR.
+//!
+//! Diagonalizes `H(k) = H00 + H01·e^{ik} + H01†·e^{-ik}` on a uniform
+//! k-grid over half the Brillouin zone (the spectrum is symmetric in ±k)
+//! and extracts the band gap, subband edges, and band-edge effective masses
+//! consumed by the semi-analytic device model.
+
+use crate::error::LatticeError;
+use crate::hamiltonian::unit_cell_hamiltonian;
+use crate::AGnr;
+use gnr_num::consts::{HBAR_EV, M_E, Q_E};
+use gnr_num::c64;
+
+/// Band structure of an A-GNR sampled on a uniform k-grid.
+#[derive(Clone, Debug)]
+pub struct BandStructure {
+    gnr: AGnr,
+    /// k samples in units of 1/period, spanning `[0, π]`.
+    k: Vec<f64>,
+    /// `bands[b][ik]`: energy of band `b` at `k[ik]`, in eV, sorted by band.
+    bands: Vec<Vec<f64>>,
+}
+
+/// Computes the band structure of `gnr` on `k_points ≥ 2` samples of
+/// `k ∈ [0, π]` (in units of the inverse period).
+///
+/// # Errors
+///
+/// Returns [`LatticeError::BandSolve`] if the eigensolver fails.
+pub fn compute(gnr: AGnr, k_points: usize) -> Result<BandStructure, LatticeError> {
+    let k_points = k_points.max(2);
+    let (h00, h01) = unit_cell_hamiltonian(gnr);
+    let h10 = h01.adjoint();
+    let m = gnr.atoms_per_cell();
+    let mut k = Vec::with_capacity(k_points);
+    let mut bands = vec![Vec::with_capacity(k_points); m];
+    for ik in 0..k_points {
+        let kk = std::f64::consts::PI * ik as f64 / (k_points - 1) as f64;
+        let phase = c64(kk.cos(), kk.sin());
+        let hk = &(&h00 + &h01.scale(phase)) + &h10.scale(phase.conj());
+        let (evals, _) = hk.herm_eigen()?;
+        for (b, e) in evals.into_iter().enumerate() {
+            bands[b].push(e);
+        }
+        k.push(kk);
+    }
+    Ok(BandStructure { gnr, k, bands })
+}
+
+impl BandStructure {
+    /// The ribbon this band structure belongs to.
+    pub fn gnr(&self) -> AGnr {
+        self.gnr
+    }
+
+    /// k samples (units: 1/period, spanning `[0, π]`).
+    pub fn k_samples(&self) -> &[f64] {
+        &self.k
+    }
+
+    /// All subbands: `bands()[b][ik]` in eV.
+    pub fn bands(&self) -> &[Vec<f64>] {
+        &self.bands
+    }
+
+    /// Lowest conduction-band energy (eV): minimum over k of the lowest
+    /// band above the charge-neutrality point (0 eV).
+    pub fn conduction_edge(&self) -> f64 {
+        self.bands
+            .iter()
+            .flat_map(|band| band.iter().copied())
+            .filter(|&e| e > 0.0)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Highest valence-band energy (eV).
+    pub fn valence_edge(&self) -> f64 {
+        self.bands
+            .iter()
+            .flat_map(|band| band.iter().copied())
+            .filter(|&e| e <= 0.0)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Band gap `E_c − E_v` in eV.
+    pub fn gap(&self) -> f64 {
+        self.conduction_edge() - self.valence_edge()
+    }
+
+    /// Energies of the first `count` conduction subband minima, ascending
+    /// (eV). Each subband contributes its own minimum over k.
+    pub fn conduction_subband_edges(&self, count: usize) -> Vec<f64> {
+        let mut mins: Vec<f64> = self
+            .bands
+            .iter()
+            .filter_map(|band| {
+                let lo = band.iter().copied().fold(f64::INFINITY, f64::min);
+                if lo > 0.0 {
+                    Some(lo)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        mins.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        mins.truncate(count);
+        mins
+    }
+
+    /// Effective mass of the lowest conduction band at its minimum, in units
+    /// of the free-electron mass, from a parabolic fit of the three samples
+    /// around the minimum.
+    pub fn conduction_effective_mass(&self) -> f64 {
+        // Identify the band and k-index of the conduction minimum.
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for (b, band) in self.bands.iter().enumerate() {
+            for (ik, &e) in band.iter().enumerate() {
+                if e > 0.0 && e < best.2 {
+                    best = (b, ik, e);
+                }
+            }
+        }
+        let (b, ik, _) = best;
+        let band = &self.bands[b];
+        let i = ik.clamp(1, band.len() - 2);
+        let dk = (self.k[1] - self.k[0]) / self.gnr.period_m(); // 1/m
+        // Second derivative via central difference (eV·m²).
+        let d2 = (band[i + 1] - 2.0 * band[i] + band[i - 1]) / (dk * dk);
+        if d2 <= 0.0 {
+            return f64::INFINITY;
+        }
+        // m* = ħ² / (d²E/dk²); convert eV to J.
+        let hbar_j = HBAR_EV * Q_E; // J·s
+        hbar_j * HBAR_EV / d2 / M_E
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gap_of(n: usize) -> f64 {
+        AGnr::new(n).unwrap().band_structure(96).unwrap().gap()
+    }
+
+    #[test]
+    fn spectrum_is_particle_hole_symmetric_without_edge_relaxation() {
+        // With edge relaxation the symmetry is only mildly broken; check the
+        // edges are within ~0.2 eV of symmetric.
+        let bs = AGnr::new(12).unwrap().band_structure(64).unwrap();
+        let ec = bs.conduction_edge();
+        let ev = bs.valence_edge();
+        assert!((ec + ev).abs() < 0.2, "ec={ec} ev={ev}");
+    }
+
+    #[test]
+    fn gap_decreases_with_width_in_3p_family() {
+        let g9 = gap_of(9);
+        let g12 = gap_of(12);
+        let g15 = gap_of(15);
+        let g18 = gap_of(18);
+        assert!(g9 > g12 && g12 > g15 && g15 > g18, "{g9} {g12} {g15} {g18}");
+        // Approximate inverse proportionality to width.
+        assert!(g9 / g18 > 1.6);
+    }
+
+    #[test]
+    fn n12_gap_matches_literature() {
+        // pz TB with 12% edge relaxation: N=12 gap ~ 0.6 eV (Son et al.).
+        let g = gap_of(12);
+        assert!(g > 0.45 && g < 0.75, "g = {g}");
+    }
+
+    #[test]
+    fn family_3p_plus_2_has_small_gap() {
+        let g11 = gap_of(11);
+        let g12 = gap_of(12);
+        assert!(
+            g11 < 0.35 * g12,
+            "3p+2 family should be nearly metallic: {g11} vs {g12}"
+        );
+    }
+
+    #[test]
+    fn family_3p_plus_1_has_larger_gap_than_3p() {
+        let g10 = gap_of(10);
+        let g12 = gap_of(12);
+        assert!(g10 > g12, "{g10} vs {g12}");
+    }
+
+    #[test]
+    fn band_count_is_2n() {
+        let bs = AGnr::new(9).unwrap().band_structure(16).unwrap();
+        assert_eq!(bs.bands().len(), 18);
+        assert_eq!(bs.k_samples().len(), 16);
+    }
+
+    #[test]
+    fn subband_edges_sorted_and_positive() {
+        let bs = AGnr::new(12).unwrap().band_structure(64).unwrap();
+        let edges = bs.conduction_subband_edges(3);
+        assert_eq!(edges.len(), 3);
+        assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        assert!((edges[0] - bs.conduction_edge()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_mass_reasonable() {
+        // Literature: m* of N=12 A-GNR ~ 0.05-0.2 m0.
+        let bs = AGnr::new(12).unwrap().band_structure(192).unwrap();
+        let m = bs.conduction_effective_mass();
+        assert!(m > 0.01 && m < 0.5, "m* = {m} m0");
+    }
+}

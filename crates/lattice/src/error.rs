@@ -1,0 +1,70 @@
+//! Error type for lattice construction and band solves.
+
+use gnr_num::NumError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building ribbon lattices or solving band structures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LatticeError {
+    /// GNR index below the minimum meaningful value.
+    IndexTooSmall {
+        /// The offending index.
+        n: usize,
+    },
+    /// A ribbon segment with zero unit cells was requested.
+    EmptySegment,
+    /// The supplied potential does not have one entry per atom.
+    PotentialLength {
+        /// Entries supplied.
+        got: usize,
+        /// Entries required (atom count).
+        expected: usize,
+    },
+    /// The Bloch eigenvalue solve failed.
+    BandSolve(NumError),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::IndexTooSmall { n } => {
+                write!(f, "gnr index {n} is too small (minimum 3)")
+            }
+            LatticeError::EmptySegment => write!(f, "ribbon segment needs at least one cell"),
+            LatticeError::PotentialLength { got, expected } => write!(
+                f,
+                "potential has {got} entries but the lattice has {expected} atoms"
+            ),
+            LatticeError::BandSolve(e) => write!(f, "band solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for LatticeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LatticeError::BandSolve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for LatticeError {
+    fn from(e: NumError) -> Self {
+        LatticeError::BandSolve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LatticeError::IndexTooSmall { n: 1 }.to_string().contains('1'));
+        assert!(LatticeError::PotentialLength { got: 3, expected: 24 }
+            .to_string()
+            .contains("24"));
+    }
+}

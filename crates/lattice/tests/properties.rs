@@ -1,0 +1,75 @@
+//! Property-based tests of the lattice and Hamiltonian invariants.
+
+use gnr_lattice::{unit_cell_hamiltonian, AGnr, DeviceHamiltonian};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every valid index yields a Hermitian Bloch Hamiltonian at every k.
+    #[test]
+    fn bloch_hamiltonian_hermitian(n in 3usize..16, ik in 0usize..8) {
+        let gnr = AGnr::new(n).expect("valid index");
+        let (h00, h01) = unit_cell_hamiltonian(gnr);
+        let k = std::f64::consts::PI * ik as f64 / 7.0;
+        let phase = gnr_num::c64(k.cos(), k.sin());
+        let hk = &(&h00 + &h01.scale(phase)) + &h01.adjoint().scale(phase.conj());
+        prop_assert!(hk.hermiticity_defect() < 1e-12);
+    }
+
+    /// Device Hamiltonians are Hermitian for any potential profile.
+    #[test]
+    fn device_hamiltonian_hermitian(
+        n in 3usize..10,
+        cells in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let gnr = AGnr::new(n).expect("valid index");
+        let m = gnr.atoms_per_cell();
+        // Deterministic pseudo-random potential from the seed.
+        let pot: Vec<f64> = (0..m * cells)
+            .map(|i| ((seed as f64 + i as f64) * 12.9898).sin() * 0.3)
+            .collect();
+        let h = DeviceHamiltonian::new(gnr, cells, &pot).expect("builds");
+        prop_assert!(h.to_dense().hermiticity_defect() < 1e-12);
+    }
+
+    /// The spectrum is bounded by the maximum coordination times the
+    /// strongest bond: |E| <= 3 * 1.12 * t.
+    #[test]
+    fn spectrum_bounded_by_bandwidth(n in 3usize..14) {
+        let gnr = AGnr::new(n).expect("valid index");
+        let bands = gnr.band_structure(24).expect("solves");
+        let bound = 3.0 * 1.12 * gnr_num::consts::T_HOPPING + 1e-9;
+        for band in bands.bands() {
+            for &e in band {
+                prop_assert!(e.abs() <= bound, "E = {e} exceeds bandwidth bound");
+            }
+        }
+    }
+
+    /// Uniform potential shifts translate the whole spectrum: the layer
+    /// potential readback must match the applied shift.
+    #[test]
+    fn potential_readback(shift in -0.5f64..0.5) {
+        let gnr = AGnr::new(6).expect("valid index");
+        let m = gnr.atoms_per_cell();
+        let pot = vec![shift; m * 3];
+        let h = DeviceHamiltonian::new(gnr, 3, &pot).expect("builds");
+        for l in 0..3 {
+            prop_assert!((h.layer_potential_ev(l) - shift).abs() < 1e-12);
+        }
+    }
+
+    /// Width and atom counts scale linearly with the index.
+    #[test]
+    fn geometry_scaling(n in 3usize..20) {
+        let gnr = AGnr::new(n).expect("valid index");
+        prop_assert_eq!(gnr.atoms_per_cell(), 2 * n);
+        let lat = gnr.lattice(2);
+        prop_assert_eq!(lat.atom_count(), 4 * n);
+        // Bond count: interior atoms have 3 neighbours, edges 2.
+        let coord = lat.coordination();
+        prop_assert!(coord.iter().all(|&c| c >= 1 && c <= 3));
+    }
+}

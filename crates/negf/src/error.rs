@@ -1,0 +1,73 @@
+//! Error type for the NEGF solvers.
+
+use gnr_num::NumError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the Green's-function solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NegfError {
+    /// A linear-algebra kernel failed (singular matrix, etc.).
+    Linear(NumError),
+    /// The Sancho–Rubio surface-GF iteration failed to converge.
+    SurfaceGf {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual coupling norm at the last iterate.
+        residual: f64,
+    },
+    /// Inconsistent solver configuration.
+    Config {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NegfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NegfError::Linear(e) => write!(f, "linear algebra failure: {e}"),
+            NegfError::SurfaceGf {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "surface green's function did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NegfError::Config { detail } => write!(f, "invalid solver configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for NegfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NegfError::Linear(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for NegfError {
+    fn from(e: NumError) -> Self {
+        NegfError::Linear(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = NegfError::SurfaceGf {
+            iterations: 7,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains('7'));
+        let e = NegfError::Config {
+            detail: "bad eta".into(),
+        };
+        assert!(e.to_string().contains("bad eta"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Recursive Green's function (RGF) solver for block-tridiagonal devices.
+//!
+//! Works layer-by-layer so the cost scales linearly with device length and
+//! cubically only in the layer width — the "efficient computational
+//! algorithms [that] make routine device simulation possible on a personal
+//! computer" the paper refers to.
+//!
+//! Conventions: layers `0..L`, contact 1 (source) attached to layer 0,
+//! contact 2 (drain) to layer `L−1`. `A(E) = (E + iη)I − H − Σ` is the
+//! inverse Green's function; its blocks are
+//! `D_l = (E + iη)I − H_l − δ_{l,0}Σ₁ − δ_{l,L−1}Σ₂`, `U = −H01`, `L = −H10`.
+
+use crate::error::NegfError;
+use crate::lead::{broadening, Lead};
+use gnr_lattice::DeviceHamiltonian;
+use gnr_num::{c64, CMatrix};
+
+/// Small imaginary part added to the energy for retarded boundary behaviour.
+pub const RGF_ETA: f64 = 1e-6;
+
+/// Per-energy transport quantities resolved by the RGF sweeps.
+#[derive(Clone, Debug)]
+pub struct SpectralSlice {
+    /// Energy (eV).
+    pub energy: f64,
+    /// Transmission `T(E) = Tr[Γ₂ G_{L−1,0} Γ₁ G_{L−1,0}†]`.
+    pub transmission: f64,
+    /// Diagonal of the source-injected spectral function `A₁ = GΓ₁G†`,
+    /// one entry per atom (units 1/eV after the 2π normalization applied
+    /// by the charge integrator).
+    pub a1_diag: Vec<f64>,
+    /// Diagonal of the drain-injected spectral function `A₂`.
+    pub a2_diag: Vec<f64>,
+}
+
+impl SpectralSlice {
+    /// Local density of states per atom, `(A₁ + A₂)/2π` (states/eV).
+    pub fn ldos(&self) -> Vec<f64> {
+        self.a1_diag
+            .iter()
+            .zip(&self.a2_diag)
+            .map(|(a, b)| (a + b) / (2.0 * std::f64::consts::PI))
+            .collect()
+    }
+}
+
+/// Recursive Green's-function solver bound to one device Hamiltonian and a
+/// pair of contact models.
+#[derive(Clone, Debug)]
+pub struct RgfSolver {
+    diag: Vec<CMatrix>,
+    h01: CMatrix,
+    h10: CMatrix,
+    lead1: Lead,
+    lead2: Lead,
+    /// Bare lead blocks for self-energy evaluation (unshifted ribbon cell).
+    lead_h00: CMatrix,
+    lead_h01: CMatrix,
+}
+
+impl RgfSolver {
+    /// Binds a solver to `h` with source lead `lead1` (layer 0 side) and
+    /// drain lead `lead2` (last layer side).
+    pub fn new(h: &DeviceHamiltonian, lead1: Lead, lead2: Lead) -> Self {
+        let (lead_h00, lead_h01) = gnr_lattice::unit_cell_hamiltonian(h.gnr());
+        RgfSolver {
+            diag: (0..h.layers()).map(|l| h.diag_block(l).clone()).collect(),
+            h01: h.coupling_block().clone(),
+            h10: h.coupling_block().adjoint(),
+            lead1,
+            lead2,
+            lead_h00,
+            lead_h01,
+        }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Layer block dimension.
+    pub fn layer_dim(&self) -> usize {
+        self.h01.rows()
+    }
+
+    fn contact_self_energies(&self, e: f64) -> Result<(CMatrix, CMatrix), NegfError> {
+        // Source lead grows towards -x: its inter-cell coupling (away from
+        // the device) is H10, and the device couples into it through H10 as
+        // well; mirror for the drain.
+        let sigma1 = self
+            .lead1
+            .self_energy(e, &self.lead_h00, &self.h10, &self.h10)?;
+        let sigma2 = self
+            .lead2
+            .self_energy(e, &self.lead_h00, &self.lead_h01, &self.h01)?;
+        Ok((sigma1, sigma2))
+    }
+
+    /// Computes transmission and contact-resolved spectral functions at
+    /// energy `e` (eV) with one forward and one backward RGF sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures.
+    pub fn spectral_slice(&self, e: f64) -> Result<SpectralSlice, NegfError> {
+        let m = self.layer_dim();
+        let nl = self.layers();
+        let ez = c64(e, RGF_ETA);
+        let (sigma1, sigma2) = self.contact_self_energies(e)?;
+        let gamma1 = broadening(&sigma1);
+        let gamma2 = broadening(&sigma2);
+
+        // D_l blocks.
+        let d_block = |l: usize| -> CMatrix {
+            let mut d = CMatrix::from_fn(m, m, |i, j| -self.diag[l].get(i, j));
+            for i in 0..m {
+                d.add_to(i, i, ez);
+            }
+            if l == 0 {
+                for i in 0..m {
+                    for j in 0..m {
+                        d.add_to(i, j, -sigma1.get(i, j));
+                    }
+                }
+            }
+            if l == nl - 1 {
+                for i in 0..m {
+                    for j in 0..m {
+                        d.add_to(i, j, -sigma2.get(i, j));
+                    }
+                }
+            }
+            d
+        };
+
+        // Left-connected sweep: gl[l] includes everything to the left.
+        let mut gl: Vec<CMatrix> = Vec::with_capacity(nl);
+        for l in 0..nl {
+            let mut d = d_block(l);
+            if l > 0 {
+                // D_l - H10 gl[l-1] H01
+                let corr = self.h10.matmul(&gl[l - 1]).matmul(&self.h01);
+                d = &d - &corr;
+            }
+            gl.push(d.inverse()?);
+        }
+        // Right-connected sweep.
+        let mut gr: Vec<CMatrix> = vec![CMatrix::zeros(0, 0); nl];
+        for l in (0..nl).rev() {
+            let mut d = d_block(l);
+            if l + 1 < nl {
+                let corr = self.h01.matmul(&gr[l + 1]).matmul(&self.h10);
+                d = &d - &corr;
+            }
+            gr[l] = d.inverse()?;
+        }
+
+        // First column of G: G_{0,0} = gr-corrected... G_{0,0} equals the
+        // fully-connected inverse at layer 0, which is gr[0] with the left
+        // boundary already in D_0 — i.e. gr[0] itself. Then
+        // G_{l,0} = gr[l]·H10·G_{l-1,0}.
+        let mut g_col1: Vec<CMatrix> = Vec::with_capacity(nl);
+        g_col1.push(gr[0].clone());
+        for l in 1..nl {
+            let prev = &g_col1[l - 1];
+            g_col1.push(gr[l].matmul(&self.h10).matmul(prev));
+        }
+        // Last column of G: G_{L-1,L-1} = gl[L-1]; G_{l,L-1} = gl[l]·H01·G_{l+1,L-1}.
+        let mut g_coln: Vec<CMatrix> = vec![CMatrix::zeros(0, 0); nl];
+        g_coln[nl - 1] = gl[nl - 1].clone();
+        for l in (0..nl - 1).rev() {
+            let next = g_coln[l + 1].clone();
+            g_coln[l] = gl[l].matmul(&self.h01).matmul(&next);
+        }
+
+        // Transmission from the (L-1, 0) block.
+        let g_n0 = &g_col1[nl - 1];
+        let t_matrix = gamma2
+            .matmul(g_n0)
+            .matmul(&gamma1)
+            .matmul(&g_n0.adjoint());
+        let transmission = t_matrix.trace().re.max(0.0);
+
+        // Spectral function diagonals: A1(l) = G_{l,0} Γ1 G_{l,0}†,
+        // A2(l) = G_{l,L-1} Γ2 G_{l,L-1}†.
+        let mut a1_diag = Vec::with_capacity(nl * m);
+        let mut a2_diag = Vec::with_capacity(nl * m);
+        for l in 0..nl {
+            let a1 = g_col1[l].matmul(&gamma1).matmul(&g_col1[l].adjoint());
+            let a2 = g_coln[l].matmul(&gamma2).matmul(&g_coln[l].adjoint());
+            for i in 0..m {
+                a1_diag.push(a1.get(i, i).re.max(0.0));
+                a2_diag.push(a2.get(i, i).re.max(0.0));
+            }
+        }
+        Ok(SpectralSlice {
+            energy: e,
+            transmission,
+            a1_diag,
+            a2_diag,
+        })
+    }
+
+    /// Transmission only (skips the spectral-function assembly work when
+    /// just `T(E)` is needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures.
+    pub fn transmission(&self, e: f64) -> Result<f64, NegfError> {
+        let m = self.layer_dim();
+        let nl = self.layers();
+        let ez = c64(e, RGF_ETA);
+        let (sigma1, sigma2) = self.contact_self_energies(e)?;
+        let gamma1 = broadening(&sigma1);
+        let gamma2 = broadening(&sigma2);
+
+        // Left-connected sweep storing only the running surface block, plus
+        // the accumulated product needed for G_{L-1,0}.
+        let mut gl_prev: Option<CMatrix> = None;
+        let mut gl_all: Vec<CMatrix> = Vec::with_capacity(nl);
+        for l in 0..nl {
+            let mut d = CMatrix::from_fn(m, m, |i, j| -self.diag[l].get(i, j));
+            for i in 0..m {
+                d.add_to(i, i, ez);
+            }
+            if l == 0 {
+                d = &d - &sigma1;
+            }
+            if l == nl - 1 {
+                d = &d - &sigma2;
+            }
+            if let Some(prev) = &gl_prev {
+                let corr = self.h10.matmul(prev).matmul(&self.h01);
+                d = &d - &corr;
+            }
+            let g = d.inverse()?;
+            gl_all.push(g.clone());
+            gl_prev = Some(g);
+        }
+        // G_{L-1,0} = gl[L-1] · Π_{l=L-2..0} (H10 · gl[l]).
+        // Derivation: G_{i,0} = g_i H10 G_{i-1,0} with right-connected g_i;
+        // equivalently build from the left-connected functions mirrored —
+        // here we use the left-connected gl and the identity
+        // G_{L-1,0} = gl[L-1] H10 gl[L-2] H10 ... gl[0] which holds because
+        // layer L-1 already contains the full right boundary.
+        let mut g_n0 = gl_all[nl - 1].clone();
+        for l in (0..nl - 1).rev() {
+            g_n0 = g_n0.matmul(&self.h10).matmul(&gl_all[l]);
+        }
+        let t_matrix = gamma2
+            .matmul(&g_n0)
+            .matmul(&gamma1)
+            .matmul(&g_n0.adjoint());
+        Ok(t_matrix.trace().re.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnr_lattice::{AGnr, DeviceHamiltonian};
+
+    fn ideal_solver(n: usize, cells: usize) -> RgfSolver {
+        let gnr = AGnr::new(n).unwrap();
+        let h = DeviceHamiltonian::flat_band(gnr, cells).unwrap();
+        RgfSolver::new(&h, Lead::gnr_contact(), Lead::gnr_contact())
+    }
+
+    #[test]
+    fn ideal_ribbon_transmission_is_integer_mode_count() {
+        let gnr = AGnr::new(9).unwrap();
+        let bands = gnr.band_structure(96).unwrap();
+        let edges = bands.conduction_subband_edges(2);
+        let solver = ideal_solver(9, 5);
+        // Just above the first subband edge: exactly one open mode.
+        let t1 = solver.transmission(edges[0] + 0.03).unwrap();
+        assert!((t1 - 1.0).abs() < 0.05, "T = {t1}");
+        // In the gap: no modes.
+        let t0 = solver.transmission(0.0).unwrap();
+        assert!(t0 < 1e-3, "gap T = {t0}");
+        // Above the second edge: two modes.
+        let t2 = solver.transmission(edges[1] + 0.03).unwrap();
+        assert!((t2 - 2.0).abs() < 0.1, "T = {t2}");
+    }
+
+    #[test]
+    fn transmission_independent_of_ideal_device_length() {
+        let e = {
+            let bands = AGnr::new(9).unwrap().band_structure(96).unwrap();
+            bands.conduction_edge() + 0.08
+        };
+        let t4 = ideal_solver(9, 4).transmission(e).unwrap();
+        let t10 = ideal_solver(9, 10).transmission(e).unwrap();
+        assert!((t4 - t10).abs() < 0.02, "{t4} vs {t10}");
+    }
+
+    #[test]
+    fn spectral_slice_matches_dedicated_transmission() {
+        let solver = ideal_solver(9, 4);
+        let e = 0.9;
+        let slice = solver.spectral_slice(e).unwrap();
+        let t = solver.transmission(e).unwrap();
+        assert!((slice.transmission - t).abs() < 1e-8);
+    }
+
+    #[test]
+    fn barrier_suppresses_transmission() {
+        let gnr = AGnr::new(9).unwrap();
+        let m = gnr.atoms_per_cell();
+        let cells = 8;
+        let e_probe = gnr.band_structure(96).unwrap().conduction_edge() + 0.05;
+        // Potential barrier of 0.4 eV over the middle 4 cells pushes the
+        // local band edge above the probe energy -> tunneling only.
+        let mut pot = vec![0.0; m * cells];
+        for l in 2..6 {
+            for i in 0..m {
+                pot[l * m + i] = 0.4;
+            }
+        }
+        let h = DeviceHamiltonian::new(gnr, cells, &pot).unwrap();
+        let solver = RgfSolver::new(&h, Lead::gnr_contact(), Lead::gnr_contact());
+        let t_barrier = solver.transmission(e_probe).unwrap();
+        let t_ideal = ideal_solver(9, 8).transmission(e_probe).unwrap();
+        assert!(
+            t_barrier < 0.2 * t_ideal,
+            "barrier {t_barrier} vs ideal {t_ideal}"
+        );
+        assert!(t_barrier > 0.0, "tunneling is finite");
+    }
+
+    #[test]
+    fn ldos_vanishes_in_gap_inside_device() {
+        let solver = ideal_solver(12, 6);
+        let slice = solver.spectral_slice(0.0).unwrap();
+        let ldos = slice.ldos();
+        // Middle-layer atoms see only evanescent contact states.
+        let m = 24;
+        let mid = &ldos[3 * m..4 * m];
+        assert!(mid.iter().all(|&v| v < 1e-2), "midgap LDOS {:?}", &mid[..4]);
+    }
+
+    #[test]
+    fn spectral_functions_nonnegative() {
+        let solver = ideal_solver(9, 4);
+        let slice = solver.spectral_slice(1.1).unwrap();
+        assert!(slice.a1_diag.iter().all(|&v| v >= 0.0));
+        assert!(slice.a2_diag.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn metal_leads_midgap_tunneling_decays_with_length() {
+        // Metal-induced gap states tunnel across the gapped channel; the
+        // midgap transmission must decay exponentially with channel length
+        // while the in-band transmission stays order-one. This is exactly
+        // the Schottky-barrier physics the paper's device relies on.
+        let gnr = AGnr::new(12).unwrap();
+        let t_of = |cells: usize, e: f64| {
+            let h = DeviceHamiltonian::flat_band(gnr, cells).unwrap();
+            RgfSolver::new(&h, Lead::metal(), Lead::metal())
+                .transmission(e)
+                .unwrap()
+        };
+        // Probe at E = 0.2 eV (inside the gap, away from the E ~ 0 end-state
+        // resonance of the cut ribbon, whose peak transmission stays O(1)
+        // while its linewidth shrinks with length).
+        let t5 = t_of(5, 0.2);
+        let t12 = t_of(12, 0.2);
+        assert!(t12 < 0.2 * t5, "tunneling must decay: {t5} -> {t12}");
+        let t_band = t_of(12, 1.0);
+        assert!(t_band > 5.0 * t12, "band T {t_band} vs gap T {t12}");
+    }
+
+    #[test]
+    fn sum_rule_a1_plus_a2_traces_total_dos() {
+        // For a ballistic 2-terminal device A = A1 + A2; both spectral
+        // pieces must therefore be bounded by the total LDOS and positive
+        // where T is positive.
+        let solver = ideal_solver(9, 4);
+        let slice = solver.spectral_slice(0.95).unwrap();
+        let total_a1: f64 = slice.a1_diag.iter().sum();
+        let total_a2: f64 = slice.a2_diag.iter().sum();
+        assert!(total_a1 > 0.0 && total_a2 > 0.0);
+        // Left/right symmetry of the ideal device.
+        assert!(
+            (total_a1 - total_a2).abs() / (total_a1 + total_a2) < 0.05,
+            "a1 {total_a1} a2 {total_a2}"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Landauer current and charge integration over energy.
+//!
+//! For a ballistic two-terminal device the electron correlation function
+//! splits exactly into contact-resolved spectral pieces,
+//! `Gⁿ = A₁ f₁ + A₂ f₂`, so the charge at atom *i* and the terminal current
+//! are energy integrals over the [`SpectralSlice`](crate::rgf::SpectralSlice)
+//! data produced by the RGF sweeps:
+//!
+//! ```text
+//! n_i = ∫ dE/2π [A₁,ii f₁ + A₂,ii f₂]          (E above the local midgap)
+//! p_i = ∫ dE/2π [A₁,ii (1−f₁) + A₂,ii (1−f₂)]  (E below the local midgap)
+//! I   = (2e/h)·q ∫ dE T(E) [f₁ − f₂]
+//! ```
+
+use crate::error::NegfError;
+use crate::rgf::RgfSolver;
+use gnr_num::consts::LANDAUER_2E_OVER_H;
+use gnr_num::fermi::fermi;
+use gnr_num::quad::trapezoid_samples;
+
+/// A uniform energy grid for transport integrals (eV).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnergyGrid {
+    lo: f64,
+    hi: f64,
+    points: usize,
+}
+
+impl EnergyGrid {
+    /// Creates a grid of `points ≥ 2` energies spanning `[lo, hi]` eV.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NegfError::Config`] for a degenerate range or fewer than
+    /// two points.
+    pub fn new(lo: f64, hi: f64, points: usize) -> Result<Self, NegfError> {
+        if !(hi > lo) {
+            return Err(NegfError::Config {
+                detail: format!("energy range [{lo}, {hi}] is empty"),
+            });
+        }
+        if points < 2 {
+            return Err(NegfError::Config {
+                detail: "energy grid needs at least 2 points".into(),
+            });
+        }
+        Ok(EnergyGrid { lo, hi, points })
+    }
+
+    /// Grid spacing (eV).
+    pub fn step(&self) -> f64 {
+        (self.hi - self.lo) / (self.points - 1) as f64
+    }
+
+    /// The energies of the grid.
+    pub fn energies(&self) -> Vec<f64> {
+        (0..self.points)
+            .map(|i| self.lo + self.step() * i as f64)
+            .collect()
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points
+    }
+
+    /// `false`: a valid grid has ≥ 2 points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Net charge per atom (units of the elementary charge `q`; electrons
+/// contribute negatively, holes positively).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChargeProfile {
+    /// Per-atom net charge `p_i − n_i` in units of q.
+    pub net: Vec<f64>,
+    /// Per-atom electron occupation `n_i`.
+    pub electrons: Vec<f64>,
+    /// Per-atom hole occupation `p_i`.
+    pub holes: Vec<f64>,
+}
+
+impl ChargeProfile {
+    /// Total net charge of the device in units of q.
+    pub fn total(&self) -> f64 {
+        self.net.iter().sum()
+    }
+
+    /// Charge summed per layer (for coupling back into a coarser Poisson
+    /// mesh), given the layer block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_dim` does not divide the atom count.
+    pub fn per_layer(&self, layer_dim: usize) -> Vec<f64> {
+        assert_eq!(self.net.len() % layer_dim, 0);
+        self.net
+            .chunks(layer_dim)
+            .map(|chunk| chunk.iter().sum())
+            .collect()
+    }
+}
+
+/// Result of a bias-point transport calculation.
+#[derive(Clone, Debug)]
+pub struct TransportResult {
+    /// Terminal current \[A\] (positive from contact 2 into contact 1 for
+    /// `mu1 > mu2`).
+    pub current_a: f64,
+    /// Transmission sampled on the integration grid.
+    pub transmission: Vec<(f64, f64)>,
+    /// Self-consistent charge profile.
+    pub charge: ChargeProfile,
+}
+
+/// Integrates current and charge for the device bound to `solver`, with
+/// source/drain Fermi levels `mu1`/`mu2` (eV), temperature `t_kelvin`, and
+/// the per-atom local midgap reference `neutral_ev` that splits electron
+/// from hole occupation (normally the local electrostatic potential).
+///
+/// # Errors
+///
+/// Propagates RGF failures, and returns [`NegfError::Config`] if
+/// `neutral_ev` has the wrong length.
+pub fn integrate_transport(
+    solver: &RgfSolver,
+    grid: &EnergyGrid,
+    mu1: f64,
+    mu2: f64,
+    t_kelvin: f64,
+    neutral_ev: &[f64],
+) -> Result<TransportResult, NegfError> {
+    let atoms = solver.layers() * solver.layer_dim();
+    if neutral_ev.len() != atoms {
+        return Err(NegfError::Config {
+            detail: format!(
+                "neutral point has {} entries for {} atoms",
+                neutral_ev.len(),
+                atoms
+            ),
+        });
+    }
+    let energies = grid.energies();
+    let mut t_of_e = Vec::with_capacity(energies.len());
+    let mut current_kernel = Vec::with_capacity(energies.len());
+    let mut electrons = vec![0.0; atoms];
+    let mut holes = vec![0.0; atoms];
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let de = grid.step();
+
+    for &e in &energies {
+        let slice = solver.spectral_slice(e)?;
+        let f1 = fermi(e, mu1, t_kelvin);
+        let f2 = fermi(e, mu2, t_kelvin);
+        t_of_e.push((e, slice.transmission));
+        current_kernel.push(slice.transmission * (f1 - f2));
+        for i in 0..atoms {
+            let filled = slice.a1_diag[i] * f1 + slice.a2_diag[i] * f2;
+            let empty = slice.a1_diag[i] * (1.0 - f1) + slice.a2_diag[i] * (1.0 - f2);
+            if e >= neutral_ev[i] {
+                electrons[i] += filled / two_pi * de;
+            } else {
+                holes[i] += empty / two_pi * de;
+            }
+        }
+    }
+    let current_a = LANDAUER_2E_OVER_H * trapezoid_samples(&current_kernel, de);
+    let net: Vec<f64> = holes
+        .iter()
+        .zip(&electrons)
+        .map(|(p, n)| p - n)
+        .collect();
+    Ok(TransportResult {
+        current_a,
+        transmission: t_of_e,
+        charge: ChargeProfile {
+            net,
+            electrons,
+            holes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lead::Lead;
+    use gnr_lattice::{AGnr, DeviceHamiltonian};
+
+    fn ideal(n: usize, cells: usize) -> RgfSolver {
+        let gnr = AGnr::new(n).unwrap();
+        let h = DeviceHamiltonian::flat_band(gnr, cells).unwrap();
+        RgfSolver::new(&h, Lead::gnr_contact(), Lead::gnr_contact())
+    }
+
+    #[test]
+    fn energy_grid_validation() {
+        assert!(EnergyGrid::new(1.0, 0.0, 10).is_err());
+        assert!(EnergyGrid::new(0.0, 1.0, 1).is_err());
+        let g = EnergyGrid::new(0.0, 1.0, 11).unwrap();
+        assert_eq!(g.len(), 11);
+        assert!((g.step() - 0.1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_bias_zero_current() {
+        let solver = ideal(9, 3);
+        let grid = EnergyGrid::new(0.5, 1.2, 30).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let r =
+            integrate_transport(&solver, &grid, 0.3, 0.3, 300.0, &vec![0.0; atoms]).unwrap();
+        assert!(r.current_a.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ballistic_conductance_single_mode() {
+        // With mu window fully inside the first subband, I = (2e^2/h) V.
+        let gnr = AGnr::new(9).unwrap();
+        let ec = gnr.band_structure(96).unwrap().conduction_edge();
+        let solver = ideal(9, 4);
+        let v = 0.05;
+        let mu1 = ec + 0.15;
+        let mu2 = mu1 - v;
+        let grid = EnergyGrid::new(mu2 - 0.25, mu1 + 0.25, 160).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let r = integrate_transport(&solver, &grid, mu1, mu2, 77.0, &vec![0.0; atoms]).unwrap();
+        let g0 = gnr_num::consts::G_QUANTUM;
+        let g = r.current_a / v;
+        assert!((g - g0).abs() / g0 < 0.05, "G = {g} vs G0 = {g0}");
+    }
+
+    #[test]
+    fn current_reverses_with_bias() {
+        let solver = ideal(9, 3);
+        let grid = EnergyGrid::new(0.4, 1.4, 60).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let zeros = vec![0.0; atoms];
+        let fwd = integrate_transport(&solver, &grid, 1.0, 0.8, 300.0, &zeros).unwrap();
+        let rev = integrate_transport(&solver, &grid, 0.8, 1.0, 300.0, &zeros).unwrap();
+        assert!(fwd.current_a > 0.0);
+        assert!((fwd.current_a + rev.current_a).abs() < 1e-9 * fwd.current_a.abs().max(1e-18));
+    }
+
+    #[test]
+    fn charge_profile_neutral_device() {
+        // Fermi level at midgap: electrons and holes balance.
+        let solver = ideal(12, 4);
+        let grid = EnergyGrid::new(-1.5, 1.5, 120).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let r = integrate_transport(&solver, &grid, 0.0, 0.0, 300.0, &vec![0.0; atoms]).unwrap();
+        // Integration-window truncation leaves a small residual; net charge
+        // per atom should be tiny compared to the separate e/h populations.
+        let n_tot: f64 = r.charge.electrons.iter().sum();
+        let p_tot: f64 = r.charge.holes.iter().sum();
+        assert!(
+            (n_tot - p_tot).abs() < 0.15 * (n_tot + p_tot).max(1e-6),
+            "n {n_tot} p {p_tot}"
+        );
+    }
+
+    #[test]
+    fn raising_fermi_level_accumulates_electrons() {
+        let solver = ideal(12, 4);
+        let grid = EnergyGrid::new(-1.5, 1.5, 120).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let zeros = vec![0.0; atoms];
+        let neutral = integrate_transport(&solver, &grid, 0.0, 0.0, 300.0, &zeros).unwrap();
+        let ntype = integrate_transport(&solver, &grid, 0.5, 0.5, 300.0, &zeros).unwrap();
+        assert!(ntype.charge.total() < neutral.charge.total() - 0.01);
+    }
+
+    #[test]
+    fn per_layer_charge_sums_to_total() {
+        let solver = ideal(9, 3);
+        let grid = EnergyGrid::new(-1.2, 1.2, 60).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let r = integrate_transport(&solver, &grid, 0.2, 0.0, 300.0, &vec![0.0; atoms]).unwrap();
+        let per_layer = r.charge.per_layer(solver.layer_dim());
+        assert_eq!(per_layer.len(), 3);
+        let s: f64 = per_layer.iter().sum();
+        assert!((s - r.charge.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neutral_length_validated() {
+        let solver = ideal(9, 3);
+        let grid = EnergyGrid::new(0.0, 1.0, 10).unwrap();
+        assert!(integrate_transport(&solver, &grid, 0.0, 0.0, 300.0, &[0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Physical constants and unit helpers.
+//!
+//! The workspace uses SI units at the electrostatics/circuit level and
+//! electron-volts at the quantum-transport level; these constants provide
+//! the bridges. Values follow CODATA 2018.
+
+/// Elementary charge `q` \[C\].
+pub const Q_E: f64 = 1.602_176_634e-19;
+
+/// Planck constant `h` \[J·s\].
+pub const H_PLANCK: f64 = 6.626_070_15e-34;
+
+/// Reduced Planck constant `ħ` \[J·s\].
+pub const HBAR: f64 = 1.054_571_817e-34;
+
+/// Reduced Planck constant in eV·s.
+pub const HBAR_EV: f64 = 6.582_119_569e-16;
+
+/// Boltzmann constant `k_B` \[J/K\].
+pub const K_B: f64 = 1.380_649e-23;
+
+/// Boltzmann constant in eV/K.
+pub const K_B_EV: f64 = 8.617_333_262e-5;
+
+/// Vacuum permittivity `ε₀` \[F/m\].
+pub const EPS_0: f64 = 8.854_187_812_8e-12;
+
+/// Free-electron mass \[kg\].
+pub const M_E: f64 = 9.109_383_701_5e-31;
+
+/// Thermal voltage `k_B T / q` at temperature `t_kelvin` \[V\].
+///
+/// ```
+/// let vt = gnr_num::consts::thermal_voltage(300.0);
+/// assert!((vt - 0.02585).abs() < 1e-4);
+/// ```
+#[inline]
+pub fn thermal_voltage(t_kelvin: f64) -> f64 {
+    K_B_EV * t_kelvin
+}
+
+/// Landauer conductance quantum per spin-degenerate mode, `2e²/h` \[S\].
+pub const G_QUANTUM: f64 = 2.0 * Q_E * Q_E / H_PLANCK;
+
+/// Current prefactor for spin-degenerate Landauer integrals over energies in
+/// eV: `I [A] = LANDAUER_2E_OVER_H * ∫ T(E) (f1 - f2) dE[eV]`.
+///
+/// Numerically equal to `2e²/h` because the eV→J conversion contributes one
+/// extra factor of `q`.
+pub const LANDAUER_2E_OVER_H: f64 = 2.0 * Q_E * Q_E / H_PLANCK;
+
+/// Carbon–carbon bond length in graphene \[m\].
+pub const A_CC: f64 = 1.42e-10;
+
+/// Graphene lattice constant `a = √3·a_cc` \[m\].
+pub const A_LATTICE: f64 = 2.46e-10;
+
+/// Nearest-neighbour pz hopping energy used throughout the paper \[eV\].
+pub const T_HOPPING: f64 = 2.7;
+
+/// Son–Cohen–Louie edge-bond correction factor for armchair GNRs.
+///
+/// Edge-parallel C–C bonds at the ribbon edge are contracted by H passivation,
+/// strengthening the hopping by ~12 % (PRL 97, 216803).
+pub const EDGE_BOND_FACTOR: f64 = 1.12;
+
+/// Relative permittivity of SiO₂ used by the paper's gate stack.
+pub const EPS_R_SIO2: f64 = 3.9;
+
+/// Nanometre in metres.
+pub const NM: f64 = 1e-9;
+
+/// Ångström in metres.
+pub const ANGSTROM: f64 = 1e-10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conductance_quantum_value() {
+        // 2e^2/h = 77.48 uS
+        assert!((G_QUANTUM - 7.748e-5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        assert!((thermal_voltage(300.0) - 0.025852).abs() < 1e-5);
+    }
+
+    #[test]
+    fn landauer_prefactor_units() {
+        // 2e/h in A/eV: 2 * 1.602e-19 C / 4.1357e-15 eV*s = 7.748e-5 A/eV
+        assert!((LANDAUER_2E_OVER_H - G_QUANTUM).abs() / G_QUANTUM < 1e-12);
+    }
+
+    #[test]
+    fn lattice_relations() {
+        assert!((A_LATTICE - 3f64.sqrt() * A_CC).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types shared by the numerical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenient result alias for fallible numerical routines.
+pub type NumResult<T> = Result<T, NumError>;
+
+/// Errors produced by the `gnr-num` linear algebra and analysis routines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NumError {
+    /// A factorization or solve encountered a (numerically) singular matrix.
+    SingularMatrix {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// Matrix/vector dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the offending shapes.
+        detail: String,
+    },
+    /// An iterative method exhausted its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm (or other convergence measure) at the last iterate.
+        residual: f64,
+    },
+    /// The supplied interval/arguments do not bracket a root or are otherwise
+    /// invalid for the algorithm.
+    InvalidInput {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            NumError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            NumError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+        }
+    }
+}
+
+impl Error for NumError {}
+
+impl NumError {
+    /// Builds a [`NumError::DimensionMismatch`] from a formatted detail string.
+    pub fn dims(detail: impl Into<String>) -> Self {
+        NumError::DimensionMismatch {
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds a [`NumError::InvalidInput`] from a formatted detail string.
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        NumError::InvalidInput {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumError::SingularMatrix { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot 3");
+        let e = NumError::dims("3x4 * 5x2");
+        assert!(e.to_string().contains("3x4 * 5x2"));
+        let e = NumError::NoConvergence {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<NumError>();
+    }
+}

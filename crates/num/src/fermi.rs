@@ -1,0 +1,124 @@
+//! Fermi–Dirac statistics helpers.
+//!
+//! All energies are in eV and temperatures in kelvin, matching the
+//! conventions of the transport crates.
+
+use crate::consts::K_B_EV;
+
+/// Fermi–Dirac occupation `f(E) = 1 / (1 + exp((E - mu)/kT))`.
+///
+/// Saturates cleanly to 0/1 for arguments beyond ±40 kT, avoiding overflow.
+///
+/// ```
+/// let f = gnr_num::fermi::fermi(0.0, 0.0, 300.0);
+/// assert_eq!(f, 0.5);
+/// ```
+#[inline]
+pub fn fermi(energy_ev: f64, mu_ev: f64, t_kelvin: f64) -> f64 {
+    let kt = K_B_EV * t_kelvin;
+    let x = (energy_ev - mu_ev) / kt;
+    if x > 40.0 {
+        0.0
+    } else if x < -40.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Derivative `-df/dE`, the thermal broadening kernel (units 1/eV). Peaks at
+/// `E = mu` with value `1/(4 kT)`.
+#[inline]
+pub fn fermi_broadening(energy_ev: f64, mu_ev: f64, t_kelvin: f64) -> f64 {
+    let kt = K_B_EV * t_kelvin;
+    let x = (energy_ev - mu_ev) / kt;
+    if x.abs() > 40.0 {
+        0.0
+    } else {
+        let e = x.exp();
+        e / (kt * (1.0 + e).powi(2))
+    }
+}
+
+/// Difference of source/drain occupations `f(E, mu1) - f(E, mu2)`, the
+/// window function of the Landauer current integral.
+#[inline]
+pub fn fermi_window(energy_ev: f64, mu1_ev: f64, mu2_ev: f64, t_kelvin: f64) -> f64 {
+    fermi(energy_ev, mu1_ev, t_kelvin) - fermi(energy_ev, mu2_ev, t_kelvin)
+}
+
+/// An energy range `[lo, hi]` outside which the Fermi window between `mu1`
+/// and `mu2` is below ~`exp(-pad_kt)`; used to truncate transport integrals.
+pub fn transport_window(mu1_ev: f64, mu2_ev: f64, t_kelvin: f64, pad_kt: f64) -> (f64, f64) {
+    let kt = K_B_EV * t_kelvin;
+    let lo = mu1_ev.min(mu2_ev) - pad_kt * kt;
+    let hi = mu1_ev.max(mu2_ev) + pad_kt * kt;
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_limits() {
+        assert_eq!(fermi(-10.0, 0.0, 300.0), 1.0);
+        assert_eq!(fermi(10.0, 0.0, 300.0), 0.0);
+        assert_eq!(fermi(0.3, 0.3, 77.0), 0.5);
+    }
+
+    #[test]
+    fn fermi_is_monotone_decreasing() {
+        let mut prev = 2.0;
+        for i in 0..200 {
+            let e = -0.5 + i as f64 * 0.005;
+            let f = fermi(e, 0.0, 300.0);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn broadening_peak_value() {
+        let kt = K_B_EV * 300.0;
+        let peak = fermi_broadening(0.0, 0.0, 300.0);
+        assert!((peak - 1.0 / (4.0 * kt)).abs() / peak < 1e-12);
+    }
+
+    #[test]
+    fn broadening_integrates_to_one() {
+        // \int -df/dE dE = 1.
+        let v = crate::quad::adaptive_simpson(
+            |e| fermi_broadening(e, 0.1, 300.0),
+            -1.0,
+            1.0,
+            1e-10,
+        )
+        .unwrap();
+        assert!((v - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn window_sign_and_support() {
+        // mu1 > mu2: window positive between them.
+        assert!(fermi_window(0.05, 0.1, 0.0, 300.0) > 0.0);
+        assert!(fermi_window(0.05, 0.0, 0.1, 300.0) < 0.0);
+        let (lo, hi) = transport_window(0.0, 0.4, 300.0, 10.0);
+        assert!(lo < 0.0 && hi > 0.4);
+        assert!(fermi_window(lo, 0.4, 0.0, 300.0).abs() < 1e-4);
+        assert!(fermi_window(hi, 0.4, 0.0, 300.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn window_integral_equals_bias() {
+        // \int [f1 - f2] dE = mu1 - mu2 independent of T.
+        let v = crate::quad::adaptive_simpson(
+            |e| fermi_window(e, 0.25, 0.0, 300.0),
+            -2.0,
+            2.0,
+            1e-10,
+        )
+        .unwrap();
+        assert!((v - 0.25).abs() < 1e-7);
+    }
+}

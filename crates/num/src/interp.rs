@@ -1,0 +1,409 @@
+//! Interpolation on uniform grids.
+//!
+//! The circuit simulator evaluates device current and charge from tabulated
+//! `(V_G, V_D)` data thousands of times per Newton iteration, so these tables
+//! are built for fast repeated lookup: uniform grids with O(1) cell location,
+//! bilinear value interpolation, and centred finite-difference partial
+//! derivatives (needed for conductances and capacitances).
+
+use crate::error::{NumError, NumResult};
+
+/// A uniform 1D grid `x_i = start + i * step`, `i = 0..n`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid1 {
+    start: f64,
+    step: f64,
+    n: usize,
+}
+
+impl Grid1 {
+    /// Creates a grid of `n ≥ 2` points spanning `[start, stop]` inclusive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if `n < 2` or `stop <= start`.
+    pub fn new(start: f64, stop: f64, n: usize) -> NumResult<Self> {
+        if n < 2 {
+            return Err(NumError::invalid("grid needs at least 2 points"));
+        }
+        if !(stop > start) {
+            return Err(NumError::invalid("grid stop must exceed start"));
+        }
+        Ok(Grid1 {
+            start,
+            step: (stop - start) / (n - 1) as f64,
+            n,
+        })
+    }
+
+    /// Number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `false`: a valid grid always has ≥ 2 points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First grid point.
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Last grid point.
+    #[inline]
+    pub fn stop(&self) -> f64 {
+        self.start + self.step * (self.n - 1) as f64
+    }
+
+    /// Grid spacing.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Coordinate of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> f64 {
+        assert!(i < self.n);
+        self.start + self.step * i as f64
+    }
+
+    /// All grid points as a vector.
+    pub fn points(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.point(i)).collect()
+    }
+
+    /// Locates `x`: returns `(cell_index, fractional_offset)` with the cell
+    /// clamped into range so out-of-range queries extrapolate linearly from
+    /// the boundary cell.
+    #[inline]
+    pub fn locate(&self, x: f64) -> (usize, f64) {
+        let t = (x - self.start) / self.step;
+        let max_cell = self.n - 2;
+        let cell = (t.floor().max(0.0) as usize).min(max_cell);
+        (cell, t - cell as f64)
+    }
+}
+
+/// Piecewise-linear interpolant over a [`Grid1`].
+///
+/// # Example
+///
+/// ```
+/// use gnr_num::{Grid1, LinearTable};
+///
+/// # fn main() -> Result<(), gnr_num::NumError> {
+/// let grid = Grid1::new(0.0, 1.0, 11)?;
+/// let table = LinearTable::from_fn(grid, |x| x * x);
+/// // Piecewise-linear: exact at nodes, close between them.
+/// assert!((table.eval(0.5) - 0.25).abs() < 1e-12);
+/// assert!((table.eval(0.55) - 0.3025).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearTable {
+    grid: Grid1,
+    values: Vec<f64>,
+}
+
+impl LinearTable {
+    /// Builds a table from precomputed node values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `values.len() != grid.len()`.
+    pub fn new(grid: Grid1, values: Vec<f64>) -> NumResult<Self> {
+        if values.len() != grid.len() {
+            return Err(NumError::dims(format!(
+                "table has {} values for {} grid points",
+                values.len(),
+                grid.len()
+            )));
+        }
+        Ok(LinearTable { grid, values })
+    }
+
+    /// Builds a table by sampling `f` at every node.
+    pub fn from_fn(grid: Grid1, mut f: impl FnMut(f64) -> f64) -> Self {
+        let values = (0..grid.len()).map(|i| f(grid.point(i))).collect();
+        LinearTable { grid, values }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> Grid1 {
+        self.grid
+    }
+
+    /// Node values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Interpolated value at `x` (linear extrapolation outside the grid).
+    pub fn eval(&self, x: f64) -> f64 {
+        let (i, t) = self.grid.locate(x);
+        self.values[i] * (1.0 - t) + self.values[i + 1] * t
+    }
+
+    /// Derivative of the interpolant at `x` (slope of the containing cell).
+    pub fn deriv(&self, x: f64) -> f64 {
+        let (i, _) = self.grid.locate(x);
+        (self.values[i + 1] - self.values[i]) / self.grid.step()
+    }
+}
+
+/// A uniform 2D grid: outer (row) axis × inner (column) axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid2 {
+    /// Row axis (first index).
+    pub x: Grid1,
+    /// Column axis (second index).
+    pub y: Grid1,
+}
+
+impl Grid2 {
+    /// Creates a 2D grid from two 1D axes.
+    pub fn new(x: Grid1, y: Grid1) -> Self {
+        Grid2 { x, y }
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.x.len() * self.y.len()
+    }
+
+    /// `false`: component grids are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Bilinear interpolant over a [`Grid2`]; row-major node storage.
+///
+/// Used for the `I_D(V_G, V_D)` and `Q(V_G, V_D)` device lookup tables that
+/// the paper's circuit simulator is built on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BilinearTable {
+    grid: Grid2,
+    values: Vec<f64>,
+}
+
+impl BilinearTable {
+    /// Builds a table from row-major node values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] on a size mismatch.
+    pub fn new(grid: Grid2, values: Vec<f64>) -> NumResult<Self> {
+        if values.len() != grid.len() {
+            return Err(NumError::dims(format!(
+                "table has {} values for {} grid nodes",
+                values.len(),
+                grid.len()
+            )));
+        }
+        Ok(BilinearTable { grid, values })
+    }
+
+    /// Builds a table by sampling `f(x, y)` at every node.
+    pub fn from_fn(grid: Grid2, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        let mut values = Vec::with_capacity(grid.len());
+        for i in 0..grid.x.len() {
+            for j in 0..grid.y.len() {
+                values.push(f(grid.x.point(i), grid.y.point(j)));
+            }
+        }
+        BilinearTable { grid, values }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> Grid2 {
+        self.grid
+    }
+
+    /// Node value at integer indices `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn node(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.grid.x.len() && j < self.grid.y.len());
+        self.values[i * self.grid.y.len() + j]
+    }
+
+    /// Interpolated value at `(x, y)`; bilinear inside the grid, linear
+    /// extrapolation from the boundary cell outside it.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let (i, s) = self.grid.x.locate(x);
+        let (j, t) = self.grid.y.locate(y);
+        let ny = self.grid.y.len();
+        let v00 = self.values[i * ny + j];
+        let v01 = self.values[i * ny + j + 1];
+        let v10 = self.values[(i + 1) * ny + j];
+        let v11 = self.values[(i + 1) * ny + j + 1];
+        v00 * (1.0 - s) * (1.0 - t) + v10 * s * (1.0 - t) + v01 * (1.0 - s) * t + v11 * s * t
+    }
+
+    /// Partial derivative `∂f/∂x` of the bilinear surface at `(x, y)`.
+    pub fn deriv_x(&self, x: f64, y: f64) -> f64 {
+        let (i, _) = self.grid.x.locate(x);
+        let (j, t) = self.grid.y.locate(y);
+        let ny = self.grid.y.len();
+        let d0 = self.values[(i + 1) * ny + j] - self.values[i * ny + j];
+        let d1 = self.values[(i + 1) * ny + j + 1] - self.values[i * ny + j + 1];
+        (d0 * (1.0 - t) + d1 * t) / self.grid.x.step()
+    }
+
+    /// Partial derivative `∂f/∂y` of the bilinear surface at `(x, y)`.
+    pub fn deriv_y(&self, x: f64, y: f64) -> f64 {
+        let (i, s) = self.grid.x.locate(x);
+        let (j, _) = self.grid.y.locate(y);
+        let ny = self.grid.y.len();
+        let d0 = self.values[i * ny + j + 1] - self.values[i * ny + j];
+        let d1 = self.values[(i + 1) * ny + j + 1] - self.values[(i + 1) * ny + j];
+        (d0 * (1.0 - s) + d1 * s) / self.grid.y.step()
+    }
+
+    /// Applies `f` to every stored node value, returning a new table
+    /// (used e.g. to scale a single-ribbon table to a 4-ribbon array).
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> BilinearTable {
+        BilinearTable {
+            grid: self.grid,
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Pointwise combination of two tables defined on the same grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if the grids differ.
+    pub fn zip_with(
+        &self,
+        other: &BilinearTable,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> NumResult<BilinearTable> {
+        if self.grid != other.grid {
+            return Err(NumError::dims("tables defined on different grids"));
+        }
+        Ok(BilinearTable {
+            grid: self.grid,
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_construction_and_points() {
+        let g = Grid1::new(0.0, 1.0, 5).unwrap();
+        assert_eq!(g.step(), 0.25);
+        assert_eq!(g.points(), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(g.stop(), 1.0);
+    }
+
+    #[test]
+    fn grid_rejects_degenerate() {
+        assert!(Grid1::new(0.0, 1.0, 1).is_err());
+        assert!(Grid1::new(1.0, 1.0, 5).is_err());
+        assert!(Grid1::new(2.0, 1.0, 5).is_err());
+    }
+
+    #[test]
+    fn locate_clamps_out_of_range() {
+        let g = Grid1::new(0.0, 1.0, 5).unwrap();
+        let (cell, t) = g.locate(-0.5);
+        assert_eq!(cell, 0);
+        assert!(t < 0.0);
+        let (cell, t) = g.locate(2.0);
+        assert_eq!(cell, 3);
+        assert!(t > 1.0);
+    }
+
+    #[test]
+    fn linear_table_exact_on_linear_function() {
+        let g = Grid1::new(-1.0, 1.0, 9).unwrap();
+        let t = LinearTable::from_fn(g, |x| 3.0 * x - 0.5);
+        for &x in &[-1.0, -0.333, 0.0, 0.77, 1.0, 1.5, -2.0] {
+            assert!((t.eval(x) - (3.0 * x - 0.5)).abs() < 1e-12, "x={x}");
+            assert!((t.deriv(x) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_table_reproduces_nodes() {
+        let g = Grid1::new(0.0, 2.0, 6).unwrap();
+        let t = LinearTable::from_fn(g, |x| (x * 2.3).sin());
+        for i in 0..g.len() {
+            assert!((t.eval(g.point(i)) - (g.point(i) * 2.3).sin()).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn bilinear_exact_on_bilinear_function() {
+        let gx = Grid1::new(0.0, 1.0, 4).unwrap();
+        let gy = Grid1::new(-1.0, 1.0, 5).unwrap();
+        let f = |x: f64, y: f64| 2.0 + 3.0 * x - y + 0.5 * x * y;
+        let t = BilinearTable::from_fn(Grid2::new(gx, gy), f);
+        for &(x, y) in &[(0.1, 0.2), (0.77, -0.9), (0.5, 0.0), (1.2, 1.5)] {
+            assert!((t.eval(x, y) - f(x, y)).abs() < 1e-12, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn bilinear_partial_derivatives() {
+        let gx = Grid1::new(0.0, 1.0, 11).unwrap();
+        let gy = Grid1::new(0.0, 1.0, 11).unwrap();
+        let f = |x: f64, y: f64| 4.0 * x - 2.0 * y + x * y;
+        let t = BilinearTable::from_fn(Grid2::new(gx, gy), f);
+        // df/dx = 4 + y, df/dy = -2 + x: exact for bilinear functions.
+        assert!((t.deriv_x(0.35, 0.6) - 4.6).abs() < 1e-12);
+        assert!((t.deriv_y(0.35, 0.6) + 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let g = Grid2::new(
+            Grid1::new(0.0, 1.0, 3).unwrap(),
+            Grid1::new(0.0, 1.0, 3).unwrap(),
+        );
+        let a = BilinearTable::from_fn(g, |x, y| x + y);
+        let b = a.map(|v| 4.0 * v);
+        assert!((b.eval(0.5, 0.5) - 4.0).abs() < 1e-12);
+        let c = a.zip_with(&b, |p, q| q - p).unwrap();
+        assert!((c.eval(0.25, 0.25) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zip_rejects_mismatched_grids() {
+        let g1 = Grid2::new(
+            Grid1::new(0.0, 1.0, 3).unwrap(),
+            Grid1::new(0.0, 1.0, 3).unwrap(),
+        );
+        let g2 = Grid2::new(
+            Grid1::new(0.0, 1.0, 4).unwrap(),
+            Grid1::new(0.0, 1.0, 3).unwrap(),
+        );
+        let a = BilinearTable::from_fn(g1, |x, _| x);
+        let b = BilinearTable::from_fn(g2, |x, _| x);
+        assert!(a.zip_with(&b, |p, _| p).is_err());
+    }
+}

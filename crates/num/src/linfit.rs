@@ -1,0 +1,126 @@
+//! Ordinary least-squares line fitting.
+//!
+//! Needed for the paper's threshold-voltage extraction (§2): the maximum
+//! transconductance tangent of the I-V curve is extrapolated to its V_G-axis
+//! intercept.
+
+use crate::error::{NumError, NumResult};
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² in `[0, 1]` (1 for a perfect fit).
+    pub r_squared: f64,
+}
+
+impl LineFit {
+    /// The x-axis intercept `-intercept/slope` (e.g. extracted V_T).
+    ///
+    /// Returns `None` when the slope is zero.
+    pub fn x_intercept(&self) -> Option<f64> {
+        if self.slope == 0.0 {
+            None
+        } else {
+            Some(-self.intercept / self.slope)
+        }
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a line to `(x, y)` samples by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if fewer than two samples are given,
+/// the lengths disagree, or all `x` values coincide.
+pub fn fit_line(x: &[f64], y: &[f64]) -> NumResult<LineFit> {
+    if x.len() != y.len() {
+        return Err(NumError::invalid("x and y must have equal length"));
+    }
+    let n = x.len();
+    if n < 2 {
+        return Err(NumError::invalid("need at least two samples"));
+    }
+    let nf = n as f64;
+    let mean_x = x.iter().sum::<f64>() / nf;
+    let mean_y = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mean_x;
+        let dy = y[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(NumError::invalid("x values are all identical"));
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.5 * v - 1.0).collect();
+        let fit = fit_line(&x, &y).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.x_intercept().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        // Deterministic "noise".
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 3.0 * v + 0.5 + 0.01 * ((i as f64 * 1.7).sin()))
+            .collect();
+        let fit = fit_line(&x, &y).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn horizontal_line_has_no_x_intercept() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [5.0, 5.0, 5.0];
+        let fit = fit_line(&x, &y).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert!(fit.x_intercept().is_none());
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(fit_line(&[1.0], &[2.0]).is_err());
+        assert!(fit_line(&[1.0, 1.0], &[0.0, 1.0]).is_err());
+        assert!(fit_line(&[1.0, 2.0], &[0.0]).is_err());
+    }
+}

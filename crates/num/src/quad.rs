@@ -1,0 +1,182 @@
+//! Numerical quadrature.
+//!
+//! The Landauer current and NEGF charge integrals are smooth except for
+//! thermal broadening and band-edge steps; adaptive Simpson handles both,
+//! while fixed trapezoid/Gauss–Legendre rules serve the dense energy grids
+//! used when the integrand itself is tabulated.
+
+use crate::error::{NumError, NumResult};
+
+/// Composite trapezoid rule over `n + 1` uniformly spaced samples of `f` on
+/// `[a, b]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn trapezoid(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "trapezoid needs at least one interval");
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + h * i as f64);
+    }
+    acc * h
+}
+
+/// Trapezoid rule over pre-sampled values on a uniform grid with spacing `h`.
+pub fn trapezoid_samples(values: &[f64], h: f64) -> f64 {
+    match values.len() {
+        0 | 1 => 0.0,
+        n => {
+            let interior: f64 = values[1..n - 1].iter().sum();
+            h * (0.5 * (values[0] + values[n - 1]) + interior)
+        }
+    }
+}
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol`.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] for an invalid interval or
+/// non-positive tolerance.
+pub fn adaptive_simpson(
+    f: impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> NumResult<f64> {
+    if !(b > a) {
+        return Err(NumError::invalid("integration interval must have b > a"));
+    }
+    if !(tol > 0.0) {
+        return Err(NumError::invalid("tolerance must be positive"));
+    }
+    fn simpson(f: &impl Fn(f64) -> f64, a: f64, fa: f64, b: f64, fb: f64) -> (f64, f64, f64) {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        ((b - a) / 6.0 * (fa + 4.0 * fm + fb), m, fm)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        f: &impl Fn(f64) -> f64,
+        a: f64,
+        fa: f64,
+        b: f64,
+        fb: f64,
+        whole: f64,
+        m: f64,
+        fm: f64,
+        tol: f64,
+        depth: usize,
+    ) -> f64 {
+        let (left, lm, flm) = simpson(f, a, fa, m, fm);
+        let (right, rm, frm) = simpson(f, m, fm, b, fb);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            left + right + delta / 15.0
+        } else {
+            recurse(f, a, fa, m, fm, left, lm, flm, 0.5 * tol, depth - 1)
+                + recurse(f, m, fm, b, fb, right, rm, frm, 0.5 * tol, depth - 1)
+        }
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let (whole, m, fm) = simpson(&f, a, fa, b, fb);
+    Ok(recurse(&f, a, fa, b, fb, whole, m, fm, tol, 48))
+}
+
+/// 16-point Gauss–Legendre quadrature on `[a, b]`; exact for polynomials up
+/// to degree 31 and a good fixed rule for smooth integrands.
+pub fn gauss_legendre_16(f: impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+    // Abscissae and weights for n = 16 on [-1, 1] (Abramowitz & Stegun 25.4.30).
+    const X: [f64; 8] = [
+        0.095_012_509_837_637_440_185,
+        0.281_603_550_779_258_913_230,
+        0.458_016_777_657_227_386_342,
+        0.617_876_244_402_643_748_447,
+        0.755_404_408_355_003_033_895,
+        0.865_631_202_387_831_743_880,
+        0.944_575_023_073_232_576_078,
+        0.989_400_934_991_649_932_596,
+    ];
+    const W: [f64; 8] = [
+        0.189_450_610_455_068_496_285,
+        0.182_603_415_044_923_588_867,
+        0.169_156_519_395_002_538_189,
+        0.149_595_988_816_576_732_081,
+        0.124_628_971_255_533_872_052,
+        0.095_158_511_682_492_784_810,
+        0.062_253_523_938_647_892_863,
+        0.027_152_459_411_754_094_852,
+    ];
+    let c = 0.5 * (a + b);
+    let h = 0.5 * (b - a);
+    let mut acc = 0.0;
+    for k in 0..8 {
+        acc += W[k] * (f(c - h * X[k]) + f(c + h * X[k]));
+    }
+    acc * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let v = trapezoid(|x| 2.0 * x + 1.0, 0.0, 2.0, 4);
+        assert!((v - 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trapezoid_samples_matches_closure() {
+        let n = 64;
+        let h = PI / n as f64;
+        let samples: Vec<f64> = (0..=n).map(|i| (h * i as f64).sin()).collect();
+        let a = trapezoid_samples(&samples, h);
+        let b = trapezoid(|x| x.sin(), 0.0, PI, n);
+        assert!((a - b).abs() < 1e-13);
+    }
+
+    #[test]
+    fn trapezoid_samples_degenerate() {
+        assert_eq!(trapezoid_samples(&[], 0.1), 0.0);
+        assert_eq!(trapezoid_samples(&[5.0], 0.1), 0.0);
+    }
+
+    #[test]
+    fn simpson_integrates_sine() {
+        let v = adaptive_simpson(|x| x.sin(), 0.0, PI, 1e-12).unwrap();
+        assert!((v - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_handles_sharp_feature() {
+        // Narrow Lorentzian; integral over the real line is pi * (atan scale).
+        let gamma = 1e-3;
+        let v = adaptive_simpson(|x| gamma / (x * x + gamma * gamma), -1.0, 1.0, 1e-10).unwrap();
+        let expect = 2.0 * (1.0 / gamma).atan();
+        assert!((v - expect).abs() < 1e-6, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn simpson_rejects_bad_input() {
+        assert!(adaptive_simpson(|x| x, 1.0, 0.0, 1e-8).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn gauss_legendre_polynomial_exact() {
+        // x^10 over [0,1] = 1/11.
+        let v = gauss_legendre_16(|x| x.powi(10), 0.0, 1.0);
+        assert!((v - 1.0 / 11.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gauss_legendre_exp() {
+        let v = gauss_legendre_16(f64::exp, 0.0, 1.0);
+        assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,182 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used for threshold-voltage extraction, operating-point location on
+//! contour maps, and the charge-neutrality condition in the semi-analytic
+//! device model.
+
+use crate::error::{NumError, NumResult};
+
+/// Finds a root of `f` on the bracketing interval `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if `f(a)` and `f(b)` do not bracket a
+/// sign change, or [`NumError::NoConvergence`] if the interval fails to
+/// shrink below `tol` within `max_iter` bisections.
+pub fn bisect(
+    f: impl Fn(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> NumResult<f64> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumError::invalid("interval does not bracket a root"));
+    }
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fa * fm < 0.0 {
+            b = m;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    Err(NumError::NoConvergence {
+        iterations: max_iter,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Finds a root of `f` on `[a, b]` by Brent's method (inverse quadratic
+/// interpolation with bisection fallback).
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if the interval does not bracket a
+/// sign change, or [`NumError::NoConvergence`] on iteration exhaustion.
+pub fn brent(
+    f: impl Fn(f64) -> f64,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> NumResult<f64> {
+    let (mut a, mut b) = (a0, b0);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumError::invalid("interval does not bracket a root"));
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = 0.25 * (3.0 * a + b);
+        let within = (s - lo) * (s - b) < 0.0;
+        let big_step = if mflag {
+            (s - b).abs() >= 0.5 * (b - c).abs()
+        } else {
+            (s - b).abs() >= 0.5 * d.abs()
+        };
+        if !within || big_step {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c - b;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumError::NoConvergence {
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_non_bracketing() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 10).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brent_finds_cos_root() {
+        let r = brent(f64::cos, 0.0, 3.0, 1e-14, 100).unwrap();
+        assert!((r - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_faster_than_bisection_on_smooth_function() {
+        // Both should find the root; Brent with far fewer evals - here we
+        // just confirm agreement to tight tolerance.
+        let f = |x: f64| x.exp() - 3.0;
+        let rb = brent(f, 0.0, 2.0, 1e-14, 100).unwrap();
+        assert!((rb - 3f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_rejects_non_bracketing() {
+        assert!(brent(|x| x * x + 0.5, -1.0, 1.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn brent_steep_function() {
+        let f = |x: f64| (x - 0.123).powi(3) * 1e6;
+        let r = brent(f, -1.0, 1.0, 1e-13, 200).unwrap();
+        assert!((r - 0.123).abs() < 1e-6);
+    }
+}

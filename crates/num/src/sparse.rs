@@ -1,0 +1,281 @@
+//! Sparse matrices in compressed-sparse-row (CSR) form.
+//!
+//! Built for the 3D Poisson discretization in `gnr-poisson`: assembled once
+//! from (row, col, value) triplets, then used for repeated matrix–vector
+//! products inside Krylov solvers.
+
+use crate::error::{NumError, NumResult};
+
+/// Accumulating builder that collects `(row, col, value)` triplets and
+/// compresses them into a [`CsrMatrix`]. Duplicate coordinates are summed,
+/// which makes finite-volume stencil assembly natural.
+///
+/// # Example
+///
+/// ```
+/// use gnr_num::TripletBuilder;
+///
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.push(0, 0, 2.0);
+/// b.push(0, 0, 1.0); // accumulates: entry becomes 3.0
+/// b.push(1, 1, 5.0);
+/// let m = b.build();
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 5.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletBuilder {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "triplet out of bounds");
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-compression) triplets collected so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no triplets were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses the triplets into CSR form, summing duplicates and
+    /// dropping exact zeros produced by cancellation.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        let mut it = self.entries.into_iter().peekable();
+        while let Some((r, c, mut v)) = it.next() {
+            while let Some(&(r2, c2, v2)) = it.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+            }
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// An immutable sparse matrix in CSR format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)`, zero if not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The stored entries of one row as `(col, value)` pairs.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a caller-provided buffer (hot path of the
+    /// Krylov solvers; avoids re-allocating every iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the matrix shape.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length must equal cols");
+        assert_eq!(y.len(), self.rows, "y length must equal rows");
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Extracts the diagonal; absent entries are zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] for non-square matrices.
+    pub fn diagonal(&self) -> NumResult<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(NumError::dims("diagonal requires a square matrix"));
+        }
+        Ok((0..self.rows).map(|i| self.get(i, i)).collect())
+    }
+
+    /// Symmetry defect `max |A_ij - A_ji|` over stored entries; useful to
+    /// validate finite-volume assembly before handing the matrix to CG.
+    pub fn symmetry_defect(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                worst = worst.max((v - self.get(c, r)).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 4 -1  0 ]
+        // [-1  4 -1 ]
+        // [ 0 -1  4 ]
+        let mut b = TripletBuilder::new(3, 3);
+        for i in 0..3 {
+            b.push(i, i, 4.0);
+        }
+        for i in 0..2 {
+            b.push(i, i + 1, -1.0);
+            b.push(i + 1, i, -1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let m = sample();
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn duplicates_accumulate_and_zeros_drop() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 2.0);
+        b.push(1, 0, 5.0);
+        b.push(1, 0, -5.0); // cancels to zero -> dropped
+        let m = b.build();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x), vec![2.0, 4.0, 10.0]);
+    }
+
+    #[test]
+    fn row_iteration_in_column_order() {
+        let m = sample();
+        let row1: Vec<_> = m.row(1).collect();
+        assert_eq!(row1, vec![(0, -1.0), (1, 4.0), (2, -1.0)]);
+    }
+
+    #[test]
+    fn diagonal_and_symmetry() {
+        let m = sample();
+        assert_eq!(m.diagonal().unwrap(), vec![4.0, 4.0, 4.0]);
+        assert_eq!(m.symmetry_defect(), 0.0);
+    }
+
+    #[test]
+    fn asymmetry_detected() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, -2.0);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 1.0);
+        let m = b.build();
+        assert_eq!(m.symmetry_defect(), 4.0);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = TripletBuilder::new(3, 3);
+        assert!(b.is_empty());
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![0.0; 3]);
+    }
+}

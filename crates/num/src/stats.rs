@@ -1,0 +1,201 @@
+//! Descriptive statistics and histograms for the Monte Carlo studies.
+
+use crate::error::{NumError, NumResult};
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+/// Computes [`Summary`] statistics of `samples`.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] on an empty sample.
+pub fn summarize(samples: &[f64]) -> NumResult<Summary> {
+    if samples.is_empty() {
+        return Err(NumError::invalid("cannot summarize an empty sample"));
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Ok(Summary {
+        count: samples.len(),
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    })
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    below: usize,
+    above: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins ≥ 1` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for a degenerate range or zero bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> NumResult<Self> {
+        if !(hi > lo) {
+            return Err(NumError::invalid("histogram range must have hi > lo"));
+        }
+        if bins == 0 {
+            return Err(NumError::invalid("histogram needs at least one bin"));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        })
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let bins = self.counts.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64) as usize;
+            let idx = idx.min(bins - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Records many samples.
+    pub fn record_all(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Samples that fell below/above the range.
+    pub fn outliers(&self) -> (usize, usize) {
+        (self.below, self.above)
+    }
+
+    /// Total recorded samples, including outliers.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.below + self.above
+    }
+
+    /// Centre coordinate of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Renders a compact ASCII bar chart (one line per bin), used by the
+    /// figure-regeneration binaries.
+    pub fn ascii(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat(c * width / peak);
+            out.push_str(&format!(
+                "{:>10.4} | {:<6} {}\n",
+                self.bin_center(i),
+                c,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1 = 7: var = 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = summarize(&[3.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty() {
+        assert!(summarize(&[]).is_err());
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record_all([0.5, 1.5, 2.5, 9.9, -1.0, 10.0, 11.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-15);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_args() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn ascii_render_contains_all_bins() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.record_all([0.1, 0.2, 1.5]);
+        let art = h.ascii(10);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('#'));
+    }
+}

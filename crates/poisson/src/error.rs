@@ -1,0 +1,64 @@
+//! Error type for the electrostatics solver.
+
+use gnr_num::NumError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while setting up or solving a Poisson problem.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PoissonError {
+    /// Grid dimensions or spacing invalid.
+    BadGrid {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A region or coordinate is outside the grid.
+    OutOfBounds {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The problem has no interior unknowns (everything is electrode).
+    NoUnknowns,
+    /// The linear solve failed.
+    Solve(NumError),
+}
+
+impl fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoissonError::BadGrid { detail } => write!(f, "invalid grid: {detail}"),
+            PoissonError::OutOfBounds { detail } => write!(f, "out of bounds: {detail}"),
+            PoissonError::NoUnknowns => write!(f, "problem has no interior cells to solve for"),
+            PoissonError::Solve(e) => write!(f, "poisson solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for PoissonError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PoissonError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for PoissonError {
+    fn from(e: NumError) -> Self {
+        PoissonError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PoissonError::NoUnknowns.to_string().contains("interior"));
+        let e = PoissonError::BadGrid {
+            detail: "nx = 0".into(),
+        };
+        assert!(e.to_string().contains("nx = 0"));
+    }
+}

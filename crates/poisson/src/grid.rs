@@ -1,0 +1,218 @@
+//! Structured 3D grid and axis-aligned regions.
+
+use crate::error::PoissonError;
+
+/// A uniform structured grid of `nx × ny × nz` cells with isotropic spacing
+/// `h` (nm). Cell `(i, j, k)` is centred at `((i+½)h, (j+½)h, (k+½)h)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    h: f64,
+}
+
+impl Grid3 {
+    /// Creates a grid; all dimensions must be ≥ 1 and the spacing positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoissonError::BadGrid`] for degenerate inputs.
+    pub fn new(nx: usize, ny: usize, nz: usize, h_nm: f64) -> Result<Self, PoissonError> {
+        if nx == 0 || ny == 0 || nz == 0 {
+            return Err(PoissonError::BadGrid {
+                detail: format!("dimensions {nx}x{ny}x{nz} must all be >= 1"),
+            });
+        }
+        if !(h_nm > 0.0) {
+            return Err(PoissonError::BadGrid {
+                detail: format!("spacing {h_nm} must be positive"),
+            });
+        }
+        Ok(Grid3 {
+            nx,
+            ny,
+            nz,
+            h: h_nm,
+        })
+    }
+
+    /// Cells along x.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells along y.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Cells along z.
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Grid spacing in nm.
+    #[inline]
+    pub fn spacing(&self) -> f64 {
+        self.h
+    }
+
+    /// Total cell count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `false`: valid grids have at least one cell.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of cell `(i, j, k)` (x fastest, z slowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        assert!(i < self.nx && j < self.ny && k < self.nz, "cell out of range");
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Inverse of [`Grid3::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let i = idx % self.nx;
+        let j = (idx / self.nx) % self.ny;
+        let k = idx / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Cell centre position in nm.
+    pub fn center(&self, i: usize, j: usize, k: usize) -> (f64, f64, f64) {
+        (
+            (i as f64 + 0.5) * self.h,
+            (j as f64 + 0.5) * self.h,
+            (k as f64 + 0.5) * self.h,
+        )
+    }
+
+    /// The cell containing point `(x, y, z)` nm, clamped into the grid.
+    pub fn locate(&self, x: f64, y: f64, z: f64) -> (usize, usize, usize) {
+        let clamp = |v: f64, n: usize| -> usize {
+            let c = (v / self.h).floor();
+            (c.max(0.0) as usize).min(n - 1)
+        };
+        (clamp(x, self.nx), clamp(y, self.ny), clamp(z, self.nz))
+    }
+
+    /// Physical extents `(Lx, Ly, Lz)` nm.
+    pub fn extent(&self) -> (f64, f64, f64) {
+        (
+            self.nx as f64 * self.h,
+            self.ny as f64 * self.h,
+            self.nz as f64 * self.h,
+        )
+    }
+}
+
+/// An axis-aligned box of cells, inclusive on both ends.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub struct Region {
+    /// Inclusive x-range.
+    pub x: (usize, usize),
+    /// Inclusive y-range.
+    pub y: (usize, usize),
+    /// Inclusive z-range.
+    pub z: (usize, usize),
+}
+
+impl Region {
+    /// A box spanning the given inclusive index ranges.
+    pub fn new(x: (usize, usize), y: (usize, usize), z: (usize, usize)) -> Self {
+        Region { x, y, z }
+    }
+
+    /// A full-cross-section slab `x ∈ [x0, x1]` (used for source/drain
+    /// blocks); y and z resolved against the grid at application time.
+    pub fn slab_x(x0: usize, x1: usize) -> Self {
+        Region {
+            x: (x0, x1),
+            y: (0, usize::MAX),
+            z: (0, usize::MAX),
+        }
+    }
+
+    /// A full-footprint slab `z ∈ [z0, z1]` (used for gate planes).
+    pub fn slab_z(z0: usize, z1: usize) -> Self {
+        Region {
+            x: (0, usize::MAX),
+            y: (0, usize::MAX),
+            z: (z0, z1),
+        }
+    }
+
+    /// Iterates the cells of this region clipped to `grid`.
+    pub fn cells(&self, grid: &Grid3) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let cx = (self.x.0, self.x.1.min(grid.nx() - 1));
+        let cy = (self.y.0, self.y.1.min(grid.ny() - 1));
+        let cz = (self.z.0, self.z.1.min(grid.nz() - 1));
+        (cz.0..=cz.1).flat_map(move |k| {
+            (cy.0..=cy.1).flat_map(move |j| (cx.0..=cx.1).map(move |i| (i, j, k)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_validation() {
+        assert!(Grid3::new(0, 2, 2, 0.5).is_err());
+        assert!(Grid3::new(2, 2, 2, 0.0).is_err());
+        assert!(Grid3::new(2, 2, 2, -1.0).is_err());
+        assert!(Grid3::new(4, 5, 6, 0.25).is_ok());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = Grid3::new(4, 5, 6, 0.5).unwrap();
+        for idx in 0..g.len() {
+            let (i, j, k) = g.coords(idx);
+            assert_eq!(g.index(i, j, k), idx);
+        }
+    }
+
+    #[test]
+    fn centers_and_locate() {
+        let g = Grid3::new(10, 10, 10, 0.5).unwrap();
+        let (x, y, z) = g.center(3, 4, 5);
+        assert_eq!((x, y, z), (1.75, 2.25, 2.75));
+        assert_eq!(g.locate(x, y, z), (3, 4, 5));
+        // Clamping.
+        assert_eq!(g.locate(-1.0, 100.0, 2.6), (0, 9, 5));
+    }
+
+    #[test]
+    fn region_clipping() {
+        let g = Grid3::new(4, 3, 2, 1.0).unwrap();
+        let r = Region::slab_x(1, 2);
+        let cells: Vec<_> = r.cells(&g).collect();
+        assert_eq!(cells.len(), 2 * 3 * 2);
+        assert!(cells.iter().all(|&(i, _, _)| i == 1 || i == 2));
+        let r = Region::slab_z(1, 1);
+        assert_eq!(r.cells(&g).count(), 4 * 3);
+    }
+
+    #[test]
+    fn extent() {
+        let g = Grid3::new(30, 10, 8, 0.5).unwrap();
+        assert_eq!(g.extent(), (15.0, 5.0, 4.0));
+    }
+}

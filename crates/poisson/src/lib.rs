@@ -1,0 +1,45 @@
+//! `gnr-poisson` — 3D electrostatics for gated nanoscale devices.
+//!
+//! The paper solves the 3D Poisson equation `∇·(ε∇φ) = −ρ` self-consistently
+//! with NEGF transport because "the electric field varies in all dimensions
+//! for the simulated device structure". The double-gate GNRFET stack
+//! (gate metal / 1.5 nm SiO₂ / GNR plane / 1.5 nm SiO₂ / gate metal, with
+//! metal source/drain blocks) is a rectilinear geometry, so a structured
+//! finite-volume discretization represents it exactly; see DESIGN.md for the
+//! FEM→FVM substitution note.
+//!
+//! * [`Grid3`] — uniform structured grid (spacings in nm);
+//! * [`PoissonProblem`] — per-cell dielectrics, Dirichlet electrodes,
+//!   volume charge, and point charges (cloud-in-cell deposition);
+//! * [`PoissonSolution`] — potential field with trilinear sampling and
+//!   Gauss-law diagnostics.
+//!
+//! Units: lengths in nm, potential in volts, charge in elementary charges.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_poisson::{Grid3, PoissonProblem, Region};
+//!
+//! # fn main() -> Result<(), gnr_poisson::PoissonError> {
+//! // A 1D parallel-plate capacitor: potential varies linearly.
+//! let grid = Grid3::new(11, 3, 3, 0.5)?;
+//! let mut p = PoissonProblem::new(grid);
+//! p.set_electrode(Region::slab_x(0, 0), 0.0);
+//! p.set_electrode(Region::slab_x(10, 10), 1.0);
+//! let sol = p.solve(None)?;
+//! let mid = sol.potential_index(5, 1, 1);
+//! assert!((mid - 0.5).abs() < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod grid;
+pub mod problem;
+pub mod solution;
+
+pub use error::PoissonError;
+pub use grid::{Grid3, Region};
+pub use problem::{CellKind, PoissonProblem};
+pub use solution::PoissonSolution;

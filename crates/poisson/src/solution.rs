@@ -1,0 +1,137 @@
+//! Solved potential fields with sampling helpers.
+
+use crate::grid::Grid3;
+
+/// A solved potential field on a [`Grid3`], in volts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoissonSolution {
+    grid: Grid3,
+    potential: Vec<f64>,
+    iterations: usize,
+}
+
+impl PoissonSolution {
+    pub(crate) fn new(grid: Grid3, potential: Vec<f64>, iterations: usize) -> Self {
+        PoissonSolution {
+            grid,
+            potential,
+            iterations,
+        }
+    }
+
+    /// The grid the solution lives on.
+    pub fn grid(&self) -> Grid3 {
+        self.grid
+    }
+
+    /// CG iterations used by the solve.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Raw cell-centre potentials (linear indexing); suitable as a warm
+    /// start for the next solve.
+    pub fn raw(&self) -> &[f64] {
+        &self.potential
+    }
+
+    /// Potential of cell `(i, j, k)` \[V\].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn potential_index(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.potential[self.grid.index(i, j, k)]
+    }
+
+    /// Trilinearly interpolated potential at `(x, y, z)` nm (clamped to the
+    /// cell-centre lattice at the boundaries).
+    pub fn potential_at(&self, x: f64, y: f64, z: f64) -> f64 {
+        let h = self.grid.spacing();
+        let fx = (x / h - 0.5).clamp(0.0, (self.grid.nx() - 1) as f64);
+        let fy = (y / h - 0.5).clamp(0.0, (self.grid.ny() - 1) as f64);
+        let fz = (z / h - 0.5).clamp(0.0, (self.grid.nz() - 1) as f64);
+        let (i0, j0, k0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (tx, ty, tz) = (fx - i0 as f64, fy - j0 as f64, fz - k0 as f64);
+        let mut acc = 0.0;
+        for (di, wx) in [(0usize, 1.0 - tx), (1, tx)] {
+            for (dj, wy) in [(0usize, 1.0 - ty), (1, ty)] {
+                for (dk, wz) in [(0usize, 1.0 - tz), (1, tz)] {
+                    let (i, j, k) = (
+                        (i0 + di).min(self.grid.nx() - 1),
+                        (j0 + dj).min(self.grid.ny() - 1),
+                        (k0 + dk).min(self.grid.nz() - 1),
+                    );
+                    acc += wx * wy * wz * self.potential_index(i, j, k);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Potential profile along x at fixed `(y, z)` nm, one sample per cell
+    /// column — the paper's Fig. 5(a) band-profile diagnostic.
+    pub fn profile_x(&self, y: f64, z: f64) -> Vec<f64> {
+        let h = self.grid.spacing();
+        (0..self.grid.nx())
+            .map(|i| self.potential_at((i as f64 + 0.5) * h, y, z))
+            .collect()
+    }
+
+    /// Maximum absolute potential difference to another solution on the
+    /// same grid; the self-consistency convergence measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if grids differ.
+    pub fn max_delta(&self, other: &PoissonSolution) -> f64 {
+        assert_eq!(self.grid, other.grid, "solutions on different grids");
+        self.potential
+            .iter()
+            .zip(&other.potential)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Region;
+    use crate::problem::PoissonProblem;
+
+    fn capacitor() -> PoissonSolution {
+        let grid = Grid3::new(11, 3, 3, 0.5).unwrap();
+        let mut p = PoissonProblem::new(grid);
+        p.set_electrode(Region::slab_x(0, 0), 0.0);
+        p.set_electrode(Region::slab_x(10, 10), 1.0);
+        p.solve(None).unwrap()
+    }
+
+    #[test]
+    fn trilinear_interpolation_between_cells() {
+        let sol = capacitor();
+        // Between cell centres the potential is linear.
+        let a = sol.potential_at(2.25, 0.75, 0.75);
+        let b = sol.potential_index(4, 1, 1);
+        assert!((a - b).abs() < 1e-12);
+        let mid = sol.potential_at(2.0, 0.75, 0.75);
+        let c1 = sol.potential_index(3, 1, 1);
+        let c2 = sol.potential_index(4, 1, 1);
+        assert!((mid - 0.5 * (c1 + c2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_is_monotone_for_capacitor() {
+        let sol = capacitor();
+        let prof = sol.profile_x(0.75, 0.75);
+        assert_eq!(prof.len(), 11);
+        assert!(prof.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn max_delta_zero_for_identical() {
+        let sol = capacitor();
+        assert_eq!(sol.max_delta(&sol.clone()), 0.0);
+    }
+}

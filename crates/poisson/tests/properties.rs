@@ -1,0 +1,78 @@
+//! Property-based tests of the electrostatics invariants.
+
+use gnr_poisson::{Grid3, PoissonProblem, Region};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Superposition: the Laplace problem is linear in the electrode
+    /// voltages.
+    #[test]
+    fn electrode_superposition(v1 in -2.0f64..2.0, v2 in -2.0f64..2.0) {
+        let grid = Grid3::new(10, 4, 4, 0.5).expect("valid");
+        let solve_at = |va: f64, vb: f64| {
+            let mut p = PoissonProblem::new(grid);
+            p.set_electrode(Region::slab_x(0, 0), va);
+            p.set_electrode(Region::slab_x(9, 9), vb);
+            p.solve(None).expect("solves")
+        };
+        let a = solve_at(v1, 0.0);
+        let b = solve_at(0.0, v2);
+        let c = solve_at(v1, v2);
+        for i in 1..9 {
+            let lhs = a.potential_index(i, 2, 2) + b.potential_index(i, 2, 2);
+            let rhs = c.potential_index(i, 2, 2);
+            prop_assert!((lhs - rhs).abs() < 1e-7, "{lhs} vs {rhs}");
+        }
+    }
+
+    /// Charge superposition and sign: potentials scale linearly with the
+    /// deposited charge.
+    #[test]
+    fn charge_linearity(q in 0.1f64..3.0) {
+        let grid = Grid3::new(8, 8, 8, 0.5).expect("valid");
+        let solve_with = |charge: f64| {
+            let mut p = PoissonProblem::new(grid);
+            p.set_electrode(Region::slab_z(0, 0), 0.0);
+            p.set_electrode(Region::slab_z(7, 7), 0.0);
+            p.add_point_charge(2.0, 2.0, 2.0, charge);
+            p.solve(None).expect("solves")
+        };
+        let unit = solve_with(1.0);
+        let scaled = solve_with(q);
+        let a = unit.potential_at(2.0, 2.0, 2.0);
+        let b = scaled.potential_at(2.0, 2.0, 2.0);
+        prop_assert!((b - q * a).abs() < 1e-6 * (1.0 + b.abs()), "{b} vs {}", q * a);
+    }
+
+    /// The discrete maximum principle: with no charge, the potential is
+    /// bounded by the electrode extremes everywhere.
+    #[test]
+    fn maximum_principle(v1 in -3.0f64..3.0, v2 in -3.0f64..3.0) {
+        let grid = Grid3::new(8, 4, 4, 0.5).expect("valid");
+        let mut p = PoissonProblem::new(grid);
+        p.set_electrode(Region::slab_x(0, 0), v1);
+        p.set_electrode(Region::slab_x(7, 7), v2);
+        let sol = p.solve(None).expect("solves");
+        let (lo, hi) = (v1.min(v2), v1.max(v2));
+        for &phi in sol.raw() {
+            prop_assert!(phi >= lo - 1e-8 && phi <= hi + 1e-8, "phi = {phi}");
+        }
+    }
+
+    /// Cloud-in-cell deposition conserves the total charge exactly for any
+    /// in-domain position.
+    #[test]
+    fn cic_conserves_charge(
+        x in 0.5f64..3.5,
+        y in 0.5f64..3.5,
+        z in 0.5f64..3.5,
+        q in -5.0f64..5.0,
+    ) {
+        let grid = Grid3::new(8, 8, 8, 0.5).expect("valid");
+        let mut p = PoissonProblem::new(grid);
+        p.add_point_charge(x, y, z, q);
+        prop_assert!((p.total_charge() - q).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,441 @@
+//! Builders for the paper's benchmark circuits.
+//!
+//! All builders take pre-built n/p [`DeviceTable`]s, apply the extrinsic
+//! parasitics of Fig. 3(a), and return ready-to-analyse [`Circuit`]s with
+//! the interesting nodes exposed.
+
+use crate::circuit::{Circuit, Element, NodeId, Waveform};
+use crate::error::SpiceError;
+use gnr_device::DeviceTable;
+use std::sync::Arc;
+
+/// Extrinsic parasitics of the 4-GNR-array FET (paper Fig. 3a).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExtrinsicParasitics {
+    /// Source contact resistance \[Ω\] (1–100 kΩ, nominal 10 kΩ).
+    pub r_s: f64,
+    /// Drain contact resistance \[Ω\].
+    pub r_d: f64,
+    /// Extrinsic gate-source junction capacitance \[F\]
+    /// (0.01–0.1 aF/nm × 40 nm contact width).
+    pub c_gs_e: f64,
+    /// Extrinsic gate-drain junction capacitance \[F\].
+    pub c_gd_e: f64,
+}
+
+impl ExtrinsicParasitics {
+    /// The paper's nominal values: 10 kΩ contacts, 0.05 aF/nm × 40 nm
+    /// junction capacitances, negligible substrate capacitances.
+    pub fn nominal() -> Self {
+        ExtrinsicParasitics {
+            r_s: 10e3,
+            r_d: 10e3,
+            c_gs_e: 0.05e-18 * 40.0,
+            c_gd_e: 0.05e-18 * 40.0,
+        }
+    }
+
+    /// No parasitics (intrinsic-device experiments).
+    pub fn none() -> Self {
+        ExtrinsicParasitics {
+            r_s: 0.0,
+            r_d: 0.0,
+            c_gs_e: 0.0,
+            c_gd_e: 0.0,
+        }
+    }
+
+    /// Folds the contact resistances into a device table (see
+    /// [`DeviceTable::fold_series_resistance`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates folding failures.
+    pub fn fold(&self, table: &DeviceTable) -> Result<DeviceTable, SpiceError> {
+        table
+            .fold_series_resistance(self.r_s, self.r_d)
+            .map_err(|e| SpiceError::config(e.to_string()))
+    }
+}
+
+/// A CMOS-style inverter instance: device pair plus its parasitic caps.
+#[derive(Clone, Debug)]
+pub struct InverterCell {
+    /// Pull-down device table (resistance-folded).
+    pub nfet: Arc<DeviceTable>,
+    /// Pull-up device table (resistance-folded).
+    pub pfet: Arc<DeviceTable>,
+    /// Parasitics applied at the terminals.
+    pub parasitics: ExtrinsicParasitics,
+}
+
+impl InverterCell {
+    /// Builds a cell from raw (unfolded) device tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resistance-folding failures.
+    pub fn new(
+        nfet: &DeviceTable,
+        pfet: &DeviceTable,
+        parasitics: &ExtrinsicParasitics,
+    ) -> Result<Self, SpiceError> {
+        Ok(InverterCell {
+            nfet: Arc::new(parasitics.fold(nfet)?),
+            pfet: Arc::new(parasitics.fold(pfet)?),
+            parasitics: *parasitics,
+        })
+    }
+
+    /// Instantiates the inverter into `circuit` between `input` and
+    /// `output`, powered by `vdd_node`.
+    pub fn instantiate(
+        &self,
+        circuit: &mut Circuit,
+        input: NodeId,
+        output: NodeId,
+        vdd_node: NodeId,
+    ) {
+        circuit.add(Element::Fet {
+            d: output,
+            g: input,
+            s: NodeId::GROUND,
+            table: Arc::clone(&self.nfet),
+        });
+        circuit.add(Element::Fet {
+            d: output,
+            g: input,
+            s: vdd_node,
+            table: Arc::clone(&self.pfet),
+        });
+        // Extrinsic junction capacitances at the terminals.
+        let p = &self.parasitics;
+        if p.c_gs_e > 0.0 {
+            // Both devices: gate-source caps (to gnd and to vdd).
+            circuit.add(Element::Capacitor {
+                a: input,
+                b: NodeId::GROUND,
+                farads: p.c_gs_e,
+            });
+            circuit.add(Element::Capacitor {
+                a: input,
+                b: vdd_node,
+                farads: p.c_gs_e,
+            });
+        }
+        if p.c_gd_e > 0.0 {
+            // Both devices: gate-drain caps (input to output), Miller pair.
+            circuit.add(Element::Capacitor {
+                a: input,
+                b: output,
+                farads: 2.0 * p.c_gd_e,
+            });
+        }
+    }
+}
+
+/// An inverter driving a fanout-of-4 load: the paper's standard gate-level
+/// workload for delay/power measurements.
+#[derive(Clone, Debug)]
+pub struct InverterChain {
+    /// The assembled netlist.
+    pub circuit: Circuit,
+    /// Driver input node.
+    pub input: NodeId,
+    /// Driver output node (loaded by 4 inverters).
+    pub output: NodeId,
+    /// Supply node.
+    pub vdd_node: NodeId,
+    /// Index of the input pulse source.
+    pub input_source: usize,
+    /// Index of the supply source.
+    pub vdd_source: usize,
+}
+
+impl InverterChain {
+    /// Builds a driver inverter with a fanout-of-4 load of identical
+    /// inverters, an input source (initially DC 0) and a supply source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell construction failures.
+    pub fn fo4(cell: &InverterCell, vdd: f64) -> Result<Self, SpiceError> {
+        let mut circuit = Circuit::new();
+        let input = circuit.node("in");
+        let output = circuit.node("out");
+        let vdd_node = circuit.node("vdd");
+        // Source 0: input; source 1: supply.
+        circuit.add(Element::VSource {
+            p: input,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(0.0),
+        });
+        circuit.add(Element::VSource {
+            p: vdd_node,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(vdd),
+        });
+        cell.instantiate(&mut circuit, input, output, vdd_node);
+        for k in 0..4 {
+            let load_out = circuit.node(&format!("load{k}"));
+            cell.instantiate(&mut circuit, output, load_out, vdd_node);
+        }
+        Ok(InverterChain {
+            circuit,
+            input,
+            output,
+            vdd_node,
+            input_source: 0,
+            vdd_source: 1,
+        })
+    }
+}
+
+/// An N-stage ring oscillator where every stage drives a fanout-of-4 load
+/// (the next stage plus three dummy inverters), per the paper §3.1.
+#[derive(Clone, Debug)]
+pub struct RingOscillator {
+    /// The assembled netlist.
+    pub circuit: Circuit,
+    /// Per-stage output nodes.
+    pub stage_outputs: Vec<NodeId>,
+    /// Supply node.
+    pub vdd_node: NodeId,
+    /// Index of the supply source.
+    pub vdd_source: usize,
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+}
+
+impl RingOscillator {
+    /// Builds the oscillator with `stages` inverters (must be odd ≥ 3);
+    /// `cells` supplies one cell per stage (cycled if shorter), enabling
+    /// the per-stage variations of the Monte Carlo study.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Config`] for an even or too-small stage count
+    /// or an empty cell list.
+    pub fn with_cells(cells: &[InverterCell], stages: usize, vdd: f64) -> Result<Self, SpiceError> {
+        if stages < 3 || stages % 2 == 0 {
+            return Err(SpiceError::config("ring oscillator needs odd stages >= 3"));
+        }
+        if cells.is_empty() {
+            return Err(SpiceError::config("need at least one inverter cell"));
+        }
+        let mut circuit = Circuit::new();
+        let vdd_node = circuit.node("vdd");
+        circuit.add(Element::VSource {
+            p: vdd_node,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(vdd),
+        });
+        let stage_outputs: Vec<NodeId> = (0..stages)
+            .map(|i| circuit.node(&format!("s{i}")))
+            .collect();
+        for i in 0..stages {
+            let cell = &cells[i % cells.len()];
+            let input = stage_outputs[(i + stages - 1) % stages];
+            let output = stage_outputs[i];
+            cell.instantiate(&mut circuit, input, output, vdd_node);
+            // Three dummy load inverters per stage (fanout-of-4 total).
+            for k in 0..3 {
+                let dummy = circuit.node(&format!("s{i}d{k}"));
+                cell.instantiate(&mut circuit, output, dummy, vdd_node);
+            }
+        }
+        Ok(RingOscillator {
+            circuit,
+            stage_outputs,
+            vdd_node,
+            vdd_source: 0,
+            vdd,
+        })
+    }
+
+    /// Convenience: identical cells in every stage.
+    ///
+    /// # Errors
+    ///
+    /// See [`RingOscillator::with_cells`].
+    pub fn uniform(cell: &InverterCell, stages: usize, vdd: f64) -> Result<Self, SpiceError> {
+        Self::with_cells(std::slice::from_ref(cell), stages, vdd)
+    }
+}
+
+/// Two-input static logic gates built from the same device cells —
+/// extensions of the paper's "representative circuits" set.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum GateKind {
+    /// 2-input NAND: series n-stack, parallel p-pull-ups.
+    Nand2,
+    /// 2-input NOR: parallel n-pull-downs, series p-stack.
+    Nor2,
+}
+
+/// An instantiated two-input gate test bench.
+#[derive(Clone, Debug)]
+pub struct Gate2 {
+    /// The assembled netlist.
+    pub circuit: Circuit,
+    /// First input node (driven by source 0).
+    pub input_a: NodeId,
+    /// Second input node (driven by source 1).
+    pub input_b: NodeId,
+    /// Output node.
+    pub output: NodeId,
+    /// Supply node (source 2).
+    pub vdd_node: NodeId,
+    /// Which gate this is.
+    pub kind: GateKind,
+}
+
+impl Gate2 {
+    /// Builds a 2-input gate from an inverter cell's devices (both stack
+    /// transistors reuse the cell's folded n/p tables).
+    ///
+    /// The series stack is modelled with an explicit internal node, so
+    /// stack resistance effects (the paper's R_S/R_D fold plus the upper
+    /// device's body effect on its source) are captured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist failures.
+    pub fn new(cell: &InverterCell, kind: GateKind, vdd: f64) -> Result<Self, SpiceError> {
+        let mut circuit = Circuit::new();
+        let input_a = circuit.node("a");
+        let input_b = circuit.node("b");
+        let output = circuit.node("out");
+        let vdd_node = circuit.node("vdd");
+        let mid = circuit.node("stack");
+        for (p, wave) in [
+            (input_a, Waveform::Dc(0.0)),
+            (input_b, Waveform::Dc(0.0)),
+            (vdd_node, Waveform::Dc(vdd)),
+        ] {
+            circuit.add(Element::VSource {
+                p,
+                n: NodeId::GROUND,
+                wave,
+            });
+        }
+        match kind {
+            GateKind::Nand2 => {
+                // n-stack: out -(A)- mid -(B)- gnd; p in parallel to vdd.
+                circuit.add(Element::Fet {
+                    d: output,
+                    g: input_a,
+                    s: mid,
+                    table: Arc::clone(&cell.nfet),
+                });
+                circuit.add(Element::Fet {
+                    d: mid,
+                    g: input_b,
+                    s: NodeId::GROUND,
+                    table: Arc::clone(&cell.nfet),
+                });
+                for g in [input_a, input_b] {
+                    circuit.add(Element::Fet {
+                        d: output,
+                        g,
+                        s: vdd_node,
+                        table: Arc::clone(&cell.pfet),
+                    });
+                }
+            }
+            GateKind::Nor2 => {
+                // p-stack: vdd -(A)- mid -(B)- out; n in parallel to gnd.
+                circuit.add(Element::Fet {
+                    d: mid,
+                    g: input_a,
+                    s: vdd_node,
+                    table: Arc::clone(&cell.pfet),
+                });
+                circuit.add(Element::Fet {
+                    d: output,
+                    g: input_b,
+                    s: mid,
+                    table: Arc::clone(&cell.pfet),
+                });
+                for g in [input_a, input_b] {
+                    circuit.add(Element::Fet {
+                        d: output,
+                        g,
+                        s: NodeId::GROUND,
+                        table: Arc::clone(&cell.nfet),
+                    });
+                }
+            }
+        }
+        // Output load: the cell's extrinsic junction capacitance.
+        let c_out = (2.0 * cell.parasitics.c_gd_e).max(1e-18);
+        circuit.add(Element::Capacitor {
+            a: output,
+            b: NodeId::GROUND,
+            farads: c_out,
+        });
+        Ok(Gate2 {
+            circuit,
+            input_a,
+            input_b,
+            output,
+            vdd_node,
+            kind,
+        })
+    }
+
+    /// Evaluates the gate's DC output for one input combination (logic
+    /// levels 0/`vdd`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC solve failures.
+    pub fn dc_output(&self, a_high: bool, b_high: bool, vdd: f64) -> Result<f64, SpiceError> {
+        let mut circuit = self.circuit.clone();
+        crate::dc::set_source_value(&mut circuit, 0, if a_high { vdd } else { 0.0 })?;
+        crate::dc::set_source_value(&mut circuit, 1, if b_high { vdd } else { 0.0 })?;
+        let x = crate::dc::dc_operating_point(&circuit, None, crate::dc::DcOptions::default())?;
+        Ok(circuit.voltage(&x, self.output))
+    }
+}
+
+/// A cross-coupled inverter latch, exposed for butterfly-curve analysis.
+#[derive(Clone, Debug)]
+pub struct Latch {
+    /// Left inverter (drives node R from node L).
+    pub inv_a: InverterCell,
+    /// Right inverter (drives node L from node R).
+    pub inv_b: InverterCell,
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+}
+
+impl Latch {
+    /// Creates a latch description from two (possibly different) cells.
+    pub fn new(inv_a: InverterCell, inv_b: InverterCell, vdd: f64) -> Self {
+        Latch { inv_a, inv_b, vdd }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_parasitics_match_paper() {
+        let p = ExtrinsicParasitics::nominal();
+        assert_eq!(p.r_s, 10e3);
+        assert_eq!(p.r_d, 10e3);
+        // 0.05 aF/nm x 40 nm = 2 aF.
+        assert!((p.c_gs_e - 2e-18).abs() < 1e-24);
+    }
+
+    #[test]
+    fn ring_oscillator_validation() {
+        let p = ExtrinsicParasitics::none();
+        let _ = p;
+        // Structural checks that don't need real tables are covered via
+        // error paths: even stage count rejected before any table use.
+        assert!(RingOscillator::with_cells(&[], 15, 0.4).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the circuit simulator.
+
+use gnr_num::NumError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction and analyses.
+#[derive(Debug)]
+pub enum SpiceError {
+    /// Linear algebra failure inside a Newton step.
+    Linear(NumError),
+    /// Newton iteration failed to converge.
+    NewtonDiverged {
+        /// The analysis that failed ("dc", "transient step", ...).
+        analysis: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Worst KCL residual \[A\].
+        residual: f64,
+    },
+    /// Invalid netlist or analysis configuration.
+    Config {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A measurement could not be extracted from a waveform (e.g. the ring
+    /// oscillator never oscillated).
+    Measurement {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Linear(e) => write!(f, "linear solve: {e}"),
+            SpiceError::NewtonDiverged {
+                analysis,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{analysis} newton iteration did not converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            SpiceError::Config { detail } => write!(f, "invalid circuit: {detail}"),
+            SpiceError::Measurement { detail } => write!(f, "measurement failed: {detail}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Linear(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for SpiceError {
+    fn from(e: NumError) -> Self {
+        SpiceError::Linear(e)
+    }
+}
+
+impl SpiceError {
+    /// Builds a [`SpiceError::Config`].
+    pub fn config(detail: impl Into<String>) -> Self {
+        SpiceError::Config {
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds a [`SpiceError::Measurement`].
+    pub fn measurement(detail: impl Into<String>) -> Self {
+        SpiceError::Measurement {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SpiceError::config("floating node").to_string().contains("floating"));
+        assert!(SpiceError::measurement("no oscillation")
+            .to_string()
+            .contains("oscillation"));
+        let e = SpiceError::NewtonDiverged {
+            analysis: "dc",
+            iterations: 50,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("dc"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Band-structure gallery: the electronic structure facts the paper's
+//! device physics rests on, computed from the tight-binding Hamiltonians.
+//!
+//! * armchair family behaviour: `3p`/`3p+1` semiconducting with gap ∝ 1/w,
+//!   `3p+2` nearly metallic (paper §4);
+//! * zigzag ribbons: metallic with flat edge-state bands (paper ref. [12]).
+//!
+//! Run with: `cargo run --release --example band_structures`
+
+use gnrlab::lattice::{AGnr, ZGnr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("armchair family (gap vs index):");
+    println!(
+        "{:>5} {:>9} {:>10} {:>10} {:>8}",
+        "N", "family", "width(nm)", "gap (eV)", "m*/m0"
+    );
+    for n in 7..=18 {
+        let gnr = AGnr::new(n)?;
+        let bands = gnr.band_structure(96)?;
+        let family = match n % 3 {
+            0 => "3p",
+            1 => "3p+1",
+            _ => "3p+2",
+        };
+        println!(
+            "{:>5} {:>9} {:>10.2} {:>10.3} {:>8.3}",
+            n,
+            family,
+            gnr.width_nm(),
+            bands.gap(),
+            bands.conduction_effective_mass()
+        );
+    }
+
+    println!("\nzigzag ribbons (always metallic, flat edge bands):");
+    println!("{:>5} {:>10} {:>10} {:>22}", "N", "width(nm)", "gap (eV)", "|E| at k=pi (eV)");
+    for n in [4usize, 6, 8, 12] {
+        let z = ZGnr::new(n)?;
+        let gap = z.gap(64)?;
+        let bands = z.band_structure(64)?;
+        let m = z.atoms_per_cell();
+        let edge = bands[m / 2].last().copied().unwrap_or(f64::NAN).abs();
+        println!("{:>5} {:>10.2} {:>10.4} {:>22.2e}", n, z.width_nm(), gap, edge);
+    }
+
+    // ASCII band diagram of the N=12 armchair ribbon near the gap.
+    println!("\nN=12 A-GNR bands near the gap (x: k 0..pi, o: conduction, *: valence):");
+    let bands = AGnr::new(12)?.band_structure(48)?;
+    let interesting: Vec<&Vec<f64>> = bands
+        .bands()
+        .iter()
+        .filter(|b| b.iter().any(|&e| e.abs() < 1.2))
+        .collect();
+    let rows = 25usize;
+    let e_max = 1.2;
+    let mut canvas = vec![vec![b' '; 48]; rows];
+    for band in &interesting {
+        for (ik, &e) in band.iter().enumerate() {
+            if e.abs() >= e_max {
+                continue;
+            }
+            let r = ((e_max - e) / (2.0 * e_max) * (rows - 1) as f64).round() as usize;
+            canvas[r.min(rows - 1)][ik] = if e > 0.0 { b'o' } else { b'*' };
+        }
+    }
+    for (r, row) in canvas.iter().enumerate() {
+        let e = e_max - 2.0 * e_max * r as f64 / (rows - 1) as f64;
+        println!("{e:>6.2} |{}", std::str::from_utf8(row)?);
+    }
+    println!("        {}", "-".repeat(48));
+    println!("        k = 0{:>42}", "k = pi");
+    Ok(())
+}

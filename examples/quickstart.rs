@@ -1,0 +1,66 @@
+//! Quickstart: from an atomistic ribbon to a switching logic gate.
+//!
+//! Builds the paper's nominal N=12 GNRFET with the fast semi-analytic
+//! device path, prints its ambipolar I-V curve, assembles the lookup-table
+//! FO4 inverter with the paper's extrinsic parasitics, and reports the
+//! delay/power/noise figures of merit.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gnrlab::device::table::TableGrid;
+use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::spice::builders::{ExtrinsicParasitics, InverterCell};
+use gnrlab::spice::measure::{butterfly_snm, fo4_metrics_for_cell, inverter_vtc};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The device: a 15 nm N=12 armchair GNR in the paper's double-gate
+    //    Schottky-barrier stack. Use the reduced test geometry here so the
+    //    example runs in seconds; swap in `paper_nominal` for full scale.
+    let cfg = DeviceConfig::test_small(12)?;
+    let model = SbfetModel::new(&cfg)?;
+    println!(
+        "N=12 A-GNR: width {:.2} nm, band gap {:.3} eV, channel {:.1} nm",
+        cfg.gnr.width_nm(),
+        model.band_gap(),
+        cfg.channel_nm()
+    );
+
+    // 2. The ambipolar I-V curve (paper Fig. 2a).
+    println!("\nI_D(V_G) at V_D = 0.5 V:");
+    for i in 0..=10 {
+        let vg = i as f64 * 0.075;
+        let id = model.drain_current(vg, 0.5)?;
+        println!("  V_G = {vg:>5.3} V   I_D = {id:>10.3e} A");
+    }
+    let vmin = model.minimum_leakage_vg(0.5)?;
+    println!("minimum leakage at V_G = {vmin:.3} V (ambipolar: ~V_D/2)");
+    // Offset engineering targets the supply the gate will actually run at.
+    let vdd = 0.4;
+    let vmin_op = model.minimum_leakage_vg(vdd)?;
+
+    // 3. Lookup tables for the 4-ribbon array FET, with the gate metal
+    //    work function chosen so minimum leakage sits at V_GS = 0.
+    let grid = TableGrid {
+        vgs: (-0.35, 1.0),
+        vds: (0.0, 0.85),
+        points: 21,
+    };
+    let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)?.with_vg_shift(-vmin_op);
+    let p = n.mirrored();
+
+    // 4. A FO4 inverter with the paper's contact parasitics.
+    let cell = InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal())?;
+    let metrics = fo4_metrics_for_cell(&cell, vdd)?;
+    let vtc = inverter_vtc(&cell, vdd, 33)?;
+    let snm = butterfly_snm(&vtc, &vtc, vdd).snm();
+    println!("\nFO4 inverter at V_DD = {vdd} V:");
+    println!("  delay          = {:.2} ps", metrics.delay_s * 1e12);
+    println!("  static power   = {:.4} uW", metrics.static_power_w * 1e6);
+    println!("  switch energy  = {:.4} fJ", metrics.energy_per_cycle_j * 1e15);
+    println!("  noise margin   = {snm:.3} V");
+    println!(
+        "  est. 15-stage ring oscillator: {:.2} GHz",
+        1.0 / (2.0 * 15.0 * metrics.delay_s) / 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting all gnrlab subsystems.
+pub use gnr_cmos as cmos;
+pub use gnr_device as device;
+pub use gnr_lattice as lattice;
+pub use gnr_negf as negf;
+pub use gnr_num as num;
+pub use gnr_poisson as poisson;
+pub use gnr_spice as spice;
+pub use gnrfet_explore as explore;

@@ -1,0 +1,99 @@
+//! Frequency-domain characterization of the GNRFET inverter: small-signal
+//! gain and bandwidth from AC analysis, cross-checked against the DC
+//! transfer curve's slope.
+
+use gnrlab::device::table::TableGrid;
+use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::spice::ac::ac_analysis;
+use gnrlab::spice::builders::{ExtrinsicParasitics, InverterCell};
+use gnrlab::spice::circuit::{Circuit, Element, NodeId, Waveform};
+use gnrlab::spice::dc::{transfer_curve, DcOptions};
+use std::sync::OnceLock;
+
+const VDD: f64 = 0.4;
+
+struct Bench {
+    circuit: Circuit,
+    input: NodeId,
+    output: NodeId,
+}
+
+fn bench() -> &'static Bench {
+    static BENCH: OnceLock<Bench> = OnceLock::new();
+    BENCH.get_or_init(|| {
+        let cfg = DeviceConfig::test_small(12).expect("valid");
+        let model = SbfetModel::new(&cfg).expect("builds");
+        let vmin = model.minimum_leakage_vg(VDD).expect("minimum");
+        let grid = TableGrid {
+            vgs: (-0.35, 1.0),
+            vds: (0.0, 0.85),
+            points: 21,
+        };
+        let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)
+            .expect("table")
+            .with_vg_shift(-vmin);
+        let p = n.mirrored();
+        let cell =
+            InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("cell");
+        let mut circuit = Circuit::new();
+        let input = circuit.node("in");
+        let output = circuit.node("out");
+        let vdd_node = circuit.node("vdd");
+        // Bias the input at the inverter's switching threshold so the
+        // linearization sits in the high-gain region.
+        circuit.add(Element::VSource {
+            p: input,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(VDD / 2.0),
+        });
+        circuit.add(Element::VSource {
+            p: vdd_node,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(VDD),
+        });
+        cell.instantiate(&mut circuit, input, output, vdd_node);
+        Bench {
+            circuit,
+            input,
+            output,
+        }
+    })
+}
+
+#[test]
+fn low_frequency_gain_matches_vtc_slope() {
+    let b = bench();
+    // AC gain at 1 MHz (far below any device pole).
+    let sweep = ac_analysis(&b.circuit, 0, &[1e6], DcOptions::default()).unwrap();
+    let ac_gain = sweep.points[0].voltage(&b.circuit, b.output).norm();
+    // DC slope of the transfer curve around VDD/2.
+    let dv = 0.004;
+    let vals = [VDD / 2.0 - dv, VDD / 2.0 + dv];
+    let vtc = transfer_curve(&b.circuit, 0, &vals, b.output, DcOptions::default()).unwrap();
+    let dc_gain = ((vtc[1].1 - vtc[0].1) / (2.0 * dv)).abs();
+    assert!(ac_gain > 1.0, "regenerative gain required, got {ac_gain:.2}");
+    assert!(
+        (ac_gain - dc_gain).abs() < 0.25 * dc_gain.max(1.0),
+        "ac {ac_gain:.2} vs dc slope {dc_gain:.2}"
+    );
+}
+
+#[test]
+fn gain_rolls_off_with_ghz_bandwidth() {
+    let b = bench();
+    let freqs: Vec<f64> = (0..13).map(|k| 1e7 * 10f64.powf(k as f64 / 2.0)).collect();
+    let sweep = ac_analysis(&b.circuit, 0, &freqs, DcOptions::default()).unwrap();
+    let gain = sweep.gain(&b.circuit, b.input, b.output);
+    // Monotone roll-off at high frequency.
+    let g_low = gain[0].1;
+    let g_high = gain.last().unwrap().1;
+    assert!(g_high < 0.5 * g_low, "roll-off: {g_low:.2} -> {g_high:.3}");
+    // Bandwidth of a ps-class device is in the GHz..THz decade.
+    let bw = sweep
+        .bandwidth_3db(&b.circuit, b.input, b.output)
+        .expect("sweep crosses -3 dB");
+    assert!(
+        (1e8..1e14).contains(&bw),
+        "bandwidth {bw:.3e} Hz out of plausible range"
+    );
+}

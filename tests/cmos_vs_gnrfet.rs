@@ -1,0 +1,73 @@
+//! Integration of the CMOS baseline with the GNRFET flow: the same
+//! benchmark circuits must run on both device families and reproduce the
+//! paper's Table 1 orderings.
+
+use gnrlab::cmos::{CmosNode, CmosTransistor};
+use gnrlab::device::Polarity;
+use gnrlab::explore::comparison::{cmos_cell, cmos_row};
+use gnrlab::explore::contours::design_space_map;
+use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
+use gnrlab::spice::measure::{butterfly_snm, fo4_metrics_for_cell, inverter_vtc};
+
+#[test]
+fn cmos_inverter_through_the_gnrfet_flow() {
+    let cell = cmos_cell(CmosNode::N22, 0.8).unwrap();
+    let m = fo4_metrics_for_cell(&cell, 0.8).unwrap();
+    // FO4 delay of a 22nm-class inverter: single-digit picoseconds.
+    assert!(
+        m.delay_s > 0.5e-12 && m.delay_s < 30e-12,
+        "delay {:.3e}",
+        m.delay_s
+    );
+    let vtc = inverter_vtc(&cell, 0.8, 33).unwrap();
+    let snm = butterfly_snm(&vtc, &vtc, 0.8).snm();
+    // Paper Table 1: CMOS SNM ~0.3 V at 0.8 V supply.
+    assert!(snm > 0.2, "CMOS SNM {snm}");
+}
+
+#[test]
+fn gnrfet_has_large_edp_advantage() {
+    // The paper's headline: 40-168x EDP advantage at comparable operating
+    // points. At reduced fidelity we require at least an order of
+    // magnitude in the same direction.
+    let mut lib = DeviceLibrary::new(Fidelity::Fast);
+    let map = design_space_map(&mut lib, &[0.35, 0.45], &[0.08, 0.14], 15).unwrap();
+    let gnr_best = map
+        .feasible()
+        .map(|p| p.edp_js)
+        .fold(f64::INFINITY, f64::min);
+    let cmos = cmos_row(CmosNode::N32, 0.6, 15).unwrap();
+    let advantage = cmos.edp_js / gnr_best;
+    assert!(
+        advantage > 10.0,
+        "EDP advantage = {advantage:.1}x (gnr {gnr_best:.3e}, cmos {:.3e})",
+        cmos.edp_js
+    );
+}
+
+#[test]
+fn cmos_snm_exceeds_gnrfet_snm() {
+    // Paper: "GNRFETs have lower noise margins in comparison to scaled
+    // CMOS" — at the same relative supply point.
+    let mut lib = DeviceLibrary::new(Fidelity::Fast);
+    let map = design_space_map(&mut lib, &[0.4], &[0.1, 0.14], 15).unwrap();
+    let gnr_best_snm = map.feasible().map(|p| p.snm_v).fold(0.0, f64::max);
+    let cell = cmos_cell(CmosNode::N22, 0.4).unwrap();
+    let vtc = inverter_vtc(&cell, 0.4, 33).unwrap();
+    let cmos_snm = butterfly_snm(&vtc, &vtc, 0.4).snm();
+    assert!(
+        cmos_snm > gnr_best_snm,
+        "cmos {cmos_snm:.3} vs gnrfet {gnr_best_snm:.3}"
+    );
+}
+
+#[test]
+fn cmos_table_polarity_pair_is_complementary() {
+    let nmos = CmosTransistor::nominal(CmosNode::N45);
+    let n = nmos.to_table(Polarity::NType, 0.8).unwrap();
+    let p = nmos.to_table(Polarity::PType, 0.8).unwrap();
+    // Pull-down conducts for positive bias, pull-up for negative.
+    assert!(n.current(0.8, 0.4) > 1e-6);
+    assert!(p.current(-0.8, -0.4) < -1e-6);
+    assert!(n.current(0.8, 0.4) + p.current(-0.8, -0.4) < 1e-12);
+}

@@ -1,0 +1,94 @@
+//! Static logic gates on GNRFET devices: truth tables and stack effects,
+//! extending the paper's circuit set beyond inverter/RO/latch.
+
+use gnrlab::device::table::TableGrid;
+use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::spice::builders::{ExtrinsicParasitics, Gate2, GateKind, InverterCell};
+use std::sync::OnceLock;
+
+fn cell() -> &'static InverterCell {
+    static CELL: OnceLock<InverterCell> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let cfg = DeviceConfig::test_small(12).expect("valid");
+        let model = SbfetModel::new(&cfg).expect("builds");
+        let vmin = model.minimum_leakage_vg(0.4).expect("minimum");
+        let grid = TableGrid {
+            vgs: (-0.35, 1.0),
+            vds: (0.0, 0.85),
+            points: 21,
+        };
+        let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)
+            .expect("table")
+            .with_vg_shift(-vmin);
+        let p = n.mirrored();
+        InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("cell")
+    })
+}
+
+const VDD: f64 = 0.4;
+
+#[test]
+fn nand2_truth_table() {
+    let gate = Gate2::new(cell(), GateKind::Nand2, VDD).unwrap();
+    let expect_high = |v: f64, label: &str| {
+        assert!(v > 0.8 * VDD, "{label}: expected high, got {v:.3} V");
+    };
+    let expect_low = |v: f64, label: &str| {
+        assert!(v < 0.2 * VDD, "{label}: expected low, got {v:.3} V");
+    };
+    expect_high(gate.dc_output(false, false, VDD).unwrap(), "00");
+    expect_high(gate.dc_output(false, true, VDD).unwrap(), "01");
+    expect_high(gate.dc_output(true, false, VDD).unwrap(), "10");
+    expect_low(gate.dc_output(true, true, VDD).unwrap(), "11");
+}
+
+#[test]
+fn nor2_truth_table() {
+    let gate = Gate2::new(cell(), GateKind::Nor2, VDD).unwrap();
+    let v00 = gate.dc_output(false, false, VDD).unwrap();
+    assert!(v00 > 0.8 * VDD, "00 -> high, got {v00:.3}");
+    for (a, b) in [(false, true), (true, false), (true, true)] {
+        let v = gate.dc_output(a, b, VDD).unwrap();
+        assert!(v < 0.2 * VDD, "{a}{b} -> low, got {v:.3}");
+    }
+}
+
+#[test]
+fn series_stack_weakens_the_low_drive() {
+    // The NAND's series n-stack must pull the "11" output less hard than a
+    // single inverter pull-down: its V_OL is equal-or-worse (ratioed
+    // against the same leakage), a classic stack effect.
+    let nand = Gate2::new(cell(), GateKind::Nand2, VDD).unwrap();
+    let v_nand = nand.dc_output(true, true, VDD).unwrap();
+    let inv_vtc = gnrlab::spice::measure::inverter_vtc(cell(), VDD, 3).unwrap();
+    let v_inv = inv_vtc.last().unwrap().1;
+    assert!(
+        v_nand >= v_inv - 1e-6,
+        "stack effect: nand V_OL {v_nand:.4} vs inverter V_OL {v_inv:.4}"
+    );
+}
+
+#[test]
+fn ambipolar_leakage_differs_by_input_vector() {
+    // With ambipolar SBFETs the off-state leakage depends on which input
+    // combination holds the gate off — the vector dependence that makes
+    // GNRFET standby power management harder than CMOS (paper §5 theme).
+    let gate = Gate2::new(cell(), GateKind::Nand2, VDD).unwrap();
+    let mut leaks = Vec::new();
+    for (a, b) in [(false, false), (false, true), (true, false)] {
+        let mut circuit = gate.circuit.clone();
+        gnrlab::spice::dc::set_source_value(&mut circuit, 0, if a { VDD } else { 0.0 }).unwrap();
+        gnrlab::spice::dc::set_source_value(&mut circuit, 1, if b { VDD } else { 0.0 }).unwrap();
+        let x = gnrlab::spice::dc::dc_operating_point(
+            &circuit,
+            None,
+            gnrlab::spice::dc::DcOptions::default(),
+        )
+        .unwrap();
+        leaks.push(circuit.source_current(&x, 2).abs() * VDD);
+    }
+    let lo = leaks.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = leaks.iter().cloned().fold(0.0f64, f64::max);
+    assert!(hi > 1.2 * lo, "vector dependence: {leaks:?}");
+    assert!(lo > 0.0, "ambipolar devices always leak");
+}

@@ -1,0 +1,152 @@
+//! End-to-end integration: atomistic device model → lookup tables →
+//! circuit simulation → paper-level metrics, all at reduced fidelity.
+
+use gnrlab::device::table::TableGrid;
+use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::spice::builders::{ExtrinsicParasitics, InverterCell, RingOscillator};
+use gnrlab::spice::measure::{
+    butterfly_snm, estimate_oscillator_from_inverter, fo4_metrics_for_cell, inverter_vtc,
+    ring_oscillator_metrics,
+};
+use std::sync::OnceLock;
+
+fn test_grid() -> TableGrid {
+    TableGrid {
+        vgs: (-0.35, 1.0),
+        vds: (0.0, 0.85),
+        points: 21,
+    }
+}
+
+fn nominal_cell() -> &'static (InverterCell, f64) {
+    static CELL: OnceLock<(InverterCell, f64)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let cfg = DeviceConfig::test_small(12).expect("valid index");
+        let model = SbfetModel::new(&cfg).expect("model builds");
+        let vmin = model.minimum_leakage_vg(0.4).expect("leakage minimum");
+        let n = DeviceTable::from_model(&model, Polarity::NType, test_grid(), 4)
+            .expect("table builds")
+            .with_vg_shift(-vmin);
+        let p = n.mirrored();
+        let cell = InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal())
+            .expect("parasitics fold");
+        (cell, 0.4)
+    })
+}
+
+#[test]
+fn inverter_logic_levels_and_delay() {
+    let (cell, vdd) = nominal_cell();
+    let vtc = inverter_vtc(cell, *vdd, 33).unwrap();
+    // Full logic swing at the rails.
+    assert!(vtc[0].1 > 0.95 * vdd, "V_OH = {}", vtc[0].1);
+    assert!(vtc.last().unwrap().1 < 0.05 * vdd, "V_OL = {}", vtc.last().unwrap().1);
+    // Monotone non-increasing transfer curve.
+    for w in vtc.windows(2) {
+        assert!(w[1].1 <= w[0].1 + 1e-6);
+    }
+    let m = fo4_metrics_for_cell(cell, *vdd).unwrap();
+    // Picosecond-class FO4 delay (paper: 7.54 ps nominal).
+    assert!(
+        m.delay_s > 0.5e-12 && m.delay_s < 60e-12,
+        "delay = {:.2e} s",
+        m.delay_s
+    );
+    // Sub-microwatt static power (paper: 0.095 uW).
+    assert!(m.static_power_w > 1e-9 && m.static_power_w < 1e-6);
+    // SNM is a meaningful fraction of VDD.
+    let snm = butterfly_snm(&vtc, &vtc, *vdd).snm();
+    assert!(snm > 0.02 && snm < 0.5 * vdd, "SNM = {snm}");
+}
+
+#[test]
+fn ring_oscillator_full_transient_matches_estimate() {
+    let (cell, vdd) = nominal_cell();
+    let inv = fo4_metrics_for_cell(cell, *vdd).unwrap();
+    let est = estimate_oscillator_from_inverter(&inv, 15);
+    let ro = RingOscillator::uniform(cell, 15, *vdd).unwrap();
+    let full = ring_oscillator_metrics(&ro, inv.delay_s, inv.static_power_w).unwrap();
+    // GHz-class oscillation (paper: ~3 GHz at the B operating point).
+    assert!(
+        full.frequency_hz > 0.5e9 && full.frequency_hz < 50e9,
+        "f = {:.3e}",
+        full.frequency_hz
+    );
+    // The FO4-based estimate tracks the full transient within 2x — the
+    // accuracy contract the design-space exploration relies on.
+    let ratio = est.frequency_hz / full.frequency_hz;
+    assert!(ratio > 0.5 && ratio < 2.0, "estimate/full = {ratio:.2}");
+    // Power sanity: dynamic power positive, total above static floor.
+    assert!(full.dynamic_power_w > 0.0);
+    assert!(full.power_w >= full.static_power_w * 0.5);
+}
+
+#[test]
+fn vt_shift_trades_leakage_for_speed() {
+    let (cell, vdd) = nominal_cell();
+    // Re-derive raw tables via the public API to rebuild shifted cells.
+    let cfg = DeviceConfig::test_small(12).unwrap();
+    let model = SbfetModel::new(&cfg).unwrap();
+    let vmin = model.minimum_leakage_vg(0.4).unwrap();
+    let raw = DeviceTable::from_model(&model, Polarity::NType, test_grid(), 4).unwrap();
+    let mk = |extra: f64| {
+        let n = raw.with_vg_shift(-vmin + extra);
+        let p = n.mirrored();
+        InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).unwrap()
+    };
+    let low_vt = mk(-0.06);
+    let high_vt = mk(0.06);
+    let m_low = fo4_metrics_for_cell(&low_vt, *vdd).unwrap();
+    let m_high = fo4_metrics_for_cell(&high_vt, *vdd).unwrap();
+    let m_nom = fo4_metrics_for_cell(cell, *vdd).unwrap();
+    // Lower threshold: faster but leakier; higher threshold: the reverse.
+    assert!(m_low.delay_s < m_nom.delay_s, "low-VT faster");
+    assert!(m_low.static_power_w > m_nom.static_power_w, "low-VT leakier");
+    assert!(m_high.delay_s > m_nom.delay_s, "high-VT slower");
+}
+
+#[test]
+fn supply_scaling_behaves() {
+    let (cell, _) = nominal_cell();
+    let m3 = fo4_metrics_for_cell(cell, 0.3).unwrap();
+    let m5 = fo4_metrics_for_cell(cell, 0.5).unwrap();
+    assert!(m5.delay_s < m3.delay_s, "higher VDD is faster");
+    // Higher supply leaks more (the ambipolar minimum-leakage current rises
+    // exponentially with V_D, paper Fig. 2a).
+    assert!(
+        m5.static_power_w > 1.5 * m3.static_power_w,
+        "higher VDD leaks more: {:.3e} vs {:.3e}",
+        m5.static_power_w,
+        m3.static_power_w
+    );
+}
+
+#[test]
+fn contact_resistance_slows_the_gate() {
+    // Paper Fig. 3(a): R_S = R_D ranges 1-100 kOhm (nominal 10 kOhm).
+    // Heavier contacts must slow the FO4 inverter monotonically.
+    let cfg = DeviceConfig::test_small(12).unwrap();
+    let model = SbfetModel::new(&cfg).unwrap();
+    let vmin = model.minimum_leakage_vg(0.4).unwrap();
+    let raw = DeviceTable::from_model(&model, Polarity::NType, test_grid(), 4).unwrap();
+    let delay_with = |r: f64| {
+        let n = raw.with_vg_shift(-vmin);
+        let p = n.mirrored();
+        let par = gnrlab::spice::builders::ExtrinsicParasitics {
+            r_s: r,
+            r_d: r,
+            ..gnrlab::spice::builders::ExtrinsicParasitics::nominal()
+        };
+        let cell = InverterCell::new(&n, &p, &par).unwrap();
+        fo4_metrics_for_cell(&cell, 0.4).unwrap().delay_s
+    };
+    let d1k = delay_with(1e3);
+    let d10k = delay_with(10e3);
+    let d100k = delay_with(100e3);
+    assert!(
+        d1k < d10k && d10k < d100k,
+        "delay vs contacts: {d1k:.2e} < {d10k:.2e} < {d100k:.2e}"
+    );
+    // 100 kOhm contacts degrade delay substantially vs 1 kOhm.
+    assert!(d100k > 1.3 * d1k, "{d100k:.2e} vs {d1k:.2e}");
+}
