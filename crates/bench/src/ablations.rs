@@ -3,31 +3,33 @@
 //! versus direct model evaluation, resistance folding versus explicit
 //! internal nodes, and the SCF mixing-factor cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crate::harness::Harness;
 use gnr_device::table::TableGrid;
 use gnr_device::{DeviceConfig, DeviceTable, Polarity, SbfetModel, ScfOptions, ScfSolver};
 use gnr_lattice::{AGnr, DeviceHamiltonian};
 use gnr_negf::{Lead, RgfSolver};
 use gnr_num::{c64, CMatrix};
 use std::hint::black_box;
-use std::time::Duration;
+
+const SUITE: &str = "ablations";
 
 /// RGF scales linearly in length; the dense inverse is cubic in the full
 /// device dimension. This ablation shows why the paper's "efficient
 /// computational algorithms" matter.
-fn ablation_rgf_vs_dense(c: &mut Criterion) {
+fn rgf_vs_dense(h: &mut Harness) {
     let gnr = AGnr::new(9).expect("valid");
-    let mut group = c.benchmark_group("rgf_vs_dense");
     for cells in [4usize, 8] {
-        let h = DeviceHamiltonian::flat_band(gnr, cells).expect("builds");
-        let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
-        group.bench_with_input(BenchmarkId::new("rgf", cells), &cells, |b, _| {
-            b.iter(|| black_box(solver.transmission(black_box(0.8)).expect("solves")))
+        let ham = DeviceHamiltonian::flat_band(gnr, cells).expect("builds");
+        let solver = RgfSolver::new(&ham, Lead::metal(), Lead::metal());
+        h.bench(SUITE, &format!("rgf_vs_dense/rgf/{cells}"), || {
+            black_box(solver.transmission(black_box(0.8)).expect("solves"))
         });
         // Dense comparator: invert (E - H - Sigma) outright.
-        let dense_h = h.to_dense();
-        group.bench_with_input(BenchmarkId::new("dense_inverse", cells), &cells, |b, _| {
-            b.iter(|| {
+        let dense_h = ham.to_dense();
+        h.bench(
+            SUITE,
+            &format!("rgf_vs_dense/dense_inverse/{cells}"),
+            || {
                 let n = dense_h.rows();
                 let mut a = CMatrix::from_fn(n, n, |i, j| -dense_h.get(i, j));
                 for i in 0..n {
@@ -40,16 +42,15 @@ fn ablation_rgf_vs_dense(c: &mut Criterion) {
                     a.add_to(n - 1 - i, n - 1 - i, c64(0.0, 0.25));
                 }
                 black_box(a.inverse().expect("invertible"))
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
 /// Table lookup versus direct semi-analytic evaluation: the factor the
 /// paper's "simulator based on table lookup techniques" buys per device
 /// evaluation inside the circuit Newton loop.
-fn ablation_table_vs_model(c: &mut Criterion) {
+fn table_vs_model(h: &mut Harness) {
     let cfg = DeviceConfig::test_small(12).expect("valid");
     let model = SbfetModel::new(&cfg).expect("builds");
     let grid = TableGrid {
@@ -58,35 +59,27 @@ fn ablation_table_vs_model(c: &mut Criterion) {
         points: 21,
     };
     let table = DeviceTable::from_model(&model, Polarity::NType, grid, 4).expect("table");
-    let mut group = c.benchmark_group("table_vs_model");
-    group.bench_function("bilinear_lookup", |b| {
-        b.iter(|| black_box(table.current(black_box(0.37), black_box(0.29))))
+    h.bench(SUITE, "table_vs_model/bilinear_lookup", || {
+        black_box(table.current(black_box(0.37), black_box(0.29)))
     });
-    group.bench_function("direct_model_eval", |b| {
-        b.iter(|| black_box(model.drain_current(black_box(0.37), black_box(0.29)).expect("evals")))
+    h.bench(SUITE, "table_vs_model/direct_model_eval", || {
+        black_box(
+            model
+                .drain_current(black_box(0.37), black_box(0.29))
+                .expect("evals"),
+        )
     });
-    group.finish();
-}
 
-/// Folding the contact resistances into the table versus paying for them
-/// at build time: fold cost amortizes over every subsequent lookup.
-fn ablation_resistance_folding(c: &mut Criterion) {
-    let cfg = DeviceConfig::test_small(12).expect("valid");
-    let model = SbfetModel::new(&cfg).expect("builds");
-    let grid = TableGrid {
-        vgs: (-0.35, 1.0),
-        vds: (0.0, 0.85),
-        points: 21,
-    };
-    let table = DeviceTable::from_model(&model, Polarity::NType, grid, 4).expect("table");
-    c.bench_function("fold_series_resistance_21x21", |b| {
-        b.iter(|| black_box(table.fold_series_resistance(10e3, 10e3).expect("folds")))
+    // Folding the contact resistances into the table versus paying for
+    // them at build time: fold cost amortizes over every lookup.
+    h.bench(SUITE, "fold_series_resistance_21x21", || {
+        black_box(table.fold_series_resistance(10e3, 10e3).expect("folds"))
     });
 }
 
-/// Integrator ablation: backward Euler versus trapezoidal on the FO4
+/// Integrator ablation: backward Euler versus trapezoidal on an RC
 /// transient — same step count, different accuracy class.
-fn ablation_integrator(c: &mut Criterion) {
+fn integrator(h: &mut Harness) {
     use gnr_spice::circuit::{Circuit, Element, NodeId, Waveform};
     use gnr_spice::transient::{transient, Integrator, TransientOptions};
     let build = || {
@@ -106,61 +99,51 @@ fn ablation_integrator(c: &mut Criterion) {
                 period: 2e-9,
             },
         });
-        c.add(Element::Resistor { a: vin, b: out, ohms: 1e3 });
-        c.add(Element::Capacitor { a: out, b: NodeId::GROUND, farads: 1e-12 });
+        c.add(Element::Resistor {
+            a: vin,
+            b: out,
+            ohms: 1e3,
+        });
+        c.add(Element::Capacitor {
+            a: out,
+            b: NodeId::GROUND,
+            farads: 1e-12,
+        });
         c
     };
-    let mut group = c.benchmark_group("integrator");
     for (label, integrator) in [
         ("backward_euler", Integrator::BackwardEuler),
         ("trapezoidal", Integrator::Trapezoidal),
     ] {
         let circuit = build();
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let mut opts = TransientOptions::new(2e-9, 1e-12);
-                opts.integrator = integrator;
-                black_box(transient(&circuit, &opts).expect("simulates"))
-            })
+        h.bench(SUITE, &format!("integrator/{label}"), move || {
+            let mut opts = TransientOptions::new(2e-9, 1e-12);
+            opts.integrator = integrator;
+            black_box(transient(&circuit, &opts).expect("simulates"))
         });
     }
-    group.finish();
 }
 
 /// SCF damping ablation: convergence cost versus mixing factor on a tiny
 /// device (the DESIGN.md "mixing" ablation).
-fn ablation_scf_mixing(c: &mut Criterion) {
+fn scf_mixing(h: &mut Harness) {
     let mut cfg = DeviceConfig::test_small(9).expect("valid");
     cfg.channel_cells = 8;
-    let mut group = c.benchmark_group("scf_mixing");
-    group.sample_size(10);
     for mixing in [0.15, 0.3] {
         let opts = ScfOptions {
             mixing,
             ..ScfOptions::fast()
         };
         let solver = ScfSolver::new(&cfg, opts);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{mixing}")),
-            &mixing,
-            |b, _| b.iter(|| black_box(solver.solve(0.2, 0.2).expect("converges"))),
-        );
+        h.bench(SUITE, &format!("scf_mixing/{mixing}"), move || {
+            black_box(solver.solve(0.2, 0.2).expect("converges"))
+        });
     }
-    group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
+pub fn register(h: &mut Harness) {
+    rgf_vs_dense(h);
+    table_vs_model(h);
+    integrator(h);
+    scf_mixing(h);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = ablation_rgf_vs_dense, ablation_table_vs_model,
-              ablation_resistance_folding, ablation_integrator,
-              ablation_scf_mixing
-}
-criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! `gnr-bench` — the workspace's in-house benchmark runner.
+//!
+//! Replaces the former criterion benches with a zero-dependency harness.
+//! Suites:
+//!
+//! - `device`      — band structure, surface GF, RGF, Poisson, SBFET eval
+//! - `circuit`     — DC, VTC, SNM, FO4/ring transients, table lookups
+//! - `ablations`   — RGF vs dense, table vs model, integrator, SCF mixing
+//! - `experiments` — reduced-size versions of every paper table/figure
+//!
+//! `device` and `circuit` run by default; pass `--suite all` for
+//! everything. `--json` prints the machine-readable document consumed by
+//! the `BENCH_*.json` perf-trajectory tooling:
+//!
+//! ```text
+//! cargo run -p gnr-bench --release -- --json > BENCH_baseline.json
+//! ```
+
+mod ablations;
+mod circuit_kernels;
+mod device_kernels;
+mod experiments;
+mod harness;
+
+use harness::{BenchOptions, Harness};
+
+const USAGE: &str = "\
+gnr-bench — zero-dependency benchmark harness for the gnrlab workspace
+
+USAGE:
+    gnr-bench [OPTIONS]
+
+OPTIONS:
+    --json             emit machine-readable JSON on stdout (BENCH_*.json)
+    --suite <NAME>     run a suite: device | circuit | ablations |
+                       experiments | all  (repeatable; default: device,circuit)
+    --filter <SUBSTR>  only run benchmarks whose suite/name contains SUBSTR
+    --quick            smoke profile: short warmup and measurement windows
+    --list             print the selected benchmark names without running
+    -h, --help         show this help
+";
+
+struct Cli {
+    json: bool,
+    quick: bool,
+    list: bool,
+    filter: Option<String>,
+    suites: Vec<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        json: false,
+        quick: false,
+        list: false,
+        filter: None,
+        suites: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => cli.json = true,
+            "--quick" => cli.quick = true,
+            "--list" => cli.list = true,
+            "--filter" => {
+                cli.filter = Some(args.next().ok_or("--filter needs a value")?);
+            }
+            "--suite" => {
+                let s = args.next().ok_or("--suite needs a value")?;
+                match s.as_str() {
+                    "device" | "circuit" | "ablations" | "experiments" | "all" => {
+                        cli.suites.push(s);
+                    }
+                    other => return Err(format!("unknown suite '{other}'")),
+                }
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            // Tolerate `cargo bench`-style trailing args like `--bench`.
+            "--bench" => {}
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if cli.suites.is_empty() {
+        cli.suites = vec!["device".into(), "circuit".into()];
+    }
+    if cli.suites.iter().any(|s| s == "all") {
+        cli.suites = vec![
+            "device".into(),
+            "circuit".into(),
+            "ablations".into(),
+            "experiments".into(),
+        ];
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let opts = if cli.quick {
+        BenchOptions::quick()
+    } else {
+        BenchOptions::standard()
+    };
+    let mut h = Harness::new(opts, cli.filter.clone(), cli.list, cli.json);
+    for suite in &cli.suites {
+        match suite.as_str() {
+            "device" => device_kernels::register(&mut h),
+            "circuit" => circuit_kernels::register(&mut h),
+            "ablations" => ablations::register(&mut h),
+            "experiments" => experiments::register(&mut h),
+            _ => unreachable!("validated in parse_args"),
+        }
+    }
+    if cli.list {
+        for name in h.listed() {
+            println!("{name}");
+        }
+        return;
+    }
+    if cli.json {
+        println!("{}", h.to_json(cli.quick).dump());
+    } else {
+        print!("{}", h.to_table());
+        eprintln!("{} benchmarks complete", h.records().len());
+    }
+}

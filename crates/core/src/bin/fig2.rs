@@ -2,10 +2,10 @@
 //! GNRFET at V_D ∈ {0.05, 0.25, 0.5, 0.75} V; (b) threshold-voltage
 //! extraction at low V_D with and without gate work-function offset.
 
-use gnrfet_explore::devices::Fidelity;
-use gnrfet_explore::report;
 use gnr_device::vt::extract_vt_from;
 use gnr_device::{DeviceConfig, SbfetModel};
+use gnrfet_explore::devices::Fidelity;
+use gnrfet_explore::report;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = Fidelity::from_env();
@@ -29,12 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let vg = i as f64 * 0.025;
             data.push((vg, model.drain_current(vg, vd)?));
         }
-        println!("{}", report::series(
-            &format!("fig2a: I_D vs V_G at V_D = {vd} V"),
-            "V_G (V)",
-            "I_D (A)",
-            &data,
-        ));
+        println!(
+            "{}",
+            report::series(
+                &format!("fig2a: I_D vs V_G at V_D = {vd} V"),
+                "V_G (V)",
+                "I_D (A)",
+                &data,
+            )
+        );
         let vmin = model.minimum_leakage_vg(vd)?;
         let imin = model.drain_current(vmin, vd)?;
         println!(
@@ -60,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shifted = SbfetModel::new(&cfg_off)?;
     let vt1 = extract_vt_from(|vg| shifted.drain_current(vg, 0.05), -0.2, 0.6, 60)?;
     println!("fig2b: V_T (offset = 0.2 V, V_D = 0.05 V)  = {vt1:.3} V (paper ~0.1 V)");
-    println!("offset moves V_T by {:.3} V (paper: by the offset, 0.2 V)", vt0 - vt1);
+    println!(
+        "offset moves V_T by {:.3} V (paper: by the offset, 0.2 V)",
+        vt0 - vt1
+    );
     Ok(())
 }

@@ -16,10 +16,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         map.vt_raw,
         map.feasible().count()
     );
-    println!("{}", map.render(|p| p.frequency_hz / 1e9, "frequency (GHz)"));
-    println!("{}", map.render(|p| (p.edp_js * 1e30).log10(), "log10 EDP (aJ-ps)"));
+    println!(
+        "{}",
+        map.render(|p| p.frequency_hz / 1e9, "frequency (GHz)")
+    );
+    println!(
+        "{}",
+        map.render(|p| (p.edp_js * 1e30).log10(), "log10 EDP (aJ-ps)")
+    );
     println!("{}", map.render(|p| p.snm_v, "SNM (V)"));
-    println!("{}", map.render(|p| p.static_w * 1e6, "inverter static power (uW)"));
+    println!(
+        "{}",
+        map.render(|p| p.static_w * 1e6, "inverter static power (uW)")
+    );
 
     // Operating-point methodology. The paper uses 3 GHz and SNM 0.15 V on
     // its landscape; our surrogate's landscape is rescaled (faster devices,
@@ -31,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let best_snm = map.feasible().map(|p| p.snm_v).fold(0.0, f64::max);
         (0.15f64).min(0.65 * best_snm)
     };
-    println!("frequency floor {:.2} GHz, SNM floor {snm_floor:.3} V\n", f_target / 1e9);
+    println!(
+        "frequency floor {:.2} GHz, SNM floor {snm_floor:.3} V\n",
+        f_target / 1e9
+    );
     if let Some(a) = map.point_min_edp(f_target) {
         println!(
             "point A (min EDP, f >= floor):                 V_DD={:.2} V_T={:.2}  f={:.2} GHz EDP={:.1} aJ-ps SNM={:.3} V",

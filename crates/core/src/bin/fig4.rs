@@ -2,9 +2,9 @@
 //! widths N = 9, 12, 15, 18 — band gap (hence I_on/I_off) is inversely
 //! proportional to the ribbon width.
 
+use gnr_device::{DeviceConfig, SbfetModel};
 use gnrfet_explore::devices::Fidelity;
 use gnrfet_explore::report;
-use gnr_device::{DeviceConfig, SbfetModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = Fidelity::from_env();
@@ -23,13 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let vg = i as f64 * 0.025;
             data.push((vg, model.drain_current(vg, vd)?));
         }
-        println!("{}", report::series(
-            &format!("fig4: N = {n} (w = {:.2} nm, Eg = {:.3} eV), V_D = 0.5 V",
-                cfg.gnr.width_nm(), model.band_gap()),
-            "V_G (V)",
-            "I_D (A)",
-            &data,
-        ));
+        println!(
+            "{}",
+            report::series(
+                &format!(
+                    "fig4: N = {n} (w = {:.2} nm, Eg = {:.3} eV), V_D = 0.5 V",
+                    cfg.gnr.width_nm(),
+                    model.band_gap()
+                ),
+                "V_G (V)",
+                "I_D (A)",
+                &data,
+            )
+        );
         let vmin = model.minimum_leakage_vg(vd)?;
         let i_off = model.drain_current(vmin, vd)?;
         let i_on = model.drain_current(0.75, vd)?;

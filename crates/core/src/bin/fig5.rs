@@ -3,9 +3,9 @@
 //! (b) the corresponding I-V curves — negative charges raise/thicken the
 //! Schottky barrier, positive charges lower/thin it, asymmetrically.
 
+use gnr_device::{ChargeImpurity, DeviceConfig, SbfetModel};
 use gnrfet_explore::devices::Fidelity;
 use gnrfet_explore::report;
-use gnr_device::{ChargeImpurity, DeviceConfig, SbfetModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = Fidelity::from_env();
@@ -37,15 +37,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .take(prof.len() / 2)
             .cloned()
             .fold((0.0, f64::MIN), |acc, p| if p.1 > acc.1 { p } else { acc });
-        println!("  q = {q:+.0}: source-half barrier peak {:.3} eV at x = {:.2} nm",
-            peak.1, peak.0);
+        println!(
+            "  q = {q:+.0}: source-half barrier peak {:.3} eV at x = {:.2} nm",
+            peak.1, peak.0
+        );
         let data: Vec<(f64, f64)> = prof.iter().step_by(2).copied().collect();
-        println!("{}", report::series(
-            &format!("E_C(x) for impurity {q:+.0}q"),
-            "x (nm)",
-            "E_C (eV)",
-            &data,
-        ));
+        println!(
+            "{}",
+            report::series(
+                &format!("E_C(x) for impurity {q:+.0}q"),
+                "x (nm)",
+                "E_C (eV)",
+                &data,
+            )
+        );
     }
 
     // --- Fig 5(b): I-V curves ---
@@ -59,12 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let vg = i as f64 * 0.025;
             data.push((vg, model.drain_current(vg, 0.5)?));
         }
-        println!("{}", report::series(
-            &format!("I-V with impurity {q:+.0}q"),
-            "V_G (V)",
-            "I_D (A)",
-            &data,
-        ));
+        println!(
+            "{}",
+            report::series(
+                &format!("I-V with impurity {q:+.0}q"),
+                "V_G (V)",
+                "I_D (A)",
+                &data,
+            )
+        );
     }
     let ideal_on = models[2].1.drain_current(0.5, 0.5)?;
     let neg_on = models[0].1.drain_current(0.5, 0.5)?;

@@ -5,16 +5,18 @@
 //! nominal values; this sweep shows how much headroom the contact
 //! technology actually controls.
 
-use gnrfet_explore::devices::{DeviceLibrary, DeviceVariant};
-use gnrfet_explore::report;
 use gnr_spice::builders::{ExtrinsicParasitics, InverterCell};
 use gnr_spice::measure::{butterfly_snm, fo4_metrics_for_cell, inverter_vtc};
+use gnrfet_explore::devices::DeviceVariant;
+use gnrfet_explore::report;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = report::standard_library("parasitics — contact R / junction C sensitivity");
     let vdd = 0.4;
     let shift = lib.min_leakage_shift(vdd)?;
-    let n = lib.ntype_table(DeviceVariant::nominal())?.with_vg_shift(shift);
+    let n = lib
+        .ntype_table(DeviceVariant::nominal())?
+        .with_vg_shift(shift);
     let p = n.mirrored();
 
     println!("\ncontact resistance sweep (C_e at nominal 0.05 aF/nm):");

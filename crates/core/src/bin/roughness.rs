@@ -15,9 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gnr = AGnr::new(9)?;
     let bands = gnr.band_structure(96)?;
     let e_probe = bands.conduction_edge() + 0.15;
-    println!(
-        "N=9 A-GNR, probing the first subband at E = {e_probe:.3} eV\n"
-    );
+    println!("N=9 A-GNR, probing the first subband at E = {e_probe:.3} eV\n");
     let realizations = 12u64;
 
     println!("transmission vs roughness probability (12 cells ~ 5 nm):");

@@ -19,9 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = map
         .point_min_edp(f_target)
         .ok_or("frequency floor unreachable on the exploration grid")?;
-    let b = map
-        .point_min_edp_with_snm(f_target, snm_floor)
-        .unwrap_or(a);
+    let b = map.point_min_edp_with_snm(f_target, snm_floor).unwrap_or(a);
     let c = map.point_same_edp_higher_vt(&b, 0.25).unwrap_or(b);
     let points = vec![
         (format!("GNRFET A (VDD={:.2},VT={:.2})", a.vdd, a.vt), a),

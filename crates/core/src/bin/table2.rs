@@ -20,8 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
     for (metric, name, paper) in [
         (Metric::Delay, "delay", "+6..+77% worst case"),
-        (Metric::StaticPower, "static power", "+313..+643% worst case"),
-        (Metric::DynamicPower, "dynamic power", "+37..+215% worst case"),
+        (
+            Metric::StaticPower,
+            "static power",
+            "+313..+643% worst case",
+        ),
+        (
+            Metric::DynamicPower,
+            "dynamic power",
+            "+37..+215% worst case",
+        ),
         (Metric::Snm, "SNM", "-27..-80% worst case"),
     ] {
         let ((one_lo, one_hi), (all_lo, all_hi)) = table.delta_range(metric);

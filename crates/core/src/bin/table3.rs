@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{table}");
     for (metric, name, paper) in [
-        (Metric::Delay, "delay", "+8..+92% worst case (-2q on n, +2q on p)"),
+        (
+            Metric::Delay,
+            "delay",
+            "+8..+92% worst case (-2q on n, +2q on p)",
+        ),
         (Metric::StaticPower, "static power", "+11..+37% worst case"),
         (Metric::DynamicPower, "dynamic power", "+5..+19% worst case"),
         (Metric::Snm, "SNM", "-14..-40% worst case"),

@@ -19,8 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
     for (metric, name, paper) in [
         (Metric::Delay, "delay", "worst case > +100% (2x) all-4"),
-        (Metric::StaticPower, "static power", "worst case > +600% (7x) all-4"),
-        (Metric::DynamicPower, "dynamic power", "worst case > +100% (2x) all-4"),
+        (
+            Metric::StaticPower,
+            "static power",
+            "worst case > +600% (7x) all-4",
+        ),
+        (
+            Metric::DynamicPower,
+            "dynamic power",
+            "worst case > +100% (2x) all-4",
+        ),
         (Metric::Snm, "SNM", "worst case -100% (near zero)"),
     ] {
         let ((one_lo, one_hi), (all_lo, all_hi)) = table.delta_range(metric);

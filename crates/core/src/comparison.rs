@@ -76,7 +76,11 @@ impl ComparisonTable {
 
 impl fmt::Display for ComparisonTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<22} {:>12} {:>18} {:>10}", "design", "freq", "EDP", "SNM")?;
+        writeln!(
+            f,
+            "{:<22} {:>12} {:>18} {:>10}",
+            "design", "freq", "EDP", "SNM"
+        )?;
         for r in self.gnrfet.iter().chain(self.cmos.iter()) {
             writeln!(f, "{r}")?;
         }
@@ -145,7 +149,11 @@ pub fn cmos_cell(node: CmosNode, vdd: f64) -> Result<InverterCell, ExploreError>
     let p_table = pmos.to_table(Polarity::PType, vdd.max(0.85))?;
     // Contact resistance is already part of the compact model's effective
     // drive; no extrinsic parasitics are added.
-    Ok(InverterCell::new(&n_table, &p_table, &ExtrinsicParasitics::none())?)
+    Ok(InverterCell::new(
+        &n_table,
+        &p_table,
+        &ExtrinsicParasitics::none(),
+    )?)
 }
 
 /// Measures one CMOS ring-oscillator row.

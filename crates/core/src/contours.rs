@@ -76,11 +76,7 @@ impl DesignSpaceMap {
     }
 
     /// Minimum-EDP point subject to frequency and SNM floors (point B).
-    pub fn point_min_edp_with_snm(
-        &self,
-        min_freq_hz: f64,
-        min_snm_v: f64,
-    ) -> Option<DesignPoint> {
+    pub fn point_min_edp_with_snm(&self, min_freq_hz: f64, min_snm_v: f64) -> Option<DesignPoint> {
         self.feasible()
             .filter(|p| p.frequency_hz >= min_freq_hz && p.snm_v >= min_snm_v)
             .min_by(|a, b| a.edp_js.partial_cmp(&b.edp_js).unwrap())
@@ -219,11 +215,15 @@ mod tests {
     fn map_has_feasible_points() {
         let map = tiny_map();
         assert!(map.feasible().count() >= 3, "{:?}", map.points.len());
-        assert!(map.vt_raw > 0.1 && map.vt_raw < 0.6, "vt_raw {}", map.vt_raw);
+        assert!(
+            map.vt_raw > 0.1 && map.vt_raw < 0.6,
+            "vt_raw {}",
+            map.vt_raw
+        );
     }
 
     #[test]
-    fn higher_vdd_is_faster(){
+    fn higher_vdd_is_faster() {
         let map = tiny_map();
         let slow = map.at(0, 0).unwrap();
         let fast = map.at(1, 0).unwrap();

@@ -189,7 +189,10 @@ impl DeviceLibrary {
     /// # Errors
     ///
     /// Propagates model and table failures.
-    pub fn ntype_table(&mut self, variant: DeviceVariant) -> Result<Arc<DeviceTable>, ExploreError> {
+    pub fn ntype_table(
+        &mut self,
+        variant: DeviceVariant,
+    ) -> Result<Arc<DeviceTable>, ExploreError> {
         // The version tag invalidates stale disk caches when the device
         // model's physics or calibration changes.
         const CACHE_VERSION: &str = "v2";
@@ -237,7 +240,10 @@ impl DeviceLibrary {
     /// # Errors
     ///
     /// Propagates model and table failures.
-    pub fn ptype_table(&mut self, variant: DeviceVariant) -> Result<Arc<DeviceTable>, ExploreError> {
+    pub fn ptype_table(
+        &mut self,
+        variant: DeviceVariant,
+    ) -> Result<Arc<DeviceTable>, ExploreError> {
         let mirrored_variant = DeviceVariant {
             charge_q: -variant.charge_q,
             ..variant
@@ -259,7 +265,9 @@ impl DeviceLibrary {
     }
 
     fn cache_path(&self, key: &str) -> Option<PathBuf> {
-        self.cache_dir.as_ref().map(|d| d.join(format!("{key}.json")))
+        self.cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")))
     }
 
     fn load_cached(&self, key: &str) -> Option<DeviceTable> {
@@ -321,7 +329,10 @@ mod tests {
             one.current(bias.0, bias.1),
             all.current(bias.0, bias.1),
         );
-        assert!(i_nom > i_one && i_one > i_all, "{i_nom:.3e} {i_one:.3e} {i_all:.3e}");
+        assert!(
+            i_nom > i_one && i_one > i_all,
+            "{i_nom:.3e} {i_one:.3e} {i_all:.3e}"
+        );
     }
 
     #[test]

@@ -15,9 +15,8 @@
 use crate::devices::{ArrayScenario, DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
 use crate::variability::{inverter_figures, InverterFigures};
+use gnr_num::rng::Rng;
 use gnr_num::stats::{summarize, Histogram, Summary};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Discrete ±1σ device-parameter distribution of the paper.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -39,8 +38,8 @@ impl Default for DiscreteNormal {
 }
 
 impl DiscreteNormal {
-    fn draw<T: Copy>(&self, rng: &mut impl Rng, low: T, mid: T, high: T) -> T {
-        let u: f64 = rng.gen();
+    fn draw<T: Copy>(&self, rng: &mut Rng, low: T, mid: T, high: T) -> T {
+        let u = rng.uniform();
         if u < self.p_low {
             low
         } else if u < self.p_low + self.p_high {
@@ -150,8 +149,14 @@ pub fn characterize_stage_universe(
         )?;
         1.0 / (2.0 * stages as f64 * nominal.delay_s)
     };
-    for (nw, nq) in widths.iter().flat_map(|w| charges.iter().map(move |q| (*w, *q))) {
-        for (pw, pq) in widths.iter().flat_map(|w| charges.iter().map(move |q| (*w, *q))) {
+    for (nw, nq) in widths
+        .iter()
+        .flat_map(|w| charges.iter().map(move |q| (*w, *q)))
+    {
+        for (pw, pq) in widths
+            .iter()
+            .flat_map(|w| charges.iter().map(move |q| (*w, *q)))
+        {
             let nv = DeviceVariant {
                 n: nw,
                 charge_q: nq,
@@ -179,8 +184,14 @@ const MC_WIDTHS: [usize; 3] = [9, 12, 15];
 const MC_CHARGES: [f64; 3] = [-1.0, 0.0, 1.0];
 
 fn cfg_index(w: usize, q: f64) -> usize {
-    let wi = MC_WIDTHS.iter().position(|&x| x == w).expect("width in set");
-    let qi = MC_CHARGES.iter().position(|&x| x == q).expect("charge in set");
+    let wi = MC_WIDTHS
+        .iter()
+        .position(|&x| x == w)
+        .expect("width in set");
+    let qi = MC_CHARGES
+        .iter()
+        .position(|&x| x == q)
+        .expect("charge in set");
     wi * 3 + qi
 }
 
@@ -217,7 +228,7 @@ pub fn monte_carlo_from_universe(
     let nominal_static_w = 4.0 * stages as f64 * nominal.static_w;
 
     let dist = DiscreteNormal::default();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut frequency_hz = Vec::with_capacity(samples);
     let mut dynamic_w = Vec::with_capacity(samples);
     let mut static_w = Vec::with_capacity(samples);
@@ -266,7 +277,7 @@ mod tests {
     #[test]
     fn discrete_normal_masses() {
         let d = DiscreteNormal::default();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = [0usize; 3];
         for _ in 0..30_000 {
             match d.draw(&mut rng, 0usize, 1, 2) {

@@ -76,8 +76,8 @@ pub fn inverter_figures(
     let v_oh = vtc.first().map_or(0.0, |p| p.1);
     let v_ol = vtc.last().map_or(vdd, |p| p.1);
     if v_oh < 0.6 * vdd || v_ol > 0.4 * vdd {
-        let static_w = gnr_spice::measure::inverter_static_power(&cell, vdd)
-            .map_err(ExploreError::from)?;
+        let static_w =
+            gnr_spice::measure::inverter_static_power(&cell, vdd).map_err(ExploreError::from)?;
         return Ok(InverterFigures {
             delay_s: f64::NAN,
             static_w,
@@ -361,10 +361,7 @@ pub fn charge_impurity_table(
 /// # Errors
 ///
 /// Propagates measurement failures.
-pub fn combined_table(
-    lib: &mut DeviceLibrary,
-    vdd: f64,
-) -> Result<VariabilityTable, ExploreError> {
+pub fn combined_table(lib: &mut DeviceLibrary, vdd: f64) -> Result<VariabilityTable, ExploreError> {
     let mut axis = Vec::new();
     for n in [9usize, 18] {
         for q in [-1.0, 1.0] {

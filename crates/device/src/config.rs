@@ -296,8 +296,12 @@ mod tests {
         // superposed unit responses.
         let cfg = DeviceConfig::test_small(9).unwrap();
         let r = cfg.electrode_responses().unwrap();
-        let direct =
-            cfg.sample_along_channel(&cfg.build_poisson(0.0, 0.5, 0.3).unwrap().solve(None).unwrap());
+        let direct = cfg.sample_along_channel(
+            &cfg.build_poisson(0.0, 0.5, 0.3)
+                .unwrap()
+                .solve(None)
+                .unwrap(),
+        );
         let sup = r.superpose(0.0, 0.5, 0.3);
         // superpose() carries two pinned boundary samples; skip them.
         for (d, s) in direct.iter().zip(&sup[1..]) {
@@ -328,8 +332,12 @@ mod tests {
     fn gate_offset_shifts_effective_gate() {
         let mut cfg = DeviceConfig::test_small(9).unwrap();
         cfg.gate_offset_v = 0.2;
-        let direct = cfg
-            .sample_along_channel(&cfg.build_poisson(0.0, 0.0, 0.1).unwrap().solve(None).unwrap());
+        let direct = cfg.sample_along_channel(
+            &cfg.build_poisson(0.0, 0.0, 0.1)
+                .unwrap()
+                .solve(None)
+                .unwrap(),
+        );
         let r = cfg.electrode_responses().unwrap();
         let sup = r.superpose(0.0, 0.0, 0.1 + 0.2);
         for (d, s) in direct.iter().zip(&sup[1..]) {

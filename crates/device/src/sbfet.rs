@@ -209,8 +209,8 @@ impl SbfetModel {
                 let dos = 2.0 / (std::f64::consts::PI * HBAR_VFERMI_EV_NM) * eps
                     / (eps * eps - en * en).sqrt();
                 let fe = 0.5 * (fermi(u + eps, mu_s, t_k) + fermi(u + eps, mu_d, t_k));
-                let fh = 0.5
-                    * ((1.0 - fermi(u - eps, mu_s, t_k)) + (1.0 - fermi(u - eps, mu_d, t_k)));
+                let fh =
+                    0.5 * ((1.0 - fermi(u - eps, mu_s, t_k)) + (1.0 - fermi(u - eps, mu_d, t_k)));
                 n += dos * fe * de;
                 p += dos * fh * de;
                 eps += de;
@@ -431,9 +431,15 @@ mod tests {
         // Paper Fig. 2(a): drain voltage exponentially increases the
         // minimum leakage current.
         let m = model(12);
-        let i1 = m.drain_current(m.minimum_leakage_vg(0.25).unwrap(), 0.25).unwrap();
-        let i2 = m.drain_current(m.minimum_leakage_vg(0.5).unwrap(), 0.5).unwrap();
-        let i3 = m.drain_current(m.minimum_leakage_vg(0.75).unwrap(), 0.75).unwrap();
+        let i1 = m
+            .drain_current(m.minimum_leakage_vg(0.25).unwrap(), 0.25)
+            .unwrap();
+        let i2 = m
+            .drain_current(m.minimum_leakage_vg(0.5).unwrap(), 0.5)
+            .unwrap();
+        let i3 = m
+            .drain_current(m.minimum_leakage_vg(0.75).unwrap(), 0.75)
+            .unwrap();
         assert!(i2 > 2.0 * i1, "{i1:.3e} {i2:.3e}");
         assert!(i3 > 2.0 * i2, "{i2:.3e} {i3:.3e}");
     }
@@ -474,7 +480,10 @@ mod tests {
             .drain_current(m.minimum_leakage_vg(vd).unwrap(), vd)
             .unwrap();
         let i_low = m.drain_current(-0.2, vd).unwrap();
-        assert!(i_low > 3.0 * i_min, "hole branch {i_low:.3e} vs min {i_min:.3e}");
+        assert!(
+            i_low > 3.0 * i_min,
+            "hole branch {i_low:.3e} vs min {i_min:.3e}"
+        );
     }
 
     #[test]
@@ -516,7 +525,10 @@ mod tests {
         // mid-channel the gate pulls it far below.
         let first = prof.first().unwrap().1;
         let mid = prof[prof.len() / 2].1;
-        assert!((first - half_gap).abs() < 1e-9, "pinned barrier {first} vs {half_gap}");
+        assert!(
+            (first - half_gap).abs() < 1e-9,
+            "pinned barrier {first} vs {half_gap}"
+        );
         assert!(mid < 0.0, "mid-channel band edge {mid}");
         assert!(first > mid + 0.15, "barrier must dominate mid-channel");
     }

@@ -153,14 +153,8 @@ impl ScfSolver {
                 Lead::metal_with_gamma(cfg.contact_gamma_ev),
                 Lead::metal_with_gamma(cfg.contact_gamma_ev),
             );
-            let transport = integrate_transport(
-                &solver,
-                &grid,
-                mu_s,
-                mu_d,
-                cfg.temperature_k,
-                &u_atoms,
-            )?;
+            let transport =
+                integrate_transport(&solver, &grid, mu_s, mu_d, cfg.temperature_k, &u_atoms)?;
 
             // Poisson with the NEGF charge deposited per atom.
             let mut problem = cfg.build_poisson(0.0, v_d, v_g)?;
@@ -197,12 +191,9 @@ impl ScfSolver {
             };
             if residual < self.opts.tolerance_v {
                 let layer_potential_ev = (0..cells)
-                    .map(|l| {
-                        u_atoms[l * m..(l + 1) * m].iter().sum::<f64>() / m as f64
-                    })
+                    .map(|l| u_atoms[l * m..(l + 1) * m].iter().sum::<f64>() / m as f64)
                     .collect();
-                let charge_c =
-                    last.charge.iter().sum::<f64>() * gnr_num::consts::Q_E;
+                let charge_c = last.charge.iter().sum::<f64>() * gnr_num::consts::Q_E;
                 return Ok(ScfResult {
                     current_a: last.current_a,
                     charge_c,
@@ -284,6 +275,11 @@ mod tests {
         let off = solver.solve(0.05, 0.1).unwrap();
         let on = solver.solve(0.6, 0.1).unwrap();
         // Electron accumulation makes the net channel charge more negative.
-        assert!(on.charge_c < off.charge_c, "{} vs {}", on.charge_c, off.charge_c);
+        assert!(
+            on.charge_c < off.charge_c,
+            "{} vs {}",
+            on.charge_c,
+            off.charge_c
+        );
     }
 }

@@ -14,11 +14,10 @@
 
 use crate::error::DeviceError;
 use crate::sbfet::SbfetModel;
-use gnr_num::{BilinearTable, Grid1, Grid2};
-use serde::{Deserialize, Serialize};
+use gnr_num::{BilinearTable, Grid1, Grid2, Json};
 
 /// Carrier-type role of a FET in a logic gate.
-#[derive(Clone, Copy, Debug, Deserialize, Eq, Hash, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
 pub enum Polarity {
     /// Electron-conducting pull-down device.
     NType,
@@ -372,22 +371,37 @@ impl DeviceTable {
     /// occur for finite tables).
     pub fn to_json(&self) -> Result<String, DeviceError> {
         let g = self.id_a.grid();
-        let dto = TableDto {
-            vgs: (g.x.start(), g.x.stop(), g.x.len()),
-            vds: (g.y.start(), g.y.stop(), g.y.len()),
-            id_a: (0..g.x.len())
-                .flat_map(|i| (0..g.y.len()).map(move |j| (i, j)))
-                .map(|(i, j)| self.id_a.node(i, j))
-                .collect(),
-            q_c: (0..g.x.len())
-                .flat_map(|i| (0..g.y.len()).map(move |j| (i, j)))
-                .map(|(i, j)| self.q_c.node(i, j))
-                .collect(),
-            polarity: self.polarity,
-            ribbons: self.ribbons,
-            vg_shift: self.vg_shift,
+        let axis = |a: &Grid1| {
+            Json::Arr(vec![
+                Json::Num(a.start()),
+                Json::Num(a.stop()),
+                Json::from(a.len()),
+            ])
         };
-        serde_json::to_string(&dto).map_err(|e| DeviceError::config(e.to_string()))
+        let nodes = |t: &BilinearTable| -> Json {
+            Json::Arr(
+                (0..g.x.len())
+                    .flat_map(|i| (0..g.y.len()).map(move |j| (i, j)))
+                    .map(|(i, j)| Json::Num(t.node(i, j)))
+                    .collect(),
+            )
+        };
+        let doc = Json::Obj(vec![
+            ("vgs".into(), axis(&g.x)),
+            ("vds".into(), axis(&g.y)),
+            ("id_a".into(), nodes(&self.id_a)),
+            ("q_c".into(), nodes(&self.q_c)),
+            (
+                "polarity".into(),
+                Json::from(match self.polarity {
+                    Polarity::NType => "NType",
+                    Polarity::PType => "PType",
+                }),
+            ),
+            ("ribbons".into(), Json::from(self.ribbons)),
+            ("vg_shift".into(), Json::Num(self.vg_shift)),
+        ]);
+        Ok(doc.dump())
     }
 
     /// Deserializes a table previously produced by [`DeviceTable::to_json`].
@@ -396,30 +410,53 @@ impl DeviceTable {
     ///
     /// Returns [`DeviceError::Config`] for malformed input.
     pub fn from_json(json: &str) -> Result<Self, DeviceError> {
-        let dto: TableDto =
-            serde_json::from_str(json).map_err(|e| DeviceError::config(e.to_string()))?;
-        let gx = Grid1::new(dto.vgs.0, dto.vgs.1, dto.vgs.2)?;
-        let gy = Grid1::new(dto.vds.0, dto.vds.1, dto.vds.2)?;
-        let g2 = Grid2::new(gx, gy);
+        let bad = |msg: &str| DeviceError::config(format!("device table json: {msg}"));
+        let doc = Json::parse(json).map_err(|e| DeviceError::config(e.to_string()))?;
+        let axis = |key: &str| -> Result<Grid1, DeviceError> {
+            let a = doc
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad(&format!("missing axis '{key}'")))?;
+            match a {
+                [start, stop, len] => Ok(Grid1::new(
+                    start.as_f64().ok_or_else(|| bad("axis start"))?,
+                    stop.as_f64().ok_or_else(|| bad("axis stop"))?,
+                    len.as_usize().ok_or_else(|| bad("axis length"))?,
+                )?),
+                _ => Err(bad(&format!("axis '{key}' needs [start, stop, len]"))),
+            }
+        };
+        let values = |key: &str| -> Result<Vec<f64>, DeviceError> {
+            doc.get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad(&format!("missing values '{key}'")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| bad(&format!("non-number in '{key}'")))
+                })
+                .collect()
+        };
+        let polarity = match doc.get("polarity").and_then(Json::as_str) {
+            Some("NType") => Polarity::NType,
+            Some("PType") => Polarity::PType,
+            _ => return Err(bad("polarity must be 'NType' or 'PType'")),
+        };
+        let g2 = Grid2::new(axis("vgs")?, axis("vds")?);
         Ok(DeviceTable {
-            id_a: BilinearTable::new(g2, dto.id_a)?,
-            q_c: BilinearTable::new(g2, dto.q_c)?,
-            polarity: dto.polarity,
-            ribbons: dto.ribbons,
-            vg_shift: dto.vg_shift,
+            id_a: BilinearTable::new(g2, values("id_a")?)?,
+            q_c: BilinearTable::new(g2, values("q_c")?)?,
+            polarity,
+            ribbons: doc
+                .get("ribbons")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| bad("missing ribbons"))?,
+            vg_shift: doc
+                .get("vg_shift")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("missing vg_shift"))?,
         })
     }
-}
-
-#[derive(Deserialize, Serialize)]
-struct TableDto {
-    vgs: (f64, f64, usize),
-    vds: (f64, f64, usize),
-    id_a: Vec<f64>,
-    q_c: Vec<f64>,
-    polarity: Polarity,
-    ribbons: usize,
-    vg_shift: f64,
 }
 
 #[cfg(test)]
@@ -441,12 +478,14 @@ mod tests {
     fn four_ribbons_carry_four_times_single_current() {
         let cfg = DeviceConfig::test_small(12).unwrap();
         let model = SbfetModel::new(&cfg).unwrap();
-        let one =
-            DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 1).unwrap();
+        let one = DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 1).unwrap();
         let four = shared_table();
         let i1 = one.current(0.5, 0.5);
         let i4 = four.current(0.5, 0.5);
-        assert!((i4 - 4.0 * i1).abs() < 1e-3 * i4.abs(), "{i1:.3e} vs {i4:.3e}");
+        assert!(
+            (i4 - 4.0 * i1).abs() < 1e-3 * i4.abs(),
+            "{i1:.3e} vs {i4:.3e}"
+        );
         assert_eq!(four.ribbons(), 4);
     }
 
@@ -458,7 +497,10 @@ mod tests {
         // I_p(-vg, -vd) = -I_n(vg, vd)
         let a = t.current(0.4, 0.3);
         let b = p.current(-0.4, -0.3);
-        assert!((a + b).abs() < 1e-12 * a.abs().max(1e-18), "{a:.3e} {b:.3e}");
+        assert!(
+            (a + b).abs() < 1e-12 * a.abs().max(1e-18),
+            "{a:.3e} {b:.3e}"
+        );
     }
 
     #[test]
@@ -467,7 +509,10 @@ mod tests {
         let t = shared_table();
         let a = t.current(0.2, -0.3);
         let b = -t.current(0.5, 0.3);
-        assert!((a - b).abs() <= 1e-9 * b.abs().max(1e-15), "{a:.3e} vs {b:.3e}");
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1e-15),
+            "{a:.3e} vs {b:.3e}"
+        );
     }
 
     #[test]

@@ -173,8 +173,12 @@ mod tests {
     #[test]
     fn impurity_profile_scales_linearly_with_charge() {
         let cfg = DeviceConfig::test_small(9).unwrap();
-        let p1 = ChargeImpurity::near_source(1.0).ribbon_profile(&cfg).unwrap();
-        let p2 = ChargeImpurity::near_source(-2.0).ribbon_profile(&cfg).unwrap();
+        let p1 = ChargeImpurity::near_source(1.0)
+            .ribbon_profile(&cfg)
+            .unwrap();
+        let p2 = ChargeImpurity::near_source(-2.0)
+            .ribbon_profile(&cfg)
+            .unwrap();
         for (a, b) in p1.iter().zip(&p2) {
             assert!((b + 2.0 * a).abs() < 1e-6 + 1e-6 * a.abs(), "{a} vs {b}");
         }
@@ -185,8 +189,7 @@ mod tests {
         use crate::sbfet::SbfetModel;
         let cfg = DeviceConfig::test_small(12).unwrap();
         let ideal = SbfetModel::new(&cfg).unwrap();
-        let neg = SbfetModel::with_impurities(&cfg, &[ChargeImpurity::near_source(-2.0)])
-            .unwrap();
+        let neg = SbfetModel::with_impurities(&cfg, &[ChargeImpurity::near_source(-2.0)]).unwrap();
         // Paper Fig. 5: a -2q impurity raises the source barrier and cuts
         // the electron on-current severely (factor ~6 in the paper).
         let i_ideal = ideal.drain_current(0.5, 0.5).unwrap();
@@ -210,7 +213,9 @@ mod tests {
         let dense = EdgeRoughness::new(0.5, 42).vacancy_sites(gnr, 10);
         assert!(dense.len() > 2 * a.len());
         // None at zero probability.
-        assert!(EdgeRoughness::new(0.0, 42).vacancy_sites(gnr, 10).is_empty());
+        assert!(EdgeRoughness::new(0.0, 42)
+            .vacancy_sites(gnr, 10)
+            .is_empty());
     }
 
     #[test]
@@ -246,10 +251,8 @@ mod tests {
         // -2q device in the n-type branch.
         let cfg = DeviceConfig::test_small(12).unwrap();
         let ideal = SbfetModel::new(&cfg).unwrap();
-        let pos = SbfetModel::with_impurities(&cfg, &[ChargeImpurity::near_source(2.0)])
-            .unwrap();
-        let neg = SbfetModel::with_impurities(&cfg, &[ChargeImpurity::near_source(-2.0)])
-            .unwrap();
+        let pos = SbfetModel::with_impurities(&cfg, &[ChargeImpurity::near_source(2.0)]).unwrap();
+        let neg = SbfetModel::with_impurities(&cfg, &[ChargeImpurity::near_source(-2.0)]).unwrap();
         let i0 = ideal.drain_current(0.6, 0.5).unwrap();
         let ip = pos.drain_current(0.6, 0.5).unwrap();
         let in_ = neg.drain_current(0.6, 0.5).unwrap();

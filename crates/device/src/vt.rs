@@ -92,9 +92,12 @@ mod tests {
         // Paper: "when the off-set is applied ... VT changes by an amount
         // equal to the off-set".
         let curve = |v: f64, off: f64| ((v + off) - 0.3).max(0.0) * 1e-6;
-        let base: Vec<_> = (0..40).map(|i| (i as f64 * 0.02, curve(i as f64 * 0.02, 0.0))).collect();
-        let shifted: Vec<_> =
-            (0..40).map(|i| (i as f64 * 0.02, curve(i as f64 * 0.02, 0.2))).collect();
+        let base: Vec<_> = (0..40)
+            .map(|i| (i as f64 * 0.02, curve(i as f64 * 0.02, 0.0)))
+            .collect();
+        let shifted: Vec<_> = (0..40)
+            .map(|i| (i as f64 * 0.02, curve(i as f64 * 0.02, 0.2)))
+            .collect();
         let vt0 = extract_vt(&base).unwrap();
         let vt1 = extract_vt(&shifted).unwrap();
         assert!(((vt0 - vt1) - 0.2).abs() < 0.03, "{vt0} vs {vt1}");

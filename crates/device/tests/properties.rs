@@ -1,8 +1,9 @@
-//! Property-based tests of the device-table invariants.
+//! Property-based tests of the device-table invariants, driven by the
+//! in-house seeded RNG (deterministic across runs).
 
 use gnr_device::table::TableGrid;
 use gnr_device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
-use proptest::prelude::*;
+use gnr_num::rng::Rng;
 use std::sync::OnceLock;
 
 fn shared_table() -> &'static DeviceTable {
@@ -10,95 +11,122 @@ fn shared_table() -> &'static DeviceTable {
     TABLE.get_or_init(|| {
         let cfg = DeviceConfig::test_small(12).expect("valid");
         let model = SbfetModel::new(&cfg).expect("builds");
-        DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 4)
-            .expect("table")
+        DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 4).expect("table")
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The p-type mirror is an exact point symmetry of the n-type table.
-    #[test]
-    fn ptype_mirror_point_symmetry(vg in -0.3f64..0.9, vd in -0.7f64..0.7) {
+/// The p-type mirror is an exact point symmetry of the n-type table.
+#[test]
+fn ptype_mirror_point_symmetry() {
+    let mut rng = Rng::seed_from_u64(0x4445_5601);
+    for _ in 0..48 {
+        let vg = rng.uniform_in(-0.3, 0.9);
+        let vd = rng.uniform_in(-0.7, 0.7);
         let n = shared_table();
         let p = n.mirrored();
         let a = n.current(vg, vd);
         let b = p.current(-vg, -vd);
-        prop_assert!((a + b).abs() <= 1e-12 * a.abs().max(1e-18), "{a:.3e} vs {b:.3e}");
+        assert!(
+            (a + b).abs() <= 1e-12 * a.abs().max(1e-18),
+            "{a:.3e} vs {b:.3e}"
+        );
         let qa = n.charge(vg, vd);
         let qb = p.charge(-vg, -vd);
-        prop_assert!((qa + qb).abs() <= 1e-12 * qa.abs().max(1e-30));
+        assert!((qa + qb).abs() <= 1e-12 * qa.abs().max(1e-30));
     }
+}
 
-    /// Source/drain exchange: I(vg, -vd) = -I(vg + vd, vd) — swapping the
-    /// terminals re-references the gate to the new source.
-    #[test]
-    fn source_drain_exchange(vg in -0.2f64..0.8, vd in 0.0f64..0.7) {
+/// Source/drain exchange: I(vg, -vd) = -I(vg + vd, vd) — swapping the
+/// terminals re-references the gate to the new source.
+#[test]
+fn source_drain_exchange() {
+    let mut rng = Rng::seed_from_u64(0x4445_5602);
+    for _ in 0..48 {
+        let vg = rng.uniform_in(-0.2, 0.8);
+        let vd = rng.uniform_in(0.0, 0.7);
         let t = shared_table();
         let a = t.current(vg, -vd);
         let b = -t.current(vg + vd, vd);
-        prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1e-15), "{a:.3e} vs {b:.3e}");
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1e-15),
+            "{a:.3e} vs {b:.3e}"
+        );
     }
+}
 
-    /// Gate-shift equivariance: shifting the table then looking up at a
-    /// shifted gate voltage is the identity.
-    #[test]
-    fn vg_shift_equivariance(
-        vg in -0.2f64..0.8,
-        vd in 0.0f64..0.7,
-        shift in -0.25f64..0.25,
-    ) {
+/// Gate-shift equivariance: shifting the table then looking up at a
+/// shifted gate voltage is the identity.
+#[test]
+fn vg_shift_equivariance() {
+    let mut rng = Rng::seed_from_u64(0x4445_5603);
+    for _ in 0..48 {
+        let vg = rng.uniform_in(-0.2, 0.8);
+        let vd = rng.uniform_in(0.0, 0.7);
+        let shift = rng.uniform_in(-0.25, 0.25);
         let t = shared_table();
         let shifted = t.with_vg_shift(shift);
         let a = t.current(vg, vd);
         let b = shifted.current(vg + shift, vd);
-        prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(1e-18));
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1e-18));
     }
+}
 
-    /// Capacitances are non-negative and finite over the table domain.
-    #[test]
-    fn capacitances_well_formed(vg in -0.3f64..0.9, vd in 0.0f64..0.75) {
+/// Capacitances are non-negative and finite over the table domain.
+#[test]
+fn capacitances_well_formed() {
+    let mut rng = Rng::seed_from_u64(0x4445_5604);
+    for _ in 0..48 {
+        let vg = rng.uniform_in(-0.3, 0.9);
+        let vd = rng.uniform_in(0.0, 0.75);
         let t = shared_table();
         let cgd = t.cgd_intrinsic(vg, vd);
         let cgs = t.cgs_intrinsic(vg, vd);
         let cg = t.cg_intrinsic(vg, vd);
-        prop_assert!(cgd >= 0.0 && cgd.is_finite());
-        prop_assert!(cgs >= 0.0 && cgs.is_finite());
-        prop_assert!(cg >= 0.0 && cg < 1e-14, "C_G = {cg:.3e}");
+        assert!(cgd >= 0.0 && cgd.is_finite());
+        assert!(cgs >= 0.0 && cgs.is_finite());
+        assert!((0.0..1e-14).contains(&cg), "C_G = {cg:.3e}");
     }
+}
 
-    /// Series-resistance folding satisfies its defining implicit equation:
-    /// the folded current equals the intrinsic table evaluated at the
-    /// resistor-dropped internal bias. (Strict contraction does not hold
-    /// for ambipolar devices, where a source drop can turn the hole branch
-    /// further on.)
-    #[test]
-    fn resistance_folding_self_consistent(gi in 0usize..13, di in 1usize..13) {
-        let t = shared_table();
-        let (rs, rd) = (20e3, 20e3);
-        let folded = t.fold_series_resistance(rs, rd).expect("folds");
-        // Check on actual grid nodes (between nodes, bilinear interpolation
-        // of the folded table differs from folding the interpolant).
-        let (vgs_nodes, vds_nodes) = t.bias_nodes();
-        let vg_node = vgs_nodes[gi.min(vgs_nodes.len() - 1)];
-        let vd_node = vds_nodes[di.min(vds_nodes.len() - 1)];
+/// Series-resistance folding satisfies its defining implicit equation:
+/// the folded current equals the intrinsic table evaluated at the
+/// resistor-dropped internal bias. (Strict contraction does not hold
+/// for ambipolar devices, where a source drop can turn the hole branch
+/// further on.)
+#[test]
+fn resistance_folding_self_consistent() {
+    let mut rng = Rng::seed_from_u64(0x4445_5605);
+    let t = shared_table();
+    let (rs, rd) = (20e3, 20e3);
+    let folded = t.fold_series_resistance(rs, rd).expect("folds");
+    // Check on actual grid nodes (between nodes, bilinear interpolation
+    // of the folded table differs from folding the interpolant).
+    let (vgs_nodes, vds_nodes) = t.bias_nodes();
+    for _ in 0..48 {
+        let gi = rng.below(vgs_nodes.len());
+        let di = 1 + rng.below(vds_nodes.len() - 1);
+        let vg_node = vgs_nodes[gi];
+        let vd_node = vds_nodes[di];
         let i_f = folded.current(vg_node, vd_node);
         let expect = t.current(vg_node - i_f * rs, vd_node - i_f * (rs + rd));
-        prop_assert!(
+        assert!(
             (i_f - expect).abs() <= 1e-6 * expect.abs().max(1e-12),
             "folded {i_f:.6e} vs implicit {expect:.6e}"
         );
-        prop_assert!(folded.current(vg_node, 0.0).abs() < 1e-9);
+        assert!(folded.current(vg_node, 0.0).abs() < 1e-9);
     }
+}
 
-    /// JSON serialization is an exact round trip at arbitrary biases.
-    #[test]
-    fn json_roundtrip_everywhere(vg in -0.3f64..0.9, vd in 0.0f64..0.75) {
-        let t = shared_table();
-        let back = DeviceTable::from_json(&t.to_json().expect("serializes"))
-            .expect("deserializes");
-        prop_assert!((t.current(vg, vd) - back.current(vg, vd)).abs() < 1e-18);
-        prop_assert!((t.charge(vg, vd) - back.charge(vg, vd)).abs() < 1e-30);
+/// JSON serialization is an exact round trip at arbitrary biases.
+#[test]
+fn json_roundtrip_everywhere() {
+    let mut rng = Rng::seed_from_u64(0x4445_5606);
+    let t = shared_table();
+    let back = DeviceTable::from_json(&t.to_json().expect("serializes")).expect("deserializes");
+    for _ in 0..48 {
+        let vg = rng.uniform_in(-0.3, 0.9);
+        let vd = rng.uniform_in(0.0, 0.75);
+        assert!((t.current(vg, vd) - back.current(vg, vd)).abs() < 1e-18);
+        assert!((t.charge(vg, vd) - back.charge(vg, vd)).abs() < 1e-30);
     }
 }

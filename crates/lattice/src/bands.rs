@@ -8,8 +8,8 @@
 use crate::error::LatticeError;
 use crate::hamiltonian::unit_cell_hamiltonian;
 use crate::AGnr;
-use gnr_num::consts::{HBAR_EV, M_E, Q_E};
 use gnr_num::c64;
+use gnr_num::consts::{HBAR_EV, M_E, Q_E};
 
 /// Band structure of an A-GNR sampled on a uniform k-grid.
 #[derive(Clone, Debug)]
@@ -124,7 +124,7 @@ impl BandStructure {
         let band = &self.bands[b];
         let i = ik.clamp(1, band.len() - 2);
         let dk = (self.k[1] - self.k[0]) / self.gnr.period_m(); // 1/m
-        // Second derivative via central difference (eV·m²).
+                                                                // Second derivative via central difference (eV·m²).
         let d2 = (band[i + 1] - 2.0 * band[i] + band[i - 1]) / (dk * dk);
         if d2 <= 0.0 {
             return f64::INFINITY;

@@ -62,9 +62,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(LatticeError::IndexTooSmall { n: 1 }.to_string().contains('1'));
-        assert!(LatticeError::PotentialLength { got: 3, expected: 24 }
+        assert!(LatticeError::IndexTooSmall { n: 1 }
             .to_string()
-            .contains("24"));
+            .contains('1'));
+        assert!(LatticeError::PotentialLength {
+            got: 3,
+            expected: 24
+        }
+        .to_string()
+        .contains("24"));
     }
 }

@@ -147,7 +147,10 @@ fn find_bonds(atoms: &[Atom]) -> Vec<Bond> {
         by_cell[a.cell].push(i);
     }
     for (i, a) in atoms.iter().enumerate() {
-        let neighbor_cells = [Some(a.cell), a.cell.checked_add(1).filter(|&c| c <= max_cell)];
+        let neighbor_cells = [
+            Some(a.cell),
+            a.cell.checked_add(1).filter(|&c| c <= max_cell),
+        ];
         for cell in neighbor_cells.into_iter().flatten() {
             for &j in &by_cell[cell] {
                 if j <= i {
@@ -156,8 +159,7 @@ fn find_bonds(atoms: &[Atom]) -> Vec<Bond> {
                 let b = &atoms[j];
                 let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
                 if (d - A_CC).abs() < tol {
-                    let edge = (a.row == 0 && b.row == 0)
-                        || (a.row == max_row && b.row == max_row);
+                    let edge = (a.row == 0 && b.row == 0) || (a.row == max_row && b.row == max_row);
                     bonds.push(Bond {
                         a: i,
                         b: j,

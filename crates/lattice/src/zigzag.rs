@@ -157,10 +157,7 @@ impl ZGnr {
             .filter(|&e| e <= 0.0)
             .fold(f64::NEG_INFINITY, f64::max);
         // A numerically exact zero eigenvalue counts as both edges closing.
-        let near_zero = bands
-            .iter()
-            .flatten()
-            .any(|&e| e.abs() < 1e-9);
+        let near_zero = bands.iter().flatten().any(|&e| e.abs() < 1e-9);
         if near_zero {
             Ok(0.0)
         } else {
@@ -217,7 +214,11 @@ mod tests {
             assert!(gap < 0.05, "N={n}: gap {gap} eV should vanish");
         }
         // Armchair contrast: N=12 A-GNR is semiconducting.
-        let a_gap = crate::AGnr::new(12).unwrap().band_structure(64).unwrap().gap();
+        let a_gap = crate::AGnr::new(12)
+            .unwrap()
+            .band_structure(64)
+            .unwrap()
+            .gap();
         assert!(a_gap > 0.4);
     }
 
@@ -232,7 +233,11 @@ mod tests {
         let lower = &bands[m / 2 - 1];
         let upper = &bands[m / 2];
         // At the zone boundary (k = pi) both must sit at E ~ 0.
-        assert!(lower.last().unwrap().abs() < 0.02, "{}", lower.last().unwrap());
+        assert!(
+            lower.last().unwrap().abs() < 0.02,
+            "{}",
+            lower.last().unwrap()
+        );
         assert!(upper.last().unwrap().abs() < 0.02);
         // Flatness over the last quarter of the zone: |E| stays tiny
         // (the edge-state region k in (2pi/3, pi)).
@@ -242,7 +247,10 @@ mod tests {
         }
         // But the same bands are dispersive at the zone centre.
         let lower_width = lower.iter().fold(0.0f64, |mx, &e| mx.max(e.abs()));
-        assert!(lower_width > 0.5, "band disperses away from k=pi: {lower_width}");
+        assert!(
+            lower_width > 0.5,
+            "band disperses away from k=pi: {lower_width}"
+        );
     }
 
     /// Flat-band bandwidth shrinks as the ribbon widens (edge states on

@@ -1,75 +1,83 @@
-//! Property-based tests of the lattice and Hamiltonian invariants.
+//! Property-based tests of the lattice and Hamiltonian invariants,
+//! driven by the in-house seeded RNG (deterministic across runs).
 
 use gnr_lattice::{unit_cell_hamiltonian, AGnr, DeviceHamiltonian};
-use proptest::prelude::*;
+use gnr_num::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every valid index yields a Hermitian Bloch Hamiltonian at every k.
-    #[test]
-    fn bloch_hamiltonian_hermitian(n in 3usize..16, ik in 0usize..8) {
+/// Every valid index yields a Hermitian Bloch Hamiltonian at every k.
+#[test]
+fn bloch_hamiltonian_hermitian() {
+    let mut rng = Rng::seed_from_u64(0x4c41_5401);
+    for _ in 0..12 {
+        let n = 3 + rng.below(13);
+        let ik = rng.below(8);
         let gnr = AGnr::new(n).expect("valid index");
         let (h00, h01) = unit_cell_hamiltonian(gnr);
         let k = std::f64::consts::PI * ik as f64 / 7.0;
         let phase = gnr_num::c64(k.cos(), k.sin());
         let hk = &(&h00 + &h01.scale(phase)) + &h01.adjoint().scale(phase.conj());
-        prop_assert!(hk.hermiticity_defect() < 1e-12);
+        assert!(hk.hermiticity_defect() < 1e-12);
     }
+}
 
-    /// Device Hamiltonians are Hermitian for any potential profile.
-    #[test]
-    fn device_hamiltonian_hermitian(
-        n in 3usize..10,
-        cells in 1usize..5,
-        seed in 0u64..1000,
-    ) {
+/// Device Hamiltonians are Hermitian for any potential profile.
+#[test]
+fn device_hamiltonian_hermitian() {
+    let mut rng = Rng::seed_from_u64(0x4c41_5402);
+    for _ in 0..12 {
+        let n = 3 + rng.below(7);
+        let cells = 1 + rng.below(4);
         let gnr = AGnr::new(n).expect("valid index");
         let m = gnr.atoms_per_cell();
-        // Deterministic pseudo-random potential from the seed.
-        let pot: Vec<f64> = (0..m * cells)
-            .map(|i| ((seed as f64 + i as f64) * 12.9898).sin() * 0.3)
-            .collect();
+        let pot: Vec<f64> = (0..m * cells).map(|_| rng.uniform_in(-0.3, 0.3)).collect();
         let h = DeviceHamiltonian::new(gnr, cells, &pot).expect("builds");
-        prop_assert!(h.to_dense().hermiticity_defect() < 1e-12);
+        assert!(h.to_dense().hermiticity_defect() < 1e-12);
     }
+}
 
-    /// The spectrum is bounded by the maximum coordination times the
-    /// strongest bond: |E| <= 3 * 1.12 * t.
-    #[test]
-    fn spectrum_bounded_by_bandwidth(n in 3usize..14) {
+/// The spectrum is bounded by the maximum coordination times the
+/// strongest bond: |E| <= 3 * 1.12 * t.
+#[test]
+fn spectrum_bounded_by_bandwidth() {
+    for n in 3usize..14 {
         let gnr = AGnr::new(n).expect("valid index");
         let bands = gnr.band_structure(24).expect("solves");
         let bound = 3.0 * 1.12 * gnr_num::consts::T_HOPPING + 1e-9;
         for band in bands.bands() {
             for &e in band {
-                prop_assert!(e.abs() <= bound, "E = {e} exceeds bandwidth bound");
+                assert!(e.abs() <= bound, "E = {e} exceeds bandwidth bound");
             }
         }
     }
+}
 
-    /// Uniform potential shifts translate the whole spectrum: the layer
-    /// potential readback must match the applied shift.
-    #[test]
-    fn potential_readback(shift in -0.5f64..0.5) {
+/// Uniform potential shifts translate the whole spectrum: the layer
+/// potential readback must match the applied shift.
+#[test]
+fn potential_readback() {
+    let mut rng = Rng::seed_from_u64(0x4c41_5403);
+    for _ in 0..12 {
+        let shift = rng.uniform_in(-0.5, 0.5);
         let gnr = AGnr::new(6).expect("valid index");
         let m = gnr.atoms_per_cell();
         let pot = vec![shift; m * 3];
         let h = DeviceHamiltonian::new(gnr, 3, &pot).expect("builds");
         for l in 0..3 {
-            prop_assert!((h.layer_potential_ev(l) - shift).abs() < 1e-12);
+            assert!((h.layer_potential_ev(l) - shift).abs() < 1e-12);
         }
     }
+}
 
-    /// Width and atom counts scale linearly with the index.
-    #[test]
-    fn geometry_scaling(n in 3usize..20) {
+/// Width and atom counts scale linearly with the index.
+#[test]
+fn geometry_scaling() {
+    for n in 3usize..20 {
         let gnr = AGnr::new(n).expect("valid index");
-        prop_assert_eq!(gnr.atoms_per_cell(), 2 * n);
+        assert_eq!(gnr.atoms_per_cell(), 2 * n);
         let lat = gnr.lattice(2);
-        prop_assert_eq!(lat.atom_count(), 4 * n);
+        assert_eq!(lat.atom_count(), 4 * n);
         // Bond count: interior atoms have 3 neighbours, edges 2.
         let coord = lat.coordination();
-        prop_assert!(coord.iter().all(|&c| c >= 1 && c <= 3));
+        assert!(coord.iter().all(|&c| (1..=3).contains(&c)));
     }
 }

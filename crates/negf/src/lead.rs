@@ -186,8 +186,16 @@ mod tests {
             let g = surface_gf(e, &h00, &h01, 1e-6, 400).unwrap().get(0, 0);
             let expect_re = e / (2.0 * t * t);
             let expect_im = -(4.0 * t * t - e * e).sqrt() / (2.0 * t * t);
-            assert!((g.re - expect_re).abs() < 1e-4, "E={e}: re {} vs {expect_re}", g.re);
-            assert!((g.im - expect_im).abs() < 1e-4, "E={e}: im {} vs {expect_im}", g.im);
+            assert!(
+                (g.re - expect_re).abs() < 1e-4,
+                "E={e}: re {} vs {expect_re}",
+                g.re
+            );
+            assert!(
+                (g.im - expect_im).abs() < 1e-4,
+                "E={e}: im {} vs {expect_im}",
+                g.im
+            );
         }
     }
 

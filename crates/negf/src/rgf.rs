@@ -176,10 +176,7 @@ impl RgfSolver {
 
         // Transmission from the (L-1, 0) block.
         let g_n0 = &g_col1[nl - 1];
-        let t_matrix = gamma2
-            .matmul(g_n0)
-            .matmul(&gamma1)
-            .matmul(&g_n0.adjoint());
+        let t_matrix = gamma2.matmul(g_n0).matmul(&gamma1).matmul(&g_n0.adjoint());
         let transmission = t_matrix.trace().re.max(0.0);
 
         // Spectral function diagonals: A1(l) = G_{l,0} Γ1 G_{l,0}†,
@@ -249,10 +246,7 @@ impl RgfSolver {
         for l in (0..nl - 1).rev() {
             g_n0 = g_n0.matmul(&self.h10).matmul(&gl_all[l]);
         }
-        let t_matrix = gamma2
-            .matmul(&g_n0)
-            .matmul(&gamma1)
-            .matmul(&g_n0.adjoint());
+        let t_matrix = gamma2.matmul(&g_n0).matmul(&gamma1).matmul(&g_n0.adjoint());
         Ok(t_matrix.trace().re.max(0.0))
     }
 }

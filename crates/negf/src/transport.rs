@@ -34,7 +34,7 @@ impl EnergyGrid {
     /// Returns [`NegfError::Config`] for a degenerate range or fewer than
     /// two points.
     pub fn new(lo: f64, hi: f64, points: usize) -> Result<Self, NegfError> {
-        if !(hi > lo) {
+        if hi.is_nan() || lo.is_nan() || hi <= lo {
             return Err(NegfError::Config {
                 detail: format!("energy range [{lo}, {hi}] is empty"),
             });
@@ -167,11 +167,7 @@ pub fn integrate_transport(
         }
     }
     let current_a = LANDAUER_2E_OVER_H * trapezoid_samples(&current_kernel, de);
-    let net: Vec<f64> = holes
-        .iter()
-        .zip(&electrons)
-        .map(|(p, n)| p - n)
-        .collect();
+    let net: Vec<f64> = holes.iter().zip(&electrons).map(|(p, n)| p - n).collect();
     Ok(TransportResult {
         current_a,
         transmission: t_of_e,
@@ -209,8 +205,7 @@ mod tests {
         let solver = ideal(9, 3);
         let grid = EnergyGrid::new(0.5, 1.2, 30).unwrap();
         let atoms = solver.layers() * solver.layer_dim();
-        let r =
-            integrate_transport(&solver, &grid, 0.3, 0.3, 300.0, &vec![0.0; atoms]).unwrap();
+        let r = integrate_transport(&solver, &grid, 0.3, 0.3, 300.0, &vec![0.0; atoms]).unwrap();
         assert!(r.current_a.abs() < 1e-12);
     }
 

@@ -1,70 +1,79 @@
-//! Property-based tests of the quantum-transport invariants.
+//! Property-based tests of the quantum-transport invariants, driven by
+//! the in-house seeded RNG (deterministic across runs).
 
 use gnr_lattice::{AGnr, DeviceHamiltonian};
 use gnr_negf::{Lead, RgfSolver};
-use proptest::prelude::*;
+use gnr_num::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Transmission is bounded by the number of conducting channels
-    /// (2N orbitals per layer is a loose upper bound) and non-negative,
-    /// at any energy, for arbitrary potential profiles.
-    #[test]
-    fn transmission_bounded(
-        e in -2.0f64..2.0,
-        seed in 0u64..100,
-        barrier in 0.0f64..0.6,
-    ) {
+/// Transmission is bounded by the number of conducting channels
+/// (2N orbitals per layer is a loose upper bound) and non-negative,
+/// at any energy, for arbitrary potential profiles.
+#[test]
+fn transmission_bounded() {
+    let mut rng = Rng::seed_from_u64(0x4e45_4701);
+    for _ in 0..10 {
+        let e = rng.uniform_in(-2.0, 2.0);
+        let barrier = rng.uniform_in(0.0, 0.6);
         let gnr = AGnr::new(6).expect("valid index");
         let m = gnr.atoms_per_cell();
         let cells = 4;
-        let pot: Vec<f64> = (0..m * cells)
-            .map(|i| barrier * (((seed + i as u64) as f64) * 0.37).sin().abs())
-            .collect();
+        let pot: Vec<f64> = (0..m * cells).map(|_| barrier * rng.uniform()).collect();
         let h = DeviceHamiltonian::new(gnr, cells, &pot).expect("builds");
         let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
         let t = solver.transmission(e).expect("solves");
-        prop_assert!(t >= 0.0, "T = {t}");
-        prop_assert!(t <= m as f64 + 1e-6, "T = {t} exceeds channel count");
-        prop_assert!(t.is_finite());
+        assert!(t >= 0.0, "T = {t}");
+        assert!(t <= m as f64 + 1e-6, "T = {t} exceeds channel count");
+        assert!(t.is_finite());
     }
+}
 
-    /// Spectral functions are non-negative everywhere (positivity of the
-    /// density of states) and the slice transmission matches the dedicated
-    /// transmission kernel.
-    #[test]
-    fn spectral_positivity_and_consistency(e in -1.5f64..1.5) {
+/// Spectral functions are non-negative everywhere (positivity of the
+/// density of states) and the slice transmission matches the dedicated
+/// transmission kernel.
+#[test]
+fn spectral_positivity_and_consistency() {
+    let mut rng = Rng::seed_from_u64(0x4e45_4702);
+    for _ in 0..10 {
+        let e = rng.uniform_in(-1.5, 1.5);
         let gnr = AGnr::new(6).expect("valid index");
         let h = DeviceHamiltonian::flat_band(gnr, 3).expect("builds");
         let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
         let slice = solver.spectral_slice(e).expect("solves");
-        prop_assert!(slice.a1_diag.iter().all(|&v| v >= 0.0 && v.is_finite()));
-        prop_assert!(slice.a2_diag.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(slice.a1_diag.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(slice.a2_diag.iter().all(|&v| v >= 0.0 && v.is_finite()));
         let t = solver.transmission(e).expect("solves");
-        prop_assert!((slice.transmission - t).abs() < 1e-8 * (1.0 + t));
+        assert!((slice.transmission - t).abs() < 1e-8 * (1.0 + t));
     }
+}
 
-    /// Left-right symmetry: a symmetric device with symmetric leads has a
-    /// symmetric spectral weight distribution.
-    #[test]
-    fn symmetric_device_symmetric_spectra(e in 0.2f64..1.2) {
+/// Left-right symmetry: a symmetric device with symmetric leads has a
+/// symmetric spectral weight distribution.
+#[test]
+fn symmetric_device_symmetric_spectra() {
+    let mut rng = Rng::seed_from_u64(0x4e45_4703);
+    for _ in 0..10 {
+        let e = rng.uniform_in(0.2, 1.2);
         let gnr = AGnr::new(6).expect("valid index");
         let h = DeviceHamiltonian::flat_band(gnr, 4).expect("builds");
         let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
         let slice = solver.spectral_slice(e).expect("solves");
         let total1: f64 = slice.a1_diag.iter().sum();
         let total2: f64 = slice.a2_diag.iter().sum();
-        prop_assert!(
+        assert!(
             (total1 - total2).abs() < 0.02 * (total1 + total2).max(1e-12),
             "a1 {total1} vs a2 {total2}"
         );
     }
+}
 
-    /// Raising a uniform potential shifts the transmission spectrum
-    /// rigidly: T[U](E) = T[0](E - U) for uniform U with matching leads.
-    #[test]
-    fn uniform_shift_translates_spectrum(u in -0.3f64..0.3, e in 0.5f64..1.0) {
+/// Raising a uniform potential shifts the transmission spectrum
+/// rigidly: T[U](E) = T[0](E - U) for uniform U with matching leads.
+#[test]
+fn uniform_shift_translates_spectrum() {
+    let mut rng = Rng::seed_from_u64(0x4e45_4704);
+    for _ in 0..10 {
+        let u = rng.uniform_in(-0.3, 0.3);
+        let e = rng.uniform_in(0.5, 1.0);
         let gnr = AGnr::new(6).expect("valid index");
         let m = gnr.atoms_per_cell();
         let cells = 3;
@@ -72,13 +81,9 @@ proptest! {
         let shifted = DeviceHamiltonian::new(gnr, cells, &vec![u; m * cells]).expect("builds");
         // GNR leads shifted by the same amount keep the system homogeneous.
         let s0 = RgfSolver::new(&flat, Lead::gnr_contact(), Lead::gnr_contact());
-        let s1 = RgfSolver::new(
-            &shifted,
-            Lead::gnr_contact_at(u),
-            Lead::gnr_contact_at(u),
-        );
+        let s1 = RgfSolver::new(&shifted, Lead::gnr_contact_at(u), Lead::gnr_contact_at(u));
         let t0 = s0.transmission(e).expect("solves");
         let t1 = s1.transmission(e + u).expect("solves");
-        prop_assert!((t0 - t1).abs() < 0.05 * (1.0 + t0), "T0 {t0} vs T1 {t1}");
+        assert!((t0 - t1).abs() < 0.05 * (1.0 + t0), "T0 {t0} vs T1 {t1}");
     }
 }

@@ -63,15 +63,15 @@ impl CMatrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        CMatrix { rows: r, cols: c, data }
+        CMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every entry.
-    pub fn from_fn(
-        rows: usize,
-        cols: usize,
-        mut f: impl FnMut(usize, usize) -> Complex64,
-    ) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
         let mut m = CMatrix::zeros(rows, cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -166,12 +166,12 @@ impl CMatrix {
     pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
         let mut y = vec![Complex64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
-            for j in 0..self.cols {
-                acc += self.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                acc += self.get(i, j) * xj;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -295,8 +295,8 @@ impl CMatrix {
             e.fill(Complex64::ZERO);
             e[j] = Complex64::ONE;
             let col = f.solve(&e);
-            for i in 0..n {
-                out.set(i, j, col[i]);
+            for (i, &v) in col.iter().enumerate() {
+                out.set(i, j, v);
             }
         }
         Ok(out)
@@ -320,12 +320,12 @@ impl CMatrix {
         let mut out = CMatrix::zeros(n, b.cols);
         let mut col = vec![Complex64::ZERO; n];
         for j in 0..b.cols {
-            for i in 0..n {
-                col[i] = b.get(i, j);
+            for (i, ci) in col.iter_mut().enumerate() {
+                *ci = b.get(i, j);
             }
             let x = f.solve(&col);
-            for i in 0..n {
-                out.set(i, j, x[i]);
+            for (i, &v) in x.iter().enumerate() {
+                out.set(i, j, v);
             }
         }
         Ok(out)
@@ -468,15 +468,15 @@ impl CLuFactors {
         let mut x: Vec<Complex64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[i * n + j] * xj;
             }
             x[i] = acc;
         }
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu[i * n + j] * xj;
             }
             x[i] = acc / self.lu[i * n + i];
         }
@@ -499,7 +499,11 @@ mod tests {
         let id = a.matmul(&inv);
         for i in 0..3 {
             for j in 0..3 {
-                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!((id.get(i, j) - expect).norm() < 1e-12);
             }
         }
@@ -554,13 +558,13 @@ mod tests {
         let (evals, evecs) = sy.herm_eigen().unwrap();
         assert!((evals[0] + 1.0).abs() < 1e-10);
         assert!((evals[1] - 1.0).abs() < 1e-10);
-        for k in 0..2 {
+        for (k, &ev) in evals.iter().enumerate() {
             let v: Vec<Complex64> = (0..2).map(|i| evecs.get(i, k)).collect();
             let av = sy.matvec(&v);
             let norm_v: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
             assert!(norm_v > 1e-8, "eigenvector must be nonzero");
             for i in 0..2 {
-                assert!((av[i] - v[i].scale(evals[k])).norm() < 1e-9);
+                assert!((av[i] - v[i].scale(ev)).norm() < 1e-9);
             }
         }
     }

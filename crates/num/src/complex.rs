@@ -185,7 +185,13 @@ impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
     fn div(self, rhs: Self) -> Self {
-        self * rhs.recip()
+        // Multiply by the reciprocal with the same component ordering as
+        // `Mul`, so `a / b` stays bit-identical to `a * b.recip()`.
+        let inv = rhs.recip();
+        c64(
+            self.re * inv.re - self.im * inv.im,
+            self.re * inv.im + self.im * inv.re,
+        )
     }
 }
 

@@ -61,7 +61,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every entry.
@@ -154,12 +158,12 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += self.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                acc += self.get(i, j) * xj;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -249,8 +253,8 @@ impl Matrix {
             e.fill(0.0);
             e[j] = 1.0;
             let col = f.solve(&e);
-            for i in 0..n {
-                out.set(i, j, col[i]);
+            for (i, &v) in col.iter().enumerate() {
+                out.set(i, j, v);
             }
         }
         Ok(out)
@@ -424,16 +428,16 @@ impl LuFactors {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[i * n + j] * xj;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu[i * n + j] * xj;
             }
             x[i] = acc / self.lu[i * n + i];
         }
@@ -515,11 +519,11 @@ mod tests {
         assert!((evals[0] - 1.0).abs() < 1e-10);
         assert!((evals[1] - 3.0).abs() < 1e-10);
         // A v = lambda v for each column.
-        for k in 0..2 {
+        for (k, &ev) in evals.iter().enumerate() {
             let v: Vec<f64> = (0..2).map(|i| evecs.get(i, k)).collect();
             let av = a.matvec(&v);
             for i in 0..2 {
-                assert!((av[i] - evals[k] * v[i]).abs() < 1e-10);
+                assert!((av[i] - ev * v[i]).abs() < 1e-10);
             }
         }
     }
@@ -529,13 +533,7 @@ mod tests {
         // Eigenvalues of the n-site 1D tight-binding chain:
         // lambda_k = 2 cos(k pi / (n+1)), a classic analytic check.
         let n = 8;
-        let a = Matrix::from_fn(n, n, |i, j| {
-            if i.abs_diff(j) == 1 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let a = Matrix::from_fn(n, n, |i, j| if i.abs_diff(j) == 1 { 1.0 } else { 0.0 });
         let (evals, _) = a.sym_eigen().unwrap();
         let mut expect: Vec<f64> = (1..=n)
             .map(|k| 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())

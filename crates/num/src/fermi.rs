@@ -88,13 +88,9 @@ mod tests {
     #[test]
     fn broadening_integrates_to_one() {
         // \int -df/dE dE = 1.
-        let v = crate::quad::adaptive_simpson(
-            |e| fermi_broadening(e, 0.1, 300.0),
-            -1.0,
-            1.0,
-            1e-10,
-        )
-        .unwrap();
+        let v =
+            crate::quad::adaptive_simpson(|e| fermi_broadening(e, 0.1, 300.0), -1.0, 1.0, 1e-10)
+                .unwrap();
         assert!((v - 1.0).abs() < 1e-8);
     }
 
@@ -112,13 +108,9 @@ mod tests {
     #[test]
     fn window_integral_equals_bias() {
         // \int [f1 - f2] dE = mu1 - mu2 independent of T.
-        let v = crate::quad::adaptive_simpson(
-            |e| fermi_window(e, 0.25, 0.0, 300.0),
-            -2.0,
-            2.0,
-            1e-10,
-        )
-        .unwrap();
+        let v =
+            crate::quad::adaptive_simpson(|e| fermi_window(e, 0.25, 0.0, 300.0), -2.0, 2.0, 1e-10)
+                .unwrap();
         assert!((v - 0.25).abs() < 1e-7);
     }
 }

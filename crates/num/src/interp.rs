@@ -26,7 +26,7 @@ impl Grid1 {
         if n < 2 {
             return Err(NumError::invalid("grid needs at least 2 points"));
         }
-        if !(stop > start) {
+        if stop.is_nan() || start.is_nan() || stop <= start {
             return Err(NumError::invalid("grid stop must exceed start"));
         }
         Ok(Grid1 {

@@ -34,8 +34,10 @@ pub mod dense;
 pub mod error;
 pub mod fermi;
 pub mod interp;
+pub mod json;
 pub mod linfit;
 pub mod quad;
+pub mod rng;
 pub mod roots;
 pub mod solver;
 pub mod sparse;
@@ -46,4 +48,6 @@ pub use complex::{c64, Complex64};
 pub use dense::Matrix;
 pub use error::{NumError, NumResult};
 pub use interp::{BilinearTable, Grid1, Grid2, LinearTable};
+pub use json::Json;
+pub use rng::Rng;
 pub use sparse::{CsrMatrix, TripletBuilder};

@@ -71,7 +71,7 @@ pub fn cg_solve(
         )));
     }
     let diag = a.diagonal()?;
-    if diag.iter().any(|&d| d == 0.0) {
+    if diag.contains(&0.0) {
         return Err(NumError::invalid(
             "zero diagonal entry; jacobi preconditioner undefined",
         ));
@@ -147,7 +147,7 @@ pub fn bicgstab_solve(
         return Err(NumError::dims("bicgstab: incompatible shapes"));
     }
     let diag = a.diagonal()?;
-    if diag.iter().any(|&d| d == 0.0) {
+    if diag.contains(&0.0) {
         return Err(NumError::invalid(
             "zero diagonal entry; jacobi preconditioner undefined",
         ));
@@ -288,7 +288,7 @@ mod tests {
         }
         let a = tb.build();
         let b = vec![3.0, -1.0, 2.0, 0.5];
-        let (x, stats) = cg_solve(&a, &b, &vec![0.0; 4], IterControl::default()).unwrap();
+        let (x, stats) = cg_solve(&a, &b, &[0.0; 4], IterControl::default()).unwrap();
         assert_eq!(x, b);
         assert!(stats.iterations <= 2);
     }

@@ -61,7 +61,7 @@ impl Histogram {
     ///
     /// Returns [`NumError::InvalidInput`] for a degenerate range or zero bins.
     pub fn new(lo: f64, hi: f64, bins: usize) -> NumResult<Self> {
-        if !(hi > lo) {
+        if hi.is_nan() || lo.is_nan() || hi <= lo {
             return Err(NumError::invalid("histogram range must have hi > lo"));
         }
         if bins == 0 {

@@ -1,147 +1,164 @@
-//! Property-based tests of the numerical substrate.
+//! Property-based tests of the numerical substrate, driven by the
+//! in-house seeded RNG (deterministic across runs — no external crates).
 
 use gnr_num::quad::{gauss_legendre_16, trapezoid};
+use gnr_num::rng::Rng;
 use gnr_num::{c64, CMatrix, CsrMatrix, Grid1, LinearTable, Matrix, TripletBuilder};
-use proptest::prelude::*;
 
-fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
-    range.prop_filter("finite", |v| v.is_finite())
+/// Complex multiplication is commutative and associative, and
+/// conjugation distributes over products.
+#[test]
+fn complex_field_properties() {
+    let mut rng = Rng::seed_from_u64(0x4e55_4d01);
+    for _ in 0..64 {
+        let mut z = || c64(rng.uniform_in(-1e3, 1e3), rng.uniform_in(-1e3, 1e3));
+        let (a, b, c) = (z(), z(), z());
+        assert!((a * b - b * a).norm() < 1e-6);
+        assert!(((a * b) * c - a * (b * c)).norm() < 1e-3 * (1.0 + (a * b * c).norm()));
+        assert!(((a * b).conj() - a.conj() * b.conj()).norm() < 1e-6);
+        // |ab| = |a||b| within rounding.
+        assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-6 * (1.0 + a.norm() * b.norm()));
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Complex multiplication is commutative and associative, and
-    /// conjugation distributes over products.
-    #[test]
-    fn complex_field_properties(
-        ar in finite_f64(-1e3..1e3), ai in finite_f64(-1e3..1e3),
-        br in finite_f64(-1e3..1e3), bi in finite_f64(-1e3..1e3),
-        cr in finite_f64(-1e3..1e3), ci in finite_f64(-1e3..1e3),
-    ) {
-        let (a, b, c) = (c64(ar, ai), c64(br, bi), c64(cr, ci));
-        prop_assert!((a * b - b * a).norm() < 1e-6);
-        prop_assert!(((a * b) * c - a * (b * c)).norm() < 1e-3 * (1.0 + (a*b*c).norm()));
-        prop_assert!(((a * b).conj() - a.conj() * b.conj()).norm() < 1e-6);
-        // |ab| = |a||b| within rounding.
-        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-6 * (1.0 + a.norm() * b.norm()));
-    }
-
-    /// LU solve inverts matvec for diagonally dominant real systems.
-    #[test]
-    fn lu_solve_roundtrip(
-        vals in prop::collection::vec(finite_f64(-1.0..1.0), 16),
-        rhs in prop::collection::vec(finite_f64(-10.0..10.0), 4),
-    ) {
+/// LU solve inverts matvec for diagonally dominant real systems.
+#[test]
+fn lu_solve_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x4e55_4d02);
+    for _ in 0..64 {
+        let vals: Vec<f64> = (0..16).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let rhs: Vec<f64> = (0..4).map(|_| rng.uniform_in(-10.0, 10.0)).collect();
         let a = Matrix::from_fn(4, 4, |i, j| {
             let v = vals[i * 4 + j];
-            if i == j { v + 8.0 } else { v }
+            if i == j {
+                v + 8.0
+            } else {
+                v
+            }
         });
         let x = a.solve(&rhs).expect("diagonally dominant");
         let back = a.matvec(&x);
         for (bi, ri) in back.iter().zip(&rhs) {
-            prop_assert!((bi - ri).abs() < 1e-8, "{bi} vs {ri}");
+            assert!((bi - ri).abs() < 1e-8, "{bi} vs {ri}");
         }
     }
+}
 
-    /// Complex LU inverse satisfies A * A^-1 = I for shifted random matrices.
-    #[test]
-    fn cmatrix_inverse_roundtrip(
-        re in prop::collection::vec(finite_f64(-1.0..1.0), 9),
-        im in prop::collection::vec(finite_f64(-1.0..1.0), 9),
-    ) {
+/// Complex LU inverse satisfies A * A^-1 = I for shifted random matrices.
+#[test]
+fn cmatrix_inverse_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x4e55_4d03);
+    for _ in 0..64 {
+        let re: Vec<f64> = (0..9).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let im: Vec<f64> = (0..9).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
         let a = CMatrix::from_fn(3, 3, |i, j| {
             let z = c64(re[i * 3 + j], im[i * 3 + j]);
-            if i == j { z + c64(6.0, 0.0) } else { z }
+            if i == j {
+                z + c64(6.0, 0.0)
+            } else {
+                z
+            }
         });
         let inv = a.inverse().expect("dominant");
         let id = a.matmul(&inv);
         for i in 0..3 {
             for j in 0..3 {
                 let expect = if i == j { c64(1.0, 0.0) } else { c64(0.0, 0.0) };
-                prop_assert!((id.get(i, j) - expect).norm() < 1e-9);
+                assert!((id.get(i, j) - expect).norm() < 1e-9);
             }
         }
     }
+}
 
-    /// Hermitian eigenvalues are real-sorted and reconstruct the trace.
-    #[test]
-    fn herm_eigen_trace_preserved(
-        re in prop::collection::vec(finite_f64(-2.0..2.0), 16),
-        im in prop::collection::vec(finite_f64(-2.0..2.0), 16),
-    ) {
+/// Hermitian eigenvalues are real-sorted and reconstruct the trace.
+#[test]
+fn herm_eigen_trace_preserved() {
+    let mut rng = Rng::seed_from_u64(0x4e55_4d04);
+    for _ in 0..64 {
+        let re: Vec<f64> = (0..16).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let im: Vec<f64> = (0..16).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
         // Build H = A + A^dagger: Hermitian by construction.
         let a = CMatrix::from_fn(4, 4, |i, j| c64(re[i * 4 + j], im[i * 4 + j]));
         let h = &a + &a.adjoint();
         let (evals, _) = h.herm_eigen().expect("hermitian");
-        prop_assert!(evals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(evals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         let trace: f64 = evals.iter().sum();
-        prop_assert!((trace - h.trace().re).abs() < 1e-8 * (1.0 + trace.abs()));
+        assert!((trace - h.trace().re).abs() < 1e-8 * (1.0 + trace.abs()));
     }
+}
 
-    /// Sparse matvec agrees with an equivalent dense matvec.
-    #[test]
-    fn sparse_matches_dense(
-        entries in prop::collection::vec((0usize..6, 0usize..6, finite_f64(-5.0..5.0)), 1..20),
-        x in prop::collection::vec(finite_f64(-3.0..3.0), 6),
-    ) {
+/// Sparse matvec agrees with an equivalent dense matvec.
+#[test]
+fn sparse_matches_dense() {
+    let mut rng = Rng::seed_from_u64(0x4e55_4d05);
+    for _ in 0..64 {
+        let n_entries = 1 + rng.below(19);
         let mut tb = TripletBuilder::new(6, 6);
         let mut dense = Matrix::zeros(6, 6);
-        for &(r, c, v) in &entries {
+        for _ in 0..n_entries {
+            let (r, c) = (rng.below(6), rng.below(6));
+            let v = rng.uniform_in(-5.0, 5.0);
             tb.push(r, c, v);
             dense.add_to(r, c, v);
         }
+        let x: Vec<f64> = (0..6).map(|_| rng.uniform_in(-3.0, 3.0)).collect();
         let sparse: CsrMatrix = tb.build();
         let ys = sparse.matvec(&x);
         let yd = dense.matvec(&x);
         for (a, b) in ys.iter().zip(&yd) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    /// Linear interpolation reproduces its nodes exactly and stays within
-    /// the node hull between them.
-    #[test]
-    fn interp_reproduces_nodes(
-        values in prop::collection::vec(finite_f64(-10.0..10.0), 5),
-        t in finite_f64(0.0..1.0),
-    ) {
+/// Linear interpolation reproduces its nodes exactly and stays within
+/// the node hull between them.
+#[test]
+fn interp_reproduces_nodes() {
+    let mut rng = Rng::seed_from_u64(0x4e55_4d06);
+    for _ in 0..64 {
+        let values: Vec<f64> = (0..5).map(|_| rng.uniform_in(-10.0, 10.0)).collect();
+        let t = rng.uniform();
         let grid = Grid1::new(0.0, 1.0, 5).expect("valid");
         let table = LinearTable::new(grid, values.clone()).expect("sized");
         for (i, &v) in values.iter().enumerate() {
-            prop_assert!((table.eval(grid.point(i)) - v).abs() < 1e-12);
+            assert!((table.eval(grid.point(i)) - v).abs() < 1e-12);
         }
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let y = table.eval(t);
-        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
     }
+}
 
-    /// Quadrature rules integrate affine functions exactly.
-    #[test]
-    fn quadrature_exact_for_affine(
-        a in finite_f64(-5.0..5.0),
-        b in finite_f64(-5.0..5.0),
-        lo in finite_f64(-3.0..0.0),
-        hi in finite_f64(0.1..3.0),
-    ) {
+/// Quadrature rules integrate affine functions exactly.
+#[test]
+fn quadrature_exact_for_affine() {
+    let mut rng = Rng::seed_from_u64(0x4e55_4d07);
+    for _ in 0..64 {
+        let a = rng.uniform_in(-5.0, 5.0);
+        let b = rng.uniform_in(-5.0, 5.0);
+        let lo = rng.uniform_in(-3.0, 0.0);
+        let hi = rng.uniform_in(0.1, 3.0);
         let f = |x: f64| a * x + b;
         let exact = a * (hi * hi - lo * lo) / 2.0 + b * (hi - lo);
-        prop_assert!((trapezoid(f, lo, hi, 7) - exact).abs() < 1e-9 * (1.0 + exact.abs()));
-        prop_assert!((gauss_legendre_16(f, lo, hi) - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+        assert!((trapezoid(f, lo, hi, 7) - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+        assert!((gauss_legendre_16(f, lo, hi) - exact).abs() < 1e-9 * (1.0 + exact.abs()));
     }
+}
 
-    /// The Fermi function is bounded, monotone, and complementary:
-    /// f(E, mu) + f(2mu - E, mu) = 1.
-    #[test]
-    fn fermi_bounds_and_symmetry(
-        e in finite_f64(-2.0..2.0),
-        mu in finite_f64(-1.0..1.0),
-    ) {
-        use gnr_num::fermi::fermi;
+/// The Fermi function is bounded, monotone, and complementary:
+/// f(E, mu) + f(2mu - E, mu) = 1.
+#[test]
+fn fermi_bounds_and_symmetry() {
+    use gnr_num::fermi::fermi;
+    let mut rng = Rng::seed_from_u64(0x4e55_4d08);
+    for _ in 0..64 {
+        let e = rng.uniform_in(-2.0, 2.0);
+        let mu = rng.uniform_in(-1.0, 1.0);
         let f = fermi(e, mu, 300.0);
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f));
         let g = fermi(2.0 * mu - e, mu, 300.0);
-        prop_assert!((f + g - 1.0).abs() < 1e-12);
+        assert!((f + g - 1.0).abs() < 1e-12);
     }
 }

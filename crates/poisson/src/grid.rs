@@ -24,7 +24,7 @@ impl Grid3 {
                 detail: format!("dimensions {nx}x{ny}x{nz} must all be >= 1"),
             });
         }
-        if !(h_nm > 0.0) {
+        if h_nm.is_nan() || h_nm <= 0.0 {
             return Err(PoissonError::BadGrid {
                 detail: format!("spacing {h_nm} must be positive"),
             });
@@ -80,7 +80,10 @@ impl Grid3 {
     /// Panics if any coordinate is out of range.
     #[inline]
     pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
-        assert!(i < self.nx && j < self.ny && k < self.nz, "cell out of range");
+        assert!(
+            i < self.nx && j < self.ny && k < self.nz,
+            "cell out of range"
+        );
         (k * self.ny + j) * self.nx + i
     }
 

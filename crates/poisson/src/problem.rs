@@ -103,7 +103,11 @@ impl PoissonProblem {
         let fx = (x / h - 0.5).clamp(0.0, (self.grid.nx() - 1) as f64);
         let fy = (y / h - 0.5).clamp(0.0, (self.grid.ny() - 1) as f64);
         let fz = (z / h - 0.5).clamp(0.0, (self.grid.nz() - 1) as f64);
-        let (i0, j0, k0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (i0, j0, k0) = (
+            fx.floor() as usize,
+            fy.floor() as usize,
+            fz.floor() as usize,
+        );
         let (tx, ty, tz) = (fx - i0 as f64, fy - j0 as f64, fz - k0 as f64);
         for (di, wx) in [(0usize, 1.0 - tx), (1, tx)] {
             for (dj, wy) in [(0usize, 1.0 - ty), (1, ty)] {
@@ -172,9 +176,7 @@ impl PoissonProblem {
             ];
             for nb in neighbors.into_iter().flatten() {
                 let coeff = match self.cells[nb] {
-                    CellKind::Dielectric { eps_r } => {
-                        2.0 * eps_c * eps_r / (eps_c + eps_r) * h
-                    }
+                    CellKind::Dielectric { eps_r } => 2.0 * eps_c * eps_r / (eps_c + eps_r) * h,
                     // Electrode face: the Dirichlet value sits half a cell
                     // away; use the interior permittivity over half spacing.
                     CellKind::Electrode { .. } => 2.0 * eps_c * h,
@@ -318,7 +320,11 @@ mod tests {
         p.set_electrode(Region::slab_x(15, 15), 1.0);
         let cold = p.solve(None).unwrap();
         let warm = p.solve(Some(cold.raw())).unwrap();
-        assert!(warm.iterations() <= 1, "warm start iters {}", warm.iterations());
+        assert!(
+            warm.iterations() <= 1,
+            "warm start iters {}",
+            warm.iterations()
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl PoissonSolution {
         let fx = (x / h - 0.5).clamp(0.0, (self.grid.nx() - 1) as f64);
         let fy = (y / h - 0.5).clamp(0.0, (self.grid.ny() - 1) as f64);
         let fz = (z / h - 0.5).clamp(0.0, (self.grid.nz() - 1) as f64);
-        let (i0, j0, k0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (i0, j0, k0) = (
+            fx.floor() as usize,
+            fy.floor() as usize,
+            fz.floor() as usize,
+        );
         let (tx, ty, tz) = (fx - i0 as f64, fy - j0 as f64, fz - k0 as f64);
         let mut acc = 0.0;
         for (di, wx) in [(0usize, 1.0 - tx), (1, tx)] {

@@ -1,15 +1,17 @@
-//! Property-based tests of the electrostatics invariants.
+//! Property-based tests of the electrostatics invariants, driven by the
+//! in-house seeded RNG (deterministic across runs).
 
+use gnr_num::rng::Rng;
 use gnr_poisson::{Grid3, PoissonProblem, Region};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Superposition: the Laplace problem is linear in the electrode
-    /// voltages.
-    #[test]
-    fn electrode_superposition(v1 in -2.0f64..2.0, v2 in -2.0f64..2.0) {
+/// Superposition: the Laplace problem is linear in the electrode
+/// voltages.
+#[test]
+fn electrode_superposition() {
+    let mut rng = Rng::seed_from_u64(0x504f_4901);
+    for _ in 0..8 {
+        let v1 = rng.uniform_in(-2.0, 2.0);
+        let v2 = rng.uniform_in(-2.0, 2.0);
         let grid = Grid3::new(10, 4, 4, 0.5).expect("valid");
         let solve_at = |va: f64, vb: f64| {
             let mut p = PoissonProblem::new(grid);
@@ -23,14 +25,18 @@ proptest! {
         for i in 1..9 {
             let lhs = a.potential_index(i, 2, 2) + b.potential_index(i, 2, 2);
             let rhs = c.potential_index(i, 2, 2);
-            prop_assert!((lhs - rhs).abs() < 1e-7, "{lhs} vs {rhs}");
+            assert!((lhs - rhs).abs() < 1e-7, "{lhs} vs {rhs}");
         }
     }
+}
 
-    /// Charge superposition and sign: potentials scale linearly with the
-    /// deposited charge.
-    #[test]
-    fn charge_linearity(q in 0.1f64..3.0) {
+/// Charge superposition and sign: potentials scale linearly with the
+/// deposited charge.
+#[test]
+fn charge_linearity() {
+    let mut rng = Rng::seed_from_u64(0x504f_4902);
+    for _ in 0..8 {
+        let q = rng.uniform_in(0.1, 3.0);
         let grid = Grid3::new(8, 8, 8, 0.5).expect("valid");
         let solve_with = |charge: f64| {
             let mut p = PoissonProblem::new(grid);
@@ -43,13 +49,22 @@ proptest! {
         let scaled = solve_with(q);
         let a = unit.potential_at(2.0, 2.0, 2.0);
         let b = scaled.potential_at(2.0, 2.0, 2.0);
-        prop_assert!((b - q * a).abs() < 1e-6 * (1.0 + b.abs()), "{b} vs {}", q * a);
+        assert!(
+            (b - q * a).abs() < 1e-6 * (1.0 + b.abs()),
+            "{b} vs {}",
+            q * a
+        );
     }
+}
 
-    /// The discrete maximum principle: with no charge, the potential is
-    /// bounded by the electrode extremes everywhere.
-    #[test]
-    fn maximum_principle(v1 in -3.0f64..3.0, v2 in -3.0f64..3.0) {
+/// The discrete maximum principle: with no charge, the potential is
+/// bounded by the electrode extremes everywhere.
+#[test]
+fn maximum_principle() {
+    let mut rng = Rng::seed_from_u64(0x504f_4903);
+    for _ in 0..16 {
+        let v1 = rng.uniform_in(-3.0, 3.0);
+        let v2 = rng.uniform_in(-3.0, 3.0);
         let grid = Grid3::new(8, 4, 4, 0.5).expect("valid");
         let mut p = PoissonProblem::new(grid);
         p.set_electrode(Region::slab_x(0, 0), v1);
@@ -57,22 +72,24 @@ proptest! {
         let sol = p.solve(None).expect("solves");
         let (lo, hi) = (v1.min(v2), v1.max(v2));
         for &phi in sol.raw() {
-            prop_assert!(phi >= lo - 1e-8 && phi <= hi + 1e-8, "phi = {phi}");
+            assert!(phi >= lo - 1e-8 && phi <= hi + 1e-8, "phi = {phi}");
         }
     }
+}
 
-    /// Cloud-in-cell deposition conserves the total charge exactly for any
-    /// in-domain position.
-    #[test]
-    fn cic_conserves_charge(
-        x in 0.5f64..3.5,
-        y in 0.5f64..3.5,
-        z in 0.5f64..3.5,
-        q in -5.0f64..5.0,
-    ) {
+/// Cloud-in-cell deposition conserves the total charge exactly for any
+/// in-domain position.
+#[test]
+fn cic_conserves_charge() {
+    let mut rng = Rng::seed_from_u64(0x504f_4904);
+    for _ in 0..16 {
+        let x = rng.uniform_in(0.5, 3.5);
+        let y = rng.uniform_in(0.5, 3.5);
+        let z = rng.uniform_in(0.5, 3.5);
+        let q = rng.uniform_in(-5.0, 5.0);
         let grid = Grid3::new(8, 8, 8, 0.5).expect("valid");
         let mut p = PoissonProblem::new(grid);
         p.add_point_charge(x, y, z, q);
-        prop_assert!((p.total_charge() - q).abs() < 1e-12);
+        assert!((p.total_charge() - q).abs() < 1e-12);
     }
 }

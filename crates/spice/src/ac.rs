@@ -56,12 +56,7 @@ impl AcSweep {
 
     /// The −3 dB bandwidth relative to the lowest-frequency gain, if the
     /// sweep crosses it.
-    pub fn bandwidth_3db(
-        &self,
-        circuit: &Circuit,
-        input: NodeId,
-        output: NodeId,
-    ) -> Option<f64> {
+    pub fn bandwidth_3db(&self, circuit: &Circuit, input: NodeId, output: NodeId) -> Option<f64> {
         let g = self.gain(circuit, input, output);
         let g0 = g.first()?.1;
         let target = g0 / 2f64.sqrt();
@@ -194,7 +189,9 @@ mod tests {
             farads: cap,
         });
         let f_pole = 1.0 / (2.0 * std::f64::consts::PI * r * cap);
-        let freqs: Vec<f64> = (0..7).map(|k| f_pole * 10f64.powf(k as f64 / 2.0 - 1.5)).collect();
+        let freqs: Vec<f64> = (0..7)
+            .map(|k| f_pole * 10f64.powf(k as f64 / 2.0 - 1.5))
+            .collect();
         let sweep = ac_analysis(&c, 0, &freqs, DcOptions::default()).unwrap();
         for p in &sweep.points {
             let h = p.voltage(&c, out).norm();
@@ -214,7 +211,10 @@ mod tests {
         );
         // Bandwidth extraction finds the pole.
         let bw = sweep.bandwidth_3db(&c, vin, out).unwrap();
-        assert!((bw / f_pole - 1.0).abs() < 0.2, "bw {bw:.3e} vs {f_pole:.3e}");
+        assert!(
+            (bw / f_pole - 1.0).abs() < 0.2,
+            "bw {bw:.3e} vs {f_pole:.3e}"
+        );
     }
 
     /// A resistive divider is frequency-flat.

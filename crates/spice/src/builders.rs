@@ -217,7 +217,7 @@ impl RingOscillator {
     /// Returns [`SpiceError::Config`] for an even or too-small stage count
     /// or an empty cell list.
     pub fn with_cells(cells: &[InverterCell], stages: usize, vdd: f64) -> Result<Self, SpiceError> {
-        if stages < 3 || stages % 2 == 0 {
+        if stages < 3 || stages.is_multiple_of(2) {
             return Err(SpiceError::config("ring oscillator needs odd stages >= 3"));
         }
         if cells.is_empty() {

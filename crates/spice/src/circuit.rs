@@ -122,6 +122,10 @@ pub enum Element {
     },
 }
 
+/// Callback that stamps a capacitor companion model into the MNA system
+/// (element, trial solution, Jacobian, residual).
+pub(crate) type CapStamp<'a> = &'a mut dyn FnMut(&Element, &[f64], &mut Matrix, &mut Vec<f64>);
+
 /// A flat netlist plus node interning.
 #[derive(Clone, Debug, Default)]
 pub struct Circuit {
@@ -221,14 +225,14 @@ impl Circuit {
         for e in &self.elements {
             match e {
                 Element::Resistor { a, b, ohms } => {
-                    if !(*ohms > 0.0) {
+                    if ohms.is_nan() || *ohms <= 0.0 {
                         return Err(SpiceError::config("resistor must have R > 0"));
                     }
                     touched[a.0] = true;
                     touched[b.0] = true;
                 }
                 Element::Capacitor { a, b, farads } => {
-                    if !(*farads >= 0.0) {
+                    if farads.is_nan() || *farads < 0.0 {
                         return Err(SpiceError::config("capacitor must have C >= 0"));
                     }
                     touched[a.0] = true;
@@ -264,7 +268,7 @@ impl Circuit {
         x: &[f64],
         t: f64,
         gmin: f64,
-        mut cap_stamp: Option<&mut dyn FnMut(&Element, &[f64], &mut Matrix, &mut Vec<f64>)>,
+        mut cap_stamp: Option<CapStamp<'_>>,
         jac: &mut Matrix,
         res: &mut Vec<f64>,
     ) {

@@ -176,7 +176,15 @@ pub fn transfer_curve(
     let mut x: Option<Vec<f64>> = None;
     let mut prev_v: Option<f64> = None;
     for &v in values {
-        let sol = solve_with_continuation(&mut modified, swept_source, prev_v, v, x.as_deref(), opts, 0)?;
+        let sol = solve_with_continuation(
+            &mut modified,
+            swept_source,
+            prev_v,
+            v,
+            x.as_deref(),
+            opts,
+            0,
+        )?;
         curve.push((v, modified.voltage(&sol, out)));
         x = Some(sol);
         prev_v = Some(v);
@@ -224,11 +232,7 @@ fn solve_with_continuation(
 /// # Errors
 ///
 /// Returns [`SpiceError::Config`] if the index is out of range.
-pub fn set_source_value(
-    circuit: &mut Circuit,
-    k: usize,
-    volts: f64,
-) -> Result<(), SpiceError> {
+pub fn set_source_value(circuit: &mut Circuit, k: usize, volts: f64) -> Result<(), SpiceError> {
     use crate::circuit::{Element, Waveform};
     let mut idx = 0;
     // Elements are private to the crate through this helper only.

@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SpiceError::config("floating node").to_string().contains("floating"));
+        assert!(SpiceError::config("floating node")
+            .to_string()
+            .contains("floating"));
         assert!(SpiceError::measurement("no oscillation")
             .to_string()
             .contains("oscillation"));

@@ -156,10 +156,7 @@ pub fn fo4_inverter_metrics(
 /// # Errors
 ///
 /// Propagates construction/analysis failures.
-pub fn fo4_metrics_for_cell(
-    cell: &InverterCell,
-    vdd: f64,
-) -> Result<InverterMetrics, SpiceError> {
+pub fn fo4_metrics_for_cell(cell: &InverterCell, vdd: f64) -> Result<InverterMetrics, SpiceError> {
     // The transient window is sized from an RC estimate; retry with longer
     // windows for slow corners (e.g. heavily mismatched variation studies)
     // whose weaker edge falls outside the first guess.

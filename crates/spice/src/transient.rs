@@ -137,9 +137,12 @@ impl TransientResult {
 /// # Errors
 ///
 /// Propagates netlist validation, DC, and per-step Newton failures.
-pub fn transient(circuit: &Circuit, opts: &TransientOptions) -> Result<TransientResult, SpiceError> {
+pub fn transient(
+    circuit: &Circuit,
+    opts: &TransientOptions,
+) -> Result<TransientResult, SpiceError> {
     circuit.validate()?;
-    if !(opts.dt > 0.0) || !(opts.t_stop > 0.0) {
+    if opts.dt.is_nan() || opts.dt <= 0.0 || opts.t_stop.is_nan() || opts.t_stop <= 0.0 {
         return Err(SpiceError::config("transient needs dt > 0 and t_stop > 0"));
     }
     let n = circuit.unknowns();
@@ -179,7 +182,16 @@ pub fn transient(circuit: &Circuit, opts: &TransientOptions) -> Result<Transient
         let mut prev_worst = f64::INFINITY;
         for _ in 0..opts.newton.max_iterations {
             stamp_with_caps(
-                circuit, &x, &x_prev, t, dt, &caps, opts.integrator, &hist, &mut jac, &mut res,
+                circuit,
+                &x,
+                &x_prev,
+                t,
+                dt,
+                &caps,
+                opts.integrator,
+                &hist,
+                &mut jac,
+                &mut res,
             );
             let worst = res.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if worst < opts.newton.tolerance_a {
@@ -199,7 +211,16 @@ pub fn transient(circuit: &Circuit, opts: &TransientOptions) -> Result<Transient
         if !newton_ok {
             // Accept with a softened tolerance before failing outright.
             stamp_with_caps(
-                circuit, &x, &x_prev, t, dt, &caps, opts.integrator, &hist, &mut jac, &mut res,
+                circuit,
+                &x,
+                &x_prev,
+                t,
+                dt,
+                &caps,
+                opts.integrator,
+                &hist,
+                &mut jac,
+                &mut res,
             );
             let worst = res.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if worst > opts.newton.tolerance_a * 1e3 {
@@ -499,10 +520,7 @@ mod tests {
             (1.5..3.0).contains(&be_ratio),
             "backward euler order ~1: ratio {be_ratio:.2}"
         );
-        assert!(
-            tr_ratio > 3.2,
-            "trapezoidal order ~2: ratio {tr_ratio:.2}"
-        );
+        assert!(tr_ratio > 3.2, "trapezoidal order ~2: ratio {tr_ratio:.2}");
         // And trapezoidal is more accurate outright at equal step.
         assert!(tr_coarse < be_coarse, "{tr_coarse:.3e} vs {be_coarse:.3e}");
     }
@@ -588,6 +606,10 @@ mod tests {
         let v = result.voltage(&c, out);
         let times = result.times();
         let idx = times.iter().position(|&t| t >= tau).unwrap();
-        assert!((v[idx] - (-1.0f64).exp()).abs() < 0.02, "v(tau) = {}", v[idx]);
+        assert!(
+            (v[idx] - (-1.0f64).exp()).abs() < 0.02,
+            "v(tau) = {}",
+            v[idx]
+        );
     }
 }

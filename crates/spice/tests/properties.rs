@@ -1,48 +1,65 @@
-//! Property-based tests of the circuit-simulation invariants.
+//! Property-based tests of the circuit-simulation invariants, driven by
+//! the in-house seeded RNG (deterministic across runs).
 
+use gnr_num::rng::Rng;
 use gnr_spice::circuit::{Circuit, Element, NodeId, Waveform};
 use gnr_spice::dc::{dc_operating_point, DcOptions};
 use gnr_spice::measure::{butterfly_snm, crossing_times};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Resistor ladders obey the analytic voltage-divider solution for any
-    /// positive resistances and source value.
-    #[test]
-    fn resistor_ladder_divider(
-        v in -5.0f64..5.0,
-        r1 in 10.0f64..1e5,
-        r2 in 10.0f64..1e5,
-        r3 in 10.0f64..1e5,
-    ) {
+/// Resistor ladders obey the analytic voltage-divider solution for any
+/// positive resistances and source value.
+#[test]
+fn resistor_ladder_divider() {
+    let mut rng = Rng::seed_from_u64(0x5350_4901);
+    for _ in 0..32 {
+        let v = rng.uniform_in(-5.0, 5.0);
+        let r1 = rng.uniform_in(10.0, 1e5);
+        let r2 = rng.uniform_in(10.0, 1e5);
+        let r3 = rng.uniform_in(10.0, 1e5);
         let mut c = Circuit::new();
         let top = c.node("top");
         let m1 = c.node("m1");
         let m2 = c.node("m2");
-        c.add(Element::VSource { p: top, n: NodeId::GROUND, wave: Waveform::Dc(v) });
-        c.add(Element::Resistor { a: top, b: m1, ohms: r1 });
-        c.add(Element::Resistor { a: m1, b: m2, ohms: r2 });
-        c.add(Element::Resistor { a: m2, b: NodeId::GROUND, ohms: r3 });
+        c.add(Element::VSource {
+            p: top,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(v),
+        });
+        c.add(Element::Resistor {
+            a: top,
+            b: m1,
+            ohms: r1,
+        });
+        c.add(Element::Resistor {
+            a: m1,
+            b: m2,
+            ohms: r2,
+        });
+        c.add(Element::Resistor {
+            a: m2,
+            b: NodeId::GROUND,
+            ohms: r3,
+        });
         let x = dc_operating_point(&c, None, DcOptions::default()).expect("solves");
         let total = r1 + r2 + r3;
         let expect_m1 = v * (r2 + r3) / total;
         let expect_m2 = v * r3 / total;
-        prop_assert!((c.voltage(&x, m1) - expect_m1).abs() < 1e-6 * (1.0 + v.abs()));
-        prop_assert!((c.voltage(&x, m2) - expect_m2).abs() < 1e-6 * (1.0 + v.abs()));
+        assert!((c.voltage(&x, m1) - expect_m1).abs() < 1e-6 * (1.0 + v.abs()));
+        assert!((c.voltage(&x, m2) - expect_m2).abs() < 1e-6 * (1.0 + v.abs()));
         // KCL at the source: branch current = -V/R_total.
         let i = c.source_current(&x, 0);
-        prop_assert!((i + v / total).abs() < 1e-9 * (1.0 + (v / total).abs()));
+        assert!((i + v / total).abs() < 1e-9 * (1.0 + (v / total).abs()));
     }
+}
 
-    /// The pulse waveform is periodic and bounded by its levels.
-    #[test]
-    fn pulse_waveform_invariants(
-        t in 0.0f64..1e-8,
-        low in -1.0f64..0.5,
-        high in 0.6f64..2.0,
-    ) {
+/// The pulse waveform is periodic and bounded by its levels.
+#[test]
+fn pulse_waveform_invariants() {
+    let mut rng = Rng::seed_from_u64(0x5350_4902);
+    for _ in 0..32 {
+        let t = rng.uniform_in(0.0, 1e-8);
+        let low = rng.uniform_in(-1.0, 0.5);
+        let high = rng.uniform_in(0.6, 2.0);
         let w = Waveform::Pulse {
             low,
             high,
@@ -53,16 +70,18 @@ proptest! {
             period: 1e-9,
         };
         let v = w.value(t);
-        prop_assert!(v >= low - 1e-12 && v <= high + 1e-12);
+        assert!(v >= low - 1e-12 && v <= high + 1e-12);
         if t > 1e-10 {
-            prop_assert!((w.value(t) - w.value(t + 1e-9)).abs() < 1e-9);
+            assert!((w.value(t) - w.value(t + 1e-9)).abs() < 1e-9);
         }
     }
+}
 
-    /// Crossing detection finds exactly the crossings of a synthetic
-    /// square-ish wave, with interpolated times inside the sample interval.
-    #[test]
-    fn crossings_are_bracketed(edges in 1usize..6) {
+/// Crossing detection finds exactly the crossings of a synthetic
+/// square-ish wave, with interpolated times inside the sample interval.
+#[test]
+fn crossings_are_bracketed() {
+    for edges in 1usize..6 {
         let mut times = Vec::new();
         let mut wave = Vec::new();
         for k in 0..(edges * 10) {
@@ -71,16 +90,21 @@ proptest! {
         }
         let rises = crossing_times(&times, &wave, 0.5, true);
         let falls = crossing_times(&times, &wave, 0.5, false);
-        prop_assert!(rises.len() + falls.len() <= edges);
+        assert!(rises.len() + falls.len() <= edges);
         for t in rises.iter().chain(&falls) {
-            prop_assert!(*t >= times[0] && *t <= *times.last().unwrap());
+            assert!(*t >= times[0] && *t <= *times.last().unwrap());
         }
     }
+}
 
-    /// Butterfly SNM is symmetric under swapping identical curves, bounded
-    /// by VDD/2, and scales with the supply for ideal inverters.
-    #[test]
-    fn snm_bounds(vth_frac in 0.2f64..0.8, vdd in 0.2f64..1.0) {
+/// Butterfly SNM is symmetric under swapping identical curves, bounded
+/// by VDD/2, and scales with the supply for ideal inverters.
+#[test]
+fn snm_bounds() {
+    let mut rng = Rng::seed_from_u64(0x5350_4903);
+    for _ in 0..32 {
+        let vth_frac = rng.uniform_in(0.2, 0.8);
+        let vdd = rng.uniform_in(0.2, 1.0);
         let vtc: Vec<(f64, f64)> = (0..=200)
             .map(|i| {
                 let x = vdd * i as f64 / 200.0;
@@ -89,8 +113,8 @@ proptest! {
             .collect();
         let nm = butterfly_snm(&vtc, &vtc, vdd);
         let expect = vdd * vth_frac.min(1.0 - vth_frac);
-        prop_assert!(nm.snm() <= vdd / 2.0 + 0.02 * vdd);
-        prop_assert!(
+        assert!(nm.snm() <= vdd / 2.0 + 0.02 * vdd);
+        assert!(
             (nm.snm() - expect).abs() < 0.03 * vdd,
             "snm {} vs expected {expect}",
             nm.snm()

@@ -34,14 +34,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nzigzag ribbons (always metallic, flat edge bands):");
-    println!("{:>5} {:>10} {:>10} {:>22}", "N", "width(nm)", "gap (eV)", "|E| at k=pi (eV)");
+    println!(
+        "{:>5} {:>10} {:>10} {:>22}",
+        "N", "width(nm)", "gap (eV)", "|E| at k=pi (eV)"
+    );
     for n in [4usize, 6, 8, 12] {
         let z = ZGnr::new(n)?;
         let gap = z.gap(64)?;
         let bands = z.band_structure(64)?;
         let m = z.atoms_per_cell();
         let edge = bands[m / 2].last().copied().unwrap_or(f64::NAN).abs();
-        println!("{:>5} {:>10.2} {:>10.4} {:>22.2e}", n, z.width_nm(), gap, edge);
+        println!(
+            "{:>5} {:>10.2} {:>10.4} {:>22.2e}",
+            n,
+            z.width_nm(),
+            gap,
+            edge
+        );
     }
 
     // ASCII band diagram of the N=12 armchair ribbon near the gap.

@@ -15,10 +15,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
     let vdd_axis: Vec<f64> = (0..6).map(|i| 0.2 + i as f64 * 0.08).collect();
     let vt_axis: Vec<f64> = (0..5).map(|i| 0.03 + i as f64 * 0.05).collect();
-    println!("exploring a {}x{} (V_DD, V_T) grid ...", vdd_axis.len(), vt_axis.len());
+    println!(
+        "exploring a {}x{} (V_DD, V_T) grid ...",
+        vdd_axis.len(),
+        vt_axis.len()
+    );
     let map = design_space_map(&mut lib, &vdd_axis, &vt_axis, 15)?;
 
-    println!("\n{}", map.render(|p| p.frequency_hz / 1e9, "ring-oscillator frequency (GHz)"));
+    println!(
+        "\n{}",
+        map.render(|p| p.frequency_hz / 1e9, "ring-oscillator frequency (GHz)")
+    );
     println!("{}", map.render(|p| p.edp_js * 1e30, "EDP (aJ-ps)"));
     println!("{}", map.render(|p| p.snm_v * 1e3, "inverter SNM (mV)"));
 

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nFO4 inverter at V_DD = {vdd} V:");
     println!("  delay          = {:.2} ps", metrics.delay_s * 1e12);
     println!("  static power   = {:.4} uW", metrics.static_power_w * 1e6);
-    println!("  switch energy  = {:.4} fJ", metrics.energy_per_cycle_j * 1e15);
+    println!(
+        "  switch energy  = {:.4} fJ",
+        metrics.energy_per_cycle_j * 1e15
+    );
     println!("  noise margin   = {snm:.3} V");
     println!(
         "  est. 15-stage ring oscillator: {:.2} GHz",

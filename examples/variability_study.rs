@@ -32,10 +32,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         nominal.snm_v
     );
     let cases = [
-        ("both devices N=9 (narrow)", DeviceVariant::width(9, ArrayScenario::AllFour)),
-        ("both devices N=18 (wide)", DeviceVariant::width(18, ArrayScenario::AllFour)),
-        ("-2q impurity (all ribbons)", DeviceVariant::charge(-2.0, ArrayScenario::AllFour)),
-        ("-2q impurity (1 of 4)", DeviceVariant::charge(-2.0, ArrayScenario::OneOfFour)),
+        (
+            "both devices N=9 (narrow)",
+            DeviceVariant::width(9, ArrayScenario::AllFour),
+        ),
+        (
+            "both devices N=18 (wide)",
+            DeviceVariant::width(18, ArrayScenario::AllFour),
+        ),
+        (
+            "-2q impurity (all ribbons)",
+            DeviceVariant::charge(-2.0, ArrayScenario::AllFour),
+        ),
+        (
+            "-2q impurity (1 of 4)",
+            DeviceVariant::charge(-2.0, ArrayScenario::OneOfFour),
+        ),
     ];
     for (label, v) in cases {
         let m = inverter_figures(&mut lib, v, v, vdd, shift, None)?;
@@ -48,10 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- a 2x2 corner of Table 4 ---
-    let axis: Vec<(String, usize, f64)> = vec![
-        ("N=9,+q".into(), 9, 1.0),
-        ("N=18,-q".into(), 18, -1.0),
-    ];
+    let axis: Vec<(String, usize, f64)> =
+        vec![("N=9,+q".into(), 9, 1.0), ("N=18,-q".into(), 18, -1.0)];
     let table: VariabilityTable =
         gnrlab::explore::variability::variability_table(&mut lib, &axis, &axis, vdd)?;
     println!("\ncombined width+impurity corner (Table 4 style):");
@@ -62,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Monte Carlo (1000 samples, 15-stage ring oscillator) ...");
     let mc = ring_oscillator_monte_carlo(&mut lib, vdd, 15, 1000, 42)?;
     if mc.stalled_samples > 0 {
-        println!("  {} of 1000 rings stalled (non-functional stage drawn)", mc.stalled_samples);
+        println!(
+            "  {} of 1000 rings stalled (non-functional stage drawn)",
+            mc.stalled_samples
+        );
     }
     let f = mc.frequency_summary()?;
     let s = mc.static_summary()?;

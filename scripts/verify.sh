@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification for gnrlab: hermetic build + full test suite + lints.
+#
+# The workspace has zero external crate dependencies, so everything here
+# runs with --offline: a network-isolated container must pass this script
+# unmodified. Usage: scripts/verify.sh  (from the repo root or anywhere).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q (offline, whole workspace) =="
+cargo test --workspace -q --offline
+
+echo "== lint: cargo fmt --check =="
+cargo fmt --check
+
+echo "== lint: cargo clippy -D warnings (offline) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: all checks passed"

@@ -33,8 +33,7 @@ fn bench() -> &'static Bench {
             .expect("table")
             .with_vg_shift(-vmin);
         let p = n.mirrored();
-        let cell =
-            InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("cell");
+        let cell = InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("cell");
         let mut circuit = Circuit::new();
         let input = circuit.node("in");
         let output = circuit.node("out");
@@ -71,7 +70,10 @@ fn low_frequency_gain_matches_vtc_slope() {
     let vals = [VDD / 2.0 - dv, VDD / 2.0 + dv];
     let vtc = transfer_curve(&b.circuit, 0, &vals, b.output, DcOptions::default()).unwrap();
     let dc_gain = ((vtc[1].1 - vtc[0].1) / (2.0 * dv)).abs();
-    assert!(ac_gain > 1.0, "regenerative gain required, got {ac_gain:.2}");
+    assert!(
+        ac_gain > 1.0,
+        "regenerative gain required, got {ac_gain:.2}"
+    );
     assert!(
         (ac_gain - dc_gain).abs() < 0.25 * dc_gain.max(1.0),
         "ac {ac_gain:.2} vs dc slope {dc_gain:.2}"

@@ -66,9 +66,15 @@ fn latch_holds_both_states() {
         let vl = *result.voltage(&c, left).last().unwrap();
         let vr = *result.voltage(&c, right).last().unwrap();
         if l0 > r0 {
-            assert!(vl > 0.8 * vdd && vr < 0.2 * vdd, "state lost: l={vl:.3} r={vr:.3}");
+            assert!(
+                vl > 0.8 * vdd && vr < 0.2 * vdd,
+                "state lost: l={vl:.3} r={vr:.3}"
+            );
         } else {
-            assert!(vr > 0.8 * vdd && vl < 0.2 * vdd, "state lost: l={vl:.3} r={vr:.3}");
+            assert!(
+                vr > 0.8 * vdd && vl < 0.2 * vdd,
+                "state lost: l={vl:.3} r={vr:.3}"
+            );
         }
     }
 }

@@ -28,8 +28,8 @@ fn nominal_cell() -> &'static (InverterCell, f64) {
             .expect("table builds")
             .with_vg_shift(-vmin);
         let p = n.mirrored();
-        let cell = InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal())
-            .expect("parasitics fold");
+        let cell =
+            InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("parasitics fold");
         (cell, 0.4)
     })
 }
@@ -40,7 +40,11 @@ fn inverter_logic_levels_and_delay() {
     let vtc = inverter_vtc(cell, *vdd, 33).unwrap();
     // Full logic swing at the rails.
     assert!(vtc[0].1 > 0.95 * vdd, "V_OH = {}", vtc[0].1);
-    assert!(vtc.last().unwrap().1 < 0.05 * vdd, "V_OL = {}", vtc.last().unwrap().1);
+    assert!(
+        vtc.last().unwrap().1 < 0.05 * vdd,
+        "V_OL = {}",
+        vtc.last().unwrap().1
+    );
     // Monotone non-increasing transfer curve.
     for w in vtc.windows(2) {
         assert!(w[1].1 <= w[0].1 + 1e-6);
@@ -101,7 +105,10 @@ fn vt_shift_trades_leakage_for_speed() {
     let m_nom = fo4_metrics_for_cell(cell, *vdd).unwrap();
     // Lower threshold: faster but leakier; higher threshold: the reverse.
     assert!(m_low.delay_s < m_nom.delay_s, "low-VT faster");
-    assert!(m_low.static_power_w > m_nom.static_power_w, "low-VT leakier");
+    assert!(
+        m_low.static_power_w > m_nom.static_power_w,
+        "low-VT leakier"
+    );
     assert!(m_high.delay_s > m_nom.delay_s, "high-VT slower");
 }
 

@@ -22,7 +22,10 @@ fn width_table_signs_match_paper() {
     let table = variability_table(&mut lib, &axis, &axis, 0.4).unwrap();
     // N=9/N=9 cell: slower (paper: +6..77% delay).
     let (one, all) = table.delta_pct(0, 0, Metric::Delay);
-    assert!(one > 0.0 && all > one, "N9 delay deltas one {one:.0}% all {all:.0}%");
+    assert!(
+        one > 0.0 && all > one,
+        "N9 delay deltas one {one:.0}% all {all:.0}%"
+    );
     // N=18/N=18 cell: faster but dramatically leakier (paper: -12..-30%
     // delay, +313..643% static in its worst case).
     let (one18, all18) = table.delta_pct(1, 1, Metric::Delay);
