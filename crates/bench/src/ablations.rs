@@ -141,9 +141,33 @@ fn scf_mixing(h: &mut Harness) {
     }
 }
 
+/// Recovery-ladder overhead: the escalation ladder wraps every SCF solve,
+/// so its fault-free cost on a nominal bias point must stay negligible
+/// (one extra report allocation; the nominal rung is the plain solve).
+fn scf_recovery(h: &mut Harness) {
+    let mut cfg = DeviceConfig::test_small(9).expect("valid");
+    cfg.channel_cells = 8;
+    let solver = ScfSolver::new(&cfg, ScfOptions::fast());
+    h.bench(SUITE, "scf_recovery/direct", || {
+        black_box(
+            solver
+                .solve(black_box(0.2), black_box(0.2))
+                .expect("converges"),
+        )
+    });
+    h.bench(SUITE, "scf_recovery/ladder", || {
+        black_box(
+            solver
+                .solve_with_recovery(black_box(0.2), black_box(0.2))
+                .expect("converges"),
+        )
+    });
+}
+
 pub fn register(h: &mut Harness) {
     rgf_vs_dense(h);
     table_vs_model(h);
     integrator(h);
     scf_mixing(h);
+    scf_recovery(h);
 }

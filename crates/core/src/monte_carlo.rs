@@ -15,6 +15,7 @@
 use crate::devices::{ArrayScenario, DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
 use crate::variability::{inverter_figures, InverterFigures};
+use gnr_num::recover::FaultLog;
 use gnr_num::rng::Rng;
 use gnr_num::stats::{summarize, Histogram, Summary};
 
@@ -99,6 +100,17 @@ impl MonteCarloResult {
         summarize(&self.dynamic_w).map_err(|e| ExploreError::config(e.to_string()))
     }
 
+    /// Fraction of samples that produced a working oscillator:
+    /// `functional / (functional + stalled)`. `1.0` for an empty run.
+    pub fn functional_yield(&self) -> f64 {
+        let total = self.frequency_hz.len() + self.stalled_samples;
+        if total == 0 {
+            1.0
+        } else {
+            self.frequency_hz.len() as f64 / total as f64
+        }
+    }
+
     /// Builds a histogram of one sample vector spanning its min–max range.
     ///
     /// # Errors
@@ -123,16 +135,48 @@ pub struct StageUniverse {
     stages: usize,
 }
 
+/// A characterization-failed universe cell: the stage is treated like one
+/// with collapsed logic levels (NaN delay/energy stalls any ring drawing
+/// it); its leakage is unknown, so it contributes none.
+const DEAD_CELL: InverterFigures = InverterFigures {
+    delay_s: f64::NAN,
+    static_w: 0.0,
+    dynamic_w: f64::NAN,
+    energy_j: f64::NAN,
+    snm_v: f64::NAN,
+};
+
 /// Characterizes the stage universe once; sampling via
 /// [`monte_carlo_from_universe`] is then microseconds per ring.
+/// Per-cell failures are isolated into dead cells (see
+/// [`characterize_stage_universe_logged`] for the fault records).
 ///
 /// # Errors
 ///
-/// Propagates characterization failures.
+/// Propagates nominal-reference characterization failures.
 pub fn characterize_stage_universe(
     lib: &mut DeviceLibrary,
     vdd: f64,
     stages: usize,
+) -> Result<StageUniverse, ExploreError> {
+    let mut log = FaultLog::new();
+    characterize_stage_universe_logged(lib, vdd, stages, &mut log)
+}
+
+/// Fault-isolating universe characterization: a failing cell no longer
+/// aborts the run — it becomes a dead cell (NaN figures, so rings drawing
+/// it stall and count against yield) and is recorded in `log` with its
+/// cell index under stage `"characterize"`. Only the nominal reference
+/// cell stays fatal, since every other figure is normalized against it.
+///
+/// # Errors
+///
+/// Propagates nominal-reference characterization failures.
+pub fn characterize_stage_universe_logged(
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+    stages: usize,
+    log: &mut FaultLog,
 ) -> Result<StageUniverse, ExploreError> {
     let widths = [9usize, 12, 15];
     let charges = [-1.0f64, 0.0, 1.0];
@@ -149,32 +193,40 @@ pub fn characterize_stage_universe(
         )?;
         1.0 / (2.0 * stages as f64 * nominal.delay_s)
     };
-    for (nw, nq) in widths
+    for (cell, ((nw, nq), (pw, pq))) in widths
         .iter()
         .flat_map(|w| charges.iter().map(move |q| (*w, *q)))
+        .flat_map(|n| {
+            widths
+                .iter()
+                .flat_map(|w| charges.iter().map(move |q| (*w, *q)))
+                .map(move |p| (n, p))
+        })
+        .enumerate()
     {
-        for (pw, pq) in widths
-            .iter()
-            .flat_map(|w| charges.iter().map(move |q| (*w, *q)))
-        {
-            let nv = DeviceVariant {
-                n: nw,
-                charge_q: nq,
-                scenario: ArrayScenario::AllFour,
-            };
-            let pv = DeviceVariant {
-                n: pw,
-                charge_q: pq,
-                scenario: ArrayScenario::AllFour,
-            };
-            figures.push(inverter_figures(
-                lib,
-                nv,
-                pv,
-                vdd,
-                shift,
-                Some(nominal_freq_guess),
-            )?);
+        let nv = DeviceVariant {
+            n: nw,
+            charge_q: nq,
+            scenario: ArrayScenario::AllFour,
+        };
+        let pv = DeviceVariant {
+            n: pw,
+            charge_q: pq,
+            scenario: ArrayScenario::AllFour,
+        };
+        let cell_result = if gnr_num::fault::should_fail("characterize") {
+            Err(ExploreError::config(
+                "injected fault: cell characterization suppressed",
+            ))
+        } else {
+            inverter_figures(lib, nv, pv, vdd, shift, Some(nominal_freq_guess))
+        };
+        match cell_result {
+            Ok(figs) => figures.push(figs),
+            Err(e) => {
+                log.record(cell, "characterize", e.to_string());
+                figures.push(DEAD_CELL);
+            }
         }
     }
     Ok(StageUniverse { figures, stages })
@@ -212,11 +264,54 @@ pub fn ring_oscillator_monte_carlo(
     Ok(monte_carlo_from_universe(&universe, samples, seed))
 }
 
+/// Fault-isolated Monte Carlo study: like [`ring_oscillator_monte_carlo`]
+/// but every per-cell characterization failure and every stalled ring
+/// sample is recorded in the returned [`FaultLog`] (sample id + stage)
+/// instead of being silent or fatal. Numerically identical to the plain
+/// variant — logging draws nothing from the sample RNG.
+///
+/// # Errors
+///
+/// Propagates nominal-reference characterization failures.
+pub fn ring_oscillator_monte_carlo_isolated(
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+    stages: usize,
+    samples: usize,
+    seed: u64,
+) -> Result<(MonteCarloResult, FaultLog), ExploreError> {
+    let mut log = FaultLog::new();
+    let universe = characterize_stage_universe_logged(lib, vdd, stages, &mut log)?;
+    let result = sample_universe(&universe, samples, seed, &mut log);
+    Ok((result, log))
+}
+
 /// Samples `samples` rings from a pre-characterized universe.
 pub fn monte_carlo_from_universe(
     universe: &StageUniverse,
     samples: usize,
     seed: u64,
+) -> MonteCarloResult {
+    let mut log = FaultLog::new();
+    sample_universe(universe, samples, seed, &mut log)
+}
+
+/// Samples `samples` rings from a pre-characterized universe, recording
+/// every stalled ring in `log` (sample id, stage `"ring"`).
+pub fn monte_carlo_from_universe_logged(
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+    log: &mut FaultLog,
+) -> MonteCarloResult {
+    sample_universe(universe, samples, seed, log)
+}
+
+fn sample_universe(
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+    log: &mut FaultLog,
 ) -> MonteCarloResult {
     let stages = universe.stages;
     let pair =
@@ -233,7 +328,7 @@ pub fn monte_carlo_from_universe(
     let mut dynamic_w = Vec::with_capacity(samples);
     let mut static_w = Vec::with_capacity(samples);
     let mut stalled_samples = 0usize;
-    for _ in 0..samples {
+    for sample in 0..samples {
         let mut period = 0.0;
         let mut energy = 0.0;
         let mut leak = 0.0;
@@ -252,6 +347,11 @@ pub fn monte_carlo_from_universe(
         // ring: count it as a functional-yield loss, keep its leakage.
         if !period.is_finite() || !energy.is_finite() {
             stalled_samples += 1;
+            log.record(
+                sample,
+                "ring",
+                "ring stalled: non-finite period/energy from a dead or collapsed stage",
+            );
             static_w.push(leak);
             continue;
         }

@@ -51,6 +51,8 @@ fn width_variation_statistics_pinned() {
     // sequence is pinned by the RNG contract, so any change to the sampler
     // or the generator moves this count and must be reviewed.
     assert_eq!(kept, 1470, "functional yield changed");
+    assert_eq!(mc.stalled_samples, 530, "stalled-sample count changed");
+    assert!((mc.functional_yield() - 0.735).abs() < 1e-12);
 
     // Pinned distribution shape for seed 20080608 at Fast fidelity
     // (loose ±bands so a deliberate surrogate retune doesn't thrash the

@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod config;
 pub mod error;
 pub mod sbfet;

@@ -14,6 +14,7 @@ use crate::error::DeviceError;
 use gnr_lattice::DeviceHamiltonian;
 use gnr_negf::transport::{integrate_transport, EnergyGrid};
 use gnr_negf::{Lead, RgfSolver};
+use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
 use gnr_poisson::PoissonSolution;
 
 /// Convergence and fidelity knobs of the SCF loop.
@@ -96,6 +97,129 @@ impl ScfSolver {
     /// Returns [`DeviceError::ScfDiverged`] if the potential update fails to
     /// fall below tolerance, or propagates solver failures.
     pub fn solve(&self, v_g: f64, v_d: f64) -> Result<ScfResult, DeviceError> {
+        let mut best = None;
+        self.solve_inner(v_g, v_d, &self.opts, None, &mut best)
+    }
+
+    /// Runs the SCF loop under an escalation ladder: the nominal attempt
+    /// first (byte-for-byte the same computation as [`ScfSolver::solve`]),
+    /// then on divergence a mixing backoff continuing from the last
+    /// potential, a fresh restart at quarter mixing, and finally a restart
+    /// on a twice-finer energy grid. If no rung converges, the
+    /// lowest-residual best-effort result is returned flagged
+    /// [`Degraded`](gnr_num::recover::Quality::Degraded) in the report
+    /// instead of an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first attempt's error only when every rung fails without
+    /// producing even a best-effort iterate (e.g. configuration or
+    /// upstream solver failures).
+    pub fn solve_with_recovery(
+        &self,
+        v_g: f64,
+        v_d: f64,
+    ) -> Result<(ScfResult, SolveReport), DeviceError> {
+        struct ScfPolicy {
+            opts: ScfOptions,
+            reuse_potential: bool,
+        }
+        let base = self.opts;
+        let ladder = EscalationLadder::new()
+            .rung(
+                "nominal",
+                ScfPolicy {
+                    opts: base,
+                    reuse_potential: false,
+                },
+            )
+            .rung(
+                "mixing-backoff",
+                ScfPolicy {
+                    opts: ScfOptions {
+                        mixing: base.mixing * 0.5,
+                        ..base
+                    },
+                    reuse_potential: true,
+                },
+            )
+            .rung(
+                "restart-low-mixing",
+                ScfPolicy {
+                    opts: ScfOptions {
+                        mixing: base.mixing * 0.25,
+                        ..base
+                    },
+                    reuse_potential: false,
+                },
+            )
+            .rung(
+                "fine-energy-grid",
+                ScfPolicy {
+                    opts: ScfOptions {
+                        mixing: base.mixing * 0.25,
+                        energy_points: base.energy_points * 2,
+                        ..base
+                    },
+                    reuse_potential: false,
+                },
+            );
+
+        let mut carry_u: Option<Vec<f64>> = None;
+        let mut first_err: Option<DeviceError> = None;
+        let outcome = ladder.run(|_, policy: &ScfPolicy| {
+            if gnr_num::fault::should_fail("scf") {
+                return AttemptReport::failed("injected fault: scf attempt suppressed");
+            }
+            let init = if policy.reuse_potential {
+                carry_u.as_deref()
+            } else {
+                None
+            };
+            let mut best = None;
+            match self.solve_inner(v_g, v_d, &policy.opts, init, &mut best) {
+                Ok(r) => {
+                    let (it, res) = (r.iterations, r.residual_v);
+                    AttemptReport::converged(r, it, res)
+                }
+                Err(err) => {
+                    let msg = err.to_string();
+                    if first_err.is_none() {
+                        first_err = Some(err);
+                    }
+                    match best {
+                        Some((result, u_atoms)) => {
+                            carry_u = Some(u_atoms);
+                            let (it, res) = (result.iterations, result.residual_v);
+                            AttemptReport::degraded(result, it, res)
+                        }
+                        None => AttemptReport::failed(msg),
+                    }
+                }
+            }
+        });
+        match outcome.value {
+            Some(result) => Ok((result, outcome.report)),
+            None => Err(first_err.unwrap_or(DeviceError::ScfDiverged {
+                iterations: 0,
+                residual_v: f64::NAN,
+            })),
+        }
+    }
+
+    /// The SCF loop itself. `opts` overrides the solver's options for this
+    /// attempt; `init_u` (when its length matches the atom count) replaces
+    /// the Laplace initial guess for the atom-site potential; on
+    /// divergence, `best_out` receives the last iterate as a best-effort
+    /// [`ScfResult`] plus its atom potential for ladder continuation.
+    fn solve_inner(
+        &self,
+        v_g: f64,
+        v_d: f64,
+        opts: &ScfOptions,
+        init_u: Option<&[f64]>,
+        best_out: &mut Option<(ScfResult, Vec<f64>)>,
+    ) -> Result<ScfResult, DeviceError> {
         let cfg = &self.cfg;
         let gnr = cfg.gnr;
         let cells = cfg.channel_cells;
@@ -119,20 +243,25 @@ impl ScfSolver {
 
         let mu_s = 0.0f64;
         let mu_d = -v_d;
-        let pad = self.opts.energy_margin_ev;
+        let pad = opts.energy_margin_ev;
         let grid = EnergyGrid::new(
             mu_s.min(mu_d) - pad,
             mu_s.max(mu_d) + pad,
-            self.opts.energy_points,
+            opts.energy_points,
         )?;
 
-        // Initial guess: zero charge -> Laplace potential.
+        // Initial guess: zero charge -> Laplace potential (still solved when
+        // a ladder rung hands in a previous iterate, to seed the Poisson
+        // warm start).
         let problem = cfg.build_poisson(0.0, v_d, v_g)?;
         let mut poisson_sol: PoissonSolution = problem.solve(None)?;
-        let mut u_atoms: Vec<f64> = positions
-            .iter()
-            .map(|&(x, y, z)| -poisson_sol.potential_at(x, y, z))
-            .collect();
+        let mut u_atoms: Vec<f64> = match init_u {
+            Some(prev) if prev.len() == atoms => prev.to_vec(),
+            _ => positions
+                .iter()
+                .map(|&(x, y, z)| -poisson_sol.potential_at(x, y, z))
+                .collect(),
+        };
 
         let mut last = ScfIter {
             current_a: 0.0,
@@ -142,10 +271,10 @@ impl ScfSolver {
         };
         // Adaptive damping: back off when the update grows (oscillation),
         // recover slowly towards the configured mixing when it shrinks.
-        let mut alpha = self.opts.mixing;
+        let mut alpha = opts.mixing;
         let mut prev_residual = f64::INFINITY;
 
-        for it in 0..self.opts.max_iterations {
+        for it in 0..opts.max_iterations {
             // NEGF with the current potential.
             let ham = DeviceHamiltonian::new(gnr, cells, &u_atoms)?;
             let solver = RgfSolver::new(
@@ -176,7 +305,7 @@ impl ScfSolver {
             if residual > prev_residual {
                 alpha = (alpha * 0.6).max(0.01);
             } else {
-                alpha = (alpha * 1.03).min(self.opts.mixing);
+                alpha = (alpha * 1.03).min(opts.mixing);
             }
             prev_residual = residual;
             for (u, nu) in u_atoms.iter_mut().zip(&new_u) {
@@ -189,7 +318,7 @@ impl ScfSolver {
                 residual,
                 iterations: it + 1,
             };
-            if residual < self.opts.tolerance_v {
+            if residual < opts.tolerance_v {
                 let layer_potential_ev = (0..cells)
                     .map(|l| u_atoms[l * m..(l + 1) * m].iter().sum::<f64>() / m as f64)
                     .collect();
@@ -202,6 +331,24 @@ impl ScfSolver {
                     residual_v: residual,
                 });
             }
+        }
+        // Hand the last iterate to the caller as best-effort state (only on
+        // the divergence path, so the converged path does no extra work).
+        if last.iterations > 0 {
+            let layer_potential_ev = (0..cells)
+                .map(|l| u_atoms[l * m..(l + 1) * m].iter().sum::<f64>() / m as f64)
+                .collect();
+            let charge_c = last.charge.iter().sum::<f64>() * gnr_num::consts::Q_E;
+            *best_out = Some((
+                ScfResult {
+                    current_a: last.current_a,
+                    charge_c,
+                    layer_potential_ev,
+                    iterations: last.iterations,
+                    residual_v: last.residual,
+                },
+                u_atoms,
+            ));
         }
         Err(DeviceError::ScfDiverged {
             iterations: last.iterations,
@@ -267,6 +414,37 @@ mod tests {
             on.current_a,
             off.current_a
         );
+    }
+
+    #[test]
+    fn recovery_nominal_path_is_bit_identical() {
+        let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
+        let plain = solver.solve(0.0, 0.1).unwrap();
+        let (laddered, report) = solver.solve_with_recovery(0.0, 0.1).unwrap();
+        assert!(report.nominal(), "fault-free: first rung must win");
+        assert_eq!(report.policy_used.as_deref(), Some("nominal"));
+        assert_eq!(plain.current_a.to_bits(), laddered.current_a.to_bits());
+        assert_eq!(plain.charge_c.to_bits(), laddered.charge_c.to_bits());
+        assert_eq!(plain.layer_potential_ev, laddered.layer_potential_ev);
+        assert_eq!(plain.iterations, laddered.iterations);
+    }
+
+    #[test]
+    fn ladder_rescues_iteration_starved_solve() {
+        // One SCF iteration cannot converge; the nominal rung diverges but
+        // later rungs (same budget, lower mixing) cannot either — the
+        // ladder must still hand back a flagged best-effort result.
+        let opts = ScfOptions {
+            max_iterations: 1,
+            ..ScfOptions::fast()
+        };
+        let solver = ScfSolver::new(&tiny_cfg(), opts);
+        assert!(solver.solve(0.0, 0.1).is_err());
+        let (result, report) = solver.solve_with_recovery(0.0, 0.1).unwrap();
+        assert!(report.degraded());
+        assert_eq!(report.attempts.len(), 4, "every rung attempted");
+        assert!(result.residual_v.is_finite());
+        assert_eq!(result.iterations, 1);
     }
 
     #[test]

@@ -32,11 +32,13 @@ pub mod complex;
 pub mod consts;
 pub mod dense;
 pub mod error;
+pub mod fault;
 pub mod fermi;
 pub mod interp;
 pub mod json;
 pub mod linfit;
 pub mod quad;
+pub mod recover;
 pub mod rng;
 pub mod roots;
 pub mod solver;
@@ -49,5 +51,9 @@ pub use dense::Matrix;
 pub use error::{NumError, NumResult};
 pub use interp::{BilinearTable, Grid1, Grid2, LinearTable};
 pub use json::Json;
+pub use recover::{
+    Attempt, AttemptOutcome, AttemptReport, EscalationLadder, FaultEvent, FaultLog, Quality,
+    SolveReport,
+};
 pub use rng::Rng;
 pub use sparse::{CsrMatrix, TripletBuilder};

@@ -1,0 +1,552 @@
+//! Escalation ladders and degraded-result reporting for fragile solves.
+//!
+//! The solver stack chains several numerically fragile loops (NEGF⇄Poisson
+//! SCF, SPICE Newton, Krylov linear solves). Each of them gets a *ladder*
+//! of recovery policies: the nominal attempt first, then progressively more
+//! conservative retries. [`EscalationLadder`] runs the rungs in order,
+//! returns the first converged result, and otherwise keeps the best
+//! *degraded* (best-effort, not-converged) result seen. Every run yields a
+//! [`SolveReport`] recording which rung won, every attempt made, and the
+//! residual trajectory, so callers can distinguish a clean solve from a
+//! rescued one.
+//!
+//! The nominal rung of every ladder must reproduce the pre-ladder call
+//! byte for byte: recovery logic only runs on paths that previously
+//! returned an error, so fault-free results stay bit-identical.
+
+use crate::error::{NumError, NumResult};
+use crate::solver::{bicgstab_solve, cg_solve, IterControl, SolveStats};
+use crate::sparse::CsrMatrix;
+
+/// How trustworthy a ladder result is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quality {
+    /// A rung met its convergence target.
+    Converged,
+    /// No rung converged; the result is the best residual seen and must be
+    /// flagged downstream.
+    Degraded,
+    /// Every rung failed outright; no usable result.
+    Failed,
+}
+
+/// One attempt at one rung of a ladder.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// Rung label (e.g. `"nominal"`, `"mixing-backoff"`, `"dense-lu"`).
+    pub policy: String,
+    /// Iterations the attempt used (0 when unknown).
+    pub iterations: usize,
+    /// Residual at the end of the attempt (NaN when unknown).
+    pub residual: f64,
+    /// Error message when the attempt failed outright.
+    pub error: Option<String>,
+}
+
+/// Record of a laddered solve: what was tried, what won, how good it is.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Overall outcome quality.
+    pub quality: Quality,
+    /// Label of the rung whose result was kept, if any.
+    pub policy_used: Option<String>,
+    /// Every attempt, in execution order.
+    pub attempts: Vec<Attempt>,
+    /// Final residual of each attempt, in execution order (NaN for
+    /// attempts that died before producing one).
+    pub residual_trajectory: Vec<f64>,
+}
+
+impl SolveReport {
+    /// `true` when a rung fully converged.
+    pub fn converged(&self) -> bool {
+        self.quality == Quality::Converged
+    }
+
+    /// `true` when the kept result is best-effort only.
+    pub fn degraded(&self) -> bool {
+        self.quality == Quality::Degraded
+    }
+
+    /// `true` when the nominal (first) rung won: the ladder added nothing.
+    pub fn nominal(&self) -> bool {
+        self.quality == Quality::Converged && self.attempts.len() == 1
+    }
+}
+
+/// Outcome of a single ladder attempt, as classified by the attempt
+/// closure.
+#[derive(Debug)]
+pub enum AttemptOutcome<T> {
+    /// The attempt met its convergence target.
+    Converged(T),
+    /// The attempt produced a usable best-effort result without meeting
+    /// the target.
+    Degraded(T),
+    /// The attempt produced nothing usable.
+    Failed(String),
+}
+
+/// One classified attempt: the outcome plus its iteration/residual stats.
+#[derive(Debug)]
+pub struct AttemptReport<T> {
+    /// What the attempt produced.
+    pub outcome: AttemptOutcome<T>,
+    /// Iterations used (0 when unknown).
+    pub iterations: usize,
+    /// Final residual (NaN when unknown).
+    pub residual: f64,
+}
+
+impl<T> AttemptReport<T> {
+    /// A converged attempt.
+    pub fn converged(value: T, iterations: usize, residual: f64) -> Self {
+        AttemptReport {
+            outcome: AttemptOutcome::Converged(value),
+            iterations,
+            residual,
+        }
+    }
+
+    /// A best-effort, not-converged attempt.
+    pub fn degraded(value: T, iterations: usize, residual: f64) -> Self {
+        AttemptReport {
+            outcome: AttemptOutcome::Degraded(value),
+            iterations,
+            residual,
+        }
+    }
+
+    /// A failed attempt.
+    pub fn failed(error: impl Into<String>) -> Self {
+        AttemptReport {
+            outcome: AttemptOutcome::Failed(error.into()),
+            iterations: 0,
+            residual: f64::NAN,
+        }
+    }
+}
+
+/// An ordered sequence of named retry policies.
+///
+/// `P` is the per-rung policy payload (e.g. an options struct); the caller
+/// supplies a closure that runs one attempt under a given policy.
+#[derive(Clone, Debug, Default)]
+pub struct EscalationLadder<P> {
+    rungs: Vec<(String, P)>,
+}
+
+impl<P> EscalationLadder<P> {
+    /// An empty ladder.
+    pub fn new() -> Self {
+        EscalationLadder { rungs: Vec::new() }
+    }
+
+    /// Appends a rung. The first rung should be the nominal policy.
+    pub fn rung(mut self, label: impl Into<String>, policy: P) -> Self {
+        self.rungs.push((label.into(), policy));
+        self
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// `true` when the ladder has no rungs.
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Runs rungs in order until one converges. Returns the converged
+    /// value, or — if none converged — the lowest-residual degraded value,
+    /// or `None` if every rung failed outright. The report records every
+    /// attempt either way.
+    pub fn run<T>(&self, mut attempt: impl FnMut(&str, &P) -> AttemptReport<T>) -> RunOutcome<T> {
+        let mut attempts = Vec::with_capacity(self.rungs.len());
+        let mut best_degraded: Option<(T, f64, String)> = None;
+        for (label, policy) in &self.rungs {
+            let rep = attempt(label, policy);
+            let mut record = Attempt {
+                policy: label.clone(),
+                iterations: rep.iterations,
+                residual: rep.residual,
+                error: None,
+            };
+            match rep.outcome {
+                AttemptOutcome::Converged(value) => {
+                    attempts.push(record);
+                    let trajectory = attempts.iter().map(|a| a.residual).collect();
+                    return RunOutcome {
+                        value: Some(value),
+                        report: SolveReport {
+                            quality: Quality::Converged,
+                            policy_used: Some(label.clone()),
+                            attempts,
+                            residual_trajectory: trajectory,
+                        },
+                    };
+                }
+                AttemptOutcome::Degraded(value) => {
+                    // Keep the degraded result with the smallest residual
+                    // (NaN residuals never replace a finite one).
+                    let better = match &best_degraded {
+                        None => true,
+                        Some((_, r, _)) => rep.residual < *r,
+                    };
+                    if better {
+                        best_degraded = Some((value, rep.residual, label.clone()));
+                    }
+                }
+                AttemptOutcome::Failed(err) => record.error = Some(err),
+            }
+            attempts.push(record);
+        }
+        let trajectory: Vec<f64> = attempts.iter().map(|a| a.residual).collect();
+        match best_degraded {
+            Some((value, _, label)) => RunOutcome {
+                value: Some(value),
+                report: SolveReport {
+                    quality: Quality::Degraded,
+                    policy_used: Some(label),
+                    attempts,
+                    residual_trajectory: trajectory,
+                },
+            },
+            None => RunOutcome {
+                value: None,
+                report: SolveReport {
+                    quality: Quality::Failed,
+                    policy_used: None,
+                    attempts,
+                    residual_trajectory: trajectory,
+                },
+            },
+        }
+    }
+}
+
+/// Result of [`EscalationLadder::run`]: the kept value (if any) plus the
+/// full report.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// Converged or best-degraded value; `None` when every rung failed.
+    pub value: Option<T>,
+    /// Record of every attempt.
+    pub report: SolveReport,
+}
+
+/// One isolated per-sample fault in a sweep (Monte Carlo, universe
+/// characterization, …).
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    /// Sample / cell index within the sweep.
+    pub sample: usize,
+    /// Pipeline stage that faulted (e.g. `"characterize"`, `"ring"`).
+    pub stage: String,
+    /// Human-readable error description.
+    pub error: String,
+}
+
+/// Accumulated fault events of a sweep that isolates per-sample failures
+/// instead of aborting.
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        FaultLog::default()
+    }
+
+    /// Records one fault.
+    pub fn record(&mut self, sample: usize, stage: impl Into<String>, error: impl Into<String>) {
+        self.events.push(FaultEvent {
+            sample,
+            stage: stage.into(),
+            error: error.into(),
+        });
+    }
+
+    /// All recorded events, in occurrence order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of recorded faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no fault was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that occurred in the given stage.
+    pub fn in_stage<'a>(&'a self, stage: &'a str) -> impl Iterator<Item = &'a FaultEvent> {
+        self.events.iter().filter(move |e| e.stage == stage)
+    }
+}
+
+/// Largest system routed to the dense-LU fallback rung of
+/// [`solve_linear_robust`]; larger systems stay iterative-only (O(n³)
+/// dense factorization would dominate).
+pub const DENSE_FALLBACK_MAX_DIM: usize = 768;
+
+/// Solves `A x = b` with an escalation ladder: preconditioned CG (for
+/// `symmetric` operators; skipped otherwise), then BiCGSTAB, then — for
+/// systems up to [`DENSE_FALLBACK_MAX_DIM`] unknowns — dense LU.
+///
+/// The first rung issues exactly the call sites used before the ladder
+/// existed, so fault-free results are bit-identical to plain
+/// [`cg_solve`]/[`bicgstab_solve`].
+///
+/// # Errors
+///
+/// Returns the first rung's error when every rung fails, alongside the
+/// report describing each failed attempt.
+pub fn solve_linear_robust(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    ctrl: IterControl,
+    symmetric: bool,
+) -> (NumResult<(Vec<f64>, SolveStats)>, SolveReport) {
+    #[derive(Clone, Copy)]
+    enum Rung {
+        Cg,
+        Bicgstab,
+        DenseLu,
+    }
+    let mut ladder = EscalationLadder::new();
+    if symmetric {
+        ladder = ladder.rung("cg", Rung::Cg);
+    }
+    ladder = ladder.rung("bicgstab", Rung::Bicgstab);
+    if a.rows() <= DENSE_FALLBACK_MAX_DIM {
+        ladder = ladder.rung("dense-lu", Rung::DenseLu);
+    }
+
+    let mut first_err: Option<NumError> = None;
+    let outcome = ladder.run(|_, rung| {
+        let injected = crate::fault::should_fail("linear");
+        let result = if injected {
+            Err(NumError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            })
+        } else {
+            match rung {
+                Rung::Cg => cg_solve(a, b, x0, ctrl),
+                Rung::Bicgstab => bicgstab_solve(a, b, x0, ctrl),
+                Rung::DenseLu => dense_lu_attempt(a, b, ctrl),
+            }
+        };
+        match result {
+            Ok((x, stats)) => {
+                AttemptReport::converged((x, stats), stats.iterations, stats.residual)
+            }
+            Err(err) => {
+                if first_err.is_none() {
+                    first_err = Some(err.clone());
+                }
+                AttemptReport::failed(err.to_string())
+            }
+        }
+    });
+    match outcome.value {
+        Some(solution) => (Ok(solution), outcome.report),
+        None => {
+            let err = first_err.unwrap_or_else(|| NumError::invalid("empty ladder"));
+            (Err(err), outcome.report)
+        }
+    }
+}
+
+fn dense_lu_attempt(
+    a: &CsrMatrix,
+    b: &[f64],
+    ctrl: IterControl,
+) -> NumResult<(Vec<f64>, SolveStats)> {
+    let dense = a.to_dense();
+    let x = dense.solve(b)?;
+    let mut ax = vec![0.0; b.len()];
+    a.matvec_into(&x, &mut ax);
+    let residual = b
+        .iter()
+        .zip(&ax)
+        .map(|(bi, axi)| (bi - axi) * (bi - axi))
+        .sum::<f64>()
+        .sqrt();
+    let b_norm = b
+        .iter()
+        .map(|v| v * v)
+        .sum::<f64>()
+        .sqrt()
+        .max(ctrl.abs_tol);
+    let target = (ctrl.rel_tol * b_norm).max(ctrl.abs_tol);
+    // A direct factorization should land well under the iterative target;
+    // give it a generous margin before calling the result unusable.
+    if residual <= target.max(1e-8 * b_norm) {
+        Ok((
+            x,
+            SolveStats {
+                iterations: 1,
+                residual,
+            },
+        ))
+    } else {
+        Err(NumError::NoConvergence {
+            iterations: 1,
+            residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ladder_first_converged_wins() {
+        let ladder = EscalationLadder::new()
+            .rung("a", 1)
+            .rung("b", 2)
+            .rung("c", 3);
+        let outcome = ladder.run(|_, &p| {
+            if p >= 2 {
+                AttemptReport::converged(p * 10, p, 1e-12)
+            } else {
+                AttemptReport::failed("diverged")
+            }
+        });
+        assert_eq!(outcome.value, Some(20));
+        assert!(outcome.report.converged());
+        assert!(!outcome.report.nominal());
+        assert_eq!(outcome.report.policy_used.as_deref(), Some("b"));
+        assert_eq!(outcome.report.attempts.len(), 2);
+        assert_eq!(
+            outcome.report.attempts[0].error.as_deref(),
+            Some("diverged")
+        );
+        assert_eq!(outcome.report.residual_trajectory.len(), 2);
+    }
+
+    #[test]
+    fn ladder_keeps_best_degraded() {
+        let ladder = EscalationLadder::new()
+            .rung("a", 1e-3)
+            .rung("b", 1e-6)
+            .rung("c", 1e-4);
+        let outcome =
+            ladder.run(|label, &residual| AttemptReport::degraded(label.to_string(), 10, residual));
+        assert_eq!(outcome.value.as_deref(), Some("b"));
+        assert!(outcome.report.degraded());
+        assert_eq!(outcome.report.policy_used.as_deref(), Some("b"));
+        assert_eq!(outcome.report.attempts.len(), 3);
+    }
+
+    #[test]
+    fn ladder_all_failed() {
+        let ladder = EscalationLadder::new().rung("a", ()).rung("b", ());
+        let outcome: RunOutcome<()> = ladder.run(|_, _| AttemptReport::failed("boom"));
+        assert!(outcome.value.is_none());
+        assert_eq!(outcome.report.quality, Quality::Failed);
+        assert!(outcome.report.policy_used.is_none());
+        assert_eq!(outcome.report.attempts.len(), 2);
+    }
+
+    #[test]
+    fn nominal_flag_set_only_for_first_rung_win() {
+        let ladder = EscalationLadder::new()
+            .rung("nominal", ())
+            .rung("retry", ());
+        let outcome = ladder.run(|_, _| AttemptReport::converged((), 3, 1e-13));
+        assert!(outcome.report.nominal());
+    }
+
+    #[test]
+    fn fault_log_records_and_filters() {
+        let mut log = FaultLog::new();
+        assert!(log.is_empty());
+        log.record(4, "scf", "diverged");
+        log.record(7, "ring", "newton diverged");
+        log.record(9, "scf", "diverged");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.in_stage("scf").count(), 2);
+        assert_eq!(log.events()[1].sample, 7);
+    }
+
+    #[test]
+    fn robust_solve_matches_plain_cg_bit_identically() {
+        let n = 40;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        let x0 = vec![0.0; n];
+        let ctrl = IterControl::default();
+        let (plain, _) = cg_solve(&a, &b, &x0, ctrl).unwrap();
+        let (robust, report) = solve_linear_robust(&a, &b, &x0, ctrl, true);
+        let (robust, _) = robust.unwrap();
+        assert_eq!(plain, robust, "nominal rung must be bit-identical to cg");
+        assert!(report.nominal());
+        assert_eq!(report.policy_used.as_deref(), Some("cg"));
+    }
+
+    #[test]
+    fn robust_solve_falls_back_when_budget_too_small() {
+        // A 2-iteration budget kills both Krylov rungs; dense LU rescues.
+        let n = 60;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let ctrl = IterControl {
+            max_iter: 2,
+            ..IterControl::default()
+        };
+        let (result, report) = solve_linear_robust(&a, &b, &vec![0.0; n], ctrl, true);
+        let (x, _) = result.unwrap();
+        assert!(report.converged());
+        assert_eq!(report.policy_used.as_deref(), Some("dense-lu"));
+        assert_eq!(report.attempts.len(), 3);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn robust_solve_reports_first_error_when_everything_fails() {
+        // Zero diagonal kills the Jacobi rungs; size above the dense cap
+        // removes the LU rung entirely.
+        let n = DENSE_FALLBACK_MAX_DIM + 1;
+        let mut tb = TripletBuilder::new(n, n);
+        for i in 0..n {
+            let j = if i + 1 < n { i + 1 } else { 0 };
+            tb.push(i, j, 1.0);
+        }
+        let a = tb.build();
+        let b = vec![1.0; n];
+        let (result, report) =
+            solve_linear_robust(&a, &b, &vec![0.0; n], IterControl::default(), true);
+        assert!(matches!(result, Err(NumError::InvalidInput { .. })));
+        assert_eq!(report.quality, Quality::Failed);
+        assert_eq!(report.attempts.len(), 2, "no dense rung above the cap");
+    }
+}

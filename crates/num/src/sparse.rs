@@ -183,6 +183,18 @@ impl CsrMatrix {
         Ok((0..self.rows).map(|i| self.get(i, i)).collect())
     }
 
+    /// Densifies the matrix (for the direct-LU fallback on small systems;
+    /// O(rows·cols) memory, so keep it off large grids).
+    pub fn to_dense(&self) -> crate::dense::Matrix {
+        let mut m = crate::dense::Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
     /// Symmetry defect `max |A_ij - A_ji|` over stored entries; useful to
     /// validate finite-volume assembly before handing the matrix to CG.
     pub fn symmetry_defect(&self) -> f64 {

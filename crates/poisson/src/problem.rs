@@ -4,7 +4,8 @@ use crate::error::PoissonError;
 use crate::grid::{Grid3, Region};
 use crate::solution::PoissonSolution;
 use gnr_num::consts::{EPS_0, Q_E};
-use gnr_num::solver::{cg_solve, IterControl};
+use gnr_num::recover::solve_linear_robust;
+use gnr_num::solver::IterControl;
 use gnr_num::TripletBuilder;
 
 /// Vacuum permittivity in F/nm (the solver works in nm).
@@ -202,7 +203,11 @@ impl PoissonProblem {
             abs_tol: 1e-12,
             max_iter: 20 * m + 100,
         };
-        let (x, stats) = cg_solve(&a, &rhs, &x0, ctrl)?;
+        // Laddered solve: the first rung is the plain CG call (bit-identical
+        // on the fault-free path); BiCGSTAB and, for small grids, dense LU
+        // only run if CG errors out.
+        let (solved, _report) = solve_linear_robust(&a, &rhs, &x0, ctrl, true);
+        let (x, stats) = solved?;
         // Scatter back to the full grid, electrodes keeping their values.
         let mut potential = vec![0.0; n];
         for (idx, cell) in self.cells.iter().enumerate() {

@@ -31,7 +31,10 @@ impl Default for DcOptions {
 }
 
 /// Solves the DC operating point at time `t = 0`, starting from `x0`
-/// (zeros if `None`), with gmin stepping for robustness.
+/// (zeros if `None`), with gmin stepping for robustness. When the gmin
+/// ladder fails from every seed, source stepping (ramping all sources up
+/// from a fraction of their value with warm starts) is tried as a last
+/// resort.
 ///
 /// # Errors
 ///
@@ -60,7 +63,19 @@ pub fn dc_operating_point(
         Some(v) if v.len() == n => v.to_vec(),
         _ => vec![0.0; n],
     };
-    match run_ladder(primary) {
+    // Fault injection (disarmed in production): pretend the gmin ladder and
+    // mid-rail seeds diverged, forcing the source-stepping fallback.
+    let forced_fail = gnr_num::fault::should_fail("newton-dc");
+    let primary_result = if forced_fail {
+        Err(SpiceError::NewtonDiverged {
+            analysis: "dc",
+            iterations: 0,
+            residual: f64::INFINITY,
+        })
+    } else {
+        run_ladder(primary)
+    };
+    match primary_result {
         Ok(x) => Ok(x),
         Err(first_err) => {
             // Cold-start fallback: seed every node at half the largest
@@ -77,19 +92,65 @@ pub fn dc_operating_point(
             if vmax == 0.0 {
                 return Err(first_err);
             }
-            let n_nodes = circuit.node_count() - 1;
-            for frac in [0.5, 1.0, 0.25] {
-                let mut seed = vec![0.0; n];
-                for v in seed.iter_mut().take(n_nodes) {
-                    *v = vmax * frac;
-                }
-                if let Ok(x) = run_ladder(seed) {
-                    return Ok(x);
+            if !forced_fail {
+                let n_nodes = circuit.node_count() - 1;
+                for frac in [0.5, 1.0, 0.25] {
+                    let mut seed = vec![0.0; n];
+                    for v in seed.iter_mut().take(n_nodes) {
+                        *v = vmax * frac;
+                    }
+                    if let Ok(x) = run_ladder(seed) {
+                        return Ok(x);
+                    }
                 }
             }
-            Err(first_err)
+            // Source stepping: ramp every source from a quarter of its
+            // value to full drive, warm-starting each step from the last.
+            match source_stepping(circuit, opts) {
+                Ok(x) => Ok(x),
+                Err(_) => Err(first_err),
+            }
         }
     }
+}
+
+/// Solves the operating point by ramping every voltage source up from a
+/// fraction of its `t = 0` value, warm-starting each ramp step with the
+/// previous solution. This is the classic homotopy for circuits whose
+/// full-drive Newton problem has no reachable solution from any cold seed.
+pub(crate) fn source_stepping(circuit: &Circuit, opts: DcOptions) -> Result<Vec<f64>, SpiceError> {
+    use crate::circuit::{Element, Waveform};
+    let originals: Vec<f64> = circuit
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::VSource { wave, .. } => Some(wave.value(0.0)),
+            _ => None,
+        })
+        .collect();
+    let mut scaled = circuit.clone();
+    let mut x = vec![0.0; circuit.unknowns()];
+    for frac in [0.25, 0.5, 0.75, 1.0] {
+        let mut k = 0;
+        for e in circuit_elements_mut(&mut scaled) {
+            if let Element::VSource { wave, .. } = e {
+                // At t = 0 the scaled DC wave stamps identically to the
+                // original waveform scaled by `frac`.
+                *wave = Waveform::Dc(originals[k] * frac);
+                k += 1;
+            }
+        }
+        let full_drive = frac == 1.0;
+        for (stage, &gmin) in opts.gmin_ladder.iter().enumerate() {
+            let is_last = stage == opts.gmin_ladder.len() - 1;
+            match newton(&scaled, &mut x, 0.0, gmin, opts) {
+                Ok(()) => {}
+                Err(e) if is_last && full_drive => return Err(e),
+                Err(_) => { /* intermediate ramp steps may stay loose */ }
+            }
+        }
+    }
+    Ok(x)
 }
 
 /// One Newton solve at fixed time and gmin; `x` is updated in place.
@@ -333,6 +394,30 @@ mod tests {
         // No DC path through the cap: b floats up to a's voltage (gmin
         // leaks it negligibly towards ground).
         assert!((c.voltage(&x, b) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn source_stepping_solves_linear_circuit() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.add(Element::VSource {
+            p: vin,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(3.0),
+        });
+        c.add(Element::Resistor {
+            a: vin,
+            b: mid,
+            ohms: 2e3,
+        });
+        c.add(Element::Resistor {
+            a: mid,
+            b: NodeId::GROUND,
+            ohms: 1e3,
+        });
+        let x = source_stepping(&c, DcOptions::default()).unwrap();
+        assert!((c.voltage(&x, mid) - 1.0).abs() < 1e-9);
     }
 
     #[test]

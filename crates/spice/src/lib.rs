@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod ac;
 pub mod builders;
 pub mod circuit;
@@ -49,3 +51,4 @@ pub mod transient;
 
 pub use circuit::{Circuit, Element, NodeId, Waveform};
 pub use error::SpiceError;
+pub use transient::{transient_with_recovery, TransientRecovery};

@@ -224,10 +224,11 @@ fn fo4_metrics_attempt(
     // Energy: supply energy over the second input period.
     let i_vdd = result.source_current(&circuit, chain.vdd_source);
     let (t0, t1) = (period / 10.0 + period, period / 10.0 + 2.0 * period);
+    let t_last = times.last().copied().unwrap_or(0.0);
     let mut energy = 0.0;
     for i in 1..times.len() {
         let t = times[i];
-        if t <= t0 || t > t1.min(*times.last().unwrap()) {
+        if t <= t0 || t > t1.min(t_last) {
             continue;
         }
         let dt = times[i] - times[i - 1];
@@ -313,12 +314,13 @@ pub fn ring_oscillator_metrics(
     let tail = periods.len().min(3);
     let start = periods.len() - tail;
     periods = periods[start..].to_vec();
-    periods.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    periods.sort_by(f64::total_cmp);
     let period_s = periods[periods.len() / 2];
 
     // Power over the last measured period.
     let i_vdd = result.source_current(&ro.circuit, ro.vdd_source);
-    let t_end = *times.last().unwrap();
+    // A ring with ≥ 3 rising crossings necessarily has time points.
+    let t_end = times.last().copied().unwrap_or(0.0);
     let t_begin = t_end - period_s;
     let mut energy = 0.0;
     for i in 1..times.len() {
@@ -459,7 +461,7 @@ fn interp_curve(curve: &[(f64, f64)], x: f64) -> f64 {
             return w[0].1 + t * (w[1].1 - w[0].1);
         }
     }
-    curve.last().unwrap().1
+    curve.last().map_or(0.0, |p| p.1)
 }
 
 /// Classic maximal-square dynamic program over a boolean mask.

@@ -13,6 +13,7 @@
 use crate::circuit::{Circuit, Element, NodeId};
 use crate::dc::{dc_operating_point, DcOptions};
 use crate::error::SpiceError;
+use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
 use gnr_num::Matrix;
 use std::collections::HashMap;
 
@@ -237,6 +238,125 @@ pub fn transient(
         result.push(t, x.clone());
     }
     Ok(result)
+}
+
+/// Retry policy for [`transient_with_recovery`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransientRecovery {
+    /// Maximum number of timestep halvings tried after the nominal run
+    /// fails with [`SpiceError::NewtonDiverged`].
+    pub max_dt_halvings: usize,
+    /// Smallest timestep the halving ladder may use \[s\]; rungs below it
+    /// are skipped.
+    pub dt_floor: f64,
+    /// After the halving ladder, retry once from a source-stepped DC
+    /// solution imposed as initial node voltages (source ramping).
+    pub source_ramp: bool,
+}
+
+impl Default for TransientRecovery {
+    fn default() -> Self {
+        TransientRecovery {
+            max_dt_halvings: 3,
+            dt_floor: 0.0,
+            source_ramp: true,
+        }
+    }
+}
+
+/// Runs [`transient`] under an escalation ladder: the nominal options
+/// first (identical to calling [`transient`] directly), then timestep
+/// halvings down to `rec.dt_floor`, then — when `rec.source_ramp` is set —
+/// one attempt seeded from a source-stepped DC solution. The report
+/// records each attempt and the winning policy.
+///
+/// # Errors
+///
+/// Returns the first attempt's error when every rung fails.
+pub fn transient_with_recovery(
+    circuit: &Circuit,
+    opts: &TransientOptions,
+    rec: &TransientRecovery,
+) -> Result<(TransientResult, SolveReport), SpiceError> {
+    #[derive(Clone)]
+    enum Policy {
+        Nominal,
+        HalveDt(u32),
+        SourceRamp,
+    }
+    let mut ladder = EscalationLadder::new().rung("nominal", Policy::Nominal);
+    for k in 1..=rec.max_dt_halvings as u32 {
+        ladder = ladder.rung(format!("dt/{}", 1u64 << k), Policy::HalveDt(k));
+    }
+    if rec.source_ramp {
+        ladder = ladder.rung("source-ramp", Policy::SourceRamp);
+    }
+
+    let mut first_err: Option<SpiceError> = None;
+    let record_err =
+        |err: SpiceError, first: &mut Option<SpiceError>| -> AttemptReport<TransientResult> {
+            let msg = err.to_string();
+            if first.is_none() {
+                *first = Some(err);
+            }
+            AttemptReport::failed(msg)
+        };
+    let outcome = ladder.run(|_, policy| {
+        let attempt_opts = match policy {
+            Policy::Nominal => opts.clone(),
+            Policy::HalveDt(k) => {
+                let dt = opts.dt / f64::from(1u32 << *k);
+                if dt < rec.dt_floor {
+                    return AttemptReport::failed(format!(
+                        "dt {dt:.3e} s below floor {:.3e} s",
+                        rec.dt_floor
+                    ));
+                }
+                TransientOptions { dt, ..opts.clone() }
+            }
+            Policy::SourceRamp => {
+                // Solve the operating point by ramping the sources, then
+                // impose it as the starting state instead of the (failing)
+                // direct DC solve.
+                let x = match crate::dc::source_stepping(circuit, opts.newton) {
+                    Ok(x) => x,
+                    Err(e) => return record_err(e, &mut first_err),
+                };
+                let initial_voltages: Vec<(NodeId, f64)> = (1..circuit.node_count())
+                    .map(|i| (NodeId(i), circuit.voltage(&x, NodeId(i))))
+                    .collect();
+                TransientOptions {
+                    skip_dc: true,
+                    initial_voltages,
+                    ..opts.clone()
+                }
+            }
+        };
+        // Fault injection (disarmed in production): only rungs that would
+        // actually run probe the injector, so floor-rejected rungs don't
+        // consume a draw.
+        if gnr_num::fault::should_fail("newton") {
+            if first_err.is_none() {
+                first_err = Some(SpiceError::NewtonDiverged {
+                    analysis: "transient step",
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+            return AttemptReport::failed("injected fault: transient attempt suppressed");
+        }
+        match transient(circuit, &attempt_opts) {
+            Ok(result) => {
+                let steps = result.len();
+                AttemptReport::converged(result, steps, f64::NAN)
+            }
+            Err(err) => record_err(err, &mut first_err),
+        }
+    });
+    match outcome.value {
+        Some(result) => Ok((result, outcome.report)),
+        None => Err(first_err.unwrap_or_else(|| SpiceError::config("transient ladder was empty"))),
+    }
 }
 
 /// Per-branch capacitor current history keyed by `(element index, branch)`
@@ -562,6 +682,36 @@ mod tests {
         for (a, b) in v_be.iter().zip(&v_tr) {
             assert!((a - b).abs() < 5e-3, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn recovery_nominal_run_matches_plain_transient() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add(Element::VSource {
+            p: vin,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(1.0),
+        });
+        c.add(Element::Resistor {
+            a: vin,
+            b: out,
+            ohms: 1e3,
+        });
+        c.add(Element::Capacitor {
+            a: out,
+            b: NodeId::GROUND,
+            farads: 1e-12,
+        });
+        let opts = TransientOptions::new(2e-9, 2e-11);
+        let plain = transient(&c, &opts).unwrap();
+        let (laddered, report) =
+            transient_with_recovery(&c, &opts, &TransientRecovery::default()).unwrap();
+        assert!(report.nominal());
+        assert_eq!(report.policy_used.as_deref(), Some("nominal"));
+        assert_eq!(plain.times(), laddered.times());
+        assert_eq!(plain.final_solution(), laddered.final_solution());
     }
 
     #[test]

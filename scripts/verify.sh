@@ -13,6 +13,9 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q (offline, whole workspace) =="
 cargo test --workspace -q --offline
 
+echo "== robustness: fault-injection suite (release) =="
+cargo test --release --offline --test fault_tolerance
+
 echo "== lint: cargo fmt --check =="
 cargo fmt --check
 
