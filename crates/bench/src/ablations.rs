@@ -8,6 +8,7 @@ use gnr_device::table::TableGrid;
 use gnr_device::{DeviceConfig, DeviceTable, Polarity, SbfetModel, ScfOptions, ScfSolver};
 use gnr_lattice::{AGnr, DeviceHamiltonian};
 use gnr_negf::{Lead, RgfSolver};
+use gnr_num::par::{ExecCtx, ThreadPool};
 use gnr_num::{c64, CMatrix};
 use std::hint::black_box;
 
@@ -58,7 +59,8 @@ fn table_vs_model(h: &mut Harness) {
         vds: (0.0, 0.85),
         points: 21,
     };
-    let table = DeviceTable::from_model(&model, Polarity::NType, grid, 4).expect("table");
+    let table = DeviceTable::from_model(&ExecCtx::serial(), &model, Polarity::NType, grid, 4)
+        .expect("table");
     h.bench(SUITE, "table_vs_model/bilinear_lookup", || {
         black_box(table.current(black_box(0.37), black_box(0.29)))
     });
@@ -119,7 +121,7 @@ fn integrator(h: &mut Harness) {
         h.bench(SUITE, &format!("integrator/{label}"), move || {
             let mut opts = TransientOptions::new(2e-9, 1e-12);
             opts.integrator = integrator;
-            black_box(transient(&circuit, &opts).expect("simulates"))
+            black_box(transient(&ExecCtx::strict(), &circuit, &opts).expect("simulates"))
         });
     }
 }
@@ -136,7 +138,11 @@ fn scf_mixing(h: &mut Harness) {
         };
         let solver = ScfSolver::new(&cfg, opts);
         h.bench(SUITE, &format!("scf_mixing/{mixing}"), move || {
-            black_box(solver.solve(0.2, 0.2).expect("converges"))
+            black_box(
+                solver
+                    .solve(&ExecCtx::strict(), 0.2, 0.2)
+                    .expect("converges"),
+            )
         });
     }
 }
@@ -151,17 +157,42 @@ fn scf_recovery(h: &mut Harness) {
     h.bench(SUITE, "scf_recovery/direct", || {
         black_box(
             solver
-                .solve(black_box(0.2), black_box(0.2))
+                .solve(&ExecCtx::strict(), black_box(0.2), black_box(0.2))
                 .expect("converges"),
         )
     });
     h.bench(SUITE, "scf_recovery/ladder", || {
         black_box(
             solver
-                .solve_with_recovery(black_box(0.2), black_box(0.2))
+                .solve(&ExecCtx::serial(), black_box(0.2), black_box(0.2))
                 .expect("converges"),
         )
     });
+}
+
+/// Thread-pool scaling ablation: the same 21 x 21 bias-grid table build,
+/// serial versus a 4-thread pool. The deterministic ordered merge must
+/// still deliver real speedup on a multi-core host (target: >= 2x at
+/// 4 threads with >= 4 cores) or the parallel execution API is pure
+/// overhead. On a single-core host the two medians should instead
+/// coincide — that reading pins the pool's dispatch/merge overhead at
+/// effectively zero.
+fn par_scaling(h: &mut Harness) {
+    let cfg = DeviceConfig::test_small(12).expect("valid");
+    let model = SbfetModel::new(&cfg).expect("builds");
+    let grid = TableGrid {
+        vgs: (-0.35, 1.0),
+        vds: (0.0, 0.85),
+        points: 21,
+    };
+    for (label, threads) in [("serial", 1usize), ("threads4", 4)] {
+        let ctx = ExecCtx::new(ThreadPool::new(threads), Default::default());
+        h.bench(SUITE, &format!("par_scaling/from_model/{label}"), || {
+            black_box(
+                DeviceTable::from_model(&ctx, &model, Polarity::NType, grid, 4).expect("table"),
+            )
+        });
+    }
 }
 
 pub fn register(h: &mut Harness) {
@@ -170,4 +201,5 @@ pub fn register(h: &mut Harness) {
     integrator(h);
     scf_mixing(h);
     scf_recovery(h);
+    par_scaling(h);
 }

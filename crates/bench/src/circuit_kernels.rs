@@ -23,9 +23,15 @@ fn nominal_cell() -> (InverterCell, f64) {
         vds: (0.0, 0.85),
         points: 21,
     };
-    let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)
-        .expect("table")
-        .with_vg_shift(-vmin);
+    let n = DeviceTable::from_model(
+        &gnr_num::par::ExecCtx::serial(),
+        &model,
+        Polarity::NType,
+        grid,
+        4,
+    )
+    .expect("table")
+    .with_vg_shift(-vmin);
     let p = n.mirrored();
     (
         InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("cell"),

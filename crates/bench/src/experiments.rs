@@ -6,6 +6,7 @@
 use crate::harness::Harness;
 use gnr_cmos::CmosNode;
 use gnr_device::{ChargeImpurity, DeviceConfig, SbfetModel};
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::comparison::cmos_row;
 use gnrfet_explore::contours::design_space_map;
 use gnrfet_explore::devices::{ArrayScenario, DeviceLibrary, DeviceVariant, Fidelity};
@@ -33,9 +34,10 @@ pub fn register(h: &mut Harness) {
 
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
     // Warm the table cache outside the timed region.
-    let _ = design_space_map(&mut lib, &[0.4], &[0.1], 15).expect("warms");
+    let ctx = ExecCtx::serial();
+    let _ = design_space_map(&ctx, &mut lib, &[0.4], &[0.1], 15).expect("warms");
     h.bench(SUITE, "fig3_design_space_2x2", || {
-        black_box(design_space_map(&mut lib, &[0.35, 0.45], &[0.08, 0.14], 15).expect("maps"))
+        black_box(design_space_map(&ctx, &mut lib, &[0.35, 0.45], &[0.08, 0.14], 15).expect("maps"))
     });
 
     h.bench(SUITE, "table1_cmos_row_full_ro", || {
@@ -64,33 +66,34 @@ pub fn register(h: &mut Harness) {
     });
 
     let axis2: Vec<(String, usize, f64)> = vec![("N=9".into(), 9, 0.0), ("N=18".into(), 18, 0.0)];
-    let _ = variability_table(&mut lib, &axis2, &axis2, 0.4).expect("warms");
+    let _ = variability_table(&ctx, &mut lib, &axis2, &axis2, 0.4).expect("warms");
     h.bench(SUITE, "table2_width_2x2", || {
-        black_box(variability_table(&mut lib, &axis2, &axis2, 0.4).expect("tables"))
+        black_box(variability_table(&ctx, &mut lib, &axis2, &axis2, 0.4).expect("tables"))
     });
     let axis3: Vec<(String, usize, f64)> = vec![("-2q".into(), 12, -2.0), ("+2q".into(), 12, 2.0)];
-    let _ = variability_table(&mut lib, &axis3, &axis3, 0.4).expect("warms");
+    let _ = variability_table(&ctx, &mut lib, &axis3, &axis3, 0.4).expect("warms");
     h.bench(SUITE, "table3_impurity_2x2", || {
-        black_box(variability_table(&mut lib, &axis3, &axis3, 0.4).expect("tables"))
+        black_box(variability_table(&ctx, &mut lib, &axis3, &axis3, 0.4).expect("tables"))
     });
     let axis4: Vec<(String, usize, f64)> =
         vec![("9,+q".into(), 9, 1.0), ("18,-q".into(), 18, -1.0)];
-    let _ = variability_table(&mut lib, &axis4, &axis4, 0.4).expect("warms");
+    let _ = variability_table(&ctx, &mut lib, &axis4, &axis4, 0.4).expect("warms");
     h.bench(SUITE, "table4_combined_2x2", || {
-        black_box(variability_table(&mut lib, &axis4, &axis4, 0.4).expect("tables"))
+        black_box(variability_table(&ctx, &mut lib, &axis4, &axis4, 0.4).expect("tables"))
     });
 
     // Characterize a reduced universe proxy via the full API once, then
     // bench the sampling composition.
-    let universe = characterize_stage_universe(&mut lib, 0.4, 15).expect("characterizes");
+    let universe = characterize_stage_universe(&ctx, &mut lib, 0.4, 15).expect("characterizes");
     h.bench(SUITE, "fig6_monte_carlo_10k_samples", || {
-        black_box(monte_carlo_from_universe(&universe, 10_000, 7))
+        black_box(monte_carlo_from_universe(&ctx, &universe, 10_000, 7))
     });
     // Also bench one stage characterization (the expensive phase's unit).
     let shift = lib.min_leakage_shift(0.4).expect("shift");
     h.bench(SUITE, "fig6_stage_characterization_unit", || {
         black_box(
             inverter_figures(
+                &ctx,
                 &mut lib,
                 DeviceVariant::width(9, ArrayScenario::AllFour),
                 DeviceVariant::nominal(),
@@ -102,8 +105,8 @@ pub fn register(h: &mut Harness) {
         )
     });
 
-    let _ = latch_study(&mut lib, 0.4).expect("warms");
+    let _ = latch_study(&ctx, &mut lib, 0.4).expect("warms");
     h.bench(SUITE, "fig7_latch_three_cases", || {
-        black_box(latch_study(&mut lib, 0.4).expect("studies"))
+        black_box(latch_study(&ctx, &mut lib, 0.4).expect("studies"))
     });
 }

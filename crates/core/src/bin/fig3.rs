@@ -3,6 +3,7 @@
 //! operating points A (min EDP at a frequency floor), B (min EDP at
 //! frequency + SNM floors), and C (equal EDP/SNM at higher V_T).
 
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::contours::design_space_map;
 use gnrfet_explore::report;
 
@@ -10,7 +11,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = report::standard_library("fig3 — (V_DD, V_T) design-space contours");
     let vdd_axis: Vec<f64> = (0..10).map(|i| 0.15 + i as f64 * 0.06).collect();
     let vt_axis: Vec<f64> = (0..9).map(|i| 0.02 + i as f64 * 0.035).collect();
-    let map = design_space_map(&mut lib, &vdd_axis, &vt_axis, 15)?;
+    let ctx = ExecCtx::from_env();
+    let map = design_space_map(&ctx, &mut lib, &vdd_axis, &vt_axis, 15)?;
     println!(
         "raw-table V_T = {:.3} V; {} feasible design points\n",
         map.vt_raw,

@@ -3,6 +3,7 @@
 //! with per-inverter width (N = 9/12/15) and charge (−q/0/+q) variations
 //! drawn from a discretized normal distribution.
 
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::monte_carlo::{ring_oscillator_monte_carlo, MonteCarloResult};
 use gnrfet_explore::report;
 
@@ -14,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(_) => 10_000,
     };
     println!("characterizing the 81-configuration stage universe...");
-    let result = ring_oscillator_monte_carlo(&mut lib, vdd, 15, samples, 0x5eed)?;
+    let ctx = ExecCtx::from_env();
+    let result = ring_oscillator_monte_carlo(&ctx, &mut lib, vdd, 15, samples, 0x5eed)?;
 
     if result.stalled_samples > 0 {
         println!(

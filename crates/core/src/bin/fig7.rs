@@ -3,13 +3,14 @@
 //! combination (n: N=9 with +q, p: N=18 with −q), plus the latch static
 //! power comparison of §5.3.
 
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::latch::{latch_study, render_butterfly};
 use gnrfet_explore::report;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = report::standard_library("fig7 — latch butterfly curves");
     let vdd = 0.4;
-    let study = latch_study(&mut lib, vdd)?;
+    let study = latch_study(&ExecCtx::from_env(), &mut lib, vdd)?;
     let nominal_static = study.cases[0].static_w;
     for case in &study.cases {
         println!(

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vdd = 0.4;
     let shift = lib.min_leakage_shift(vdd)?;
     let n = lib
-        .ntype_table(DeviceVariant::nominal())?
+        .ntype_table(&gnr_num::par::ExecCtx::from_env(), DeviceVariant::nominal())?
         .with_vg_shift(shift);
     let p = n.mirrored();
 

@@ -3,13 +3,14 @@
 //! inverter delay, static/dynamic power, and SNM, for both the one-of-four
 //! and all-four array scenarios.
 
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::report;
 use gnrfet_explore::variability::{width_variation_table, Metric};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = report::standard_library("table2 — GNR width variation");
     let vdd = 0.4;
-    let table = width_variation_table(&mut lib, vdd)?;
+    let table = width_variation_table(&ExecCtx::from_env(), &mut lib, vdd)?;
     println!(
         "\nnominal inverter (N=12 x4, V_DD = {vdd} V): delay {:.2} ps, static {:.4} uW, dynamic {:.4} uW, SNM {:.3} V\n",
         table.nominal.delay_s * 1e12,

@@ -2,13 +2,14 @@
 //! impurities (−2q…+2q) in the n- and p-GNRFET channels on FO4 inverter
 //! delay, static/dynamic power, and SNM, for both array scenarios.
 
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::report;
 use gnrfet_explore::variability::{charge_impurity_table, Metric};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = report::standard_library("table3 — oxide charge impurities");
     let vdd = 0.4;
-    let table = charge_impurity_table(&mut lib, vdd)?;
+    let table = charge_impurity_table(&ExecCtx::from_env(), &mut lib, vdd)?;
     println!(
         "\nnominal inverter (V_DD = {vdd} V): delay {:.2} ps, static {:.4} uW, dynamic {:.4} uW, SNM {:.3} V\n",
         table.nominal.delay_s * 1e12,

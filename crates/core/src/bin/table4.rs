@@ -2,13 +2,14 @@
 //! charge impurities — (N, q) ∈ {9, 18} × {−q, +q} on both devices. Width
 //! variation dominates; impurities exacerbate it.
 
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::report;
 use gnrfet_explore::variability::{combined_table, Metric};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = report::standard_library("table4 — combined width + impurity");
     let vdd = 0.4;
-    let table = combined_table(&mut lib, vdd)?;
+    let table = combined_table(&ExecCtx::from_env(), &mut lib, vdd)?;
     println!(
         "\nnominal inverter (V_DD = {vdd} V): delay {:.2} ps, static {:.4} uW, dynamic {:.4} uW, SNM {:.3} V\n",
         table.nominal.delay_s * 1e12,

@@ -10,6 +10,7 @@ use crate::devices::{DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
 use gnr_cmos::{CmosNode, CmosTransistor};
 use gnr_device::Polarity;
+use gnr_num::par::ExecCtx;
 use gnr_spice::builders::{ExtrinsicParasitics, InverterCell, RingOscillator};
 use gnr_spice::measure::{
     butterfly_snm, fo4_metrics_for_cell, inverter_static_power, inverter_vtc,
@@ -98,12 +99,13 @@ impl fmt::Display for ComparisonTable {
 ///
 /// Propagates construction and measurement failures.
 pub fn gnrfet_row(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     label: &str,
     point: &DesignPoint,
     stages: usize,
 ) -> Result<BenchRow, ExploreError> {
-    let raw_n = lib.ntype_table(DeviceVariant::nominal())?;
+    let raw_n = lib.ntype_table(ctx, DeviceVariant::nominal())?;
     // Re-derive the shift from the map's raw-VT convention: the design
     // point's vt is what extract_vt would report after shifting.
     let iv: Vec<(f64, f64)> = (0..60)
@@ -184,13 +186,14 @@ pub fn cmos_row(node: CmosNode, vdd: f64, stages: usize) -> Result<BenchRow, Exp
 ///
 /// Propagates measurement failures.
 pub fn comparison_table(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     gnrfet_points: &[(String, DesignPoint)],
     stages: usize,
 ) -> Result<ComparisonTable, ExploreError> {
     let mut gnrfet = Vec::new();
     for (label, point) in gnrfet_points {
-        gnrfet.push(gnrfet_row(lib, label, point, stages)?);
+        gnrfet.push(gnrfet_row(ctx, lib, label, point, stages)?);
     }
     let mut cmos = Vec::new();
     for node in CmosNode::ALL {

@@ -13,6 +13,7 @@
 use crate::devices::{DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
 use gnr_device::extract_vt;
+use gnr_num::par::ExecCtx;
 use gnr_spice::builders::{ExtrinsicParasitics, InverterCell};
 use gnr_spice::measure::{
     butterfly_snm, estimate_oscillator_from_inverter, fo4_metrics_for_cell, inverter_vtc,
@@ -71,7 +72,7 @@ impl DesignSpaceMap {
     pub fn point_min_edp(&self, min_freq_hz: f64) -> Option<DesignPoint> {
         self.feasible()
             .filter(|p| p.frequency_hz >= min_freq_hz)
-            .min_by(|a, b| a.edp_js.partial_cmp(&b.edp_js).unwrap())
+            .min_by(|a, b| a.edp_js.total_cmp(&b.edp_js))
             .copied()
     }
 
@@ -79,7 +80,7 @@ impl DesignSpaceMap {
     pub fn point_min_edp_with_snm(&self, min_freq_hz: f64, min_snm_v: f64) -> Option<DesignPoint> {
         self.feasible()
             .filter(|p| p.frequency_hz >= min_freq_hz && p.snm_v >= min_snm_v)
-            .min_by(|a, b| a.edp_js.partial_cmp(&b.edp_js).unwrap())
+            .min_by(|a, b| a.edp_js.total_cmp(&b.edp_js))
             .copied()
     }
 
@@ -98,7 +99,7 @@ impl DesignSpaceMap {
                     && (p.edp_js - reference.edp_js).abs() <= tol_frac * reference.edp_js
                     && (p.snm_v - reference.snm_v).abs() <= tol_frac * reference.snm_v.max(1e-6)
             })
-            .max_by(|a, b| a.vt.partial_cmp(&b.vt).unwrap())
+            .max_by(|a, b| a.vt.total_cmp(&b.vt))
             .copied()
     }
 
@@ -143,12 +144,13 @@ fn fo4_and_vtc(
 ///
 /// Propagates device and circuit failures.
 pub fn design_space_map(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     vdd_axis: &[f64],
     vt_axis: &[f64],
     stages: usize,
 ) -> Result<DesignSpaceMap, ExploreError> {
-    let raw_n = lib.ntype_table(DeviceVariant::nominal())?;
+    let raw_n = lib.ntype_table(ctx, DeviceVariant::nominal())?;
     // Extract the raw threshold voltage at low drain bias (paper Fig. 2b).
     let iv: Vec<(f64, f64)> = (0..60)
         .map(|i| {
@@ -208,7 +210,14 @@ mod tests {
 
     fn tiny_map() -> DesignSpaceMap {
         let mut lib = DeviceLibrary::new(Fidelity::Fast);
-        design_space_map(&mut lib, &[0.3, 0.45], &[0.08, 0.16], 15).unwrap()
+        design_space_map(
+            &ExecCtx::serial(),
+            &mut lib,
+            &[0.3, 0.45],
+            &[0.08, 0.16],
+            15,
+        )
+        .unwrap()
     }
 
     #[test]

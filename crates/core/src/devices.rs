@@ -9,6 +9,7 @@
 use crate::error::ExploreError;
 use gnr_device::table::TableGrid;
 use gnr_device::{ChargeImpurity, DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnr_num::par::ExecCtx;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -191,6 +192,7 @@ impl DeviceLibrary {
     /// Propagates model and table failures.
     pub fn ntype_table(
         &mut self,
+        ctx: &ExecCtx,
         variant: DeviceVariant,
     ) -> Result<Arc<DeviceTable>, ExploreError> {
         // The version tag invalidates stale disk caches when the device
@@ -224,8 +226,12 @@ impl DeviceLibrary {
             }
         }
         let refs: Vec<&SbfetModel> = ribbons.iter().map(|m| m.as_ref()).collect();
-        let table =
-            DeviceTable::from_ribbon_models(&refs, Polarity::NType, self.fidelity.table_grid())?;
+        let table = DeviceTable::from_ribbon_models(
+            ctx,
+            &refs,
+            Polarity::NType,
+            self.fidelity.table_grid(),
+        )?;
         self.store_cached(&key, &table);
         let arc = Arc::new(table);
         self.tables.insert(key, Arc::clone(&arc));
@@ -242,13 +248,14 @@ impl DeviceLibrary {
     /// Propagates model and table failures.
     pub fn ptype_table(
         &mut self,
+        ctx: &ExecCtx,
         variant: DeviceVariant,
     ) -> Result<Arc<DeviceTable>, ExploreError> {
         let mirrored_variant = DeviceVariant {
             charge_q: -variant.charge_q,
             ..variant
         };
-        let n_table = self.ntype_table(mirrored_variant)?;
+        let n_table = self.ntype_table(ctx, mirrored_variant)?;
         Ok(Arc::new(n_table.mirrored()))
     }
 
@@ -293,6 +300,10 @@ impl DeviceLibrary {
 mod tests {
     use super::*;
 
+    fn ctx() -> ExecCtx {
+        ExecCtx::serial()
+    }
+
     #[test]
     fn variant_keys_distinguish_configs() {
         let a = DeviceVariant::width(9, ArrayScenario::OneOfFour);
@@ -315,12 +326,12 @@ mod tests {
     #[test]
     fn one_of_four_between_nominal_and_all_four() {
         let mut lib = DeviceLibrary::new(Fidelity::Fast);
-        let nominal = lib.ntype_table(DeviceVariant::nominal()).unwrap();
+        let nominal = lib.ntype_table(&ctx(), DeviceVariant::nominal()).unwrap();
         let one = lib
-            .ntype_table(DeviceVariant::width(9, ArrayScenario::OneOfFour))
+            .ntype_table(&ctx(), DeviceVariant::width(9, ArrayScenario::OneOfFour))
             .unwrap();
         let all = lib
-            .ntype_table(DeviceVariant::width(9, ArrayScenario::AllFour))
+            .ntype_table(&ctx(), DeviceVariant::width(9, ArrayScenario::AllFour))
             .unwrap();
         // N=9 ribbons carry less on-current: monotone ordering of tables.
         let bias = (0.7, 0.4);
@@ -338,8 +349,8 @@ mod tests {
     #[test]
     fn ptype_mirror_consistency() {
         let mut lib = DeviceLibrary::new(Fidelity::Fast);
-        let n = lib.ntype_table(DeviceVariant::nominal()).unwrap();
-        let p = lib.ptype_table(DeviceVariant::nominal()).unwrap();
+        let n = lib.ntype_table(&ctx(), DeviceVariant::nominal()).unwrap();
+        let p = lib.ptype_table(&ctx(), DeviceVariant::nominal()).unwrap();
         let a = n.current(0.5, 0.3);
         let b = p.current(-0.5, -0.3);
         assert!((a + b).abs() < 1e-12 * a.abs().max(1e-18));
@@ -350,10 +361,10 @@ mod tests {
         let dir = std::env::temp_dir().join("gnrlab-test-cache");
         let _ = std::fs::remove_dir_all(&dir);
         let mut lib = DeviceLibrary::with_disk_cache(Fidelity::Fast, &dir);
-        let a = lib.ntype_table(DeviceVariant::nominal()).unwrap();
+        let a = lib.ntype_table(&ctx(), DeviceVariant::nominal()).unwrap();
         // A fresh library must hit the disk cache (same values, no models).
         let mut lib2 = DeviceLibrary::with_disk_cache(Fidelity::Fast, &dir);
-        let b = lib2.ntype_table(DeviceVariant::nominal()).unwrap();
+        let b = lib2.ntype_table(&ctx(), DeviceVariant::nominal()).unwrap();
         assert!(lib2.models.is_empty(), "cache hit must not build models");
         for (vg, vd) in [(0.3, 0.2), (0.6, 0.5)] {
             assert!((a.current(vg, vd) - b.current(vg, vd)).abs() < 1e-18);

@@ -9,6 +9,7 @@
 
 use crate::devices::{ArrayScenario, DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
+use gnr_num::par::ExecCtx;
 use gnr_spice::builders::{ExtrinsicParasitics, InverterCell, Latch};
 use gnr_spice::measure::{butterfly_snm, inverter_vtc, latch_static_power, NoiseMargins};
 
@@ -45,6 +46,7 @@ impl LatchStudy {
 }
 
 fn latch_case(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     label: &str,
     n_variant: DeviceVariant,
@@ -52,8 +54,8 @@ fn latch_case(
     vdd: f64,
     shift: f64,
 ) -> Result<LatchCase, ExploreError> {
-    let n = lib.ntype_table(n_variant)?.with_vg_shift(shift);
-    let p = lib.ptype_table(p_variant)?.with_vg_shift(shift);
+    let n = lib.ntype_table(ctx, n_variant)?.with_vg_shift(shift);
+    let p = lib.ptype_table(ctx, p_variant)?.with_vg_shift(shift);
     let parasitics = ExtrinsicParasitics::nominal();
     let cell = InverterCell::new(&n, &p, &parasitics)?;
     // Both latch inverters share the configuration (paper §5.3).
@@ -77,7 +79,11 @@ fn latch_case(
 /// # Errors
 ///
 /// Propagates device/circuit failures.
-pub fn latch_study(lib: &mut DeviceLibrary, vdd: f64) -> Result<LatchStudy, ExploreError> {
+pub fn latch_study(
+    ctx: &ExecCtx,
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+) -> Result<LatchStudy, ExploreError> {
     let shift = lib.min_leakage_shift(vdd)?;
     let worst_n = |scenario| DeviceVariant {
         n: 9,
@@ -91,6 +97,7 @@ pub fn latch_study(lib: &mut DeviceLibrary, vdd: f64) -> Result<LatchStudy, Expl
     };
     let cases = vec![
         latch_case(
+            ctx,
             lib,
             "nominal",
             DeviceVariant::nominal(),
@@ -99,6 +106,7 @@ pub fn latch_study(lib: &mut DeviceLibrary, vdd: f64) -> Result<LatchStudy, Expl
             shift,
         )?,
         latch_case(
+            ctx,
             lib,
             "single GNR affected",
             worst_n(ArrayScenario::OneOfFour),
@@ -107,6 +115,7 @@ pub fn latch_study(lib: &mut DeviceLibrary, vdd: f64) -> Result<LatchStudy, Expl
             shift,
         )?,
         latch_case(
+            ctx,
             lib,
             "all GNRs affected",
             worst_n(ArrayScenario::AllFour),
@@ -152,7 +161,7 @@ mod tests {
     #[test]
     fn latch_study_shows_degradation() {
         let mut lib = DeviceLibrary::new(Fidelity::Fast);
-        let study = latch_study(&mut lib, 0.4).unwrap();
+        let study = latch_study(&ExecCtx::serial(), &mut lib, 0.4).unwrap();
         assert_eq!(study.cases.len(), 3);
         let nominal = study.case("nominal").unwrap();
         let single = study.case("single").unwrap();

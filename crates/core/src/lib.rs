@@ -27,12 +27,15 @@
 //! # Example
 //!
 //! ```no_run
+//! use gnr_num::par::ExecCtx;
 //! use gnrfet_explore::devices::{DeviceLibrary, DeviceVariant, Fidelity};
 //! use gnrfet_explore::variability::inverter_study;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = ExecCtx::from_env(); // honours GNR_THREADS
 //! let mut lib = DeviceLibrary::new(Fidelity::Fast);
 //! let nominal = inverter_study(
+//!     &ctx,
 //!     &mut lib,
 //!     DeviceVariant::nominal(),
 //!     DeviceVariant::nominal(),
@@ -43,6 +46,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod comparison;
 pub mod contours;

@@ -14,10 +14,13 @@
 
 use crate::devices::{ArrayScenario, DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
-use crate::variability::{inverter_figures, InverterFigures};
+use crate::variability::{inverter_figures, inverter_figures_from_tables, InverterFigures};
+use gnr_device::DeviceTable;
+use gnr_num::par::ExecCtx;
 use gnr_num::recover::FaultLog;
 use gnr_num::rng::Rng;
 use gnr_num::stats::{summarize, Histogram, Summary};
+use std::sync::Arc;
 
 /// Discrete ±1σ device-parameter distribution of the paper.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -148,42 +151,32 @@ const DEAD_CELL: InverterFigures = InverterFigures {
 
 /// Characterizes the stage universe once; sampling via
 /// [`monte_carlo_from_universe`] is then microseconds per ring.
-/// Per-cell failures are isolated into dead cells (see
-/// [`characterize_stage_universe_logged`] for the fault records).
+///
+/// The 81 cell characterizations fan out across `ctx`'s thread pool.
+/// Because the nine n-type and nine p-type shifted tables are pre-warmed
+/// serially (the [`DeviceLibrary`] memoizes under `&mut self`) and fault
+/// probes are pre-drawn in cell order, the resulting universe — and every
+/// recorded fault — is bit-identical for any pool size.
+///
+/// Per-cell failures are isolated into dead cells (NaN figures, so rings
+/// drawing them stall and count against yield) and recorded in
+/// `ctx.faults()` with their cell index under stage `"characterize"`.
+/// Only the nominal reference cell stays fatal, since every other figure
+/// is normalized against it.
 ///
 /// # Errors
 ///
 /// Propagates nominal-reference characterization failures.
 pub fn characterize_stage_universe(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     vdd: f64,
     stages: usize,
 ) -> Result<StageUniverse, ExploreError> {
-    let mut log = FaultLog::new();
-    characterize_stage_universe_logged(lib, vdd, stages, &mut log)
-}
-
-/// Fault-isolating universe characterization: a failing cell no longer
-/// aborts the run — it becomes a dead cell (NaN figures, so rings drawing
-/// it stall and count against yield) and is recorded in `log` with its
-/// cell index under stage `"characterize"`. Only the nominal reference
-/// cell stays fatal, since every other figure is normalized against it.
-///
-/// # Errors
-///
-/// Propagates nominal-reference characterization failures.
-pub fn characterize_stage_universe_logged(
-    lib: &mut DeviceLibrary,
-    vdd: f64,
-    stages: usize,
-    log: &mut FaultLog,
-) -> Result<StageUniverse, ExploreError> {
-    let widths = [9usize, 12, 15];
-    let charges = [-1.0f64, 0.0, 1.0];
     let shift = lib.min_leakage_shift(vdd)?;
-    let mut figures: Vec<InverterFigures> = Vec::with_capacity(81);
     let nominal_freq_guess = {
         let nominal = inverter_figures(
+            ctx,
             lib,
             DeviceVariant::nominal(),
             DeviceVariant::nominal(),
@@ -193,43 +186,78 @@ pub fn characterize_stage_universe_logged(
         )?;
         1.0 / (2.0 * stages as f64 * nominal.delay_s)
     };
-    for (cell, ((nw, nq), (pw, pq))) in widths
-        .iter()
-        .flat_map(|w| charges.iter().map(move |q| (*w, *q)))
-        .flat_map(|n| {
-            widths
-                .iter()
-                .flat_map(|w| charges.iter().map(move |q| (*w, *q)))
-                .map(move |p| (n, p))
-        })
-        .enumerate()
-    {
-        let nv = DeviceVariant {
-            n: nw,
-            charge_q: nq,
-            scenario: ArrayScenario::AllFour,
-        };
-        let pv = DeviceVariant {
-            n: pw,
-            charge_q: pq,
-            scenario: ArrayScenario::AllFour,
-        };
-        let cell_result = if gnr_num::fault::should_fail("characterize") {
-            Err(ExploreError::config(
-                "injected fault: cell characterization suppressed",
-            ))
-        } else {
-            inverter_figures(lib, nv, pv, vdd, shift, Some(nominal_freq_guess))
-        };
+    // Pre-warm the 9 + 9 shifted tables serially: the library's memoization
+    // needs `&mut self`, and sharing `Arc`s lets all 81 cells proceed
+    // without cloning tables. A failing build poisons only the cells that
+    // draw it (matching the per-cell isolation of the serial flow), not the
+    // whole run; the error string is what the cell would have recorded.
+    let config = |i: usize| DeviceVariant {
+        n: MC_WIDTHS[i / 3],
+        charge_q: MC_CHARGES[i % 3],
+        scenario: ArrayScenario::AllFour,
+    };
+    let mut n_tables: Vec<Result<Arc<DeviceTable>, String>> = Vec::with_capacity(9);
+    let mut p_tables: Vec<Result<Arc<DeviceTable>, String>> = Vec::with_capacity(9);
+    for i in 0..9 {
+        n_tables.push(
+            lib.ntype_table(ctx, config(i))
+                .map(|t| Arc::new(t.with_vg_shift(shift)))
+                .map_err(|e| e.to_string()),
+        );
+        p_tables.push(
+            lib.ptype_table(ctx, config(i))
+                .map(|t| Arc::new(t.with_vg_shift(shift)))
+                .map_err(|e| e.to_string()),
+        );
+    }
+    // Pre-draw the injector probes in cell order so the per-site RNG stream
+    // advances exactly as in a serial run, whatever the pool size.
+    let injected: Vec<bool> = (0..81)
+        .map(|_| gnr_num::fault::should_fail("characterize"))
+        .collect();
+    let cells: Vec<Result<InverterFigures, String>> = ctx.par_map_indexed(81, |cell| {
+        if injected[cell] {
+            return Err(
+                ExploreError::config("injected fault: cell characterization suppressed")
+                    .to_string(),
+            );
+        }
+        let n = n_tables[cell / 9].as_ref().map_err(String::clone)?;
+        let p = p_tables[cell % 9].as_ref().map_err(String::clone)?;
+        inverter_figures_from_tables(n, p, vdd, Some(nominal_freq_guess)).map_err(|e| e.to_string())
+    });
+    let mut figures: Vec<InverterFigures> = Vec::with_capacity(81);
+    for (cell, cell_result) in cells.into_iter().enumerate() {
         match cell_result {
             Ok(figs) => figures.push(figs),
             Err(e) => {
-                log.record(cell, "characterize", e.to_string());
+                ctx.record_fault(cell, "characterize", e);
                 figures.push(DEAD_CELL);
             }
         }
     }
     Ok(StageUniverse { figures, stages })
+}
+
+/// Pre-`ExecCtx` spelling of [`characterize_stage_universe`] with an
+/// explicit fault log.
+///
+/// # Errors
+///
+/// Propagates nominal-reference characterization failures.
+#[deprecated(
+    note = "use characterize_stage_universe(&ExecCtx::serial(), ...) and read ctx.faults()"
+)]
+pub fn characterize_stage_universe_logged(
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+    stages: usize,
+    log: &mut FaultLog,
+) -> Result<StageUniverse, ExploreError> {
+    let ctx = ExecCtx::serial();
+    let universe = characterize_stage_universe(&ctx, lib, vdd, stages)?;
+    log.extend(ctx.faults().take());
+    Ok(universe)
 }
 
 const MC_WIDTHS: [usize; 3] = [9, 12, 15];
@@ -248,31 +276,32 @@ fn cfg_index(w: usize, q: f64) -> usize {
 }
 
 /// Runs the Monte Carlo study: `samples` oscillators of `stages` stages,
-/// devices drawn per the paper's discretized normal.
+/// devices drawn per the paper's discretized normal. Characterization
+/// faults (cell id, stage `"characterize"`) and stalled rings (sample id,
+/// stage `"ring"`) are recorded in `ctx.faults()`.
 ///
 /// # Errors
 ///
 /// Propagates characterization failures.
 pub fn ring_oscillator_monte_carlo(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     vdd: f64,
     stages: usize,
     samples: usize,
     seed: u64,
 ) -> Result<MonteCarloResult, ExploreError> {
-    let universe = characterize_stage_universe(lib, vdd, stages)?;
-    Ok(monte_carlo_from_universe(&universe, samples, seed))
+    let universe = characterize_stage_universe(ctx, lib, vdd, stages)?;
+    Ok(monte_carlo_from_universe(ctx, &universe, samples, seed))
 }
 
-/// Fault-isolated Monte Carlo study: like [`ring_oscillator_monte_carlo`]
-/// but every per-cell characterization failure and every stalled ring
-/// sample is recorded in the returned [`FaultLog`] (sample id + stage)
-/// instead of being silent or fatal. Numerically identical to the plain
-/// variant — logging draws nothing from the sample RNG.
+/// Pre-`ExecCtx` spelling of [`ring_oscillator_monte_carlo`] returning the
+/// fault log by value.
 ///
 /// # Errors
 ///
 /// Propagates nominal-reference characterization failures.
+#[deprecated(note = "use ring_oscillator_monte_carlo(&ExecCtx::serial(), ...) and ctx.faults()")]
 pub fn ring_oscillator_monte_carlo_isolated(
     lib: &mut DeviceLibrary,
     vdd: f64,
@@ -280,38 +309,22 @@ pub fn ring_oscillator_monte_carlo_isolated(
     samples: usize,
     seed: u64,
 ) -> Result<(MonteCarloResult, FaultLog), ExploreError> {
-    let mut log = FaultLog::new();
-    let universe = characterize_stage_universe_logged(lib, vdd, stages, &mut log)?;
-    let result = sample_universe(&universe, samples, seed, &mut log);
-    Ok((result, log))
+    let ctx = ExecCtx::serial();
+    let result = ring_oscillator_monte_carlo(&ctx, lib, vdd, stages, samples, seed)?;
+    Ok((result, ctx.faults().take()))
 }
 
-/// Samples `samples` rings from a pre-characterized universe.
+/// Samples `samples` rings from a pre-characterized universe, fanning the
+/// per-sample composition across `ctx`'s thread pool. All RNG draws happen
+/// serially up front (in the exact per-sample, per-stage `nw, nq, pw, pq`
+/// order of the historic serial loop), so results are bit-identical for
+/// any pool size. Stalled rings are recorded in `ctx.faults()` (sample id,
+/// stage `"ring"`), in sample order.
 pub fn monte_carlo_from_universe(
+    ctx: &ExecCtx,
     universe: &StageUniverse,
     samples: usize,
     seed: u64,
-) -> MonteCarloResult {
-    let mut log = FaultLog::new();
-    sample_universe(universe, samples, seed, &mut log)
-}
-
-/// Samples `samples` rings from a pre-characterized universe, recording
-/// every stalled ring in `log` (sample id, stage `"ring"`).
-pub fn monte_carlo_from_universe_logged(
-    universe: &StageUniverse,
-    samples: usize,
-    seed: u64,
-    log: &mut FaultLog,
-) -> MonteCarloResult {
-    sample_universe(universe, samples, seed, log)
-}
-
-fn sample_universe(
-    universe: &StageUniverse,
-    samples: usize,
-    seed: u64,
-    log: &mut FaultLog,
 ) -> MonteCarloResult {
     let stages = universe.stages;
     let pair =
@@ -324,30 +337,42 @@ fn sample_universe(
 
     let dist = DiscreteNormal::default();
     let mut rng = Rng::seed_from_u64(seed);
-    let mut frequency_hz = Vec::with_capacity(samples);
-    let mut dynamic_w = Vec::with_capacity(samples);
-    let mut static_w = Vec::with_capacity(samples);
-    let mut stalled_samples = 0usize;
-    for sample in 0..samples {
-        let mut period = 0.0;
-        let mut energy = 0.0;
-        let mut leak = 0.0;
+    let mut draws: Vec<(usize, usize)> = Vec::with_capacity(samples * stages);
+    for _ in 0..samples {
         for _ in 0..stages {
             let nw = dist.draw(&mut rng, 9usize, 12, 15);
             let nq = dist.draw(&mut rng, -1.0f64, 0.0, 1.0);
             let pw = dist.draw(&mut rng, 9usize, 12, 15);
             let pq = dist.draw(&mut rng, -1.0f64, 0.0, 1.0);
-            let figs = pair(cfg_index(nw, nq), cfg_index(pw, pq));
+            draws.push((cfg_index(nw, nq), cfg_index(pw, pq)));
+        }
+    }
+    // Per-sample accumulation preserves the serial loop's operation order
+    // exactly (stage order within a sample); the merge below walks samples
+    // in index order, so stall records land in sample order too.
+    let totals: Vec<(f64, f64, f64)> = ctx.par_map_indexed(samples, |sample| {
+        let mut period = 0.0;
+        let mut energy = 0.0;
+        let mut leak = 0.0;
+        for &(ncfg, pcfg) in &draws[sample * stages..(sample + 1) * stages] {
+            let figs = pair(ncfg, pcfg);
             period += 2.0 * figs.delay_s;
             energy += figs.energy_j;
             // Dummies (3 per stage) share the driving stage's config.
             leak += 4.0 * figs.static_w;
         }
+        (period, energy, leak)
+    });
+    let mut frequency_hz = Vec::with_capacity(samples);
+    let mut dynamic_w = Vec::with_capacity(samples);
+    let mut static_w = Vec::with_capacity(samples);
+    let mut stalled_samples = 0usize;
+    for (sample, (period, energy, leak)) in totals.into_iter().enumerate() {
         // A drawn stage with collapsed logic levels (NaN delay) stalls the
         // ring: count it as a functional-yield loss, keep its leakage.
         if !period.is_finite() || !energy.is_finite() {
             stalled_samples += 1;
-            log.record(
+            ctx.record_fault(
                 sample,
                 "ring",
                 "ring stalled: non-finite period/energy from a dead or collapsed stage",
@@ -370,6 +395,21 @@ fn sample_universe(
     }
 }
 
+/// Pre-`ExecCtx` spelling of [`monte_carlo_from_universe`] with an
+/// explicit fault log.
+#[deprecated(note = "use monte_carlo_from_universe(&ExecCtx::serial(), ...) and read ctx.faults()")]
+pub fn monte_carlo_from_universe_logged(
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+    log: &mut FaultLog,
+) -> MonteCarloResult {
+    let ctx = ExecCtx::serial();
+    let result = monte_carlo_from_universe(&ctx, universe, samples, seed);
+    log.extend(ctx.faults().take());
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +430,56 @@ mod tests {
         assert!((f(counts[0]) - 0.1587).abs() < 0.01);
         assert!((f(counts[2]) - 0.1587).abs() < 0.01);
         assert!((f(counts[1]) - 0.6826).abs() < 0.015);
+    }
+
+    /// Universe sampling is bit-identical across pool sizes: the RNG is
+    /// consumed serially up front and the merge preserves sample order.
+    #[test]
+    fn universe_sampling_bit_identical_across_pools() {
+        // A synthetic universe with one dead cell exercises the stall path.
+        let mut figures = vec![
+            InverterFigures {
+                delay_s: 1e-11,
+                static_w: 1e-7,
+                dynamic_w: 5e-7,
+                energy_j: 1e-16,
+                snm_v: 0.1,
+            };
+            81
+        ];
+        for (i, f) in figures.iter_mut().enumerate() {
+            f.delay_s *= 1.0 + 0.01 * i as f64;
+            f.static_w *= 1.0 + 0.02 * i as f64;
+        }
+        figures[7] = DEAD_CELL;
+        let universe = StageUniverse {
+            figures,
+            stages: 15,
+        };
+        let serial_ctx = ExecCtx::serial();
+        let serial = monte_carlo_from_universe(&serial_ctx, &universe, 500, 20080608);
+        for threads in [2, 4] {
+            let ctx = ExecCtx::with_threads(threads);
+            let par = monte_carlo_from_universe(&ctx, &universe, 500, 20080608);
+            assert_eq!(serial.stalled_samples, par.stalled_samples);
+            assert_eq!(serial.frequency_hz.len(), par.frequency_hz.len());
+            for (a, b) in serial.frequency_hz.iter().zip(&par.frequency_hz) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in serial.dynamic_w.iter().zip(&par.dynamic_w) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in serial.static_w.iter().zip(&par.static_w) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Stall faults land in the shared log in sample order.
+            let faults = ctx.faults().take();
+            assert_eq!(faults.len(), par.stalled_samples);
+            let samples: Vec<usize> = faults.events().iter().map(|e| e.sample).collect();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            assert_eq!(samples, sorted);
+        }
     }
 
     #[test]

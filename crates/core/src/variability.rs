@@ -9,6 +9,8 @@
 
 use crate::devices::{ArrayScenario, DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
+use gnr_device::DeviceTable;
+use gnr_num::par::ExecCtx;
 use gnr_spice::builders::{ExtrinsicParasitics, InverterCell};
 use gnr_spice::measure::{butterfly_snm, fo4_metrics_for_cell, inverter_vtc};
 use std::fmt;
@@ -40,6 +42,7 @@ pub struct InverterFigures {
 ///
 /// Propagates table construction and circuit analysis failures.
 pub fn inverter_figures(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     n_variant: DeviceVariant,
     p_variant: DeviceVariant,
@@ -47,10 +50,28 @@ pub fn inverter_figures(
     vg_shift: f64,
     f_ref: Option<f64>,
 ) -> Result<InverterFigures, ExploreError> {
-    let n = lib.ntype_table(n_variant)?.with_vg_shift(vg_shift);
-    let p = lib.ptype_table(p_variant)?.with_vg_shift(vg_shift);
+    let n = lib.ntype_table(ctx, n_variant)?.with_vg_shift(vg_shift);
+    let p = lib.ptype_table(ctx, p_variant)?.with_vg_shift(vg_shift);
+    inverter_figures_from_tables(&n, &p, vdd, f_ref)
+}
+
+/// Measures one inverter built from already-shifted device tables — the
+/// table-free tail of [`inverter_figures`]. Because it borrows only
+/// immutable tables, callers holding pre-warmed `Arc<DeviceTable>`s (the
+/// Monte Carlo universe characterization) can fan cells out across a
+/// thread pool without contending on the [`DeviceLibrary`].
+///
+/// # Errors
+///
+/// Propagates circuit analysis failures.
+pub fn inverter_figures_from_tables(
+    n: &DeviceTable,
+    p: &DeviceTable,
+    vdd: f64,
+    f_ref: Option<f64>,
+) -> Result<InverterFigures, ExploreError> {
     let parasitics = ExtrinsicParasitics::nominal();
-    let cell = InverterCell::new(&n, &p, &parasitics)?;
+    let cell = InverterCell::new(n, p, &parasitics)?;
     // Extreme-skew corners can defeat the DC solver outright (the ratioed
     // fight between a leaky wide pull-up and a weak narrow pull-down has
     // near-zero gain margins); record those as non-functional cells.
@@ -107,6 +128,7 @@ pub fn inverter_figures(
 ///
 /// Propagates measurement failures.
 pub fn inverter_study(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     n_variant: DeviceVariant,
     p_variant: DeviceVariant,
@@ -114,7 +136,7 @@ pub fn inverter_study(
     _vt_target: f64,
 ) -> Result<InverterFigures, ExploreError> {
     let shift = lib.min_leakage_shift(vdd)?;
-    inverter_figures(lib, n_variant, p_variant, vdd, shift, None)
+    inverter_figures(ctx, lib, n_variant, p_variant, vdd, shift, None)
 }
 
 /// One table cell: both array scenarios of the same variant pair.
@@ -261,6 +283,7 @@ impl fmt::Display for VariabilityTable {
 ///
 /// Propagates measurement failures.
 pub fn variability_table(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     p_axis: &[(String, usize, f64)],
     n_axis: &[(String, usize, f64)],
@@ -268,6 +291,7 @@ pub fn variability_table(
 ) -> Result<VariabilityTable, ExploreError> {
     let shift = lib.min_leakage_shift(vdd)?;
     let nominal = inverter_figures(
+        ctx,
         lib,
         DeviceVariant::nominal(),
         DeviceVariant::nominal(),
@@ -303,7 +327,7 @@ pub fn variability_table(
                     charge_q: *pq,
                     scenario,
                 };
-                pair[k] = inverter_figures(lib, nv, pv, vdd, shift, Some(f_ref))?;
+                pair[k] = inverter_figures(ctx, lib, nv, pv, vdd, shift, Some(f_ref))?;
             }
             cells.push(ScenarioPair {
                 one: pair[0],
@@ -327,6 +351,7 @@ pub fn variability_table(
 ///
 /// Propagates measurement failures.
 pub fn width_variation_table(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     vdd: f64,
 ) -> Result<VariabilityTable, ExploreError> {
@@ -334,7 +359,7 @@ pub fn width_variation_table(
         .into_iter()
         .map(|n| (format!("N={n}"), n, 0.0))
         .collect();
-    variability_table(lib, &axis, &axis, vdd)
+    variability_table(ctx, lib, &axis, &axis, vdd)
 }
 
 /// Paper Table 3: independent charge impurities ∈ {−2q, −q, 0, +q, +2q}.
@@ -343,6 +368,7 @@ pub fn width_variation_table(
 ///
 /// Propagates measurement failures.
 pub fn charge_impurity_table(
+    ctx: &ExecCtx,
     lib: &mut DeviceLibrary,
     vdd: f64,
 ) -> Result<VariabilityTable, ExploreError> {
@@ -352,7 +378,7 @@ pub fn charge_impurity_table(
         .collect();
     // Paper's row order is +2q ... -2q for the p-device; keep ascending and
     // let the renderer label rows explicitly.
-    variability_table(lib, &axis, &axis, vdd)
+    variability_table(ctx, lib, &axis, &axis, vdd)
 }
 
 /// Paper Table 4: simultaneous worst-case width and impurity combinations
@@ -361,14 +387,18 @@ pub fn charge_impurity_table(
 /// # Errors
 ///
 /// Propagates measurement failures.
-pub fn combined_table(lib: &mut DeviceLibrary, vdd: f64) -> Result<VariabilityTable, ExploreError> {
+pub fn combined_table(
+    ctx: &ExecCtx,
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+) -> Result<VariabilityTable, ExploreError> {
     let mut axis = Vec::new();
     for n in [9usize, 18] {
         for q in [-1.0, 1.0] {
             axis.push((format!("N={n},{q:+.0}q"), n, q));
         }
     }
-    variability_table(lib, &axis, &axis, vdd)
+    variability_table(ctx, lib, &axis, &axis, vdd)
 }
 
 #[cfg(test)]
@@ -415,7 +445,9 @@ mod tests {
     fn width_extremes_behave_like_paper() {
         let mut lib = DeviceLibrary::new(Fidelity::Fast);
         let shift = lib.min_leakage_shift(0.4).unwrap();
+        let ctx = ExecCtx::serial();
         let nominal = inverter_figures(
+            &ctx,
             &mut lib,
             DeviceVariant::nominal(),
             DeviceVariant::nominal(),
@@ -425,6 +457,7 @@ mod tests {
         )
         .unwrap();
         let narrow = inverter_figures(
+            &ctx,
             &mut lib,
             DeviceVariant::width(9, ArrayScenario::AllFour),
             DeviceVariant::width(9, ArrayScenario::AllFour),
@@ -434,6 +467,7 @@ mod tests {
         )
         .unwrap();
         let wide = inverter_figures(
+            &ctx,
             &mut lib,
             DeviceVariant::width(18, ArrayScenario::AllFour),
             DeviceVariant::width(18, ArrayScenario::AllFour),

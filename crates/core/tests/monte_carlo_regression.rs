@@ -2,6 +2,7 @@
 //! paper) to the in-house RNG: bit-reproducibility for a fixed seed and a
 //! stable frequency/power distribution against the recorded baseline.
 
+use gnr_num::par::ExecCtx;
 use gnrfet_explore::devices::{DeviceLibrary, Fidelity};
 use gnrfet_explore::monte_carlo::{
     characterize_stage_universe, monte_carlo_from_universe, ring_oscillator_monte_carlo,
@@ -11,10 +12,11 @@ use gnrfet_explore::monte_carlo::{
 /// vectors — the acceptance criterion for deterministic Monte Carlo.
 #[test]
 fn fixed_seed_is_bit_reproducible() {
+    let ctx = ExecCtx::serial();
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
-    let universe = characterize_stage_universe(&mut lib, 0.4, 15).expect("characterizes");
-    let a = monte_carlo_from_universe(&universe, 2000, 20080608);
-    let b = monte_carlo_from_universe(&universe, 2000, 20080608);
+    let universe = characterize_stage_universe(&ctx, &mut lib, 0.4, 15).expect("characterizes");
+    let a = monte_carlo_from_universe(&ctx, &universe, 2000, 20080608);
+    let b = monte_carlo_from_universe(&ctx, &universe, 2000, 20080608);
     assert_eq!(a.frequency_hz.len(), b.frequency_hz.len());
     for (x, y) in a.frequency_hz.iter().zip(&b.frequency_hz) {
         assert_eq!(x.to_bits(), y.to_bits());
@@ -28,7 +30,7 @@ fn fixed_seed_is_bit_reproducible() {
     assert_eq!(a.stalled_samples, b.stalled_samples);
 
     // A different seed draws a different ring population.
-    let c = monte_carlo_from_universe(&universe, 2000, 1);
+    let c = monte_carlo_from_universe(&ctx, &universe, 2000, 1);
     assert!(
         a.frequency_hz
             .iter()
@@ -44,7 +46,8 @@ fn fixed_seed_is_bit_reproducible() {
 #[test]
 fn width_variation_statistics_pinned() {
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
-    let mc = ring_oscillator_monte_carlo(&mut lib, 0.4, 15, 2000, 20080608).expect("runs");
+    let mc = ring_oscillator_monte_carlo(&ExecCtx::serial(), &mut lib, 0.4, 15, 2000, 20080608)
+        .expect("runs");
     let kept = mc.frequency_hz.len();
     assert!(mc.stalled_samples + kept == 2000);
     // The functional yield for this seed is exactly 1470/2000 — the draw

@@ -14,6 +14,7 @@ use crate::error::DeviceError;
 use gnr_lattice::DeviceHamiltonian;
 use gnr_negf::transport::{integrate_transport, EnergyGrid};
 use gnr_negf::{Lead, RgfSolver};
+use gnr_num::par::{ExecCtx, RecoveryPolicy};
 use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
 use gnr_poisson::PoissonSolution;
 
@@ -90,33 +91,62 @@ impl ScfSolver {
         }
     }
 
-    /// Runs the SCF loop at bias `(v_g, v_d)` with the source grounded.
+    /// Runs the SCF loop at bias `(v_g, v_d)` with the source grounded,
+    /// under the execution context's policy and thread pool (the inner
+    /// energy integration parallelizes over `ctx`).
+    ///
+    /// With [`RecoveryPolicy::Strict`] only the nominal attempt runs and
+    /// any divergence propagates as an error — byte-for-byte the historic
+    /// plain `solve`. With [`RecoveryPolicy::Ladder`] the nominal attempt
+    /// (still bit-identical when it converges) is followed on divergence by
+    /// a mixing backoff continuing from the last potential, a fresh restart
+    /// at quarter mixing, and a restart on a twice-finer energy grid; if no
+    /// rung converges, the lowest-residual best-effort result is returned
+    /// flagged [`Degraded`](gnr_num::recover::Quality::Degraded) in the
+    /// report instead of an `Err`.
     ///
     /// # Errors
     ///
-    /// Returns [`DeviceError::ScfDiverged`] if the potential update fails to
-    /// fall below tolerance, or propagates solver failures.
-    pub fn solve(&self, v_g: f64, v_d: f64) -> Result<ScfResult, DeviceError> {
-        let mut best = None;
-        self.solve_inner(v_g, v_d, &self.opts, None, &mut best)
+    /// Under `Strict`, returns [`DeviceError::ScfDiverged`] when the
+    /// potential update fails to fall below tolerance. Under `Ladder`,
+    /// returns the first attempt's error only when every rung fails without
+    /// producing even a best-effort iterate (e.g. configuration or upstream
+    /// solver failures).
+    pub fn solve(
+        &self,
+        ctx: &ExecCtx,
+        v_g: f64,
+        v_d: f64,
+    ) -> Result<(ScfResult, SolveReport), DeviceError> {
+        match ctx.recovery() {
+            RecoveryPolicy::Strict => {
+                let mut best = None;
+                let r = self.solve_inner(ctx, v_g, v_d, &self.opts, None, &mut best)?;
+                let report = SolveReport::single("nominal", r.iterations, r.residual_v);
+                Ok((r, report))
+            }
+            RecoveryPolicy::Ladder => self.solve_laddered(ctx, v_g, v_d),
+        }
     }
 
-    /// Runs the SCF loop under an escalation ladder: the nominal attempt
-    /// first (byte-for-byte the same computation as [`ScfSolver::solve`]),
-    /// then on divergence a mixing backoff continuing from the last
-    /// potential, a fresh restart at quarter mixing, and finally a restart
-    /// on a twice-finer energy grid. If no rung converges, the
-    /// lowest-residual best-effort result is returned flagged
-    /// [`Degraded`](gnr_num::recover::Quality::Degraded) in the report
-    /// instead of an `Err`.
+    /// Historic name for the laddered solve.
     ///
     /// # Errors
     ///
-    /// Returns the first attempt's error only when every rung fails without
-    /// producing even a best-effort iterate (e.g. configuration or
-    /// upstream solver failures).
+    /// As [`ScfSolver::solve`] under [`RecoveryPolicy::Ladder`].
+    #[deprecated(note = "use ScfSolver::solve(&ExecCtx::serial(), v_g, v_d)")]
     pub fn solve_with_recovery(
         &self,
+        v_g: f64,
+        v_d: f64,
+    ) -> Result<(ScfResult, SolveReport), DeviceError> {
+        self.solve(&ExecCtx::serial(), v_g, v_d)
+    }
+
+    /// The escalation-ladder solve behind [`RecoveryPolicy::Ladder`].
+    fn solve_laddered(
+        &self,
+        ctx: &ExecCtx,
         v_g: f64,
         v_d: f64,
     ) -> Result<(ScfResult, SolveReport), DeviceError> {
@@ -177,7 +207,7 @@ impl ScfSolver {
                 None
             };
             let mut best = None;
-            match self.solve_inner(v_g, v_d, &policy.opts, init, &mut best) {
+            match self.solve_inner(ctx, v_g, v_d, &policy.opts, init, &mut best) {
                 Ok(r) => {
                     let (it, res) = (r.iterations, r.residual_v);
                     AttemptReport::converged(r, it, res)
@@ -214,6 +244,7 @@ impl ScfSolver {
     /// [`ScfResult`] plus its atom potential for ladder continuation.
     fn solve_inner(
         &self,
+        ctx: &ExecCtx,
         v_g: f64,
         v_d: f64,
         opts: &ScfOptions,
@@ -283,7 +314,7 @@ impl ScfSolver {
                 Lead::metal_with_gamma(cfg.contact_gamma_ev),
             );
             let transport =
-                integrate_transport(&solver, &grid, mu_s, mu_d, cfg.temperature_k, &u_atoms)?;
+                integrate_transport(ctx, &solver, &grid, mu_s, mu_d, cfg.temperature_k, &u_atoms)?;
 
             // Poisson with the NEGF charge deposited per atom.
             let mut problem = cfg.build_poisson(0.0, v_d, v_g)?;
@@ -374,20 +405,25 @@ mod tests {
         cfg
     }
 
+    fn strict() -> ExecCtx {
+        ExecCtx::strict()
+    }
+
     #[test]
     fn scf_converges_at_off_state() {
         let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
-        let r = solver.solve(0.0, 0.1).unwrap();
+        let (r, report) = solver.solve(&strict(), 0.0, 0.1).unwrap();
         assert!(r.residual_v < ScfOptions::fast().tolerance_v);
         assert!(r.iterations >= 1);
         assert!(r.current_a.is_finite());
+        assert!(report.nominal(), "strict solve reports one nominal attempt");
     }
 
     #[test]
     fn scf_gate_modulates_barrier() {
         let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
-        let low = solver.solve(0.0, 0.1).unwrap();
-        let high = solver.solve(0.5, 0.1).unwrap();
+        let (low, _) = solver.solve(&strict(), 0.0, 0.1).unwrap();
+        let (high, _) = solver.solve(&strict(), 0.5, 0.1).unwrap();
         // Higher gate voltage pulls the mid-channel potential down.
         let mid = low.layer_potential_ev.len() / 2;
         assert!(
@@ -406,8 +442,8 @@ mod tests {
         cfg.channel_cells = 18;
         let solver = ScfSolver::new(&cfg, ScfOptions::fast());
         let vd = 0.3;
-        let off = solver.solve(vd / 2.0, vd).unwrap();
-        let on = solver.solve(0.6, vd).unwrap();
+        let (off, _) = solver.solve(&strict(), vd / 2.0, vd).unwrap();
+        let (on, _) = solver.solve(&strict(), 0.6, vd).unwrap();
         assert!(
             on.current_a > 2.0 * off.current_a.abs().max(1e-12),
             "on {:.3e} off {:.3e}",
@@ -419,14 +455,35 @@ mod tests {
     #[test]
     fn recovery_nominal_path_is_bit_identical() {
         let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
-        let plain = solver.solve(0.0, 0.1).unwrap();
-        let (laddered, report) = solver.solve_with_recovery(0.0, 0.1).unwrap();
+        let (plain, _) = solver.solve(&strict(), 0.0, 0.1).unwrap();
+        let (laddered, report) = solver.solve(&ExecCtx::serial(), 0.0, 0.1).unwrap();
         assert!(report.nominal(), "fault-free: first rung must win");
         assert_eq!(report.policy_used.as_deref(), Some("nominal"));
         assert_eq!(plain.current_a.to_bits(), laddered.current_a.to_bits());
         assert_eq!(plain.charge_c.to_bits(), laddered.charge_c.to_bits());
         assert_eq!(plain.layer_potential_ev, laddered.layer_potential_ev);
         assert_eq!(plain.iterations, laddered.iterations);
+    }
+
+    #[test]
+    fn parallel_solve_bit_identical_to_serial() {
+        let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
+        let (serial, _) = solver.solve(&strict(), 0.3, 0.2).unwrap();
+        let par_ctx = ExecCtx::with_threads(4).with_recovery(RecoveryPolicy::Strict);
+        let (par, _) = solver.solve(&par_ctx, 0.3, 0.2).unwrap();
+        assert_eq!(serial.current_a.to_bits(), par.current_a.to_bits());
+        assert_eq!(serial.charge_c.to_bits(), par.charge_c.to_bits());
+        assert_eq!(serial.layer_potential_ev, par.layer_potential_ev);
+        assert_eq!(serial.iterations, par.iterations);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_ladder_solve() {
+        let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
+        let (via_shim, _) = solver.solve_with_recovery(0.0, 0.1).unwrap();
+        let (via_ctx, _) = solver.solve(&ExecCtx::serial(), 0.0, 0.1).unwrap();
+        assert_eq!(via_shim.current_a.to_bits(), via_ctx.current_a.to_bits());
     }
 
     #[test]
@@ -439,8 +496,8 @@ mod tests {
             ..ScfOptions::fast()
         };
         let solver = ScfSolver::new(&tiny_cfg(), opts);
-        assert!(solver.solve(0.0, 0.1).is_err());
-        let (result, report) = solver.solve_with_recovery(0.0, 0.1).unwrap();
+        assert!(solver.solve(&strict(), 0.0, 0.1).is_err());
+        let (result, report) = solver.solve(&ExecCtx::serial(), 0.0, 0.1).unwrap();
         assert!(report.degraded());
         assert_eq!(report.attempts.len(), 4, "every rung attempted");
         assert!(result.residual_v.is_finite());
@@ -450,8 +507,8 @@ mod tests {
     #[test]
     fn scf_accumulates_electrons_at_high_gate() {
         let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
-        let off = solver.solve(0.05, 0.1).unwrap();
-        let on = solver.solve(0.6, 0.1).unwrap();
+        let (off, _) = solver.solve(&strict(), 0.05, 0.1).unwrap();
+        let (on, _) = solver.solve(&strict(), 0.6, 0.1).unwrap();
         // Electron accumulation makes the net channel charge more negative.
         assert!(
             on.charge_c < off.charge_c,

@@ -14,6 +14,7 @@
 
 use crate::error::DeviceError;
 use crate::sbfet::SbfetModel;
+use gnr_num::par::ExecCtx;
 use gnr_num::{BilinearTable, Grid1, Grid2, Json};
 
 /// Carrier-type role of a FET in a logic gate.
@@ -77,17 +78,22 @@ impl DeviceTable {
     /// Builds a table by sampling a single-ribbon model and scaling by
     /// `ribbons` identical parallel ribbons (the paper's 4-GNR array).
     ///
+    /// The bias grid is sampled on `ctx`'s thread pool, one gate-voltage
+    /// row per work item, with an ordered merge: tables are bit-identical
+    /// for any thread count.
+    ///
     /// # Errors
     ///
     /// Propagates model-evaluation failures.
     pub fn from_model(
+        ctx: &ExecCtx,
         model: &SbfetModel,
         polarity: Polarity,
         grid: TableGrid,
         ribbons: usize,
     ) -> Result<Self, DeviceError> {
         let ribbons = ribbons.max(1);
-        let mut single = Self::from_ribbon_models(&[model], polarity, grid)?;
+        let mut single = Self::from_ribbon_models(ctx, &[model], polarity, grid)?;
         // Identical parallel ribbons scale linearly: evaluate once.
         let k = ribbons as f64;
         single.id_a = single.id_a.map(|v| v * k);
@@ -142,11 +148,17 @@ impl DeviceTable {
     /// mechanism behind the paper's "one of four GNRs affected" scenarios:
     /// pass three nominal models and one variant.
     ///
+    /// Grid rows (fixed `V_GS`, all `V_DS`) are independent bias points and
+    /// run on `ctx`'s pool; per-point model contributions accumulate in
+    /// model order and rows merge in grid order, so the table is
+    /// bit-identical to the serial nested loop.
+    ///
     /// # Errors
     ///
     /// Returns [`DeviceError::Config`] for an empty model list or a
     /// degenerate grid; propagates model failures.
-    pub fn from_ribbon_models<M: std::borrow::Borrow<SbfetModel>>(
+    pub fn from_ribbon_models<M: std::borrow::Borrow<SbfetModel> + Sync>(
+        ctx: &ExecCtx,
         models: &[M],
         polarity: Polarity,
         grid: TableGrid,
@@ -160,20 +172,29 @@ impl DeviceTable {
         let gx = Grid1::new(grid.vgs.0, grid.vgs.1, grid.points)?;
         let gy = Grid1::new(grid.vds.0, grid.vds.1, grid.points)?;
         let g2 = Grid2::new(gx, gy);
-        let mut id_vals = vec![0.0; g2.len()];
-        let mut q_vals = vec![0.0; g2.len()];
-        for model in models {
-            let model = model.borrow();
-            for i in 0..grid.points {
-                let vg = gx.point(i);
-                for j in 0..grid.points {
+        type Row = (Vec<f64>, Vec<f64>);
+        let rows = ctx.try_par_map_indexed(grid.points, |i| -> Result<Row, DeviceError> {
+            let vg = gx.point(i);
+            let mut id_row = vec![0.0; grid.points];
+            let mut q_row = vec![0.0; grid.points];
+            // Accumulate per-point contributions in model order — the same
+            // float-add sequence as the original model-outer nested loop.
+            for model in models {
+                let model = model.borrow();
+                for (j, (id_cell, q_cell)) in id_row.iter_mut().zip(&mut q_row).enumerate() {
                     let vd = gy.point(j);
-                    let idx = i * grid.points + j;
                     let (id, q) = model.evaluate(vg, vd)?;
-                    id_vals[idx] += id;
-                    q_vals[idx] += q;
+                    *id_cell += id;
+                    *q_cell += q;
                 }
             }
+            Ok((id_row, q_row))
+        })?;
+        let mut id_vals = Vec::with_capacity(g2.len());
+        let mut q_vals = Vec::with_capacity(g2.len());
+        for (id_row, q_row) in rows {
+            id_vals.extend(id_row);
+            q_vals.extend(q_row);
         }
         Ok(DeviceTable {
             id_a: BilinearTable::new(g2, id_vals)?,
@@ -190,10 +211,19 @@ impl DeviceTable {
     }
 
     /// The internal bias-grid node coordinates `(vgs_nodes, vds_nodes)` the
-    /// table was sampled on (raw n-type convention, before shift/mirror).
-    pub fn bias_nodes(&self) -> (Vec<f64>, Vec<f64>) {
+    /// table was sampled on (raw n-type convention, before shift/mirror),
+    /// as non-allocating iterators.
+    pub fn bias_nodes(
+        &self,
+    ) -> (
+        impl Iterator<Item = f64> + '_,
+        impl Iterator<Item = f64> + '_,
+    ) {
         let g = self.id_a.grid();
-        (g.x.points(), g.y.points())
+        (
+            (0..g.x.len()).map(move |i| g.x.point(i)),
+            (0..g.y.len()).map(move |j| g.y.point(j)),
+        )
     }
 
     /// Number of parallel ribbons folded into the table.
@@ -465,20 +495,61 @@ mod tests {
     use crate::config::DeviceConfig;
     use std::sync::OnceLock;
 
+    fn ctx() -> ExecCtx {
+        ExecCtx::serial()
+    }
+
     fn shared_table() -> &'static DeviceTable {
         static TABLE: OnceLock<DeviceTable> = OnceLock::new();
         TABLE.get_or_init(|| {
             let cfg = DeviceConfig::test_small(12).unwrap();
             let model = SbfetModel::new(&cfg).unwrap();
-            DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 4).unwrap()
+            DeviceTable::from_model(&ctx(), &model, Polarity::NType, TableGrid::coarse(), 4)
+                .unwrap()
         })
+    }
+
+    #[test]
+    fn parallel_table_build_bit_identical_to_serial() {
+        let cfg = DeviceConfig::test_small(12).unwrap();
+        let model = SbfetModel::new(&cfg).unwrap();
+        let serial = shared_table().to_json().unwrap();
+        for threads in [2, 4] {
+            let par = DeviceTable::from_model(
+                &ExecCtx::with_threads(threads),
+                &model,
+                Polarity::NType,
+                TableGrid::coarse(),
+                4,
+            )
+            .unwrap()
+            .to_json()
+            .unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bias_nodes_span_the_grid() {
+        let t = shared_table();
+        let (vgs, vds): (Vec<f64>, Vec<f64>) = {
+            let (gx, gy) = t.bias_nodes();
+            (gx.collect(), gy.collect())
+        };
+        assert_eq!(vgs.len(), 13);
+        assert_eq!(vds.len(), 13);
+        assert!((vgs[0] - (-0.3)).abs() < 1e-12);
+        assert!((vgs[12] - 0.9).abs() < 1e-12);
+        assert!((vds[0]).abs() < 1e-12);
+        assert!((vds[12] - 0.8).abs() < 1e-12);
     }
 
     #[test]
     fn four_ribbons_carry_four_times_single_current() {
         let cfg = DeviceConfig::test_small(12).unwrap();
         let model = SbfetModel::new(&cfg).unwrap();
-        let one = DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 1).unwrap();
+        let one = DeviceTable::from_model(&ctx(), &model, Polarity::NType, TableGrid::coarse(), 1)
+            .unwrap();
         let four = shared_table();
         let i1 = one.current(0.5, 0.5);
         let i4 = four.current(0.5, 0.5);
@@ -576,7 +647,7 @@ mod tests {
     fn rejects_empty_model_list() {
         let models: Vec<SbfetModel> = Vec::new();
         assert!(matches!(
-            DeviceTable::from_ribbon_models(&models, Polarity::NType, TableGrid::coarse()),
+            DeviceTable::from_ribbon_models(&ctx(), &models, Polarity::NType, TableGrid::coarse()),
             Err(DeviceError::Config { .. })
         ));
     }

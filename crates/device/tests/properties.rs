@@ -3,6 +3,7 @@
 
 use gnr_device::table::TableGrid;
 use gnr_device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnr_num::par::ExecCtx;
 use gnr_num::rng::Rng;
 use std::sync::OnceLock;
 
@@ -11,7 +12,14 @@ fn shared_table() -> &'static DeviceTable {
     TABLE.get_or_init(|| {
         let cfg = DeviceConfig::test_small(12).expect("valid");
         let model = SbfetModel::new(&cfg).expect("builds");
-        DeviceTable::from_model(&model, Polarity::NType, TableGrid::coarse(), 4).expect("table")
+        DeviceTable::from_model(
+            &ExecCtx::serial(),
+            &model,
+            Polarity::NType,
+            TableGrid::coarse(),
+            4,
+        )
+        .expect("table")
     })
 }
 
@@ -101,7 +109,8 @@ fn resistance_folding_self_consistent() {
     let folded = t.fold_series_resistance(rs, rd).expect("folds");
     // Check on actual grid nodes (between nodes, bilinear interpolation
     // of the folded table differs from folding the interpolant).
-    let (vgs_nodes, vds_nodes) = t.bias_nodes();
+    let (vgs_iter, vds_iter) = t.bias_nodes();
+    let (vgs_nodes, vds_nodes): (Vec<f64>, Vec<f64>) = (vgs_iter.collect(), vds_iter.collect());
     for _ in 0..48 {
         let gi = rng.below(vgs_nodes.len());
         let di = 1 + rng.below(vds_nodes.len() - 1);

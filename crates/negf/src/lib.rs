@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod error;
 pub mod lead;
 pub mod rgf;

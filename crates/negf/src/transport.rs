@@ -16,6 +16,7 @@ use crate::error::NegfError;
 use crate::rgf::RgfSolver;
 use gnr_num::consts::LANDAUER_2E_OVER_H;
 use gnr_num::fermi::fermi;
+use gnr_num::par::ExecCtx;
 use gnr_num::quad::trapezoid_samples;
 
 /// A uniform energy grid for transport integrals (eV).
@@ -52,11 +53,14 @@ impl EnergyGrid {
         (self.hi - self.lo) / (self.points - 1) as f64
     }
 
-    /// The energies of the grid.
-    pub fn energies(&self) -> Vec<f64> {
-        (0..self.points)
-            .map(|i| self.lo + self.step() * i as f64)
-            .collect()
+    /// The `i`-th grid energy (eV).
+    pub fn energy(&self, i: usize) -> f64 {
+        self.lo + self.step() * i as f64
+    }
+
+    /// Iterator over the grid energies (no allocation).
+    pub fn energies(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.points).map(|i| self.energy(i))
     }
 
     /// Number of grid points.
@@ -115,16 +119,32 @@ pub struct TransportResult {
     pub charge: ChargeProfile,
 }
 
+/// One energy point's contribution, computed independently on a pool
+/// worker and folded into the running integrals during the ordered merge.
+struct EnergySample {
+    e: f64,
+    transmission: f64,
+    kernel: f64,
+    filled: Vec<f64>,
+    empty: Vec<f64>,
+}
+
 /// Integrates current and charge for the device bound to `solver`, with
 /// source/drain Fermi levels `mu1`/`mu2` (eV), temperature `t_kelvin`, and
 /// the per-atom local midgap reference `neutral_ev` that splits electron
 /// from hole occupation (normally the local electrostatic potential).
+///
+/// The energy loop runs on `ctx`'s thread pool: each grid point's RGF
+/// spectral slice is independent, and the per-energy contributions are
+/// merged serially in energy order, so the result is bit-identical to the
+/// serial loop for any thread count.
 ///
 /// # Errors
 ///
 /// Propagates RGF failures, and returns [`NegfError::Config`] if
 /// `neutral_ev` has the wrong length.
 pub fn integrate_transport(
+    ctx: &ExecCtx,
     solver: &RgfSolver,
     grid: &EnergyGrid,
     mu1: f64,
@@ -142,27 +162,44 @@ pub fn integrate_transport(
             ),
         });
     }
-    let energies = grid.energies();
-    let mut t_of_e = Vec::with_capacity(energies.len());
-    let mut current_kernel = Vec::with_capacity(energies.len());
-    let mut electrons = vec![0.0; atoms];
-    let mut holes = vec![0.0; atoms];
     let two_pi = 2.0 * std::f64::consts::PI;
     let de = grid.step();
 
-    for &e in &energies {
-        let slice = solver.spectral_slice(e)?;
-        let f1 = fermi(e, mu1, t_kelvin);
-        let f2 = fermi(e, mu2, t_kelvin);
-        t_of_e.push((e, slice.transmission));
-        current_kernel.push(slice.transmission * (f1 - f2));
+    let samples =
+        ctx.try_par_map_indexed(grid.len(), |idx| -> Result<EnergySample, NegfError> {
+            let e = grid.energy(idx);
+            let slice = solver.spectral_slice(e)?;
+            let f1 = fermi(e, mu1, t_kelvin);
+            let f2 = fermi(e, mu2, t_kelvin);
+            let mut filled = Vec::with_capacity(atoms);
+            let mut empty = Vec::with_capacity(atoms);
+            for i in 0..atoms {
+                filled.push(slice.a1_diag[i] * f1 + slice.a2_diag[i] * f2);
+                empty.push(slice.a1_diag[i] * (1.0 - f1) + slice.a2_diag[i] * (1.0 - f2));
+            }
+            Ok(EnergySample {
+                e,
+                transmission: slice.transmission,
+                kernel: slice.transmission * (f1 - f2),
+                filled,
+                empty,
+            })
+        })?;
+
+    // Ordered serial merge: identical accumulation order and arithmetic to
+    // the original serial energy loop.
+    let mut t_of_e = Vec::with_capacity(grid.len());
+    let mut current_kernel = Vec::with_capacity(grid.len());
+    let mut electrons = vec![0.0; atoms];
+    let mut holes = vec![0.0; atoms];
+    for s in &samples {
+        t_of_e.push((s.e, s.transmission));
+        current_kernel.push(s.kernel);
         for i in 0..atoms {
-            let filled = slice.a1_diag[i] * f1 + slice.a2_diag[i] * f2;
-            let empty = slice.a1_diag[i] * (1.0 - f1) + slice.a2_diag[i] * (1.0 - f2);
-            if e >= neutral_ev[i] {
-                electrons[i] += filled / two_pi * de;
+            if s.e >= neutral_ev[i] {
+                electrons[i] += s.filled[i] / two_pi * de;
             } else {
-                holes[i] += empty / two_pi * de;
+                holes[i] += s.empty[i] / two_pi * de;
             }
         }
     }
@@ -191,6 +228,50 @@ mod tests {
         RgfSolver::new(&h, Lead::gnr_contact(), Lead::gnr_contact())
     }
 
+    fn ctx() -> ExecCtx {
+        ExecCtx::serial()
+    }
+
+    #[test]
+    fn energy_grid_iterator_matches_closed_form() {
+        let g = EnergyGrid::new(-0.5, 1.0, 16).unwrap();
+        let es: Vec<f64> = g.energies().collect();
+        assert_eq!(es.len(), g.len());
+        for (i, &e) in es.iter().enumerate() {
+            assert_eq!(e.to_bits(), g.energy(i).to_bits());
+        }
+        assert_eq!(es[0], -0.5);
+        assert!((es[15] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_transport_bit_identical_to_serial() {
+        let solver = ideal(9, 3);
+        let grid = EnergyGrid::new(0.4, 1.4, 37).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let zeros = vec![0.0; atoms];
+        let serial = integrate_transport(&ctx(), &solver, &grid, 1.0, 0.8, 300.0, &zeros).unwrap();
+        for threads in [2, 4] {
+            let par = integrate_transport(
+                &ExecCtx::with_threads(threads),
+                &solver,
+                &grid,
+                1.0,
+                0.8,
+                300.0,
+                &zeros,
+            )
+            .unwrap();
+            assert_eq!(
+                serial.current_a.to_bits(),
+                par.current_a.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(serial.transmission, par.transmission);
+            assert_eq!(serial.charge, par.charge);
+        }
+    }
+
     #[test]
     fn energy_grid_validation() {
         assert!(EnergyGrid::new(1.0, 0.0, 10).is_err());
@@ -205,7 +286,8 @@ mod tests {
         let solver = ideal(9, 3);
         let grid = EnergyGrid::new(0.5, 1.2, 30).unwrap();
         let atoms = solver.layers() * solver.layer_dim();
-        let r = integrate_transport(&solver, &grid, 0.3, 0.3, 300.0, &vec![0.0; atoms]).unwrap();
+        let r = integrate_transport(&ctx(), &solver, &grid, 0.3, 0.3, 300.0, &vec![0.0; atoms])
+            .unwrap();
         assert!(r.current_a.abs() < 1e-12);
     }
 
@@ -220,7 +302,8 @@ mod tests {
         let mu2 = mu1 - v;
         let grid = EnergyGrid::new(mu2 - 0.25, mu1 + 0.25, 160).unwrap();
         let atoms = solver.layers() * solver.layer_dim();
-        let r = integrate_transport(&solver, &grid, mu1, mu2, 77.0, &vec![0.0; atoms]).unwrap();
+        let r =
+            integrate_transport(&ctx(), &solver, &grid, mu1, mu2, 77.0, &vec![0.0; atoms]).unwrap();
         let g0 = gnr_num::consts::G_QUANTUM;
         let g = r.current_a / v;
         assert!((g - g0).abs() / g0 < 0.05, "G = {g} vs G0 = {g0}");
@@ -232,8 +315,8 @@ mod tests {
         let grid = EnergyGrid::new(0.4, 1.4, 60).unwrap();
         let atoms = solver.layers() * solver.layer_dim();
         let zeros = vec![0.0; atoms];
-        let fwd = integrate_transport(&solver, &grid, 1.0, 0.8, 300.0, &zeros).unwrap();
-        let rev = integrate_transport(&solver, &grid, 0.8, 1.0, 300.0, &zeros).unwrap();
+        let fwd = integrate_transport(&ctx(), &solver, &grid, 1.0, 0.8, 300.0, &zeros).unwrap();
+        let rev = integrate_transport(&ctx(), &solver, &grid, 0.8, 1.0, 300.0, &zeros).unwrap();
         assert!(fwd.current_a > 0.0);
         assert!((fwd.current_a + rev.current_a).abs() < 1e-9 * fwd.current_a.abs().max(1e-18));
     }
@@ -244,7 +327,8 @@ mod tests {
         let solver = ideal(12, 4);
         let grid = EnergyGrid::new(-1.5, 1.5, 120).unwrap();
         let atoms = solver.layers() * solver.layer_dim();
-        let r = integrate_transport(&solver, &grid, 0.0, 0.0, 300.0, &vec![0.0; atoms]).unwrap();
+        let r = integrate_transport(&ctx(), &solver, &grid, 0.0, 0.0, 300.0, &vec![0.0; atoms])
+            .unwrap();
         // Integration-window truncation leaves a small residual; net charge
         // per atom should be tiny compared to the separate e/h populations.
         let n_tot: f64 = r.charge.electrons.iter().sum();
@@ -261,8 +345,8 @@ mod tests {
         let grid = EnergyGrid::new(-1.5, 1.5, 120).unwrap();
         let atoms = solver.layers() * solver.layer_dim();
         let zeros = vec![0.0; atoms];
-        let neutral = integrate_transport(&solver, &grid, 0.0, 0.0, 300.0, &zeros).unwrap();
-        let ntype = integrate_transport(&solver, &grid, 0.5, 0.5, 300.0, &zeros).unwrap();
+        let neutral = integrate_transport(&ctx(), &solver, &grid, 0.0, 0.0, 300.0, &zeros).unwrap();
+        let ntype = integrate_transport(&ctx(), &solver, &grid, 0.5, 0.5, 300.0, &zeros).unwrap();
         assert!(ntype.charge.total() < neutral.charge.total() - 0.01);
     }
 
@@ -271,7 +355,8 @@ mod tests {
         let solver = ideal(9, 3);
         let grid = EnergyGrid::new(-1.2, 1.2, 60).unwrap();
         let atoms = solver.layers() * solver.layer_dim();
-        let r = integrate_transport(&solver, &grid, 0.2, 0.0, 300.0, &vec![0.0; atoms]).unwrap();
+        let r = integrate_transport(&ctx(), &solver, &grid, 0.2, 0.0, 300.0, &vec![0.0; atoms])
+            .unwrap();
         let per_layer = r.charge.per_layer(solver.layer_dim());
         assert_eq!(per_layer.len(), 3);
         let s: f64 = per_layer.iter().sum();
@@ -282,6 +367,6 @@ mod tests {
     fn neutral_length_validated() {
         let solver = ideal(9, 3);
         let grid = EnergyGrid::new(0.0, 1.0, 10).unwrap();
-        assert!(integrate_transport(&solver, &grid, 0.0, 0.0, 300.0, &[0.0; 3]).is_err());
+        assert!(integrate_transport(&ctx(), &solver, &grid, 0.0, 0.0, 300.0, &[0.0; 3]).is_err());
     }
 }

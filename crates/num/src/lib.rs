@@ -37,6 +37,7 @@ pub mod fermi;
 pub mod interp;
 pub mod json;
 pub mod linfit;
+pub mod par;
 pub mod quad;
 pub mod recover;
 pub mod rng;
@@ -51,9 +52,10 @@ pub use dense::Matrix;
 pub use error::{NumError, NumResult};
 pub use interp::{BilinearTable, Grid1, Grid2, LinearTable};
 pub use json::Json;
+pub use par::{ExecCtx, RecoveryPolicy, ThreadPool};
 pub use recover::{
     Attempt, AttemptOutcome, AttemptReport, EscalationLadder, FaultEvent, FaultLog, Quality,
-    SolveReport,
+    SharedFaultLog, SolveReport,
 };
 pub use rng::Rng;
 pub use sparse::{CsrMatrix, TripletBuilder};

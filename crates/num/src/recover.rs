@@ -58,6 +58,23 @@ pub struct SolveReport {
 }
 
 impl SolveReport {
+    /// Report for a single converged attempt — what a strict (ladder-free)
+    /// solve produces.
+    pub fn single(policy: impl Into<String>, iterations: usize, residual: f64) -> Self {
+        let policy = policy.into();
+        SolveReport {
+            quality: Quality::Converged,
+            policy_used: Some(policy.clone()),
+            attempts: vec![Attempt {
+                policy,
+                iterations,
+                residual,
+                error: None,
+            }],
+            residual_trajectory: vec![residual],
+        }
+    }
+
     /// `true` when a rung fully converged.
     pub fn converged(&self) -> bool {
         self.quality == Quality::Converged
@@ -288,6 +305,68 @@ impl FaultLog {
     /// Events that occurred in the given stage.
     pub fn in_stage<'a>(&'a self, stage: &'a str) -> impl Iterator<Item = &'a FaultEvent> {
         self.events.iter().filter(move |e| e.stage == stage)
+    }
+
+    /// Appends every event of `other`, preserving its order.
+    pub fn extend(&mut self, other: FaultLog) {
+        self.events.extend(other.events);
+    }
+}
+
+/// A [`FaultLog`] behind `Arc<Mutex<…>>`: cheap to clone, safe to record
+/// into from pool workers.
+///
+/// Raw concurrent recording preserves *completeness* but not order (the
+/// interleaving depends on scheduling). Deterministic sweeps therefore
+/// collect per-sample faults locally and [`merge`](SharedFaultLog::merge)
+/// the shards in sample order during the ordered reduction; direct
+/// [`record`](SharedFaultLog::record) is for paths where order is not part
+/// of the pinned contract.
+#[derive(Clone, Debug, Default)]
+pub struct SharedFaultLog {
+    inner: std::sync::Arc<std::sync::Mutex<FaultLog>>,
+}
+
+impl SharedFaultLog {
+    /// An empty shared log.
+    pub fn new() -> Self {
+        SharedFaultLog::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultLog> {
+        // A poisoned mutex only means a worker panicked mid-record; the log
+        // itself (a Vec of owned events) is still structurally sound.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one fault.
+    pub fn record(&self, sample: usize, stage: impl Into<String>, error: impl Into<String>) {
+        self.lock().record(sample, stage, error);
+    }
+
+    /// Appends an already-ordered shard of events.
+    pub fn merge(&self, shard: FaultLog) {
+        self.lock().extend(shard);
+    }
+
+    /// A point-in-time copy of the log.
+    pub fn snapshot(&self) -> FaultLog {
+        self.lock().clone()
+    }
+
+    /// Drains the log, returning everything recorded so far.
+    pub fn take(&self) -> FaultLog {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Number of recorded faults.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no fault was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
     }
 }
 

@@ -29,9 +29,10 @@
 //! use gnr_spice::measure::fo4_inverter_metrics;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = gnr_num::par::ExecCtx::from_env();
 //! let cfg = DeviceConfig::paper_nominal(12)?;
 //! let model = SbfetModel::new(&cfg)?;
-//! let n = DeviceTable::from_model(&model, Polarity::NType, TableGrid::paper(), 4)?;
+//! let n = DeviceTable::from_model(&ctx, &model, Polarity::NType, TableGrid::paper(), 4)?;
 //! let p = n.mirrored();
 //! let metrics = fo4_inverter_metrics(&n, &p, 0.4, &ExtrinsicParasitics::nominal())?;
 //! println!("delay {} ps", metrics.delay_s * 1e12);
@@ -51,4 +52,6 @@ pub mod transient;
 
 pub use circuit::{Circuit, Element, NodeId, Waveform};
 pub use error::SpiceError;
-pub use transient::{transient_with_recovery, TransientRecovery};
+#[allow(deprecated)]
+pub use transient::transient_with_recovery;
+pub use transient::{transient, TransientOptions, TransientRecovery};

@@ -10,7 +10,7 @@ use crate::builders::{ExtrinsicParasitics, InverterCell, InverterChain, Latch, R
 use crate::circuit::{Element, NodeId, Waveform};
 use crate::dc::{dc_operating_point, set_source_value, transfer_curve, DcOptions};
 use crate::error::SpiceError;
-use crate::transient::{transient, TransientOptions};
+use crate::transient::{transient_nominal, TransientOptions};
 use gnr_device::DeviceTable;
 
 /// Measured figures of merit of a FO4 inverter.
@@ -206,7 +206,7 @@ fn fo4_metrics_attempt(
     };
     set_pulse(&mut circuit, chain.input_source, wave)?;
     let opts = TransientOptions::new(2.0 * period, period / 3000.0);
-    let result = transient(&circuit, &opts)?;
+    let result = transient_nominal(&circuit, &opts)?;
     let times = result.times();
     let vin = result.voltage(&circuit, chain.input);
     let vout = result.voltage(&circuit, chain.output);
@@ -299,7 +299,7 @@ pub fn ring_oscillator_metrics(
     let mut opts = TransientOptions::new(6.0 * period_est, period_est / (stages as f64 * 60.0));
     // Kick the ring out of its metastable DC point.
     opts.initial_voltages = vec![(ro.stage_outputs[0], ro.vdd)];
-    let result = transient(&ro.circuit, &opts)?;
+    let result = transient_nominal(&ro.circuit, &opts)?;
     let times = result.times();
     let probe = result.voltage(&ro.circuit, ro.stage_outputs[stages / 2]);
     let rising = crossing_times(times, &probe, ro.vdd / 2.0, true);

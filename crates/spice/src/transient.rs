@@ -13,6 +13,7 @@
 use crate::circuit::{Circuit, Element, NodeId};
 use crate::dc::{dc_operating_point, DcOptions};
 use crate::error::SpiceError;
+use gnr_num::par::{ExecCtx, RecoveryPolicy};
 use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
 use gnr_num::Matrix;
 use std::collections::HashMap;
@@ -46,6 +47,10 @@ pub struct TransientOptions {
     pub skip_dc: bool,
     /// Time-integration method.
     pub integrator: Integrator,
+    /// Retry ladder used when the execution context's policy is
+    /// [`RecoveryPolicy::Ladder`]; ignored under
+    /// [`RecoveryPolicy::Strict`].
+    pub recovery: TransientRecovery,
 }
 
 impl TransientOptions {
@@ -62,6 +67,7 @@ impl TransientOptions {
             initial_voltages: Vec::new(),
             skip_dc: false,
             integrator: Integrator::default(),
+            recovery: TransientRecovery::default(),
         }
     }
 
@@ -133,12 +139,40 @@ impl TransientResult {
     }
 }
 
-/// Runs a backward-Euler transient analysis.
+/// Runs a transient analysis under the execution context's recovery
+/// policy.
+///
+/// With [`RecoveryPolicy::Strict`] exactly one integration runs and any
+/// failure propagates — byte-for-byte the historic plain `transient`. With
+/// [`RecoveryPolicy::Ladder`] the nominal run (identical when it succeeds)
+/// is followed on Newton divergence by the `opts.recovery` ladder: timestep
+/// halvings down to `dt_floor`, then — when `source_ramp` is set — one
+/// attempt seeded from a source-stepped DC solution. The report records
+/// each attempt and the winning policy.
 ///
 /// # Errors
 ///
-/// Propagates netlist validation, DC, and per-step Newton failures.
+/// Propagates netlist validation, DC, and per-step Newton failures; under
+/// `Ladder`, returns the first attempt's error when every rung fails.
 pub fn transient(
+    ctx: &ExecCtx,
+    circuit: &Circuit,
+    opts: &TransientOptions,
+) -> Result<(TransientResult, SolveReport), SpiceError> {
+    match ctx.recovery() {
+        RecoveryPolicy::Strict => {
+            let result = transient_nominal(circuit, opts)?;
+            let steps = result.len();
+            Ok((result, SolveReport::single("nominal", steps, f64::NAN)))
+        }
+        RecoveryPolicy::Ladder => transient_laddered(circuit, opts),
+    }
+}
+
+/// The plain single-attempt integration engine behind [`transient`] — also
+/// used by the measurement layer, whose pinned figures must never be
+/// silently rescued by a ladder rung.
+pub(crate) fn transient_nominal(
     circuit: &Circuit,
     opts: &TransientOptions,
 ) -> Result<TransientResult, SpiceError> {
@@ -240,7 +274,7 @@ pub fn transient(
     Ok(result)
 }
 
-/// Retry policy for [`transient_with_recovery`].
+/// Retry policy for the [`RecoveryPolicy::Ladder`] path of [`transient`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct TransientRecovery {
     /// Maximum number of timestep halvings tried after the nominal run
@@ -264,20 +298,33 @@ impl Default for TransientRecovery {
     }
 }
 
-/// Runs [`transient`] under an escalation ladder: the nominal options
-/// first (identical to calling [`transient`] directly), then timestep
-/// halvings down to `rec.dt_floor`, then — when `rec.source_ramp` is set —
-/// one attempt seeded from a source-stepped DC solution. The report
-/// records each attempt and the winning policy.
+/// Historic name for the laddered transient.
 ///
 /// # Errors
 ///
-/// Returns the first attempt's error when every rung fails.
+/// As [`transient`] under [`RecoveryPolicy::Ladder`].
+#[deprecated(note = "use transient(&ExecCtx::serial(), circuit, opts) with opts.recovery set")]
 pub fn transient_with_recovery(
     circuit: &Circuit,
     opts: &TransientOptions,
     rec: &TransientRecovery,
 ) -> Result<(TransientResult, SolveReport), SpiceError> {
+    transient(
+        &ExecCtx::serial(),
+        circuit,
+        &TransientOptions {
+            recovery: rec.clone(),
+            ..opts.clone()
+        },
+    )
+}
+
+/// The escalation-ladder integration behind [`RecoveryPolicy::Ladder`].
+fn transient_laddered(
+    circuit: &Circuit,
+    opts: &TransientOptions,
+) -> Result<(TransientResult, SolveReport), SpiceError> {
+    let rec = &opts.recovery;
     #[derive(Clone)]
     enum Policy {
         Nominal,
@@ -345,7 +392,7 @@ pub fn transient_with_recovery(
             }
             return AttemptReport::failed("injected fault: transient attempt suppressed");
         }
-        match transient(circuit, &attempt_opts) {
+        match transient_nominal(circuit, &attempt_opts) {
             Ok(result) => {
                 let steps = result.len();
                 AttemptReport::converged(result, steps, f64::NAN)
@@ -501,6 +548,10 @@ mod tests {
     use super::*;
     use crate::circuit::Waveform;
 
+    fn strict() -> ExecCtx {
+        ExecCtx::strict()
+    }
+
     /// RC low-pass step response: v(t) = V (1 - e^{-t/RC}).
     #[test]
     fn rc_step_response() {
@@ -534,7 +585,7 @@ mod tests {
         });
         let tau = r * cap; // 1 ns
         let opts = TransientOptions::new(5.0 * tau, tau / 200.0);
-        let result = transient(&c, &opts).unwrap();
+        let (result, _) = transient(&strict(), &c, &opts).unwrap();
         let v = result.voltage(&c, out);
         let times = result.times();
         // Compare against the analytic charging curve at a few points.
@@ -569,7 +620,7 @@ mod tests {
         let mut opts = TransientOptions::new(1e-9, 1e-11);
         opts.skip_dc = true;
         opts.initial_voltages = vec![(out, 0.7)];
-        let result = transient(&c, &opts).unwrap();
+        let (result, _) = transient(&strict(), &c, &opts).unwrap();
         let v = result.voltage(&c, out);
         assert!((v[0] - 0.7).abs() < 1e-12);
         // Discharge through 1 TOhm over 1 ns is negligible.
@@ -619,7 +670,7 @@ mod tests {
             let mut opts = TransientOptions::new(t_ramp, dt);
             opts.integrator = integrator;
             opts.skip_dc = true;
-            let r = transient(&c, &opts).expect("simulates");
+            let (r, _) = transient(&strict(), &c, &opts).expect("simulates");
             let v = r.voltage(&c, out);
             let times = r.times();
             v.iter()
@@ -675,8 +726,8 @@ mod tests {
         });
         let opts_be = TransientOptions::new(2e-9, 2e-12);
         let opts_tr = TransientOptions::new(2e-9, 2e-12).trapezoidal();
-        let r_be = transient(&c, &opts_be).expect("be");
-        let r_tr = transient(&c, &opts_tr).expect("tr");
+        let (r_be, _) = transient(&strict(), &c, &opts_be).expect("be");
+        let (r_tr, _) = transient(&strict(), &c, &opts_tr).expect("tr");
         let v_be = r_be.voltage(&c, out);
         let v_tr = r_tr.voltage(&c, out);
         for (a, b) in v_be.iter().zip(&v_tr) {
@@ -705,13 +756,17 @@ mod tests {
             farads: 1e-12,
         });
         let opts = TransientOptions::new(2e-9, 2e-11);
-        let plain = transient(&c, &opts).unwrap();
-        let (laddered, report) =
-            transient_with_recovery(&c, &opts, &TransientRecovery::default()).unwrap();
+        let (plain, strict_report) = transient(&strict(), &c, &opts).unwrap();
+        assert!(strict_report.nominal());
+        let (laddered, report) = transient(&ExecCtx::serial(), &c, &opts).unwrap();
         assert!(report.nominal());
         assert_eq!(report.policy_used.as_deref(), Some("nominal"));
         assert_eq!(plain.times(), laddered.times());
         assert_eq!(plain.final_solution(), laddered.final_solution());
+        #[allow(deprecated)]
+        let (via_shim, _) =
+            transient_with_recovery(&c, &opts, &TransientRecovery::default()).unwrap();
+        assert_eq!(plain.final_solution(), via_shim.final_solution());
     }
 
     #[test]
@@ -728,8 +783,10 @@ mod tests {
             n: NodeId::GROUND,
             wave: Waveform::Dc(1.0),
         });
-        assert!(transient(&c, &TransientOptions::new(0.0, 1e-12)).is_err());
-        assert!(transient(&c, &TransientOptions::new(1e-9, 0.0)).is_err());
+        assert!(transient(&strict(), &c, &TransientOptions::new(0.0, 1e-12)).is_err());
+        assert!(transient(&strict(), &c, &TransientOptions::new(1e-9, 0.0)).is_err());
+        // The ladder cannot rescue a configuration error either.
+        assert!(transient(&ExecCtx::serial(), &c, &TransientOptions::new(1e-9, 0.0)).is_err());
     }
 
     #[test]
@@ -752,7 +809,7 @@ mod tests {
         let mut opts = TransientOptions::new(3.0 * tau, tau / 100.0);
         opts.skip_dc = true;
         opts.initial_voltages = vec![(out, 1.0)];
-        let result = transient(&c, &opts).unwrap();
+        let (result, _) = transient(&strict(), &c, &opts).unwrap();
         let v = result.voltage(&c, out);
         let times = result.times();
         let idx = times.iter().position(|&t| t >= tau).unwrap();

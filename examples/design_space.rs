@@ -10,6 +10,7 @@
 
 use gnrlab::explore::contours::design_space_map;
 use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
+use gnrlab::num::par::ExecCtx;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
@@ -20,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vdd_axis.len(),
         vt_axis.len()
     );
-    let map = design_space_map(&mut lib, &vdd_axis, &vt_axis, 15)?;
+    let map = design_space_map(&ExecCtx::from_env(), &mut lib, &vdd_axis, &vt_axis, 15)?;
 
     println!(
         "\n{}",

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.channel_cells = 14;
     let scf = ScfSolver::new(&cfg, ScfOptions::fast());
     println!("\nself-consistent NEGF/Poisson at V_G = 0.45 V, V_D = 0.3 V ...");
-    let result = scf.solve(0.45, 0.3)?;
+    let (result, _report) = scf.solve(&gnrlab::num::par::ExecCtx::from_env(), 0.45, 0.3)?;
     println!(
         "converged in {} iterations (residual {:.1} mV): I_D = {:.3e} A, Q = {:.3e} C",
         result.iterations,

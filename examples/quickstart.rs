@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vds: (0.0, 0.85),
         points: 21,
     };
-    let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)?.with_vg_shift(-vmin_op);
+    let ctx = gnrlab::num::par::ExecCtx::from_env();
+    let n =
+        DeviceTable::from_model(&ctx, &model, Polarity::NType, grid, 4)?.with_vg_shift(-vmin_op);
     let p = n.mirrored();
 
     // 4. A FO4 inverter with the paper's contact parasitics.

@@ -10,6 +10,7 @@ use gnrlab::explore::devices::{ArrayScenario, DeviceLibrary, DeviceVariant, Fide
 use gnrlab::explore::latch::latch_study;
 use gnrlab::explore::monte_carlo::ring_oscillator_monte_carlo;
 use gnrlab::explore::variability::{inverter_figures, Metric, VariabilityTable};
+use gnrlab::num::par::ExecCtx;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
@@ -17,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shift = lib.min_leakage_shift(vdd)?;
 
     // --- single-variant deltas (a slice of Tables 2 and 3) ---
+    let ctx = ExecCtx::from_env();
     let nominal = inverter_figures(
+        &ctx,
         &mut lib,
         DeviceVariant::nominal(),
         DeviceVariant::nominal(),
@@ -50,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
     for (label, v) in cases {
-        let m = inverter_figures(&mut lib, v, v, vdd, shift, None)?;
+        let m = inverter_figures(&ctx, &mut lib, v, v, vdd, shift, None)?;
         println!(
             "{label:>28}: delay {:+6.1}%  static {:+7.1}%  SNM {:+6.1}%",
             100.0 * (m.delay_s / nominal.delay_s - 1.0),
@@ -63,14 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let axis: Vec<(String, usize, f64)> =
         vec![("N=9,+q".into(), 9, 1.0), ("N=18,-q".into(), 18, -1.0)];
     let table: VariabilityTable =
-        gnrlab::explore::variability::variability_table(&mut lib, &axis, &axis, vdd)?;
+        gnrlab::explore::variability::variability_table(&ctx, &mut lib, &axis, &axis, vdd)?;
     println!("\ncombined width+impurity corner (Table 4 style):");
     println!("{}", table.render(Metric::Delay));
     println!("{}", table.render(Metric::Snm));
 
     // --- Monte Carlo ring oscillator (Fig. 6 in miniature) ---
     println!("Monte Carlo (1000 samples, 15-stage ring oscillator) ...");
-    let mc = ring_oscillator_monte_carlo(&mut lib, vdd, 15, 1000, 42)?;
+    let mc = ring_oscillator_monte_carlo(&ctx, &mut lib, vdd, 15, 1000, 42)?;
     if mc.stalled_samples > 0 {
         println!(
             "  {} of 1000 rings stalled (non-functional stage drawn)",
@@ -93,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- latch butterfly (Fig. 7 in miniature) ---
-    let study = latch_study(&mut lib, vdd)?;
+    let study = latch_study(&ctx, &mut lib, vdd)?;
     println!("\nlatch noise margins:");
     for case in &study.cases {
         println!(

@@ -10,11 +10,17 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: cargo build --release (offline) =="
 cargo build --release --offline
 
-echo "== tier-1: cargo test -q (offline, whole workspace) =="
-cargo test --workspace -q --offline
+echo "== tier-1: cargo test -q (offline, whole workspace, GNR_THREADS=1) =="
+GNR_THREADS=1 cargo test --workspace -q --offline
+
+echo "== tier-1: cargo test -q (offline, whole workspace, GNR_THREADS=4) =="
+GNR_THREADS=4 cargo test --workspace -q --offline
 
 echo "== robustness: fault-injection suite (release) =="
 cargo test --release --offline --test fault_tolerance
+
+echo "== scaling: par_scaling ablation (serial vs 4-thread table build) =="
+cargo run -p gnr-bench --release --offline -- --suite ablations --filter par_scaling --quick
 
 echo "== lint: cargo fmt --check =="
 cargo fmt --check

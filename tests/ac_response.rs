@@ -4,6 +4,7 @@
 
 use gnrlab::device::table::TableGrid;
 use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::num::par::ExecCtx;
 use gnrlab::spice::ac::ac_analysis;
 use gnrlab::spice::builders::{ExtrinsicParasitics, InverterCell};
 use gnrlab::spice::circuit::{Circuit, Element, NodeId, Waveform};
@@ -29,7 +30,7 @@ fn bench() -> &'static Bench {
             vds: (0.0, 0.85),
             points: 21,
         };
-        let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)
+        let n = DeviceTable::from_model(&ExecCtx::serial(), &model, Polarity::NType, grid, 4)
             .expect("table")
             .with_vg_shift(-vmin);
         let p = n.mirrored();

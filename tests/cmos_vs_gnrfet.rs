@@ -7,6 +7,7 @@ use gnrlab::device::Polarity;
 use gnrlab::explore::comparison::{cmos_cell, cmos_row};
 use gnrlab::explore::contours::design_space_map;
 use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
+use gnrlab::num::par::ExecCtx;
 use gnrlab::spice::measure::{butterfly_snm, fo4_metrics_for_cell, inverter_vtc};
 
 #[test]
@@ -31,7 +32,14 @@ fn gnrfet_has_large_edp_advantage() {
     // points. At reduced fidelity we require at least an order of
     // magnitude in the same direction.
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
-    let map = design_space_map(&mut lib, &[0.35, 0.45], &[0.08, 0.14], 15).unwrap();
+    let map = design_space_map(
+        &ExecCtx::serial(),
+        &mut lib,
+        &[0.35, 0.45],
+        &[0.08, 0.14],
+        15,
+    )
+    .unwrap();
     let gnr_best = map
         .feasible()
         .map(|p| p.edp_js)
@@ -50,7 +58,7 @@ fn cmos_snm_exceeds_gnrfet_snm() {
     // Paper: "GNRFETs have lower noise margins in comparison to scaled
     // CMOS" — at the same relative supply point.
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
-    let map = design_space_map(&mut lib, &[0.4], &[0.1, 0.14], 15).unwrap();
+    let map = design_space_map(&ExecCtx::serial(), &mut lib, &[0.4], &[0.1, 0.14], 15).unwrap();
     let gnr_best_snm = map.feasible().map(|p| p.snm_v).fold(0.0, f64::max);
     let cell = cmos_cell(CmosNode::N22, 0.4).unwrap();
     let vtc = inverter_vtc(&cell, 0.4, 33).unwrap();

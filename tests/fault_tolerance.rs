@@ -16,17 +16,15 @@ use gnrlab::device::scf::ScfOptions;
 use gnrlab::device::{DeviceConfig, ScfSolver};
 use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
 use gnrlab::explore::monte_carlo::{
-    characterize_stage_universe, monte_carlo_from_universe, monte_carlo_from_universe_logged,
-    ring_oscillator_monte_carlo_isolated,
+    characterize_stage_universe, monte_carlo_from_universe, ring_oscillator_monte_carlo,
 };
 use gnrlab::num::fault::{self, FaultPlan};
-use gnrlab::num::recover::{solve_linear_robust, FaultLog};
+use gnrlab::num::par::ExecCtx;
+use gnrlab::num::recover::solve_linear_robust;
 use gnrlab::num::solver::IterControl;
 use gnrlab::num::TripletBuilder;
 use gnrlab::spice::dc::{dc_operating_point, DcOptions};
-use gnrlab::spice::transient::{
-    transient, transient_with_recovery, TransientOptions, TransientRecovery,
-};
+use gnrlab::spice::transient::{transient, TransientOptions, TransientRecovery};
 use gnrlab::spice::{Circuit, Element, NodeId, Waveform};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -94,7 +92,7 @@ fn sustained_scf_faults_exhaust_the_ladder_cleanly() {
     // error (no panic, no bogus result) after probing all four rungs.
     let _armed = ArmedPlan::arm(FaultPlan::seeded(11).with_site("scf", 1.0));
     let solver = scf_solver();
-    let err = solver.solve_with_recovery(0.0, 0.1).unwrap_err();
+    let err = solver.solve(&ExecCtx::serial(), 0.0, 0.1).unwrap_err();
     let msg = err.to_string();
     assert!(
         msg.contains("did not converge"),
@@ -117,7 +115,7 @@ fn intermittent_scf_fault_recovers_with_correct_report() {
     let _armed = ArmedPlan::arm(FaultPlan::seeded(seed).with_site("scf", 0.6));
     let solver = scf_solver();
     let (result, report) = solver
-        .solve_with_recovery(0.0, 0.1)
+        .solve(&ExecCtx::serial(), 0.0, 0.1)
         .expect("ladder recovers");
     assert!(report.converged());
     assert!(!report.nominal(), "nominal rung was suppressed");
@@ -135,9 +133,11 @@ fn scf_recovery_disarmed_is_bit_identical_to_plain_solve() {
     let _g = injector_lock();
     fault::disarm();
     let solver = scf_solver();
-    let plain = solver.solve(0.5, 0.1).expect("plain solve");
+    let (plain, _) = solver
+        .solve(&ExecCtx::strict(), 0.5, 0.1)
+        .expect("plain solve");
     let (laddered, report) = solver
-        .solve_with_recovery(0.5, 0.1)
+        .solve(&ExecCtx::serial(), 0.5, 0.1)
         .expect("laddered solve");
     assert!(report.nominal());
     assert_eq!(plain.current_a.to_bits(), laddered.current_a.to_bits());
@@ -162,8 +162,7 @@ fn injected_newton_fault_triggers_dt_halving() {
     let _armed = ArmedPlan::arm(FaultPlan::seeded(seed).with_site("newton", 0.6));
     let (c, out) = rc_circuit();
     let opts = TransientOptions::new(2e-9, 2e-11);
-    let (result, report) =
-        transient_with_recovery(&c, &opts, &TransientRecovery::default()).expect("recovers");
+    let (result, report) = transient(&ExecCtx::serial(), &c, &opts).expect("recovers");
     assert!(report.converged());
     assert_eq!(report.policy_used.as_deref(), Some("dt/2"));
     assert_eq!(
@@ -172,7 +171,8 @@ fn injected_newton_fault_triggers_dt_halving() {
     );
     // The rescued run is exactly a plain transient at the halved step.
     fault::disarm();
-    let halved = transient(&c, &TransientOptions::new(2e-9, 1e-11)).expect("plain halved run");
+    let (halved, _) = transient(&ExecCtx::strict(), &c, &TransientOptions::new(2e-9, 1e-11))
+        .expect("plain halved run");
     let v = result.voltage(&c, out);
     assert_eq!(v.len(), halved.voltage(&c, out).len());
     assert!(
@@ -196,13 +196,13 @@ fn dt_floor_skips_rungs_and_source_ramp_rescues() {
         .expect("some seed fails 4x then passes");
     let _armed = ArmedPlan::arm(FaultPlan::seeded(seed).with_site("newton", 0.7));
     let (c, out) = rc_circuit();
-    let opts = TransientOptions::new(2e-9, 2e-11);
-    let rec = TransientRecovery {
+    let mut opts = TransientOptions::new(2e-9, 2e-11);
+    opts.recovery = TransientRecovery {
         max_dt_halvings: 3,
         dt_floor: 0.0,
         source_ramp: true,
     };
-    let (result, report) = transient_with_recovery(&c, &opts, &rec).expect("source ramp rescues");
+    let (result, report) = transient(&ExecCtx::serial(), &c, &opts).expect("source ramp rescues");
     assert!(report.converged());
     assert_eq!(report.policy_used.as_deref(), Some("source-ramp"));
     assert_eq!(report.attempts.len(), 5);
@@ -217,13 +217,13 @@ fn dt_floor_is_respected() {
     let _g = injector_lock();
     let _armed = ArmedPlan::arm(FaultPlan::seeded(3).with_site("newton", 1.0));
     let (c, _) = rc_circuit();
-    let opts = TransientOptions::new(2e-9, 2e-11);
-    let rec = TransientRecovery {
+    let mut opts = TransientOptions::new(2e-9, 2e-11);
+    opts.recovery = TransientRecovery {
         max_dt_halvings: 3,
         dt_floor: 1.5e-11, // dt/2 = 1e-11 is already below the floor
         source_ramp: false,
     };
-    let err = transient_with_recovery(&c, &opts, &rec).unwrap_err();
+    let err = transient(&ExecCtx::serial(), &c, &opts).unwrap_err();
     assert!(
         err.to_string().contains("did not converge"),
         "expected Newton divergence, got: {err}"
@@ -239,9 +239,8 @@ fn transient_recovery_disarmed_matches_plain_transient() {
     fault::disarm();
     let (c, out) = rc_circuit();
     let opts = TransientOptions::new(2e-9, 2e-11);
-    let plain = transient(&c, &opts).expect("plain");
-    let (laddered, report) =
-        transient_with_recovery(&c, &opts, &TransientRecovery::default()).expect("laddered");
+    let (plain, _) = transient(&ExecCtx::strict(), &c, &opts).expect("plain");
+    let (laddered, report) = transient(&ExecCtx::serial(), &c, &opts).expect("laddered");
     assert!(report.nominal());
     let vp = plain.voltage(&c, out);
     let vl = laddered.voltage(&c, out);
@@ -323,8 +322,10 @@ fn monte_carlo_200_samples_completes_under_injection_and_logs_every_fault() {
     let _g = injector_lock();
     let _armed = ArmedPlan::arm(FaultPlan::seeded(20080608).with_site("characterize", 0.15));
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
-    let (mc, log) =
-        ring_oscillator_monte_carlo_isolated(&mut lib, 0.4, 15, 200, 20080608).expect("completes");
+    let ctx = ExecCtx::serial();
+    let mc =
+        ring_oscillator_monte_carlo(&ctx, &mut lib, 0.4, 15, 200, 20080608).expect("completes");
+    let log = ctx.faults().take();
     let injected = fault::injection_count("characterize");
     assert!(injected > 0, "p = 0.15 over 81 cells must fire");
     // Every injected characterization fault is logged with its cell id and
@@ -352,10 +353,13 @@ fn monte_carlo_disarmed_logged_run_is_bit_identical_to_plain() {
     let _g = injector_lock();
     fault::disarm();
     let mut lib = DeviceLibrary::new(Fidelity::Fast);
-    let universe = characterize_stage_universe(&mut lib, 0.4, 15).expect("characterizes");
-    let plain = monte_carlo_from_universe(&universe, 200, 20080608);
-    let mut log = FaultLog::new();
-    let logged = monte_carlo_from_universe_logged(&universe, 200, 20080608, &mut log);
+    let plain_ctx = ExecCtx::serial();
+    let universe =
+        characterize_stage_universe(&plain_ctx, &mut lib, 0.4, 15).expect("characterizes");
+    let plain = monte_carlo_from_universe(&plain_ctx, &universe, 200, 20080608);
+    let logged_ctx = ExecCtx::serial();
+    let logged = monte_carlo_from_universe(&logged_ctx, &universe, 200, 20080608);
+    let log = logged_ctx.faults().take();
     assert_eq!(plain.frequency_hz.len(), logged.frequency_hz.len());
     for (a, b) in plain.frequency_hz.iter().zip(&logged.frequency_hz) {
         assert_eq!(a.to_bits(), b.to_bits());

@@ -4,6 +4,7 @@
 
 use gnrlab::device::table::TableGrid;
 use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::num::par::ExecCtx;
 use gnrlab::spice::builders::{ExtrinsicParasitics, InverterCell};
 use gnrlab::spice::circuit::{Circuit, Element, NodeId, Waveform};
 use gnrlab::spice::transient::{transient, TransientOptions};
@@ -20,7 +21,7 @@ fn cell() -> &'static InverterCell {
             vds: (0.0, 0.85),
             points: 21,
         };
-        let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)
+        let n = DeviceTable::from_model(&ExecCtx::serial(), &model, Polarity::NType, grid, 4)
             .expect("table")
             .with_vg_shift(-vmin);
         let p = n.mirrored();
@@ -62,7 +63,7 @@ fn latch_holds_both_states() {
         let mut opts = TransientOptions::new(200e-12, 0.2e-12);
         opts.skip_dc = true;
         opts.initial_voltages = vec![(left, l0), (right, r0)];
-        let result = transient(&c, &opts).expect("simulates");
+        let (result, _) = transient(&ExecCtx::strict(), &c, &opts).expect("simulates");
         let vl = *result.voltage(&c, left).last().unwrap();
         let vr = *result.voltage(&c, right).last().unwrap();
         if l0 > r0 {
@@ -88,7 +89,7 @@ fn latch_regenerates_from_perturbed_state() {
     let mut opts = TransientOptions::new(400e-12, 0.2e-12);
     opts.skip_dc = true;
     opts.initial_voltages = vec![(left, 0.55 * vdd), (right, 0.45 * vdd)];
-    let result = transient(&c, &opts).expect("simulates");
+    let (result, _) = transient(&ExecCtx::strict(), &c, &opts).expect("simulates");
     let vl = *result.voltage(&c, left).last().unwrap();
     let vr = *result.voltage(&c, right).last().unwrap();
     assert!(

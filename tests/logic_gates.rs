@@ -3,6 +3,7 @@
 
 use gnrlab::device::table::TableGrid;
 use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::num::par::ExecCtx;
 use gnrlab::spice::builders::{ExtrinsicParasitics, Gate2, GateKind, InverterCell};
 use std::sync::OnceLock;
 
@@ -17,7 +18,7 @@ fn cell() -> &'static InverterCell {
             vds: (0.0, 0.85),
             points: 21,
         };
-        let n = DeviceTable::from_model(&model, Polarity::NType, grid, 4)
+        let n = DeviceTable::from_model(&ExecCtx::serial(), &model, Polarity::NType, grid, 4)
             .expect("table")
             .with_vg_shift(-vmin);
         let p = n.mirrored();

@@ -5,6 +5,7 @@
 //! load-bearing assumption of the reproduction (DESIGN.md §2).
 
 use gnrlab::device::{DeviceConfig, SbfetModel, ScfOptions, ScfSolver};
+use gnrlab::num::par::ExecCtx;
 
 fn small_device() -> DeviceConfig {
     let mut cfg = DeviceConfig::test_small(9).expect("valid index");
@@ -18,8 +19,8 @@ fn gate_modulation_direction_agrees() {
     let scf = ScfSolver::new(&cfg, ScfOptions::fast());
     let surrogate = SbfetModel::new(&cfg).unwrap();
     let vd = 0.3;
-    let negf_off = scf.solve(vd / 2.0, vd).unwrap();
-    let negf_on = scf.solve(0.55, vd).unwrap();
+    let negf_off = scf.solve(&ExecCtx::strict(), vd / 2.0, vd).unwrap().0;
+    let negf_on = scf.solve(&ExecCtx::strict(), 0.55, vd).unwrap().0;
     let sur_off = surrogate.drain_current(vd / 2.0, vd).unwrap();
     let sur_on = surrogate.drain_current(0.55, vd).unwrap();
     assert!(negf_on.current_a > negf_off.current_a, "negf gate control");
@@ -32,7 +33,7 @@ fn on_current_magnitudes_within_order() {
     let scf = ScfSolver::new(&cfg, ScfOptions::fast());
     let surrogate = SbfetModel::new(&cfg).unwrap();
     let (vg, vd) = (0.55, 0.3);
-    let negf = scf.solve(vg, vd).unwrap().current_a;
+    let negf = scf.solve(&ExecCtx::strict(), vg, vd).unwrap().0.current_a;
     let sur = surrogate.drain_current(vg, vd).unwrap();
     let ratio = sur / negf;
     assert!(
@@ -49,7 +50,7 @@ fn barrier_profiles_agree_qualitatively() {
     let scf = ScfSolver::new(&cfg, ScfOptions::fast());
     let surrogate = SbfetModel::new(&cfg).unwrap();
     let (vg, vd) = (0.5, 0.2);
-    let negf = scf.solve(vg, vd).unwrap();
+    let negf = scf.solve(&ExecCtx::strict(), vg, vd).unwrap().0;
     let negf_profile = &negf.layer_potential_ev;
     let mid_negf = negf_profile[negf_profile.len() / 2];
     let edge_negf = negf_profile[0].max(*negf_profile.last().unwrap());
@@ -77,7 +78,7 @@ fn charge_sign_agrees_in_accumulation() {
     let scf = ScfSolver::new(&cfg, ScfOptions::fast());
     let surrogate = SbfetModel::new(&cfg).unwrap();
     // Strong n-accumulation: both paths report net negative channel charge.
-    let negf = scf.solve(0.6, 0.1).unwrap();
+    let negf = scf.solve(&ExecCtx::strict(), 0.6, 0.1).unwrap().0;
     let sur = surrogate.channel_charge(0.6, 0.1).unwrap();
     assert!(negf.charge_c < 0.0, "negf charge {:.3e}", negf.charge_c);
     assert!(sur < 0.0, "surrogate charge {sur:.3e}");

@@ -3,6 +3,7 @@
 
 use gnrlab::device::table::TableGrid;
 use gnrlab::device::{DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnrlab::num::par::ExecCtx;
 use gnrlab::spice::builders::{ExtrinsicParasitics, InverterCell, RingOscillator};
 use gnrlab::spice::measure::{
     butterfly_snm, estimate_oscillator_from_inverter, fo4_metrics_for_cell, inverter_vtc,
@@ -24,9 +25,10 @@ fn nominal_cell() -> &'static (InverterCell, f64) {
         let cfg = DeviceConfig::test_small(12).expect("valid index");
         let model = SbfetModel::new(&cfg).expect("model builds");
         let vmin = model.minimum_leakage_vg(0.4).expect("leakage minimum");
-        let n = DeviceTable::from_model(&model, Polarity::NType, test_grid(), 4)
-            .expect("table builds")
-            .with_vg_shift(-vmin);
+        let n =
+            DeviceTable::from_model(&ExecCtx::serial(), &model, Polarity::NType, test_grid(), 4)
+                .expect("table builds")
+                .with_vg_shift(-vmin);
         let p = n.mirrored();
         let cell =
             InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("parasitics fold");
@@ -92,7 +94,8 @@ fn vt_shift_trades_leakage_for_speed() {
     let cfg = DeviceConfig::test_small(12).unwrap();
     let model = SbfetModel::new(&cfg).unwrap();
     let vmin = model.minimum_leakage_vg(0.4).unwrap();
-    let raw = DeviceTable::from_model(&model, Polarity::NType, test_grid(), 4).unwrap();
+    let raw = DeviceTable::from_model(&ExecCtx::serial(), &model, Polarity::NType, test_grid(), 4)
+        .unwrap();
     let mk = |extra: f64| {
         let n = raw.with_vg_shift(-vmin + extra);
         let p = n.mirrored();
@@ -135,7 +138,8 @@ fn contact_resistance_slows_the_gate() {
     let cfg = DeviceConfig::test_small(12).unwrap();
     let model = SbfetModel::new(&cfg).unwrap();
     let vmin = model.minimum_leakage_vg(0.4).unwrap();
-    let raw = DeviceTable::from_model(&model, Polarity::NType, test_grid(), 4).unwrap();
+    let raw = DeviceTable::from_model(&ExecCtx::serial(), &model, Polarity::NType, test_grid(), 4)
+        .unwrap();
     let delay_with = |r: f64| {
         let n = raw.with_vg_shift(-vmin);
         let p = n.mirrored();

@@ -4,6 +4,7 @@
 use gnrlab::explore::devices::{ArrayScenario, DeviceLibrary, DeviceVariant, Fidelity};
 use gnrlab::explore::monte_carlo::ring_oscillator_monte_carlo;
 use gnrlab::explore::variability::{inverter_figures, variability_table, Metric};
+use gnrlab::num::par::ExecCtx;
 use std::sync::{Mutex, OnceLock};
 
 /// Shared library so the expensive device tables build once.
@@ -19,7 +20,7 @@ fn width_table_signs_match_paper() {
         .into_iter()
         .map(|n| (format!("N={n}"), n, 0.0))
         .collect();
-    let table = variability_table(&mut lib, &axis, &axis, 0.4).unwrap();
+    let table = variability_table(&ExecCtx::serial(), &mut lib, &axis, &axis, 0.4).unwrap();
     // N=9/N=9 cell: slower (paper: +6..77% delay).
     let (one, all) = table.delta_pct(0, 0, Metric::Delay);
     assert!(
@@ -45,7 +46,9 @@ fn width_table_signs_match_paper() {
 fn impurity_asymmetry_matches_paper() {
     let mut lib = lib().lock().unwrap();
     let shift = lib.min_leakage_shift(0.4).unwrap();
+    let ctx = ExecCtx::serial();
     let nominal = inverter_figures(
+        &ctx,
         &mut lib,
         DeviceVariant::nominal(),
         DeviceVariant::nominal(),
@@ -57,6 +60,7 @@ fn impurity_asymmetry_matches_paper() {
     // Adverse impurities (-2q on n, +2q on p) slow the inverter
     // (paper Table 3: up to +92% delay).
     let adverse = inverter_figures(
+        &ctx,
         &mut lib,
         DeviceVariant::charge(-2.0, ArrayScenario::AllFour),
         DeviceVariant::charge(2.0, ArrayScenario::AllFour),
@@ -74,6 +78,7 @@ fn impurity_asymmetry_matches_paper() {
     // Favourable impurities help far less than adverse ones hurt
     // (paper: max improvement 1-9% vs degradation up to 92%).
     let favourable = inverter_figures(
+        &ctx,
         &mut lib,
         DeviceVariant::charge(2.0, ArrayScenario::AllFour),
         DeviceVariant::charge(-2.0, ArrayScenario::AllFour),
@@ -96,7 +101,9 @@ fn impurity_asymmetry_matches_paper() {
 fn single_gnr_effects_are_weaker_than_all_gnr() {
     let mut lib = lib().lock().unwrap();
     let shift = lib.min_leakage_shift(0.4).unwrap();
+    let ctx = ExecCtx::serial();
     let nominal = inverter_figures(
+        &ctx,
         &mut lib,
         DeviceVariant::nominal(),
         DeviceVariant::nominal(),
@@ -106,6 +113,7 @@ fn single_gnr_effects_are_weaker_than_all_gnr() {
     )
     .unwrap();
     let one = inverter_figures(
+        &ctx,
         &mut lib,
         DeviceVariant::charge(-2.0, ArrayScenario::OneOfFour),
         DeviceVariant::charge(2.0, ArrayScenario::OneOfFour),
@@ -115,6 +123,7 @@ fn single_gnr_effects_are_weaker_than_all_gnr() {
     )
     .unwrap();
     let all = inverter_figures(
+        &ctx,
         &mut lib,
         DeviceVariant::charge(-2.0, ArrayScenario::AllFour),
         DeviceVariant::charge(2.0, ArrayScenario::AllFour),
@@ -134,7 +143,7 @@ fn single_gnr_effects_are_weaker_than_all_gnr() {
 #[test]
 fn monte_carlo_reproduces_fig6_directions() {
     let mut lib = lib().lock().unwrap();
-    let mc = ring_oscillator_monte_carlo(&mut lib, 0.4, 15, 400, 7).unwrap();
+    let mc = ring_oscillator_monte_carlo(&ExecCtx::serial(), &mut lib, 0.4, 15, 400, 7).unwrap();
     // Paper Fig. 6: mean frequency drops, mean static power rises —
     // variations degrade more than they improve.
     let f = mc.frequency_summary().unwrap();
