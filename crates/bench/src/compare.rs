@@ -1,0 +1,280 @@
+//! `bench-compare`: diffs a `gnr-bench --json` run against a checked-in
+//! baseline (`results/bench_baseline.json`).
+//!
+//! Policy (the CI perf gate):
+//!
+//! - **Fail** when a benchmark's median regresses by more than the timing
+//!   tolerance (default 25%).
+//! - **Warn only** on telemetry counter drift (iteration counts moving is
+//!   a signal to investigate, not an automatic failure — convergence
+//!   changes are often intentional) and on added/removed benchmarks.
+//! - **Skip** (exit 0) when the baseline was recorded on different
+//!   hardware: wall-clock medians from another machine gate nothing.
+
+use gnr_num::{Json, TelemetrySnapshot};
+
+/// Tolerances for one comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareOptions {
+    /// Allowed fractional median regression before failing (0.25 = +25%).
+    pub timing_tolerance: f64,
+    /// Allowed fractional counter drift before warning (0.0 warns on any
+    /// change).
+    pub counter_tolerance: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            timing_tolerance: 0.25,
+            counter_tolerance: 0.0,
+        }
+    }
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Set when the comparison was skipped entirely (hardware mismatch).
+    pub skipped: Option<String>,
+    /// Hard failures (timing regressions beyond tolerance).
+    pub failures: Vec<String>,
+    /// Warn-only findings (counter drift, added/removed benchmarks).
+    pub warnings: Vec<String>,
+    /// Benchmarks present in both documents.
+    pub matched: usize,
+}
+
+impl CompareReport {
+    /// `true` when the gate passes (skipped counts as a pass).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(reason) = &self.skipped {
+            out.push_str(&format!("bench-compare: SKIPPED ({reason})\n"));
+            return out;
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        for f in &self.failures {
+            out.push_str(&format!("FAIL: {f}\n"));
+        }
+        out.push_str(&format!(
+            "bench-compare: {} benchmark(s) compared, {} failure(s), {} warning(s)\n",
+            self.matched,
+            self.failures.len(),
+            self.warnings.len()
+        ));
+        out
+    }
+}
+
+/// The current host's hardware tag: CPU model and logical core count.
+/// Bench baselines carry this tag so timing gates only ever compare
+/// like-for-like machines.
+pub fn hardware_tag() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| std::env::consts::ARCH.to_string());
+    format!("{model} x{cores}")
+}
+
+fn host_tag(doc: &Json) -> Option<&str> {
+    doc.get("host")?.get("hardware")?.as_str()
+}
+
+fn bench_entries(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("benches")
+        .and_then(Json::as_array)
+        .map(|benches| {
+            benches
+                .iter()
+                .filter_map(|b| {
+                    let suite = b.get("suite")?.as_str()?;
+                    let name = b.get("name")?.as_str()?;
+                    let median = b.get("median_ns")?.as_f64()?;
+                    Some((format!("{suite}/{name}"), median))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn counters(doc: &Json) -> Vec<(String, u64)> {
+    doc.get("telemetry")
+        .and_then(|t| TelemetrySnapshot::from_json(t).ok())
+        .map(|snap| snap.counters().map(|(k, v)| (k.to_string(), v)).collect())
+        .unwrap_or_default()
+}
+
+/// Compares `current` against `baseline` (both `gnr-bench/v1` documents).
+pub fn compare(baseline: &Json, current: &Json, opts: CompareOptions) -> CompareReport {
+    let mut report = CompareReport::default();
+    if let (Some(base_hw), Some(cur_hw)) = (host_tag(baseline), host_tag(current)) {
+        if base_hw != cur_hw {
+            report.skipped = Some(format!(
+                "hardware tag mismatch: baseline {base_hw:?} vs current {cur_hw:?}"
+            ));
+            return report;
+        }
+    }
+    let base = bench_entries(baseline);
+    let cur = bench_entries(current);
+    for (key, base_median) in &base {
+        let Some((_, cur_median)) = cur.iter().find(|(k, _)| k == key) else {
+            report
+                .warnings
+                .push(format!("benchmark {key} missing from current run"));
+            continue;
+        };
+        report.matched += 1;
+        if *base_median <= 0.0 {
+            continue;
+        }
+        let change = (cur_median - base_median) / base_median;
+        if change > opts.timing_tolerance {
+            report.failures.push(format!(
+                "{key}: median {:.0} ns -> {:.0} ns (+{:.1}%, tolerance {:.0}%)",
+                base_median,
+                cur_median,
+                change * 100.0,
+                opts.timing_tolerance * 100.0
+            ));
+        }
+    }
+    for (key, _) in &cur {
+        if !base.iter().any(|(k, _)| k == key) {
+            report
+                .warnings
+                .push(format!("benchmark {key} not in baseline (new?)"));
+        }
+    }
+    // Iteration-count drift is warn-only: counters are deterministic, so a
+    // change means solver behavior changed — worth a look, not a red build.
+    let base_counters = counters(baseline);
+    let cur_counters = counters(current);
+    for (name, base_val) in &base_counters {
+        let Some((_, cur_val)) = cur_counters.iter().find(|(k, _)| k == name) else {
+            continue;
+        };
+        let drift = if *base_val == 0 {
+            if *cur_val == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (*cur_val as f64 - *base_val as f64).abs() / *base_val as f64
+        };
+        if drift > opts.counter_tolerance {
+            report
+                .warnings
+                .push(format!("counter {name} drifted: {base_val} -> {cur_val}"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(hw: &str, median: f64, counter: u64) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::from("gnr-bench/v1")),
+            (
+                "host".into(),
+                Json::Obj(vec![("hardware".into(), Json::from(hw))]),
+            ),
+            (
+                "benches".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("suite".into(), Json::from("device")),
+                    ("name".into(), Json::from("rgf")),
+                    ("median_ns".into(), Json::Num(median)),
+                ])]),
+            ),
+            (
+                "telemetry".into(),
+                Json::Obj(vec![
+                    ("schema".into(), Json::from("gnr-telemetry/v1")),
+                    (
+                        "metrics".into(),
+                        Json::Arr(vec![Json::Obj(vec![
+                            ("name".into(), Json::from("scf.iterations")),
+                            ("kind".into(), Json::from("counter")),
+                            ("value".into(), Json::Num(counter as f64)),
+                        ])]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let r = compare(
+            &doc("cpu x4", 100.0, 10),
+            &doc("cpu x4", 120.0, 10),
+            CompareOptions::default(),
+        );
+        assert!(r.passed());
+        assert_eq!(r.matched, 1);
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn timing_regression_fails() {
+        let r = compare(
+            &doc("cpu x4", 100.0, 10),
+            &doc("cpu x4", 130.0, 10),
+            CompareOptions::default(),
+        );
+        assert!(!r.passed());
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("device/rgf"));
+    }
+
+    #[test]
+    fn counter_drift_warns_but_passes() {
+        let r = compare(
+            &doc("cpu x4", 100.0, 10),
+            &doc("cpu x4", 100.0, 12),
+            CompareOptions::default(),
+        );
+        assert!(r.passed());
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].contains("scf.iterations"));
+    }
+
+    #[test]
+    fn hardware_mismatch_skips() {
+        let r = compare(
+            &doc("cpu-a x4", 100.0, 10),
+            &doc("cpu-b x8", 900.0, 99),
+            CompareOptions::default(),
+        );
+        assert!(r.passed());
+        assert!(r.skipped.is_some());
+        assert_eq!(r.matched, 0);
+    }
+
+    #[test]
+    fn hardware_tag_is_nonempty() {
+        assert!(!hardware_tag().is_empty());
+    }
+}

@@ -199,15 +199,26 @@ impl Harness {
     }
 
     /// Renders all records as the machine-readable JSON document.
-    pub fn to_json(&self, quick: bool) -> Json {
-        Json::Obj(vec![
+    /// `hardware` is the host tag `bench-compare` keys its skip logic on;
+    /// `telemetry` (when armed) embeds the run's solver counters so the
+    /// gate can flag iteration-count drift.
+    pub fn to_json(&self, quick: bool, hardware: &str, telemetry: Option<Json>) -> Json {
+        let mut pairs = vec![
             ("schema".into(), Json::from("gnr-bench/v1")),
             ("quick".into(), Json::Bool(quick)),
+            (
+                "host".into(),
+                Json::Obj(vec![("hardware".into(), Json::from(hardware))]),
+            ),
             (
                 "benches".into(),
                 Json::Arr(self.records.iter().map(Record::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(t) = telemetry {
+            pairs.push(("telemetry".into(), t));
+        }
+        Json::Obj(pairs)
     }
 
     /// Renders all records as an aligned human-readable table.
@@ -270,11 +281,15 @@ mod tests {
         assert_eq!(h.records().len(), 1);
         let r = &h.records()[0];
         assert!(r.median_ns > 0.0 && r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns);
-        let doc = h.to_json(true);
+        let doc = h.to_json(true, "test-cpu x2", None);
         let text = doc.dump();
         let back = Json::parse(&text).unwrap();
         assert_eq!(back.get("schema").unwrap().as_str(), Some("gnr-bench/v1"));
         assert_eq!(back.get("benches").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(
+            back.get("host").unwrap().get("hardware").unwrap().as_str(),
+            Some("test-cpu x2")
+        );
     }
 
     #[test]

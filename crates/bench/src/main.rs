@@ -18,6 +18,7 @@
 
 mod ablations;
 mod circuit_kernels;
+mod compare;
 mod device_kernels;
 mod experiments;
 mod harness;
@@ -29,6 +30,7 @@ gnr-bench — zero-dependency benchmark harness for the gnrlab workspace
 
 USAGE:
     gnr-bench [OPTIONS]
+    gnr-bench compare --baseline <FILE> --current <FILE> [--tolerance <FRAC>]
 
 OPTIONS:
     --json             emit machine-readable JSON on stdout (BENCH_*.json)
@@ -38,6 +40,13 @@ OPTIONS:
     --quick            smoke profile: short warmup and measurement windows
     --list             print the selected benchmark names without running
     -h, --help         show this help
+
+COMPARE MODE (the CI perf gate):
+    Diffs a --json run against a checked-in baseline. Fails (exit 1) on a
+    median timing regression beyond --tolerance (default 0.25 = +25%),
+    warns on telemetry counter drift and added/removed benchmarks, and
+    skips (exit 0) when the baseline's hardware tag does not match this
+    host. Set GNR_TELEMETRY=1 to embed solver counters in --json output.
 ";
 
 struct Cli {
@@ -97,7 +106,58 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// Parses and runs `gnr-bench compare ...`; returns the process exit code.
+fn run_compare(args: &[String]) -> i32 {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut opts = compare::CompareOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = it.next().cloned(),
+            "--current" => current = it.next().cloned(),
+            "--tolerance" => {
+                let Some(t) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("error: --tolerance needs a number\n\n{USAGE}");
+                    return 2;
+                };
+                opts.timing_tolerance = t;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("error: unknown compare option '{other}'\n\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let (Some(base_path), Some(cur_path)) = (baseline, current) else {
+        eprintln!("error: compare needs --baseline and --current\n\n{USAGE}");
+        return 2;
+    };
+    let load = |path: &str| -> Result<gnr_num::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        gnr_num::Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (base_doc, cur_doc) = match (load(&base_path), load(&cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let report = compare::compare(&base_doc, &cur_doc, opts);
+    print!("{}", report.render());
+    i32::from(!report.passed())
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("compare") {
+        std::process::exit(run_compare(&raw[1..]));
+    }
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
@@ -105,6 +165,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let telemetry_armed = gnr_num::telemetry::arm_from_env();
     let opts = if cli.quick {
         BenchOptions::quick()
     } else {
@@ -126,10 +187,22 @@ fn main() {
         }
         return;
     }
+    let snapshot = telemetry_armed.then(gnr_num::telemetry::snapshot);
     if cli.json {
-        println!("{}", h.to_json(cli.quick).dump());
+        let telemetry = snapshot.map(|s| s.to_json());
+        println!(
+            "{}",
+            h.to_json(cli.quick, &compare::hardware_tag(), telemetry)
+                .dump()
+        );
     } else {
         print!("{}", h.to_table());
+        if let Some(snap) = snapshot {
+            if !snap.is_empty() {
+                println!("\ntelemetry ({} metrics):", snap.len());
+                print!("{}", snap.render());
+            }
+        }
         eprintln!("{} benchmarks complete", h.records().len());
     }
 }

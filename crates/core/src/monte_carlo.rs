@@ -17,7 +17,6 @@ use crate::error::ExploreError;
 use crate::variability::{inverter_figures, inverter_figures_from_tables, InverterFigures};
 use gnr_device::DeviceTable;
 use gnr_num::par::ExecCtx;
-use gnr_num::recover::FaultLog;
 use gnr_num::rng::Rng;
 use gnr_num::stats::{summarize, Histogram, Summary};
 use std::sync::Arc;
@@ -173,6 +172,7 @@ pub fn characterize_stage_universe(
     vdd: f64,
     stages: usize,
 ) -> Result<StageUniverse, ExploreError> {
+    let _stage_timer = ctx.time_scope("mc.characterize.time");
     let shift = lib.min_leakage_shift(vdd)?;
     let nominal_freq_guess = {
         let nominal = inverter_figures(
@@ -227,37 +227,18 @@ pub fn characterize_stage_universe(
         inverter_figures_from_tables(n, p, vdd, Some(nominal_freq_guess)).map_err(|e| e.to_string())
     });
     let mut figures: Vec<InverterFigures> = Vec::with_capacity(81);
+    ctx.counter_add("mc.characterize.cells", 81);
     for (cell, cell_result) in cells.into_iter().enumerate() {
         match cell_result {
             Ok(figs) => figures.push(figs),
             Err(e) => {
                 ctx.record_fault(cell, "characterize", e);
+                ctx.counter_inc("mc.characterize.dead_cells");
                 figures.push(DEAD_CELL);
             }
         }
     }
     Ok(StageUniverse { figures, stages })
-}
-
-/// Pre-`ExecCtx` spelling of [`characterize_stage_universe`] with an
-/// explicit fault log.
-///
-/// # Errors
-///
-/// Propagates nominal-reference characterization failures.
-#[deprecated(
-    note = "use characterize_stage_universe(&ExecCtx::serial(), ...) and read ctx.faults()"
-)]
-pub fn characterize_stage_universe_logged(
-    lib: &mut DeviceLibrary,
-    vdd: f64,
-    stages: usize,
-    log: &mut FaultLog,
-) -> Result<StageUniverse, ExploreError> {
-    let ctx = ExecCtx::serial();
-    let universe = characterize_stage_universe(&ctx, lib, vdd, stages)?;
-    log.extend(ctx.faults().take());
-    Ok(universe)
 }
 
 const MC_WIDTHS: [usize; 3] = [9, 12, 15];
@@ -295,25 +276,6 @@ pub fn ring_oscillator_monte_carlo(
     Ok(monte_carlo_from_universe(ctx, &universe, samples, seed))
 }
 
-/// Pre-`ExecCtx` spelling of [`ring_oscillator_monte_carlo`] returning the
-/// fault log by value.
-///
-/// # Errors
-///
-/// Propagates nominal-reference characterization failures.
-#[deprecated(note = "use ring_oscillator_monte_carlo(&ExecCtx::serial(), ...) and ctx.faults()")]
-pub fn ring_oscillator_monte_carlo_isolated(
-    lib: &mut DeviceLibrary,
-    vdd: f64,
-    stages: usize,
-    samples: usize,
-    seed: u64,
-) -> Result<(MonteCarloResult, FaultLog), ExploreError> {
-    let ctx = ExecCtx::serial();
-    let result = ring_oscillator_monte_carlo(&ctx, lib, vdd, stages, samples, seed)?;
-    Ok((result, ctx.faults().take()))
-}
-
 /// Samples `samples` rings from a pre-characterized universe, fanning the
 /// per-sample composition across `ctx`'s thread pool. All RNG draws happen
 /// serially up front (in the exact per-sample, per-stage `nw, nq, pw, pq`
@@ -326,6 +288,8 @@ pub fn monte_carlo_from_universe(
     samples: usize,
     seed: u64,
 ) -> MonteCarloResult {
+    let _stage_timer = ctx.time_scope("mc.sample.time");
+    ctx.counter_add("mc.samples", samples as u64);
     let stages = universe.stages;
     let pair =
         |ncfg: usize, pcfg: usize| -> &InverterFigures { &universe.figures[ncfg * 9 + pcfg] };
@@ -384,6 +348,9 @@ pub fn monte_carlo_from_universe(
         dynamic_w.push(energy / period);
         static_w.push(leak);
     }
+    // Recorded once after the ordered merge: commutative totals, so any
+    // pool size reports identical counters.
+    ctx.counter_add("mc.stalled_rings", stalled_samples as u64);
     MonteCarloResult {
         frequency_hz,
         dynamic_w,
@@ -393,21 +360,6 @@ pub fn monte_carlo_from_universe(
         nominal_static_w,
         stalled_samples,
     }
-}
-
-/// Pre-`ExecCtx` spelling of [`monte_carlo_from_universe`] with an
-/// explicit fault log.
-#[deprecated(note = "use monte_carlo_from_universe(&ExecCtx::serial(), ...) and read ctx.faults()")]
-pub fn monte_carlo_from_universe_logged(
-    universe: &StageUniverse,
-    samples: usize,
-    seed: u64,
-    log: &mut FaultLog,
-) -> MonteCarloResult {
-    let ctx = ExecCtx::serial();
-    let result = monte_carlo_from_universe(&ctx, universe, samples, seed);
-    log.extend(ctx.faults().take());
-    result
 }
 
 #[cfg(test)]

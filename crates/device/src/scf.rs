@@ -118,6 +118,7 @@ impl ScfSolver {
         v_g: f64,
         v_d: f64,
     ) -> Result<(ScfResult, SolveReport), DeviceError> {
+        ctx.counter_inc("scf.solves");
         match ctx.recovery() {
             RecoveryPolicy::Strict => {
                 let mut best = None;
@@ -127,20 +128,6 @@ impl ScfSolver {
             }
             RecoveryPolicy::Ladder => self.solve_laddered(ctx, v_g, v_d),
         }
-    }
-
-    /// Historic name for the laddered solve.
-    ///
-    /// # Errors
-    ///
-    /// As [`ScfSolver::solve`] under [`RecoveryPolicy::Ladder`].
-    #[deprecated(note = "use ScfSolver::solve(&ExecCtx::serial(), v_g, v_d)")]
-    pub fn solve_with_recovery(
-        &self,
-        v_g: f64,
-        v_d: f64,
-    ) -> Result<(ScfResult, SolveReport), DeviceError> {
-        self.solve(&ExecCtx::serial(), v_g, v_d)
     }
 
     /// The escalation-ladder solve behind [`RecoveryPolicy::Ladder`].
@@ -228,6 +215,15 @@ impl ScfSolver {
                 }
             }
         });
+        if outcome.report.attempts.len() > 1 {
+            ctx.counter_add(
+                "scf.ladder.escalations",
+                (outcome.report.attempts.len() - 1) as u64,
+            );
+        }
+        if outcome.report.degraded() {
+            ctx.counter_inc("scf.degraded");
+        }
         match outcome.value {
             Some(result) => Ok((result, outcome.report)),
             None => Err(first_err.unwrap_or(DeviceError::ScfDiverged {
@@ -339,6 +335,9 @@ impl ScfSolver {
                 alpha = (alpha * 1.03).min(opts.mixing);
             }
             prev_residual = residual;
+            ctx.counter_inc("scf.iterations");
+            ctx.telemetry()
+                .histogram_record("scf.residual_v", SCF_RESIDUAL_BOUNDS, residual);
             for (u, nu) in u_atoms.iter_mut().zip(&new_u) {
                 *u = (1.0 - alpha) * *u + alpha * nu;
             }
@@ -387,6 +386,10 @@ impl ScfSolver {
         })
     }
 }
+
+/// Bin edges (volts) for the `scf.residual_v` trajectory histogram: log
+/// decades spanning tight convergence to outright divergence.
+const SCF_RESIDUAL_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
 
 struct ScfIter {
     current_a: f64,
@@ -478,12 +481,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_ladder_solve() {
+    fn solve_records_telemetry_on_isolated_sink() {
         let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
-        let (via_shim, _) = solver.solve_with_recovery(0.0, 0.1).unwrap();
-        let (via_ctx, _) = solver.solve(&ExecCtx::serial(), 0.0, 0.1).unwrap();
-        assert_eq!(via_shim.current_a.to_bits(), via_ctx.current_a.to_bits());
+        let ctx = ExecCtx::serial().with_telemetry(gnr_num::Telemetry::isolated());
+        let (r, _) = solver.solve(&ctx, 0.0, 0.1).unwrap();
+        let snap = ctx.telemetry().snapshot();
+        assert_eq!(snap.counter("scf.solves"), Some(1));
+        assert_eq!(snap.counter("scf.iterations"), Some(r.iterations as u64));
+        assert_eq!(
+            snap.counter("negf.transport.integrations"),
+            Some(r.iterations as u64)
+        );
+        match snap.get("scf.residual_v") {
+            Some(gnr_num::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, r.iterations as u64);
+            }
+            other => panic!("expected residual histogram, got {other:?}"),
+        }
     }
 
     #[test]

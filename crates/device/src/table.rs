@@ -196,6 +196,8 @@ impl DeviceTable {
             id_vals.extend(id_row);
             q_vals.extend(q_row);
         }
+        ctx.counter_inc("device.table.builds");
+        ctx.counter_add("device.table.bias_points", g2.len() as u64);
         Ok(DeviceTable {
             id_a: BilinearTable::new(g2, id_vals)?,
             q_c: BilinearTable::new(g2, q_vals)?,

@@ -11,6 +11,7 @@
 //!   `Φ_Bn = Φ_Bp = E_g/2`).
 
 use crate::error::NegfError;
+use gnr_num::telemetry;
 use gnr_num::{c64, CMatrix, Complex64};
 
 /// Numerical broadening `η` added to the energy in surface-GF iterations.
@@ -134,9 +135,11 @@ pub fn surface_gf(
     let mut alpha = h01.clone();
     let mut beta = h01.adjoint();
     let tol = 1e-12;
-    for _ in 0..max_iter {
+    for it in 0..max_iter {
         let a_norm = alpha.norm_fro();
         if a_norm < tol {
+            telemetry::counter_inc("negf.sancho_rubio.calls");
+            telemetry::counter_add("negf.sancho_rubio.iterations", it as u64);
             let ges = &eye_e - &eps_s;
             return Ok(ges.inverse()?);
         }

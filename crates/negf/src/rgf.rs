@@ -13,6 +13,7 @@
 use crate::error::NegfError;
 use crate::lead::{broadening, Lead};
 use gnr_lattice::DeviceHamiltonian;
+use gnr_num::telemetry;
 use gnr_num::{c64, CMatrix};
 
 /// Small imaginary part added to the energy for retarded boundary behaviour.
@@ -104,6 +105,8 @@ impl RgfSolver {
     ///
     /// Propagates lead and linear-algebra failures.
     pub fn spectral_slice(&self, e: f64) -> Result<SpectralSlice, NegfError> {
+        telemetry::counter_inc("negf.rgf.calls");
+        telemetry::counter_add("negf.rgf.sweeps", 2);
         let m = self.layer_dim();
         let nl = self.layers();
         let ez = c64(e, RGF_ETA);
@@ -206,6 +209,8 @@ impl RgfSolver {
     ///
     /// Propagates lead and linear-algebra failures.
     pub fn transmission(&self, e: f64) -> Result<f64, NegfError> {
+        telemetry::counter_inc("negf.rgf.calls");
+        telemetry::counter_add("negf.rgf.sweeps", 1);
         let m = self.layer_dim();
         let nl = self.layers();
         let ez = c64(e, RGF_ETA);

@@ -18,6 +18,7 @@ use gnr_num::consts::LANDAUER_2E_OVER_H;
 use gnr_num::fermi::fermi;
 use gnr_num::par::ExecCtx;
 use gnr_num::quad::trapezoid_samples;
+use gnr_num::TelemetryShard;
 
 /// A uniform energy grid for transport integrals (eV).
 #[derive(Clone, Debug, PartialEq)]
@@ -127,6 +128,9 @@ struct EnergySample {
     kernel: f64,
     filled: Vec<f64>,
     empty: Vec<f64>,
+    /// Worker-local telemetry deltas, applied during the ordered merge so
+    /// metric aggregation follows the same index order as the data.
+    shard: TelemetryShard,
 }
 
 /// Integrates current and charge for the device bound to `solver`, with
@@ -164,11 +168,14 @@ pub fn integrate_transport(
     }
     let two_pi = 2.0 * std::f64::consts::PI;
     let de = grid.step();
+    ctx.counter_inc("negf.transport.integrations");
 
     let samples =
         ctx.try_par_map_indexed(grid.len(), |idx| -> Result<EnergySample, NegfError> {
+            let mut shard = TelemetryShard::for_sink(ctx.telemetry());
             let e = grid.energy(idx);
             let slice = solver.spectral_slice(e)?;
+            shard.counter_inc("negf.energy_points");
             let f1 = fermi(e, mu1, t_kelvin);
             let f2 = fermi(e, mu2, t_kelvin);
             let mut filled = Vec::with_capacity(atoms);
@@ -183,16 +190,17 @@ pub fn integrate_transport(
                 kernel: slice.transmission * (f1 - f2),
                 filled,
                 empty,
+                shard,
             })
         })?;
 
     // Ordered serial merge: identical accumulation order and arithmetic to
-    // the original serial energy loop.
+    // the original serial energy loop (telemetry shards included).
     let mut t_of_e = Vec::with_capacity(grid.len());
     let mut current_kernel = Vec::with_capacity(grid.len());
     let mut electrons = vec![0.0; atoms];
     let mut holes = vec![0.0; atoms];
-    for s in &samples {
+    for s in samples {
         t_of_e.push((s.e, s.transmission));
         current_kernel.push(s.kernel);
         for i in 0..atoms {
@@ -202,6 +210,7 @@ pub fn integrate_transport(
                 holes[i] += s.empty[i] / two_pi * de;
             }
         }
+        s.shard.merge_into(ctx.telemetry());
     }
     let current_a = LANDAUER_2E_OVER_H * trapezoid_samples(&current_kernel, de);
     let net: Vec<f64> = holes.iter().zip(&electrons).map(|(p, n)| p - n).collect();

@@ -45,6 +45,7 @@ pub mod roots;
 pub mod solver;
 pub mod sparse;
 pub mod stats;
+pub mod telemetry;
 
 pub use cdense::CMatrix;
 pub use complex::{c64, Complex64};
@@ -59,3 +60,4 @@ pub use recover::{
 };
 pub use rng::Rng;
 pub use sparse::{CsrMatrix, TripletBuilder};
+pub use telemetry::{MetricValue, Telemetry, TelemetryShard, TelemetrySnapshot};

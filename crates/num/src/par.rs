@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use crate::recover::SharedFaultLog;
+use crate::telemetry::{ScopedTimer, Telemetry};
 
 /// How many chunks each worker should see on average. More chunks than
 /// workers keeps the pool load-balanced when per-element cost varies
@@ -228,26 +229,34 @@ pub enum RecoveryPolicy {
 }
 
 /// The unified execution context: thread pool + recovery policy + shared
-/// fault log.
+/// fault log + telemetry sink.
 ///
 /// Every redesigned entry point takes `&ExecCtx` as its first argument.
-/// Cloning is cheap and **shares** the fault log (the pool and policy are
-/// copied), so a clone handed to a helper still reports faults to the same
-/// sink.
+/// Cloning is cheap and **shares** the fault log and telemetry sink (the
+/// pool and policy are copied), so a clone handed to a helper still
+/// reports faults and metrics to the same sinks.
+///
+/// The default telemetry sink is the process-global registry, disarmed
+/// unless `GNR_TELEMETRY=1` (see [`crate::telemetry`]); a disarmed
+/// recording call costs one relaxed atomic load. Swap in an isolated
+/// registry with [`ExecCtx::with_telemetry`].
 #[derive(Clone, Debug, Default)]
 pub struct ExecCtx {
     pool: ThreadPool,
     recovery: RecoveryPolicy,
     faults: SharedFaultLog,
+    telemetry: Telemetry,
 }
 
 impl ExecCtx {
-    /// Context with an explicit pool and policy and a fresh fault log.
+    /// Context with an explicit pool and policy, a fresh fault log, and
+    /// the global telemetry sink.
     pub fn new(pool: ThreadPool, recovery: RecoveryPolicy) -> Self {
         ExecCtx {
             pool,
             recovery,
             faults: SharedFaultLog::new(),
+            telemetry: Telemetry::global(),
         }
     }
 
@@ -274,12 +283,24 @@ impl ExecCtx {
         ExecCtx::new(ThreadPool::new(threads), RecoveryPolicy::default())
     }
 
-    /// Same context with a different recovery policy (fault log shared).
+    /// Same context with a different recovery policy (fault log and
+    /// telemetry sink shared).
     pub fn with_recovery(&self, recovery: RecoveryPolicy) -> Self {
         ExecCtx {
             pool: self.pool,
             recovery,
             faults: self.faults.clone(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
+    /// Same context with a different telemetry sink (fault log shared).
+    pub fn with_telemetry(&self, telemetry: Telemetry) -> Self {
+        ExecCtx {
+            pool: self.pool,
+            recovery: self.recovery,
+            faults: self.faults.clone(),
+            telemetry,
         }
     }
 
@@ -306,6 +327,26 @@ impl ExecCtx {
     /// Records one isolated fault into the shared log.
     pub fn record_fault(&self, sample: usize, stage: impl Into<String>, error: impl Into<String>) {
         self.faults.record(sample, stage, error);
+    }
+
+    /// The telemetry sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Adds `n` to counter `name` on this context's telemetry sink.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.telemetry.counter_add(name, n);
+    }
+
+    /// Increments counter `name` on this context's telemetry sink.
+    pub fn counter_inc(&self, name: &str) {
+        self.telemetry.counter_add(name, 1);
+    }
+
+    /// Starts a scoped wall-clock timer on this context's telemetry sink.
+    pub fn time_scope(&self, name: &str) -> ScopedTimer {
+        self.telemetry.time_scope(name)
     }
 
     /// [`ThreadPool::par_map_indexed`] on this context's pool.
@@ -434,6 +475,24 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log.events()[0].sample, 3);
         assert_eq!(log.events()[1].stage, "ring");
+    }
+
+    #[test]
+    fn ctx_clone_shares_telemetry_sink() {
+        let ctx = ExecCtx::serial().with_telemetry(Telemetry::isolated());
+        let clone = ctx.clone();
+        clone.counter_inc("t.events");
+        ctx.counter_add("t.events", 2);
+        let _scope = ctx.time_scope("t.span");
+        drop(_scope);
+        let snap = ctx.telemetry().snapshot();
+        assert_eq!(snap.counter("t.events"), Some(3));
+        assert!(snap.get("t.span").is_some());
+        // The default context routes to the (disarmed) global sink: nothing
+        // recorded, one atomic load per call.
+        let plain = ExecCtx::serial();
+        plain.counter_inc("t.global");
+        assert!(!plain.telemetry().active() || !plain.telemetry().snapshot().is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::error::{NumError, NumResult};
 use crate::solver::{bicgstab_solve, cg_solve, IterControl, SolveStats};
 use crate::sparse::CsrMatrix;
+use crate::telemetry;
 
 /// How trustworthy a ladder result is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -410,7 +411,10 @@ pub fn solve_linear_robust(
     }
 
     let mut first_err: Option<NumError> = None;
-    let outcome = ladder.run(|_, rung| {
+    let outcome = ladder.run(|label, rung| {
+        if telemetry::is_armed() {
+            telemetry::counter_inc(&format!("linear.{label}.calls"));
+        }
         let injected = crate::fault::should_fail("linear");
         let result = if injected {
             Err(NumError::NoConvergence {
@@ -426,9 +430,18 @@ pub fn solve_linear_robust(
         };
         match result {
             Ok((x, stats)) => {
+                if telemetry::is_armed() {
+                    telemetry::counter_add(
+                        &format!("linear.{label}.iterations"),
+                        stats.iterations as u64,
+                    );
+                }
                 AttemptReport::converged((x, stats), stats.iterations, stats.residual)
             }
             Err(err) => {
+                if telemetry::is_armed() {
+                    telemetry::counter_inc(&format!("linear.{label}.failures"));
+                }
                 if first_err.is_none() {
                     first_err = Some(err.clone());
                 }
@@ -436,6 +449,12 @@ pub fn solve_linear_robust(
             }
         }
     });
+    if outcome.report.attempts.len() > 1 {
+        telemetry::counter_add(
+            "linear.ladder.escalations",
+            (outcome.report.attempts.len() - 1) as u64,
+        );
+    }
     match outcome.value {
         Some(solution) => (Ok(solution), outcome.report),
         None => {

@@ -1,0 +1,879 @@
+//! Solver telemetry: a zero-dependency metrics registry (monotonic
+//! counters, gauges, bounded histograms, scoped wall-clock timers) carried
+//! on [`ExecCtx`](crate::par::ExecCtx) next to the thread pool and fault
+//! log.
+//!
+//! # Arming
+//!
+//! Telemetry is **disabled by default**. Like the fault injector
+//! ([`fault`](crate::fault)), the global sink is gated by a single relaxed
+//! atomic: a disarmed recording call is one `AtomicBool` load and an early
+//! return — no allocation, no lock, no clock read. Arm it with
+//! [`arm`] / [`arm_from_env`] (`GNR_TELEMETRY=1`) and read results with
+//! [`snapshot`]. [`disarm`] stops recording but keeps the accumulated data
+//! so a program can record during a run and export at exit; [`reset`]
+//! clears it.
+//!
+//! # Determinism contract
+//!
+//! Counter and histogram updates are *commutative*: every recorded value is
+//! a `u64` addition (or a bin increment), so as long as each unit of work
+//! contributes the same deltas, the merged totals are bit-identical for any
+//! thread count or scheduling — the same guarantee
+//! [`par_map_indexed`](crate::par::ThreadPool::par_map_indexed) gives for
+//! data. For order-sensitive aggregation (or to batch worker-side updates),
+//! [`TelemetryShard`] collects deltas worker-locally and is merged
+//! **index-ordered** by the caller, mirroring the pool's ordered-merge
+//! reduction. Gauges are last-write-wins and timers read the wall clock, so
+//! neither is covered by the bit-identity contract; record gauges only from
+//! serial code.
+//!
+//! Arming mutates process-global state: tests that arm must serialize
+//! against each other and [`disarm`] when done.
+
+use crate::error::{NumError, NumResult};
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Registry> = Mutex::new(Registry::new());
+
+/// Version tag embedded in exported snapshots.
+pub const SNAPSHOT_SCHEMA: &str = "gnr-telemetry/v1";
+
+/// One aggregated metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-written value (serial code only; not covered by the
+    /// determinism contract).
+    Gauge(f64),
+    /// Bounded histogram of recorded samples.
+    Histogram(HistogramValue),
+    /// Accumulated wall-clock timings (values are nondeterministic by
+    /// nature; only presence/count is stable).
+    Timer(TimerValue),
+}
+
+/// Histogram state: `bins[i]` counts samples `<= bounds[i]` (and above the
+/// previous bound); the final bin counts overflow samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramValue {
+    /// Ascending upper bin edges, fixed at first record.
+    pub bounds: Vec<f64>,
+    /// Per-bin counts; `bins.len() == bounds.len() + 1` (last = overflow).
+    pub bins: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: f64,
+}
+
+/// Accumulated scoped-timer state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimerValue {
+    /// Number of completed scopes.
+    pub count: u64,
+    /// Total elapsed nanoseconds.
+    pub total_ns: u64,
+    /// Shortest scope \[ns\].
+    pub min_ns: u64,
+    /// Longest scope \[ns\].
+    pub max_ns: u64,
+}
+
+#[derive(Debug)]
+struct Registry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Registry {
+    const fn new() -> Self {
+        Registry {
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    fn counter_add(&mut self, name: &str, n: u64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c = c.saturating_add(n),
+            Some(_) => {} // kind clash: first registration wins
+            None => {
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Counter(n));
+            }
+        }
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Gauge(g)) => *g = value,
+            Some(_) => {}
+            None => {
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Gauge(value));
+            }
+        }
+    }
+
+    fn histogram_record(&mut self, name: &str, bounds: &[f64], value: f64) {
+        let h = match self.metrics.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h,
+            Some(_) => return,
+            None => {
+                let h = HistogramValue {
+                    bounds: bounds.to_vec(),
+                    bins: vec![0; bounds.len() + 1],
+                    count: 0,
+                    sum: 0.0,
+                };
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Histogram(h));
+                match self.metrics.get_mut(name) {
+                    Some(MetricValue::Histogram(h)) => h,
+                    _ => unreachable!("histogram just inserted"),
+                }
+            }
+        };
+        let bin = h
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(h.bounds.len());
+        h.bins[bin] = h.bins[bin].saturating_add(1);
+        h.count = h.count.saturating_add(1);
+        h.sum += value;
+    }
+
+    fn timer_record_ns(&mut self, name: &str, ns: u64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Timer(t)) => {
+                t.count = t.count.saturating_add(1);
+                t.total_ns = t.total_ns.saturating_add(ns);
+                t.min_ns = t.min_ns.min(ns);
+                t.max_ns = t.max_ns.max(ns);
+            }
+            Some(_) => {}
+            None => {
+                self.metrics.insert(
+                    name.to_string(),
+                    MetricValue::Timer(TimerValue {
+                        count: 1,
+                        total_ns: ns,
+                        min_ns: ns,
+                        max_ns: ns,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+fn lock_global() -> std::sync::MutexGuard<'static, Registry> {
+    GLOBAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arms the global sink: subsequent recordings accumulate. Does not clear
+/// previously accumulated data; call [`reset`] first for a fresh run.
+pub fn arm() {
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms the global sink. Accumulated data stays readable via
+/// [`snapshot`] until [`reset`].
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// `true` while the global sink is armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms the global sink when `GNR_TELEMETRY` is set to `1`/`true`/`on`/
+/// `yes` (trimmed, case-insensitive). Returns whether it armed.
+pub fn arm_from_env() -> bool {
+    let on = matches!(
+        std::env::var("GNR_TELEMETRY")
+            .ok()
+            .as_deref()
+            .map(|v| v.trim().to_ascii_lowercase())
+            .as_deref(),
+        Some("1" | "true" | "on" | "yes")
+    );
+    if on {
+        arm();
+    }
+    on
+}
+
+/// Clears all accumulated global metrics (armed state unchanged).
+pub fn reset() {
+    lock_global().metrics.clear();
+}
+
+/// Adds `n` to the global counter `name` (no-op while disarmed).
+pub fn counter_add(name: &str, n: u64) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    lock_global().counter_add(name, n);
+}
+
+/// Increments the global counter `name` by one (no-op while disarmed).
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Sets the global gauge `name` (no-op while disarmed). Serial code only —
+/// gauges are last-write-wins and not deterministic under concurrency.
+pub fn gauge_set(name: &str, value: f64) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    lock_global().gauge_set(name, value);
+}
+
+/// Records `value` into the global histogram `name` (no-op while
+/// disarmed). `bounds` fixes the bin edges at first record and is ignored
+/// afterwards.
+pub fn histogram_record(name: &str, bounds: &[f64], value: f64) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    lock_global().histogram_record(name, bounds, value);
+}
+
+/// Records a raw duration into the global timer `name` (no-op while
+/// disarmed).
+pub fn timer_record_ns(name: &str, ns: u64) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    lock_global().timer_record_ns(name, ns);
+}
+
+/// Starts a scoped wall-clock timer against the global sink; the elapsed
+/// time is recorded when the guard drops. Disarmed, this neither reads the
+/// clock nor allocates.
+pub fn time_scope(name: &str) -> ScopedTimer {
+    Telemetry::global().time_scope(name)
+}
+
+/// Snapshot of the global sink (sorted by metric name).
+pub fn snapshot() -> TelemetrySnapshot {
+    lock_global().snapshot()
+}
+
+#[derive(Clone, Debug, Default)]
+enum Sink {
+    /// The process-global registry, gated on [`is_armed`].
+    #[default]
+    Global,
+    /// A private registry, always recording — for unit tests and scoped
+    /// measurements that must not touch global state.
+    Local(Arc<Mutex<Registry>>),
+}
+
+/// Cheap-clone handle to a telemetry sink, carried on
+/// [`ExecCtx`](crate::par::ExecCtx). The default handle routes to the
+/// process-global registry (armed via [`arm`] / `GNR_TELEMETRY=1`);
+/// [`Telemetry::isolated`] creates a private always-on registry. Clones
+/// share the underlying sink.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    sink: Sink,
+}
+
+impl Telemetry {
+    /// Handle to the process-global sink (the default).
+    pub fn global() -> Self {
+        Telemetry { sink: Sink::Global }
+    }
+
+    /// A private, always-recording registry independent of the global
+    /// armed flag.
+    pub fn isolated() -> Self {
+        Telemetry {
+            sink: Sink::Local(Arc::new(Mutex::new(Registry::new()))),
+        }
+    }
+
+    /// `true` when recording calls will actually record: always for an
+    /// isolated sink, [`is_armed`] for the global one. One relaxed atomic
+    /// load on the global path.
+    pub fn active(&self) -> bool {
+        match &self.sink {
+            Sink::Global => ARMED.load(Ordering::Relaxed),
+            Sink::Local(_) => true,
+        }
+    }
+
+    fn with_registry(&self, f: impl FnOnce(&mut Registry)) {
+        match &self.sink {
+            Sink::Global => {
+                if ARMED.load(Ordering::Relaxed) {
+                    f(&mut lock_global());
+                }
+            }
+            Sink::Local(reg) => f(&mut reg.lock().unwrap_or_else(|p| p.into_inner())),
+        }
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.with_registry(|r| r.counter_add(name, n));
+    }
+
+    /// Increments counter `name` by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets gauge `name` (serial code only; see module docs).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.with_registry(|r| r.gauge_set(name, value));
+    }
+
+    /// Records `value` into histogram `name` with `bounds` bin edges
+    /// (fixed at first record).
+    pub fn histogram_record(&self, name: &str, bounds: &[f64], value: f64) {
+        self.with_registry(|r| r.histogram_record(name, bounds, value));
+    }
+
+    /// Records a raw duration into timer `name`.
+    pub fn timer_record_ns(&self, name: &str, ns: u64) {
+        self.with_registry(|r| r.timer_record_ns(name, ns));
+    }
+
+    /// Starts a scoped wall-clock timer; elapsed time is recorded when the
+    /// guard drops. Inactive sinks return an inert guard without reading
+    /// the clock.
+    pub fn time_scope(&self, name: &str) -> ScopedTimer {
+        if !self.active() {
+            return ScopedTimer { inner: None };
+        }
+        ScopedTimer {
+            inner: Some((self.clone(), name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Snapshot of this sink (sorted by metric name).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.sink {
+            Sink::Global => lock_global().snapshot(),
+            Sink::Local(reg) => reg.lock().unwrap_or_else(|p| p.into_inner()).snapshot(),
+        }
+    }
+
+    /// Clears this sink's accumulated metrics.
+    pub fn reset(&self) {
+        match &self.sink {
+            Sink::Global => lock_global().metrics.clear(),
+            Sink::Local(reg) => reg
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .metrics
+                .clear(),
+        }
+    }
+}
+
+/// RAII guard from [`Telemetry::time_scope`]; records the elapsed
+/// wall-clock time on drop.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    inner: Option<(Telemetry, String, Instant)>,
+}
+
+impl ScopedTimer {
+    /// Discards the measurement without recording.
+    pub fn cancel(mut self) {
+        self.inner = None;
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some((t, name, start)) = self.inner.take() {
+            let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            t.timer_record_ns(&name, ns);
+        }
+    }
+}
+
+/// Worker-local batch of telemetry deltas, merged **index-ordered** by the
+/// caller — the same pattern
+/// [`par_map_indexed`](crate::par::ThreadPool::par_map_indexed) uses for
+/// data. Build one per work item with [`TelemetryShard::for_sink`], record
+/// into it on the worker, return it with the item's result, and apply the
+/// shards in index order with [`TelemetryShard::merge_into`].
+///
+/// Construction captures the sink's activity once: shards built against a
+/// disarmed global sink skip all recording (no allocation).
+#[derive(Debug, Default)]
+pub struct TelemetryShard {
+    active: bool,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Vec<f64>, f64)>,
+}
+
+impl TelemetryShard {
+    /// A shard whose activity matches `sink` at this moment.
+    pub fn for_sink(sink: &Telemetry) -> Self {
+        TelemetryShard {
+            active: sink.active(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// A permanently inert shard.
+    pub fn inactive() -> Self {
+        TelemetryShard::default()
+    }
+
+    /// `true` when this shard records.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Buffers a counter delta.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        if !self.active {
+            return;
+        }
+        if let Some((_, c)) = self.counters.iter_mut().find(|(k, _)| k == name) {
+            *c = c.saturating_add(n);
+        } else {
+            self.counters.push((name.to_string(), n));
+        }
+    }
+
+    /// Buffers a counter increment of one.
+    pub fn counter_inc(&mut self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Buffers a histogram sample.
+    pub fn histogram_record(&mut self, name: &str, bounds: &[f64], value: f64) {
+        if !self.active {
+            return;
+        }
+        self.histograms
+            .push((name.to_string(), bounds.to_vec(), value));
+    }
+
+    /// Applies the buffered deltas to `sink` in record order. Call this
+    /// serially, shard by shard in index order, to keep order-sensitive
+    /// aggregation deterministic.
+    pub fn merge_into(self, sink: &Telemetry) {
+        if !self.active {
+            return;
+        }
+        for (name, n) in self.counters {
+            sink.counter_add(&name, n);
+        }
+        for (name, bounds, value) in self.histograms {
+            sink.histogram_record(&name, &bounds, value);
+        }
+    }
+}
+
+/// Point-in-time export of a sink's metrics, sorted by name. Serializes
+/// to/from [`Json`] (schema [`SNAPSHOT_SCHEMA`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl TelemetrySnapshot {
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when no metric was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.metrics.iter().filter_map(|(k, v)| match v {
+            MetricValue::Counter(c) => Some((k.as_str(), *c)),
+            _ => None,
+        })
+    }
+
+    /// All timers, in name order.
+    pub fn timers(&self) -> impl Iterator<Item = (&str, &TimerValue)> {
+        self.metrics.iter().filter_map(|(k, v)| match v {
+            MetricValue::Timer(t) => Some((k.as_str(), t)),
+            _ => None,
+        })
+    }
+
+    /// Serializes to the `gnr-telemetry/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, value)| {
+                let mut pairs = vec![("name".to_string(), Json::from(name.as_str()))];
+                match value {
+                    MetricValue::Counter(c) => {
+                        pairs.push(("kind".to_string(), Json::from("counter")));
+                        pairs.push(("value".to_string(), Json::Num(*c as f64)));
+                    }
+                    MetricValue::Gauge(g) => {
+                        pairs.push(("kind".to_string(), Json::from("gauge")));
+                        pairs.push(("value".to_string(), Json::Num(*g)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        pairs.push(("kind".to_string(), Json::from("histogram")));
+                        pairs.push(("bounds".to_string(), Json::from(h.bounds.clone())));
+                        pairs.push((
+                            "bins".to_string(),
+                            Json::Arr(h.bins.iter().map(|&b| Json::Num(b as f64)).collect()),
+                        ));
+                        pairs.push(("count".to_string(), Json::Num(h.count as f64)));
+                        pairs.push(("sum".to_string(), Json::Num(h.sum)));
+                    }
+                    MetricValue::Timer(t) => {
+                        pairs.push(("kind".to_string(), Json::from("timer")));
+                        pairs.push(("count".to_string(), Json::Num(t.count as f64)));
+                        pairs.push(("total_ns".to_string(), Json::Num(t.total_ns as f64)));
+                        pairs.push(("min_ns".to_string(), Json::Num(t.min_ns as f64)));
+                        pairs.push(("max_ns".to_string(), Json::Num(t.max_ns as f64)));
+                    }
+                }
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::from(SNAPSHOT_SCHEMA)),
+            ("metrics".to_string(), Json::Arr(metrics)),
+        ])
+    }
+
+    /// Parses a `gnr-telemetry/v1` JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError`] for a wrong schema tag or malformed entries.
+    pub fn from_json(doc: &Json) -> NumResult<Self> {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(NumError::invalid(format!(
+                "telemetry snapshot: unsupported schema {schema:?}"
+            )));
+        }
+        let entries = doc
+            .get("metrics")
+            .and_then(Json::as_array)
+            .ok_or_else(|| NumError::invalid("telemetry snapshot: missing metrics array"))?;
+        let mut metrics = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| NumError::invalid("telemetry metric: missing name"))?
+                .to_string();
+            let kind = entry.get("kind").and_then(Json::as_str).unwrap_or("");
+            let value = match kind {
+                "counter" => MetricValue::Counter(json_u64(entry.get("value"), &name)?),
+                "gauge" => MetricValue::Gauge(
+                    entry
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad_metric(&name, "gauge value"))?,
+                ),
+                "histogram" => {
+                    let bounds = json_f64_array(entry.get("bounds"), &name)?;
+                    let bins = entry
+                        .get("bins")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| bad_metric(&name, "histogram bins"))?
+                        .iter()
+                        .map(|b| json_u64(Some(b), &name))
+                        .collect::<NumResult<Vec<u64>>>()?;
+                    if bins.len() != bounds.len() + 1 {
+                        return Err(bad_metric(&name, "histogram bin count"));
+                    }
+                    MetricValue::Histogram(HistogramValue {
+                        bounds,
+                        bins,
+                        count: json_u64(entry.get("count"), &name)?,
+                        sum: entry
+                            .get("sum")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| bad_metric(&name, "histogram sum"))?,
+                    })
+                }
+                "timer" => MetricValue::Timer(TimerValue {
+                    count: json_u64(entry.get("count"), &name)?,
+                    total_ns: json_u64(entry.get("total_ns"), &name)?,
+                    min_ns: json_u64(entry.get("min_ns"), &name)?,
+                    max_ns: json_u64(entry.get("max_ns"), &name)?,
+                }),
+                other => {
+                    return Err(NumError::invalid(format!(
+                        "telemetry metric {name:?}: unknown kind {other:?}"
+                    )))
+                }
+            };
+            metrics.push((name, value));
+        }
+        Ok(TelemetrySnapshot { metrics })
+    }
+
+    /// Human-readable multi-line rendering (one metric per line), used by
+    /// `gnr-bench` table output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(c) => out.push_str(&format!("  {name:<44} {c}\n")),
+                MetricValue::Gauge(g) => out.push_str(&format!("  {name:<44} {g:.6e}\n")),
+                MetricValue::Histogram(h) => {
+                    let mean = if h.count > 0 {
+                        h.sum / h.count as f64
+                    } else {
+                        0.0
+                    };
+                    out.push_str(&format!("  {name:<44} count={} mean={mean:.3e}\n", h.count));
+                }
+                MetricValue::Timer(t) => {
+                    let total_ms = t.total_ns as f64 / 1e6;
+                    out.push_str(&format!(
+                        "  {name:<44} count={} total={total_ms:.3} ms\n",
+                        t.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn bad_metric(name: &str, what: &str) -> NumError {
+    NumError::invalid(format!("telemetry metric {name:?}: bad {what}"))
+}
+
+fn json_u64(v: Option<&Json>, name: &str) -> NumResult<u64> {
+    v.and_then(Json::as_f64)
+        .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64)
+        .map(|x| x as u64)
+        .ok_or_else(|| bad_metric(name, "integer value"))
+}
+
+fn json_f64_array(v: Option<&Json>, name: &str) -> NumResult<Vec<f64>> {
+    v.and_then(Json::as_array)
+        .map(|xs| xs.iter().filter_map(Json::as_f64).collect::<Vec<f64>>())
+        .filter(|xs| v.and_then(Json::as_array).map(<[Json]>::len) == Some(xs.len()))
+        .ok_or_else(|| bad_metric(name, "number array"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, OnceLock};
+
+    /// The global sink is process-wide: serialize the tests that arm it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<TestMutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| TestMutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disarmed_recording_is_a_no_op() {
+        let _g = lock();
+        disarm();
+        reset();
+        counter_add("x.calls", 5);
+        gauge_set("x.g", 1.0);
+        histogram_record("x.h", &[1.0, 2.0], 0.5);
+        timer_record_ns("x.t", 100);
+        {
+            let _t = time_scope("x.scope");
+        }
+        assert!(snapshot().is_empty());
+        assert!(!is_armed());
+    }
+
+    #[test]
+    fn armed_counters_and_histograms_accumulate() {
+        let _g = lock();
+        arm();
+        reset();
+        counter_add("scf.iterations", 3);
+        counter_inc("scf.iterations");
+        counter_inc("scf.solves");
+        histogram_record("scf.residual", &[1e-6, 1e-3, 1.0], 1e-4);
+        histogram_record("scf.residual", &[1e-6, 1e-3, 1.0], 5.0);
+        gauge_set("scf.last", 0.25);
+        gauge_set("scf.last", 0.5);
+        let snap = snapshot();
+        disarm();
+        reset();
+        assert_eq!(snap.counter("scf.iterations"), Some(4));
+        assert_eq!(snap.counter("scf.solves"), Some(1));
+        match snap.get("scf.residual") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.bins, vec![0, 1, 0, 1]);
+                assert_eq!(h.count, 2);
+                assert!((h.sum - 5.0001).abs() < 1e-12);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(snap.get("scf.last"), Some(&MetricValue::Gauge(0.5)));
+        // Snapshot is name-sorted.
+        let names: Vec<&str> = snap.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn isolated_sink_ignores_global_armed_state() {
+        let _g = lock();
+        disarm();
+        let t = Telemetry::isolated();
+        assert!(t.active());
+        t.counter_add("local.events", 2);
+        {
+            let _s = t.time_scope("local.time");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("local.events"), Some(2));
+        match snap.get("local.time") {
+            Some(MetricValue::Timer(tv)) => {
+                assert_eq!(tv.count, 1);
+                assert!(tv.min_ns <= tv.max_ns);
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+        // The clone shares the sink; the global registry saw nothing.
+        t.clone().counter_inc("local.events");
+        assert_eq!(t.snapshot().counter("local.events"), Some(3));
+        assert!(snapshot().counter("local.events").is_none());
+    }
+
+    #[test]
+    fn shard_batches_and_merges_in_order() {
+        let t = Telemetry::isolated();
+        let mut shards: Vec<TelemetryShard> = (0..4)
+            .map(|i| {
+                let mut s = TelemetryShard::for_sink(&t);
+                s.counter_add("negf.energy_points", 1);
+                s.counter_add("negf.rgf.sweeps", 2 + i as u64 % 2);
+                s.histogram_record("negf.dos", &[0.5, 1.0], 0.25 * i as f64);
+                s
+            })
+            .collect();
+        for s in shards.drain(..) {
+            s.merge_into(&t);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("negf.energy_points"), Some(4));
+        assert_eq!(snap.counter("negf.rgf.sweeps"), Some(10));
+        match snap.get("negf.dos") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 4),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Shards built against a disarmed global sink buffer nothing.
+        let _g = lock();
+        disarm();
+        let mut inert = TelemetryShard::for_sink(&Telemetry::global());
+        inert.counter_add("x", 1);
+        assert!(!inert.active());
+        assert!(inert.counters.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let t = Telemetry::isolated();
+        t.counter_add("scf.iterations", 42);
+        t.gauge_set("scf.residual_v", 3.5e-9);
+        t.histogram_record("poisson.iters", &[10.0, 100.0, 1000.0], 37.0);
+        t.timer_record_ns("mc.sample", 1_234_567);
+        t.timer_record_ns("mc.sample", 2_000_001);
+        let snap = t.snapshot();
+        let doc = snap.to_json();
+        let text = doc.dump();
+        let back = TelemetrySnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(snap, back);
+        // Wrong schema is rejected.
+        let bad = Json::Obj(vec![("schema".into(), Json::from("nope"))]);
+        assert!(TelemetrySnapshot::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn arm_from_env_respects_gnr_telemetry() {
+        let _g = lock();
+        disarm();
+        // Unset or "0" must not arm (the variable is process-global; restore
+        // the prior value to stay hermetic).
+        let prior = std::env::var("GNR_TELEMETRY").ok();
+        std::env::set_var("GNR_TELEMETRY", "0");
+        assert!(!arm_from_env());
+        assert!(!is_armed());
+        std::env::set_var("GNR_TELEMETRY", "1");
+        assert!(arm_from_env());
+        assert!(is_armed());
+        disarm();
+        match prior {
+            Some(v) => std::env::set_var("GNR_TELEMETRY", v),
+            None => std::env::remove_var("GNR_TELEMETRY"),
+        }
+    }
+
+    #[test]
+    fn scoped_timer_cancel_discards() {
+        let t = Telemetry::isolated();
+        t.time_scope("kept").cancel();
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn kind_clash_keeps_first_registration() {
+        let t = Telemetry::isolated();
+        t.counter_add("m", 1);
+        t.gauge_set("m", 9.0);
+        t.histogram_record("m", &[1.0], 0.5);
+        t.timer_record_ns("m", 7);
+        assert_eq!(t.snapshot().counter("m"), Some(1));
+    }
+}

@@ -6,6 +6,7 @@ use crate::solution::PoissonSolution;
 use gnr_num::consts::{EPS_0, Q_E};
 use gnr_num::recover::solve_linear_robust;
 use gnr_num::solver::IterControl;
+use gnr_num::telemetry;
 use gnr_num::TripletBuilder;
 
 /// Vacuum permittivity in F/nm (the solver works in nm).
@@ -208,6 +209,8 @@ impl PoissonProblem {
         // only run if CG errors out.
         let (solved, _report) = solve_linear_robust(&a, &rhs, &x0, ctrl, true);
         let (x, stats) = solved?;
+        telemetry::counter_inc("poisson.solves");
+        telemetry::counter_add("poisson.iterations", stats.iterations as u64);
         // Scatter back to the full grid, electrodes keeping their values.
         let mut potential = vec![0.0; n];
         for (idx, cell) in self.cells.iter().enumerate() {

@@ -3,6 +3,7 @@
 
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
+use gnr_num::telemetry;
 use gnr_num::Matrix;
 
 /// Newton iteration controls for DC solves.
@@ -107,7 +108,10 @@ pub fn dc_operating_point(
             // Source stepping: ramp every source from a quarter of its
             // value to full drive, warm-starting each step from the last.
             match source_stepping(circuit, opts) {
-                Ok(x) => Ok(x),
+                Ok(x) => {
+                    telemetry::counter_inc("spice.dc.source_stepping_rescues");
+                    Ok(x)
+                }
                 Err(_) => Err(first_err),
             }
         }
@@ -168,12 +172,21 @@ pub(crate) fn newton(
     let mut trial_res = vec![0.0; n];
     let mut trial_jac = Matrix::zeros(n, n);
     let worst_of = |r: &[f64]| r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    // Iterations are accumulated locally and recorded once per call so the
+    // disarmed path costs a single relaxed atomic load, not one per step.
+    let mut iters: u64 = 0;
+    let record = |iters: u64| {
+        telemetry::counter_inc("spice.newton.calls");
+        telemetry::counter_add("spice.newton.iterations", iters);
+    };
     for _ in 0..opts.max_iterations {
         circuit.stamp(x, t, gmin, None, &mut jac, &mut res);
         let worst = worst_of(&res);
         if worst < opts.tolerance_a {
+            record(iters);
             return Ok(());
         }
+        iters += 1;
         let dx = jac.solve(&res)?;
         // Residual line search: bilinear lookup tables have kinked
         // derivatives that make full Newton steps limit-cycle between grid
@@ -208,9 +221,11 @@ pub(crate) fn newton(
     // non-convergence shows residuals orders of magnitude above this.
     circuit.stamp(x, t, gmin, None, &mut jac, &mut res);
     let worst = worst_of(&res);
+    record(iters);
     if worst < opts.tolerance_a * 1e5 {
         return Ok(());
     }
+    telemetry::counter_inc("spice.newton.failures");
     Err(SpiceError::NewtonDiverged {
         analysis: "dc",
         iterations: opts.max_iterations,

@@ -52,6 +52,4 @@ pub mod transient;
 
 pub use circuit::{Circuit, Element, NodeId, Waveform};
 pub use error::SpiceError;
-#[allow(deprecated)]
-pub use transient::transient_with_recovery;
 pub use transient::{transient, TransientOptions, TransientRecovery};

@@ -15,6 +15,7 @@ use crate::dc::{dc_operating_point, DcOptions};
 use crate::error::SpiceError;
 use gnr_num::par::{ExecCtx, RecoveryPolicy};
 use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
+use gnr_num::telemetry;
 use gnr_num::Matrix;
 use std::collections::HashMap;
 
@@ -159,6 +160,7 @@ pub fn transient(
     circuit: &Circuit,
     opts: &TransientOptions,
 ) -> Result<(TransientResult, SolveReport), SpiceError> {
+    telemetry::counter_inc("transient.solves");
     match ctx.recovery() {
         RecoveryPolicy::Strict => {
             let result = transient_nominal(circuit, opts)?;
@@ -206,6 +208,7 @@ pub(crate) fn transient_nominal(
     // Per-branch capacitor current history (trapezoidal rule); zero at the
     // DC starting point by definition.
     let mut hist: BranchHistory = HashMap::new();
+    let mut newton_iters: u64 = 0;
 
     for step in 1..=steps {
         let t = step as f64 * dt;
@@ -216,6 +219,7 @@ pub(crate) fn transient_nominal(
         let mut clamp = opts.newton.step_clamp_v;
         let mut prev_worst = f64::INFINITY;
         for _ in 0..opts.newton.max_iterations {
+            newton_iters += 1;
             stamp_with_caps(
                 circuit,
                 &x,
@@ -271,6 +275,10 @@ pub(crate) fn transient_nominal(
         }
         result.push(t, x.clone());
     }
+    // Aggregated per run, not per inner iteration, so the disarmed cost
+    // stays a pair of atomic loads per transient.
+    telemetry::counter_add("transient.steps", steps as u64);
+    telemetry::counter_add("transient.newton_iterations", newton_iters);
     Ok(result)
 }
 
@@ -296,27 +304,6 @@ impl Default for TransientRecovery {
             source_ramp: true,
         }
     }
-}
-
-/// Historic name for the laddered transient.
-///
-/// # Errors
-///
-/// As [`transient`] under [`RecoveryPolicy::Ladder`].
-#[deprecated(note = "use transient(&ExecCtx::serial(), circuit, opts) with opts.recovery set")]
-pub fn transient_with_recovery(
-    circuit: &Circuit,
-    opts: &TransientOptions,
-    rec: &TransientRecovery,
-) -> Result<(TransientResult, SolveReport), SpiceError> {
-    transient(
-        &ExecCtx::serial(),
-        circuit,
-        &TransientOptions {
-            recovery: rec.clone(),
-            ..opts.clone()
-        },
-    )
 }
 
 /// The escalation-ladder integration behind [`RecoveryPolicy::Ladder`].
@@ -400,6 +387,18 @@ fn transient_laddered(
             Err(err) => record_err(err, &mut first_err),
         }
     });
+    let halvings = outcome
+        .report
+        .attempts
+        .iter()
+        .filter(|a| a.policy.starts_with("dt/"))
+        .count();
+    if halvings > 0 {
+        telemetry::counter_add("transient.dt_halvings", halvings as u64);
+    }
+    if outcome.report.converged() && outcome.report.policy_used.as_deref() == Some("source-ramp") {
+        telemetry::counter_inc("transient.source_ramp_rescues");
+    }
     match outcome.value {
         Some(result) => Ok((result, outcome.report)),
         None => Err(first_err.unwrap_or_else(|| SpiceError::config("transient ladder was empty"))),
@@ -763,10 +762,6 @@ mod tests {
         assert_eq!(report.policy_used.as_deref(), Some("nominal"));
         assert_eq!(plain.times(), laddered.times());
         assert_eq!(plain.final_solution(), laddered.final_solution());
-        #[allow(deprecated)]
-        let (via_shim, _) =
-            transient_with_recovery(&c, &opts, &TransientRecovery::default()).unwrap();
-        assert_eq!(plain.final_solution(), via_shim.final_solution());
     }
 
     #[test]

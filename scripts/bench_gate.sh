@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Perf-regression gate: runs the quick ablation benches with telemetry
+# armed and diffs the result against the checked-in baseline.
+#
+# Policy (implemented by `gnr-bench compare`):
+#   - fail (exit 1) on a >25% median timing regression,
+#   - warn only on solver iteration-count drift and bench set changes,
+#   - skip (exit 0) when the baseline's hardware tag does not match this
+#     host — wall-clock numbers from another machine gate nothing.
+#
+# Usage: scripts/bench_gate.sh [output.json]
+#   output.json   where to write the current run's report
+#                 (default: target/bench_current.json; CI uploads it)
+#
+# Refresh the baseline after an intentional perf change with:
+#   GNR_TELEMETRY=1 cargo run -p gnr-bench --release --offline -- \
+#     --suite ablations --quick --json > results/bench_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=results/bench_baseline.json
+OUT="${1:-target/bench_current.json}"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_gate: no baseline at $BASELINE — skipping (record one first)" >&2
+  exit 0
+fi
+
+mkdir -p "$(dirname "$OUT")"
+
+echo "== bench gate: quick ablation run (telemetry armed) =="
+GNR_TELEMETRY=1 cargo run -p gnr-bench --release --offline -- \
+  --suite ablations --quick --json > "$OUT"
+
+echo "== bench gate: compare against $BASELINE =="
+cargo run -p gnr-bench --release --offline -- compare \
+  --baseline "$BASELINE" --current "$OUT" --tolerance 0.25

@@ -1,11 +1,42 @@
 #!/usr/bin/env bash
-# Tier-1 verification for gnrlab: hermetic build + full test suite + lints.
+# Tiered verification for gnrlab: hermetic build + tests + robustness + lints.
 #
 # The workspace has zero external crate dependencies, so everything here
 # runs with --offline: a network-isolated container must pass this script
-# unmodified. Usage: scripts/verify.sh  (from the repo root or anywhere).
+# unmodified.
+#
+# Usage: scripts/verify.sh [--tier N]
+#   --tier 1   build + full test suite (both thread counts)
+#   --tier 2   tier 1 plus the fault-injection suite, scaling ablation,
+#              and lints (fmt + clippy -D warnings)
+#   default    all tiers
+#
+# CI runs `--tier 1` on every push and `--tier 2` on PRs; pre-commit runs
+# default to everything. The bench perf gate lives in scripts/bench_gate.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+TIER=all
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tier)
+      shift
+      TIER="${1:?--tier needs a value}"
+      ;;
+    *)
+      echo "usage: scripts/verify.sh [--tier 1|2]" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+case "$TIER" in
+  1|2|all) ;;
+  *)
+    echo "error: unknown tier '$TIER' (expected 1, 2, or nothing)" >&2
+    exit 2
+    ;;
+esac
 
 echo "== tier-1: cargo build --release (offline) =="
 cargo build --release --offline
@@ -16,16 +47,21 @@ GNR_THREADS=1 cargo test --workspace -q --offline
 echo "== tier-1: cargo test -q (offline, whole workspace, GNR_THREADS=4) =="
 GNR_THREADS=4 cargo test --workspace -q --offline
 
-echo "== robustness: fault-injection suite (release) =="
+if [ "$TIER" = "1" ]; then
+  echo "verify: tier-1 checks passed"
+  exit 0
+fi
+
+echo "== tier-2: fault-injection suite (release) =="
 cargo test --release --offline --test fault_tolerance
 
-echo "== scaling: par_scaling ablation (serial vs 4-thread table build) =="
+echo "== tier-2: par_scaling ablation (serial vs 4-thread table build) =="
 cargo run -p gnr-bench --release --offline -- --suite ablations --filter par_scaling --quick
 
-echo "== lint: cargo fmt --check =="
+echo "== tier-2: cargo fmt --check =="
 cargo fmt --check
 
-echo "== lint: cargo clippy -D warnings (offline) =="
+echo "== tier-2: cargo clippy -D warnings (offline) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "verify: all checks passed"
