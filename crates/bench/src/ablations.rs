@@ -195,6 +195,36 @@ fn par_scaling(h: &mut Harness) {
     }
 }
 
+/// The bias-sweep NEGF table build — the headline ablation for the
+/// transport acceleration layer (DESIGN.md §11). `legacy` pays fresh
+/// Sancho–Rubio decimations at every energy of a dense uniform grid for
+/// every bias point; `accelerated` shares a surface-GF cache across the
+/// sweep and refines a 4x-coarser grid only where T(E) has structure.
+/// Gate target: accelerated median >= 2x faster, with every table I-V
+/// node within 1e-6 A of legacy (pinned by the gnr-device tests).
+fn device_table(h: &mut Harness) {
+    use gnr_device::{ballistic_negf_table, NegfTableOptions};
+    let mut cfg = DeviceConfig::test_small(9).expect("valid");
+    cfg.channel_cells = 6;
+    let model = SbfetModel::new(&cfg).expect("builds");
+    let grid = TableGrid {
+        vgs: (0.0, 0.6),
+        vds: (0.05, 0.35),
+        points: 3,
+    };
+    let ctx = ExecCtx::new(ThreadPool::new(4), Default::default());
+    for (label, opts) in [
+        ("legacy", NegfTableOptions::legacy()),
+        ("accelerated", NegfTableOptions::accelerated()),
+    ] {
+        h.bench(SUITE, &format!("device_table/{label}"), || {
+            black_box(
+                ballistic_negf_table(&ctx, &model, Polarity::NType, grid, 4, &opts).expect("table"),
+            )
+        });
+    }
+}
+
 pub fn register(h: &mut Harness) {
     rgf_vs_dense(h);
     table_vs_model(h);
@@ -202,4 +232,5 @@ pub fn register(h: &mut Harness) {
     scf_mixing(h);
     scf_recovery(h);
     par_scaling(h);
+    device_table(h);
 }

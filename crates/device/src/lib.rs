@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod error;
+pub mod negf_table;
 pub mod sbfet;
 pub mod scf;
 pub mod table;
@@ -51,8 +52,9 @@ pub mod vt;
 
 pub use config::DeviceConfig;
 pub use error::DeviceError;
+pub use negf_table::{ballistic_negf_table, NegfTableOptions};
 pub use sbfet::SbfetModel;
 pub use scf::{ScfOptions, ScfResult, ScfSolver};
-pub use table::{DeviceTable, Polarity};
+pub use table::{DeviceTable, Polarity, TableGrid};
 pub use variation::{ChargeImpurity, GnrVariant};
 pub use vt::extract_vt;

@@ -12,7 +12,10 @@
 use crate::config::DeviceConfig;
 use crate::error::DeviceError;
 use gnr_lattice::DeviceHamiltonian;
-use gnr_negf::transport::{integrate_transport, EnergyGrid};
+use gnr_negf::transport::{
+    integrate_transport, integrate_transport_frozen, integrate_transport_with, EnergyGrid,
+    RefineOptions, TransportOptions,
+};
 use gnr_negf::{Lead, RgfSolver};
 use gnr_num::par::{ExecCtx, RecoveryPolicy};
 use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
@@ -32,6 +35,11 @@ pub struct ScfOptions {
     /// Half-width of the energy window beyond the bias window \[eV\]
     /// (must cover the filled valence/conduction tails).
     pub energy_margin_ev: f64,
+    /// Adaptive energy-grid refinement for the transport integrals: when
+    /// set, `energy_points` describes the *coarse base* grid and intervals
+    /// where `T(E)` jumps are bisected per [`RefineOptions`]. `None` keeps
+    /// the legacy uniform grid.
+    pub refine: Option<RefineOptions>,
 }
 
 impl Default for ScfOptions {
@@ -42,6 +50,7 @@ impl Default for ScfOptions {
             mixing: 0.35,
             energy_points: 120,
             energy_margin_ev: 0.9,
+            refine: None,
         }
     }
 }
@@ -55,6 +64,24 @@ impl ScfOptions {
             mixing: 0.3,
             energy_points: 60,
             energy_margin_ev: 0.7,
+            refine: None,
+        }
+    }
+
+    /// `fast()` on an adaptive grid: a coarser base grid with band-edge
+    /// refinement on the first SCF iteration, frozen thereafter (see
+    /// `solve_inner`) — same physics, fewer RGF solves. The tighter `tol_t`
+    /// and iteration headroom give the frozen grid margin at biases whose
+    /// T(E) features move as the potential converges.
+    pub fn fast_adaptive() -> Self {
+        ScfOptions {
+            max_iterations: 120,
+            energy_points: 30,
+            refine: Some(RefineOptions {
+                tol_t: 0.01,
+                ..RefineOptions::default()
+            }),
+            ..ScfOptions::fast()
         }
     }
 }
@@ -73,6 +100,9 @@ pub struct ScfResult {
     pub iterations: usize,
     /// Final self-consistency residual \[V\].
     pub residual_v: f64,
+    /// Converged potential energy at every atom site \[eV\] — the warm-start
+    /// seed for neighbouring bias points in a sweep.
+    pub atom_potential_ev: Vec<f64>,
 }
 
 /// Self-consistent device solver bound to one [`DeviceConfig`].
@@ -118,15 +148,35 @@ impl ScfSolver {
         v_g: f64,
         v_d: f64,
     ) -> Result<(ScfResult, SolveReport), DeviceError> {
+        self.solve_seeded(ctx, v_g, v_d, None)
+    }
+
+    /// [`Self::solve`] with an explicit warm start: when `seed_u` matches
+    /// the atom count, it replaces the Laplace initial guess for the
+    /// atom-site potential of the nominal attempt (recovery rungs keep
+    /// their own restart semantics). Seeding from a converged neighbouring
+    /// bias point typically removes most SCF iterations of a sweep; with
+    /// `seed_u = None` this is byte-for-byte `solve`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::solve`].
+    pub fn solve_seeded(
+        &self,
+        ctx: &ExecCtx,
+        v_g: f64,
+        v_d: f64,
+        seed_u: Option<&[f64]>,
+    ) -> Result<(ScfResult, SolveReport), DeviceError> {
         ctx.counter_inc("scf.solves");
         match ctx.recovery() {
             RecoveryPolicy::Strict => {
                 let mut best = None;
-                let r = self.solve_inner(ctx, v_g, v_d, &self.opts, None, &mut best)?;
+                let r = self.solve_inner(ctx, v_g, v_d, &self.opts, seed_u, &mut best)?;
                 let report = SolveReport::single("nominal", r.iterations, r.residual_v);
                 Ok((r, report))
             }
-            RecoveryPolicy::Ladder => self.solve_laddered(ctx, v_g, v_d),
+            RecoveryPolicy::Ladder => self.solve_laddered(ctx, v_g, v_d, seed_u),
         }
     }
 
@@ -136,10 +186,13 @@ impl ScfSolver {
         ctx: &ExecCtx,
         v_g: f64,
         v_d: f64,
+        seed_u: Option<&[f64]>,
     ) -> Result<(ScfResult, SolveReport), DeviceError> {
         struct ScfPolicy {
             opts: ScfOptions,
             reuse_potential: bool,
+            /// Nominal rung only: start from the caller's warm-start seed.
+            use_seed: bool,
         }
         let base = self.opts;
         let ladder = EscalationLadder::new()
@@ -148,6 +201,7 @@ impl ScfSolver {
                 ScfPolicy {
                     opts: base,
                     reuse_potential: false,
+                    use_seed: true,
                 },
             )
             .rung(
@@ -158,6 +212,7 @@ impl ScfSolver {
                         ..base
                     },
                     reuse_potential: true,
+                    use_seed: false,
                 },
             )
             .rung(
@@ -168,6 +223,7 @@ impl ScfSolver {
                         ..base
                     },
                     reuse_potential: false,
+                    use_seed: false,
                 },
             )
             .rung(
@@ -179,6 +235,7 @@ impl ScfSolver {
                         ..base
                     },
                     reuse_potential: false,
+                    use_seed: false,
                 },
             );
 
@@ -190,6 +247,8 @@ impl ScfSolver {
             }
             let init = if policy.reuse_potential {
                 carry_u.as_deref()
+            } else if policy.use_seed {
+                seed_u
             } else {
                 None
             };
@@ -300,6 +359,12 @@ impl ScfSolver {
         // recover slowly towards the configured mixing when it shrinks.
         let mut alpha = opts.mixing;
         let mut prev_residual = f64::INFINITY;
+        // Adaptive-grid SCF refines on the FIRST iteration only and then
+        // freezes that energy set: re-refining each iteration makes the
+        // charge a discontinuous function of the potential (the refinement
+        // set flips as T(E) features move), which turns the fixed point
+        // into a limit cycle.
+        let mut frozen_energies: Option<Vec<f64>> = None;
 
         for it in 0..opts.max_iterations {
             // NEGF with the current potential.
@@ -309,8 +374,44 @@ impl ScfSolver {
                 Lead::metal_with_gamma(cfg.contact_gamma_ev),
                 Lead::metal_with_gamma(cfg.contact_gamma_ev),
             );
-            let transport =
-                integrate_transport(ctx, &solver, &grid, mu_s, mu_d, cfg.temperature_k, &u_atoms)?;
+            let transport = match opts.refine {
+                Some(refine) => match &frozen_energies {
+                    Some(energies) => integrate_transport_frozen(
+                        ctx,
+                        &solver,
+                        energies,
+                        &TransportOptions::legacy(),
+                        mu_s,
+                        mu_d,
+                        cfg.temperature_k,
+                        &u_atoms,
+                    )?,
+                    None => {
+                        let topts = TransportOptions::legacy().with_refine(refine);
+                        let r = integrate_transport_with(
+                            ctx,
+                            &solver,
+                            &grid,
+                            &topts,
+                            mu_s,
+                            mu_d,
+                            cfg.temperature_k,
+                            &u_atoms,
+                        )?;
+                        frozen_energies = Some(r.transmission.iter().map(|&(e, _)| e).collect());
+                        r
+                    }
+                },
+                None => integrate_transport(
+                    ctx,
+                    &solver,
+                    &grid,
+                    mu_s,
+                    mu_d,
+                    cfg.temperature_k,
+                    &u_atoms,
+                )?,
+            };
 
             // Poisson with the NEGF charge deposited per atom.
             let mut problem = cfg.build_poisson(0.0, v_d, v_g)?;
@@ -359,6 +460,7 @@ impl ScfSolver {
                     layer_potential_ev,
                     iterations: last.iterations,
                     residual_v: residual,
+                    atom_potential_ev: u_atoms,
                 });
             }
         }
@@ -376,6 +478,7 @@ impl ScfSolver {
                     layer_potential_ev,
                     iterations: last.iterations,
                     residual_v: last.residual,
+                    atom_potential_ev: u_atoms.clone(),
                 },
                 u_atoms,
             ));
@@ -516,6 +619,59 @@ mod tests {
         assert_eq!(report.attempts.len(), 4, "every rung attempted");
         assert!(result.residual_v.is_finite());
         assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
+    fn warm_start_converges_faster_to_same_point() {
+        let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
+        let (cold, _) = solver.solve(&strict(), 0.3, 0.1).unwrap();
+        // Neighbouring bias point, seeded with the converged potential.
+        let (warm, _) = solver
+            .solve_seeded(&strict(), 0.3, 0.15, Some(&cold.atom_potential_ev))
+            .unwrap();
+        let (cold2, _) = solver.solve(&strict(), 0.3, 0.15).unwrap();
+        assert!(
+            warm.iterations <= cold2.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold2.iterations
+        );
+        // Both converge to the same fixed point within tolerance.
+        let tol = 5.0 * ScfOptions::fast().tolerance_v;
+        for (a, b) in warm
+            .layer_potential_ev
+            .iter()
+            .zip(&cold2.layer_potential_ev)
+        {
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unseeded_solve_seeded_is_solve() {
+        let solver = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
+        let (a, _) = solver.solve(&strict(), 0.2, 0.1).unwrap();
+        let (b, _) = solver.solve_seeded(&strict(), 0.2, 0.1, None).unwrap();
+        assert_eq!(a.current_a.to_bits(), b.current_a.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.atom_potential_ev, b.atom_potential_ev);
+    }
+
+    #[test]
+    fn adaptive_energy_grid_matches_uniform_physics() {
+        let uniform = ScfSolver::new(&tiny_cfg(), ScfOptions::fast());
+        let adaptive = ScfSolver::new(&tiny_cfg(), ScfOptions::fast_adaptive());
+        let (u, _) = uniform.solve(&strict(), 0.4, 0.2).unwrap();
+        let (a, _) = adaptive.solve(&strict(), 0.4, 0.2).unwrap();
+        let scale = u.current_a.abs().max(1e-12);
+        assert!(
+            (u.current_a - a.current_a).abs() / scale < 0.15,
+            "uniform {:.3e} adaptive {:.3e}",
+            u.current_a,
+            a.current_a
+        );
+        let mid = u.layer_potential_ev.len() / 2;
+        assert!((u.layer_potential_ev[mid] - a.layer_potential_ev[mid]).abs() < 0.05);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::error::DeviceError;
 use crate::sbfet::SbfetModel;
+use crate::scf::ScfSolver;
 use gnr_num::par::ExecCtx;
 use gnr_num::{BilinearTable, Grid1, Grid2, Json};
 
@@ -205,6 +206,110 @@ impl DeviceTable {
             ribbons: models.len(),
             vg_shift: 0.0,
         })
+    }
+
+    /// Builds a table directly from row-major (`vgs`-major) node values
+    /// already scaled to the full device. Crate-internal hook for builders
+    /// that compute whole grids up front (e.g. the ballistic NEGF sweep).
+    pub(crate) fn from_node_values(
+        grid: TableGrid,
+        polarity: Polarity,
+        ribbons: usize,
+        id_vals: Vec<f64>,
+        q_vals: Vec<f64>,
+    ) -> Result<Self, DeviceError> {
+        if grid.points < 3 {
+            return Err(DeviceError::config("table grid needs >= 3 points/axis"));
+        }
+        let gx = Grid1::new(grid.vgs.0, grid.vgs.1, grid.points)?;
+        let gy = Grid1::new(grid.vds.0, grid.vds.1, grid.points)?;
+        let g2 = Grid2::new(gx, gy);
+        if id_vals.len() != g2.len() || q_vals.len() != g2.len() {
+            return Err(DeviceError::config(format!(
+                "node value count {}/{} does not match grid size {}",
+                id_vals.len(),
+                q_vals.len(),
+                g2.len()
+            )));
+        }
+        Ok(DeviceTable {
+            id_a: BilinearTable::new(g2, id_vals)?,
+            q_c: BilinearTable::new(g2, q_vals)?,
+            polarity,
+            ribbons: ribbons.max(1),
+            vg_shift: 0.0,
+        })
+    }
+
+    /// Builds a table by running the rigorous NEGF⇄Poisson SCF loop at
+    /// every bias point, scaled by `ribbons` identical parallel ribbons.
+    ///
+    /// With `warm_start` set, each bias point's potential is seeded from
+    /// its nearest already-solved neighbour on the grid: within a
+    /// gate-voltage row the previous (lower `V_DS`) point, and at a row
+    /// head the previous row's head. The sweep itself is serial in
+    /// row-major order — the chain of seeds is then fixed regardless of
+    /// `GNR_THREADS` (the *inner* energy integration still parallelizes
+    /// over `ctx`'s pool), preserving the bit-identical determinism
+    /// contract. `warm_start = false` reproduces the independent cold
+    /// solves exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Config`] for a degenerate grid; propagates
+    /// SCF failures.
+    pub fn from_scf(
+        ctx: &ExecCtx,
+        solver: &ScfSolver,
+        polarity: Polarity,
+        grid: TableGrid,
+        ribbons: usize,
+        warm_start: bool,
+    ) -> Result<Self, DeviceError> {
+        if grid.points < 3 {
+            return Err(DeviceError::config("table grid needs >= 3 points/axis"));
+        }
+        let ribbons = ribbons.max(1);
+        let k = ribbons as f64;
+        let gx = Grid1::new(grid.vgs.0, grid.vgs.1, grid.points)?;
+        let gy = Grid1::new(grid.vds.0, grid.vds.1, grid.points)?;
+        let mut id_vals = Vec::with_capacity(grid.points * grid.points);
+        let mut q_vals = Vec::with_capacity(grid.points * grid.points);
+        let mut row_head_seed: Option<Vec<f64>> = None;
+        let mut seeds = 0u64;
+        for i in 0..grid.points {
+            let vg = gx.point(i);
+            let mut prev: Option<Vec<f64>> = None;
+            for j in 0..grid.points {
+                let vd = gy.point(j);
+                let seed = if !warm_start {
+                    None
+                } else if j == 0 {
+                    row_head_seed.as_deref()
+                } else {
+                    prev.as_deref()
+                };
+                if seed.is_some() {
+                    seeds += 1;
+                }
+                let (r, _) = solver.solve_seeded(ctx, vg, vd, seed)?;
+                id_vals.push(r.current_a * k);
+                q_vals.push(r.charge_c * k);
+                if j == 0 {
+                    row_head_seed = Some(r.atom_potential_ev.clone());
+                }
+                prev = Some(r.atom_potential_ev);
+            }
+        }
+        ctx.counter_inc("device.table.scf_builds");
+        ctx.counter_add(
+            "device.table.scf_points",
+            (grid.points * grid.points) as u64,
+        );
+        ctx.counter_add("device.table.warm_seeds", seeds);
+        let mut t = Self::from_node_values(grid, polarity, ribbons, id_vals, q_vals)?;
+        t.ribbons = ribbons;
+        Ok(t)
     }
 
     /// The device polarity.

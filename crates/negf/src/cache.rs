@@ -1,0 +1,243 @@
+//! Bias-sweep cache for Sancho–Rubio surface Green's functions.
+//!
+//! A [`Lead::GnrContact`](crate::lead::Lead) at potential `p` satisfies the
+//! rigid-shift identity `g_s(E; H00 + p·I) = g_s(E − p; H00)`: the surface
+//! Green's function depends only on the energy *relative to the lead
+//! potential*. A bias sweep that re-solves the decimation iteration at every
+//! `(E, bias)` point therefore recomputes the same matrices over and over —
+//! the dominant cost of a `(Vg, Vd)` device-table build.
+//!
+//! [`SurfaceGfCache`] memoizes `g_s` keyed on that relative energy,
+//! **quantized** to a fixed sub-grid-step quantum so float noise in
+//! `E − p` (which differs in the last bits between bias points) cannot split
+//! logically-identical entries. Every cached solve is evaluated at the
+//! *snapped* relative energy `key · quantum`, so a stored value is exactly
+//! potential-independent and bit-identical no matter which bias point
+//! inserted it first. With the default quantum (2⁻²³ eV ≈ 0.12 µeV) the
+//! snapping error is orders of magnitude below the `DEFAULT_ETA = 1e-5 eV`
+//! broadening already applied inside the iteration.
+//!
+//! Determinism contract (DESIGN §9/§11): values are reproducible by
+//! construction; hit/miss *counters* stay bit-identical across
+//! `GNR_THREADS=1/2/4` when the cache is primed by the serial pre-indexing
+//! path ([`RgfSolver::prime_surface_cache`](crate::rgf::RgfSolver)) and
+//! integrations sharing one cache are issued serially (the device-sweep
+//! pattern), mirroring the MC pre-draw pattern.
+//!
+//! The fault site [`FAULT_SITE`] models a poisoned or evicted entry: a probe
+//! that fires makes the lookup report [`Lookup::Evicted`], forcing the
+//! caller down the fresh Sancho–Rubio fallback path (which re-inserts the
+//! healed entry).
+
+use gnr_num::{fault, CMatrix};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Fault-injection site probed on every cache lookup of a GNR-contact lead.
+pub const FAULT_SITE: &str = "negf.surface_cache";
+
+/// Default key quantum: 2⁻²³ eV. Small enough that snapping is invisible
+/// next to `DEFAULT_ETA`, large enough to absorb float noise in `E − p`.
+pub const DEFAULT_KEY_QUANTUM_EV: f64 = 1.0 / ((1u64 << 23) as f64);
+
+/// Which contact a cached surface Green's function belongs to. The two
+/// slots decimate in opposite directions (source through `H10`, drain
+/// through the lead `H01`), so their entries are not interchangeable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LeadSlot {
+    /// Contact 1, attached to layer 0.
+    Source,
+    /// Contact 2, attached to the last layer.
+    Drain,
+}
+
+impl LeadSlot {
+    fn tag(self) -> u8 {
+        match self {
+            LeadSlot::Source => 0,
+            LeadSlot::Drain => 1,
+        }
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// Entry present and healthy.
+    Hit(Arc<CMatrix>),
+    /// The fault injector poisoned this lookup: the caller must fall back
+    /// to a fresh Sancho–Rubio solve (and may re-insert the result).
+    Evicted,
+    /// No entry under this key yet.
+    Miss,
+}
+
+/// Shared, thread-safe store of surface Green's functions keyed on
+/// `(lead slot, quantized relative energy)`.
+///
+/// The store only ever holds values computed at snapped energies with the
+/// fixed lead-default `η` and iteration budget, so concurrent inserts of
+/// the same key are bit-identical and insert order cannot change results.
+#[derive(Debug, Default)]
+pub struct SurfaceGfCache {
+    quantum_ev: f64,
+    store: Mutex<HashMap<(u8, i64), Arc<CMatrix>>>,
+}
+
+impl SurfaceGfCache {
+    /// A cache with the default key quantum.
+    pub fn new() -> Self {
+        Self::with_quantum(DEFAULT_KEY_QUANTUM_EV)
+    }
+
+    /// A cache with an explicit key quantum (eV). Non-finite or
+    /// non-positive quanta fall back to the default.
+    pub fn with_quantum(quantum_ev: f64) -> Self {
+        let q = if quantum_ev.is_finite() && quantum_ev > 0.0 {
+            quantum_ev
+        } else {
+            DEFAULT_KEY_QUANTUM_EV
+        };
+        SurfaceGfCache {
+            quantum_ev: q,
+            store: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The key quantum (eV).
+    pub fn quantum_ev(&self) -> f64 {
+        self.quantum_ev
+    }
+
+    /// Quantized key for a relative energy `e_rel = E − potential`.
+    pub fn key(&self, e_rel: f64) -> i64 {
+        (e_rel / self.quantum_ev).round() as i64
+    }
+
+    /// The snapped relative energy a key stands for; cached solves are
+    /// always evaluated here, never at the raw `e_rel`.
+    pub fn snapped(&self, key: i64) -> f64 {
+        key as f64 * self.quantum_ev
+    }
+
+    /// Number of stored entries (both slots).
+    pub fn len(&self) -> usize {
+        self.store.lock().expect("surface cache poisoned").len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when `(slot, key)` is stored. Does not probe the fault site.
+    pub fn contains(&self, slot: LeadSlot, key: i64) -> bool {
+        self.store
+            .lock()
+            .expect("surface cache poisoned")
+            .contains_key(&(slot.tag(), key))
+    }
+
+    /// Looks up `(slot, key)`, probing the [`FAULT_SITE`] first so a
+    /// poisoned entry is reported as [`Lookup::Evicted`] even when a value
+    /// is present. Exactly one fault probe per lookup keeps the injected
+    /// fault count deterministic for a fixed lookup count.
+    pub fn lookup(&self, slot: LeadSlot, key: i64) -> Lookup {
+        if fault::should_fail(FAULT_SITE) {
+            return Lookup::Evicted;
+        }
+        match self
+            .store
+            .lock()
+            .expect("surface cache poisoned")
+            .get(&(slot.tag(), key))
+        {
+            Some(g) => Lookup::Hit(Arc::clone(g)),
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Inserts (or replaces) the entry for `(slot, key)`. Replacement is
+    /// harmless: every correctly-computed value for a key is bit-identical.
+    pub fn insert(&self, slot: LeadSlot, key: i64, gs: Arc<CMatrix>) {
+        self.store
+            .lock()
+            .expect("surface cache poisoned")
+            .insert((slot.tag(), key), gs);
+    }
+
+    /// Returns the stored value for `(slot, key)`, or stores `computed` and
+    /// returns it. Used by the miss path so a racing duplicate solve still
+    /// yields one canonical `Arc`.
+    pub fn insert_or_get(&self, slot: LeadSlot, key: i64, computed: Arc<CMatrix>) -> Arc<CMatrix> {
+        let mut store = self.store.lock().expect("surface cache poisoned");
+        Arc::clone(store.entry((slot.tag(), key)).or_insert(computed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_quantize_and_snap() {
+        let c = SurfaceGfCache::new();
+        let e = 0.3125;
+        let k = c.key(e);
+        assert!((c.snapped(k) - e).abs() <= 0.5 * c.quantum_ev());
+        // Noise far below the quantum maps to the same key.
+        assert_eq!(c.key(e + 1e-12), k);
+        assert_eq!(c.key(e - 1e-12), k);
+        // A full quantum away maps to a neighbouring key.
+        assert_eq!(c.key(e + c.quantum_ev()), k + 1);
+    }
+
+    #[test]
+    fn bias_shifted_energies_collide() {
+        // E - p computed through different float routes must agree on the
+        // key: this is the property the bias sweep relies on.
+        let c = SurfaceGfCache::new();
+        let e_rel = -0.2875;
+        for vd in [0.0, 0.1, 0.25, 0.4] {
+            let e_abs = e_rel + vd; // grid energy at bias vd
+            assert_eq!(c.key(e_abs - vd), c.key(e_rel), "vd={vd}");
+        }
+    }
+
+    #[test]
+    fn store_round_trip_and_slots_disjoint() {
+        let c = SurfaceGfCache::new();
+        let g = Arc::new(CMatrix::zeros(2, 2));
+        assert!(matches!(c.lookup(LeadSlot::Source, 7), Lookup::Miss));
+        c.insert(LeadSlot::Source, 7, Arc::clone(&g));
+        assert!(c.contains(LeadSlot::Source, 7));
+        assert!(!c.contains(LeadSlot::Drain, 7));
+        assert!(matches!(c.lookup(LeadSlot::Source, 7), Lookup::Hit(_)));
+        assert!(matches!(c.lookup(LeadSlot::Drain, 7), Lookup::Miss));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn insert_or_get_returns_first_writer() {
+        let c = SurfaceGfCache::new();
+        let first = Arc::new(CMatrix::zeros(1, 1));
+        let second = Arc::new(CMatrix::zeros(1, 1));
+        let got1 = c.insert_or_get(LeadSlot::Drain, 3, Arc::clone(&first));
+        let got2 = c.insert_or_get(LeadSlot::Drain, 3, second);
+        assert!(Arc::ptr_eq(&got1, &first));
+        assert!(Arc::ptr_eq(&got2, &first));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalid_quantum_falls_back_to_default() {
+        assert_eq!(
+            SurfaceGfCache::with_quantum(f64::NAN).quantum_ev(),
+            DEFAULT_KEY_QUANTUM_EV
+        );
+        assert_eq!(
+            SurfaceGfCache::with_quantum(-1.0).quantum_ev(),
+            DEFAULT_KEY_QUANTUM_EV
+        );
+    }
+}

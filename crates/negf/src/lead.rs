@@ -17,6 +17,10 @@ use gnr_num::{c64, CMatrix, Complex64};
 /// Numerical broadening `η` added to the energy in surface-GF iterations.
 pub const DEFAULT_ETA: f64 = 1e-5;
 
+/// Iteration budget used for lead surface-GF solves (each iteration doubles
+/// the decimated length, so 200 is far beyond any physical requirement).
+pub const SURFACE_GF_MAX_ITER: usize = 200;
+
 /// Default wide-band coupling strength for metal Schottky contacts (eV).
 ///
 /// γ of a few hundred meV gives contact broadening comparable to the GNR
@@ -86,7 +90,7 @@ impl Lead {
                 for i in 0..m {
                     h00_shifted.add_to(i, i, c64(potential_ev, 0.0));
                 }
-                let gs = surface_gf(e, &h00_shifted, h01, DEFAULT_ETA, 200)?;
+                let gs = surface_gf(e, &h00_shifted, h01, DEFAULT_ETA, SURFACE_GF_MAX_ITER)?;
                 // Σ = τ g_s τ†
                 let t1 = tau.matmul(&gs);
                 Ok(t1.matmul(&tau.adjoint()))

@@ -16,7 +16,11 @@
 //!   `T(E)`, contact-resolved spectral functions, and local density of
 //!   states without ever materializing the full `Gʳ`;
 //! * [`transport`] — Landauer current and bias-resolved electron/hole
-//!   charge integrals over energy.
+//!   charge integrals over energy, with an optional adaptive (bisecting)
+//!   energy grid behind [`TransportOptions`];
+//! * [`cache`] — bias-sweep memoization of Sancho–Rubio surface Green's
+//!   functions keyed on the quantized energy relative to the lead
+//!   potential, so `(Vg, Vd)` table builds reuse shifted entries.
 //!
 //! # Example: ideal-ribbon transmission is the mode count
 //!
@@ -38,12 +42,17 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod cache;
 pub mod error;
 pub mod lead;
 pub mod rgf;
 pub mod transport;
 
+pub use cache::{LeadSlot, SurfaceGfCache};
 pub use error::NegfError;
 pub use lead::Lead;
 pub use rgf::RgfSolver;
-pub use transport::{ChargeProfile, EnergyGrid, TransportResult};
+pub use transport::{
+    integrate_transport, integrate_transport_frozen, integrate_transport_with, ChargeProfile,
+    EnergyGrid, RefineOptions, TransportOptions, TransportResult,
+};

@@ -10,11 +10,16 @@
 //! inverse Green's function; its blocks are
 //! `D_l = (E + iη)I − H_l − δ_{l,0}Σ₁ − δ_{l,L−1}Σ₂`, `U = −H01`, `L = −H10`.
 
+use crate::cache::{LeadSlot, Lookup, SurfaceGfCache};
 use crate::error::NegfError;
-use crate::lead::{broadening, Lead};
+use crate::lead::{broadening, surface_gf, Lead, DEFAULT_ETA, SURFACE_GF_MAX_ITER};
 use gnr_lattice::DeviceHamiltonian;
+use gnr_num::par::ExecCtx;
 use gnr_num::telemetry;
+use gnr_num::TelemetryShard;
 use gnr_num::{c64, CMatrix};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Small imaginary part added to the energy for retarded boundary behaviour.
 pub const RGF_ETA: f64 = 1e-6;
@@ -98,6 +103,143 @@ impl RgfSolver {
         Ok((sigma1, sigma2))
     }
 
+    /// The lead model, lead-internal coupling (towards the deeper cell,
+    /// fixing the decimation direction), and device→lead hopping for one
+    /// contact slot. The directions mirror [`Self::contact_self_energies`].
+    fn lead_parts(&self, slot: LeadSlot) -> (&Lead, &CMatrix, &CMatrix) {
+        match slot {
+            LeadSlot::Source => (&self.lead1, &self.h10, &self.h10),
+            LeadSlot::Drain => (&self.lead2, &self.lead_h01, &self.h01),
+        }
+    }
+
+    /// Contact self-energy for `slot` at energy `e`, served through
+    /// `cache`. GNR contacts are looked up at the quantized relative energy
+    /// `E − potential` and the surface GF is evaluated at the *snapped*
+    /// energy, so entries are exactly potential-independent; wide-band
+    /// metal leads bypass the cache (their Σ is energy-independent and
+    /// trivial). Hit/miss/fallback counters go through `shard` so the
+    /// worker-shard merge keeps them deterministic.
+    fn cached_self_energy(
+        &self,
+        cache: &SurfaceGfCache,
+        slot: LeadSlot,
+        e: f64,
+        shard: &mut TelemetryShard,
+    ) -> Result<CMatrix, NegfError> {
+        let (lead, h01_dir, tau) = self.lead_parts(slot);
+        let Lead::GnrContact { potential_ev } = *lead else {
+            return lead.self_energy(e, &self.lead_h00, h01_dir, tau);
+        };
+        let key = cache.key(e - potential_ev);
+        let gs = match cache.lookup(slot, key) {
+            Lookup::Hit(g) => {
+                shard.counter_inc("negf.surface_cache.hit");
+                g
+            }
+            Lookup::Evicted => {
+                // Poisoned/evicted entry: fall back to a fresh Sancho–Rubio
+                // solve at the same snapped energy (bit-identical value)
+                // and heal the store.
+                shard.counter_inc("negf.surface_cache.fallback");
+                let g = Arc::new(surface_gf(
+                    cache.snapped(key),
+                    &self.lead_h00,
+                    h01_dir,
+                    DEFAULT_ETA,
+                    SURFACE_GF_MAX_ITER,
+                )?);
+                cache.insert(slot, key, Arc::clone(&g));
+                g
+            }
+            Lookup::Miss => {
+                shard.counter_inc("negf.surface_cache.miss");
+                let g = Arc::new(surface_gf(
+                    cache.snapped(key),
+                    &self.lead_h00,
+                    h01_dir,
+                    DEFAULT_ETA,
+                    SURFACE_GF_MAX_ITER,
+                )?);
+                cache.insert_or_get(slot, key, g)
+            }
+        };
+        let t1 = tau.matmul(&gs);
+        Ok(t1.matmul(&tau.adjoint()))
+    }
+
+    /// Both contact self-energies at `e`, served through `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-GF convergence failures.
+    pub fn cached_self_energies(
+        &self,
+        cache: &SurfaceGfCache,
+        e: f64,
+        shard: &mut TelemetryShard,
+    ) -> Result<(CMatrix, CMatrix), NegfError> {
+        let sigma1 = self.cached_self_energy(cache, LeadSlot::Source, e, shard)?;
+        let sigma2 = self.cached_self_energy(cache, LeadSlot::Drain, e, shard)?;
+        Ok((sigma1, sigma2))
+    }
+
+    /// Serial pre-indexing pass for the determinism contract: collects the
+    /// not-yet-cached `(slot, key)` pairs for `energies` in a fixed
+    /// slot-major, energy-ascending order, solves them on `ctx`'s pool
+    /// (index-ordered merge), and inserts them in that same order. The
+    /// miss count is reported once, serially, to
+    /// `negf.surface_cache.miss` — so the counter is bit-identical for any
+    /// `GNR_THREADS` as long as primes and integrations sharing the cache
+    /// are issued serially (the device-sweep pattern).
+    ///
+    /// Returns the number of fresh Sancho–Rubio solves performed. Metal
+    /// leads have nothing to prime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-GF convergence failures.
+    pub fn prime_surface_cache(
+        &self,
+        ctx: &ExecCtx,
+        cache: &SurfaceGfCache,
+        energies: &[f64],
+    ) -> Result<usize, NegfError> {
+        let mut pending: Vec<(LeadSlot, i64)> = Vec::new();
+        let mut seen: HashSet<(LeadSlot, i64)> = HashSet::new();
+        for slot in [LeadSlot::Source, LeadSlot::Drain] {
+            let (lead, _, _) = self.lead_parts(slot);
+            let Lead::GnrContact { potential_ev } = *lead else {
+                continue;
+            };
+            for &e in energies {
+                let key = cache.key(e - potential_ev);
+                if seen.insert((slot, key)) && !cache.contains(slot, key) {
+                    pending.push((slot, key));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        ctx.counter_add("negf.surface_cache.miss", pending.len() as u64);
+        let solved = ctx.try_par_map_indexed(pending.len(), |i| {
+            let (slot, key) = pending[i];
+            let (_, h01_dir, _) = self.lead_parts(slot);
+            surface_gf(
+                cache.snapped(key),
+                &self.lead_h00,
+                h01_dir,
+                DEFAULT_ETA,
+                SURFACE_GF_MAX_ITER,
+            )
+        })?;
+        for (&(slot, key), gs) in pending.iter().zip(solved) {
+            cache.insert(slot, key, Arc::new(gs));
+        }
+        Ok(pending.len())
+    }
+
     /// Computes transmission and contact-resolved spectral functions at
     /// energy `e` (eV) with one forward and one backward RGF sweep.
     ///
@@ -105,14 +247,42 @@ impl RgfSolver {
     ///
     /// Propagates lead and linear-algebra failures.
     pub fn spectral_slice(&self, e: f64) -> Result<SpectralSlice, NegfError> {
+        let (sigma1, sigma2) = self.contact_self_energies(e)?;
+        self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
+    }
+
+    /// [`Self::spectral_slice`] with the contact self-energies served
+    /// through `cache` instead of fresh Sancho–Rubio solves. The RGF sweeps
+    /// themselves are byte-identical to the legacy path; only Σ provenance
+    /// changes (cache entries are evaluated at the snapped relative energy,
+    /// a perturbation far below `DEFAULT_ETA`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures.
+    pub fn spectral_slice_cached(
+        &self,
+        e: f64,
+        cache: &SurfaceGfCache,
+        shard: &mut TelemetryShard,
+    ) -> Result<SpectralSlice, NegfError> {
+        let (sigma1, sigma2) = self.cached_self_energies(cache, e, shard)?;
+        self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
+    }
+
+    fn spectral_slice_with_sigmas(
+        &self,
+        e: f64,
+        sigma1: &CMatrix,
+        sigma2: &CMatrix,
+    ) -> Result<SpectralSlice, NegfError> {
         telemetry::counter_inc("negf.rgf.calls");
         telemetry::counter_add("negf.rgf.sweeps", 2);
         let m = self.layer_dim();
         let nl = self.layers();
         let ez = c64(e, RGF_ETA);
-        let (sigma1, sigma2) = self.contact_self_energies(e)?;
-        let gamma1 = broadening(&sigma1);
-        let gamma2 = broadening(&sigma2);
+        let gamma1 = broadening(sigma1);
+        let gamma2 = broadening(sigma2);
 
         // D_l blocks.
         let d_block = |l: usize| -> CMatrix {
@@ -209,14 +379,38 @@ impl RgfSolver {
     ///
     /// Propagates lead and linear-algebra failures.
     pub fn transmission(&self, e: f64) -> Result<f64, NegfError> {
+        let (sigma1, sigma2) = self.contact_self_energies(e)?;
+        self.transmission_with_sigmas(e, &sigma1, &sigma2)
+    }
+
+    /// [`Self::transmission`] with cache-served contact self-energies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures.
+    pub fn transmission_cached(
+        &self,
+        e: f64,
+        cache: &SurfaceGfCache,
+        shard: &mut TelemetryShard,
+    ) -> Result<f64, NegfError> {
+        let (sigma1, sigma2) = self.cached_self_energies(cache, e, shard)?;
+        self.transmission_with_sigmas(e, &sigma1, &sigma2)
+    }
+
+    fn transmission_with_sigmas(
+        &self,
+        e: f64,
+        sigma1: &CMatrix,
+        sigma2: &CMatrix,
+    ) -> Result<f64, NegfError> {
         telemetry::counter_inc("negf.rgf.calls");
         telemetry::counter_add("negf.rgf.sweeps", 1);
         let m = self.layer_dim();
         let nl = self.layers();
         let ez = c64(e, RGF_ETA);
-        let (sigma1, sigma2) = self.contact_self_energies(e)?;
-        let gamma1 = broadening(&sigma1);
-        let gamma2 = broadening(&sigma2);
+        let gamma1 = broadening(sigma1);
+        let gamma2 = broadening(sigma2);
 
         // Left-connected sweep storing only the running surface block, plus
         // the accumulated product needed for G_{L-1,0}.
@@ -228,10 +422,10 @@ impl RgfSolver {
                 d.add_to(i, i, ez);
             }
             if l == 0 {
-                d = &d - &sigma1;
+                d = &d - sigma1;
             }
             if l == nl - 1 {
-                d = &d - &sigma2;
+                d = &d - sigma2;
             }
             if let Some(prev) = &gl_prev {
                 let corr = self.h10.matmul(prev).matmul(&self.h01);
@@ -386,5 +580,121 @@ mod tests {
             (total_a1 - total_a2).abs() / (total_a1 + total_a2) < 0.05,
             "a1 {total_a1} a2 {total_a2}"
         );
+    }
+
+    #[test]
+    fn cached_slice_matches_legacy_within_snapping() {
+        use gnr_num::Telemetry;
+        let solver = ideal_solver(9, 4);
+        let cache = SurfaceGfCache::new();
+        let sink = Telemetry::isolated();
+        let mut shard = TelemetryShard::for_sink(&sink);
+        for &e in &[0.65, 0.9, 1.1] {
+            let legacy = solver.spectral_slice(e).unwrap();
+            let cached = solver.spectral_slice_cached(e, &cache, &mut shard).unwrap();
+            assert!(
+                (legacy.transmission - cached.transmission).abs() < 1e-6,
+                "E={e}: {} vs {}",
+                legacy.transmission,
+                cached.transmission
+            );
+            for (a, b) in legacy.a1_diag.iter().zip(&cached.a1_diag) {
+                assert!((a - b).abs() < 1e-4);
+            }
+            let t_legacy = solver.transmission(e).unwrap();
+            let t_cached = solver.transmission_cached(e, &cache, &mut shard).unwrap();
+            assert!((t_legacy - t_cached).abs() < 1e-6);
+        }
+        shard.merge_into(&sink);
+        let snap = sink.snapshot();
+        // 3 energies × 2 leads × 2 calls: first call misses, second hits.
+        assert_eq!(snap.counter("negf.surface_cache.miss"), Some(6));
+        assert_eq!(snap.counter("negf.surface_cache.hit"), Some(6));
+        assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn priming_makes_all_lookups_hits() {
+        use gnr_num::Telemetry;
+        let solver = ideal_solver(9, 3);
+        let cache = SurfaceGfCache::new();
+        let energies: Vec<f64> = (0..8).map(|i| 0.6 + 0.05 * i as f64).collect();
+        let sink = Telemetry::isolated();
+        let ctx = ExecCtx::serial().with_telemetry(sink);
+        let primed = solver.prime_surface_cache(&ctx, &cache, &energies).unwrap();
+        assert_eq!(primed, 2 * energies.len());
+        // Re-priming the same lattice is free.
+        assert_eq!(
+            solver.prime_surface_cache(&ctx, &cache, &energies).unwrap(),
+            0
+        );
+        let mut shard = TelemetryShard::for_sink(ctx.telemetry());
+        for &e in &energies {
+            solver.spectral_slice_cached(e, &cache, &mut shard).unwrap();
+        }
+        shard.merge_into(ctx.telemetry());
+        let snap = ctx.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("negf.surface_cache.miss"),
+            Some(2 * energies.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("negf.surface_cache.hit"),
+            Some(2 * energies.len() as u64)
+        );
+    }
+
+    #[test]
+    fn lead_potential_shift_reuses_cache_entries() {
+        // The same relative energy reached from two bias points must map to
+        // one entry per lead slot — the property that makes bias sweeps
+        // cheap.
+        let gnr = AGnr::new(9).unwrap();
+        let h = DeviceHamiltonian::flat_band(gnr, 3).unwrap();
+        let cache = SurfaceGfCache::new();
+        let ctx = ExecCtx::serial();
+        let vds = [0.0, 0.1, 0.2];
+        let base: Vec<f64> = (0..10).map(|i| -0.5 + 0.1 * i as f64).collect();
+        for &vd in &vds {
+            let solver = RgfSolver::new(&h, Lead::gnr_contact(), Lead::gnr_contact_at(-vd));
+            // Drain energies relative to the lead: e + vd, stepping on the
+            // same 0.1 eV lattice -> all but one entry per new bias shared.
+            let energies: Vec<f64> = base.iter().map(|e| e - vd).collect();
+            solver.prime_surface_cache(&ctx, &cache, &energies).unwrap();
+        }
+        // Source slot: 10 + 1 + 1 new snapped energies (each bias shifts
+        // the window by one step); drain slot: relative energies identical
+        // across biases -> 10 entries total.
+        assert_eq!(cache.len(), 12 + 10);
+    }
+
+    #[test]
+    fn metal_leads_bypass_cache() {
+        use gnr_num::Telemetry;
+        let gnr = AGnr::new(9).unwrap();
+        let h = DeviceHamiltonian::flat_band(gnr, 3).unwrap();
+        let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
+        let cache = SurfaceGfCache::new();
+        let ctx = ExecCtx::serial();
+        assert_eq!(
+            solver
+                .prime_surface_cache(&ctx, &cache, &[0.1, 0.2])
+                .unwrap(),
+            0
+        );
+        let sink = Telemetry::isolated();
+        let mut shard = TelemetryShard::for_sink(&sink);
+        let legacy = solver.spectral_slice(0.3).unwrap();
+        let cached = solver
+            .spectral_slice_cached(0.3, &cache, &mut shard)
+            .unwrap();
+        assert_eq!(
+            legacy.transmission.to_bits(),
+            cached.transmission.to_bits(),
+            "metal sigmas are exact -> bitwise equal"
+        );
+        assert!(cache.is_empty());
+        shard.merge_into(&sink);
+        assert!(sink.snapshot().counter("negf.surface_cache.hit").is_none());
     }
 }

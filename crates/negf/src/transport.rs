@@ -12,6 +12,7 @@
 //! I   = (2e/h)·q ∫ dE T(E) [f₁ − f₂]
 //! ```
 
+use crate::cache::SurfaceGfCache;
 use crate::error::NegfError;
 use crate::rgf::RgfSolver;
 use gnr_num::consts::LANDAUER_2E_OVER_H;
@@ -19,6 +20,7 @@ use gnr_num::fermi::fermi;
 use gnr_num::par::ExecCtx;
 use gnr_num::quad::trapezoid_samples;
 use gnr_num::TelemetryShard;
+use std::sync::Arc;
 
 /// A uniform energy grid for transport integrals (eV).
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +49,24 @@ impl EnergyGrid {
             });
         }
         Ok(EnergyGrid { lo, hi, points })
+    }
+
+    /// Creates the grid spanning `[lo, hi]` whose spacing is closest to
+    /// `step_ev` (eV). Useful for bias sweeps that want one energy lattice
+    /// shared across windows so cache keys collide maximally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NegfError::Config`] for a degenerate range or a
+    /// non-positive step.
+    pub fn with_step(lo: f64, hi: f64, step_ev: f64) -> Result<Self, NegfError> {
+        if step_ev.is_nan() || step_ev <= 0.0 {
+            return Err(NegfError::Config {
+                detail: format!("energy step {step_ev} must be positive"),
+            });
+        }
+        let intervals = (((hi - lo) / step_ev).round() as usize).max(1);
+        EnergyGrid::new(lo, hi, intervals + 1)
     }
 
     /// Grid spacing (eV).
@@ -126,6 +146,9 @@ struct EnergySample {
     e: f64,
     transmission: f64,
     kernel: f64,
+    /// Summed spectral weight `Σ_i (A₁ + A₂)_ii` — the charge-structure
+    /// signal the adaptive refinement watches alongside `T(E)`.
+    dos: f64,
     filled: Vec<f64>,
     empty: Vec<f64>,
     /// Worker-local telemetry deltas, applied during the ordered merge so
@@ -180,14 +203,17 @@ pub fn integrate_transport(
             let f2 = fermi(e, mu2, t_kelvin);
             let mut filled = Vec::with_capacity(atoms);
             let mut empty = Vec::with_capacity(atoms);
+            let mut dos = 0.0;
             for i in 0..atoms {
                 filled.push(slice.a1_diag[i] * f1 + slice.a2_diag[i] * f2);
                 empty.push(slice.a1_diag[i] * (1.0 - f1) + slice.a2_diag[i] * (1.0 - f2));
+                dos += slice.a1_diag[i] + slice.a2_diag[i];
             }
             Ok(EnergySample {
                 e,
                 transmission: slice.transmission,
                 kernel: slice.transmission * (f1 - f2),
+                dos,
                 filled,
                 empty,
                 shard,
@@ -223,6 +249,342 @@ pub fn integrate_transport(
             holes,
         },
     })
+}
+
+/// Adaptive-refinement controls for the transport energy grid.
+///
+/// Starting from the caller's (coarse) base [`EnergyGrid`], every interval
+/// whose endpoint transmissions differ by more than `tol_t` is bisected,
+/// round after round, until nothing exceeds the tolerance, `max_depth`
+/// rounds have run (each round halves flagged intervals once, so no
+/// interval shrinks below `base_step / 2^max_depth`), or the sample budget
+/// `max_points` is reached. This resolves band-edge steps and resonances
+/// without paying a dense uniform grid everywhere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RefineOptions {
+    /// Bisect an interval when `|T(e_{i+1}) − T(e_i)|` exceeds this.
+    pub tol_t: f64,
+    /// Bisect when the summed spectral weight (device DOS) changes by more
+    /// than this relative fraction across an interval. The transmission
+    /// criterion is blind to charge structure carried by states that do not
+    /// conduct — quasi-bound well resonances in the off-state most of all —
+    /// so the charge integral needs its own trigger. `f64::INFINITY`
+    /// disables it. Intervals whose weight is below 1% of the base grid's
+    /// peak are exempt (deep-gap evanescent tails refine forever otherwise).
+    pub tol_dos_rel: f64,
+    /// Maximum bisection rounds (= per-interval halvings).
+    pub max_depth: usize,
+    /// Hard cap on the total number of energy samples.
+    pub max_points: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            tol_t: 0.02,
+            tol_dos_rel: 0.25,
+            max_depth: 6,
+            max_points: 4096,
+        }
+    }
+}
+
+/// Toggles for the transport acceleration layer. The default (no refine,
+/// no cache) routes through the exact legacy uniform-grid path, so A/B
+/// pinning against the unaccelerated integrator is always available.
+#[derive(Clone, Debug, Default)]
+pub struct TransportOptions {
+    /// Adaptive energy-grid refinement; `None` keeps the uniform grid.
+    pub refine: Option<RefineOptions>,
+    /// Shared surface-GF cache; `None` solves Sancho–Rubio per energy.
+    pub cache: Option<Arc<SurfaceGfCache>>,
+}
+
+impl TransportOptions {
+    /// The exact legacy path (uniform grid, fresh Sancho–Rubio solves).
+    pub fn legacy() -> Self {
+        TransportOptions::default()
+    }
+
+    /// Cache plus default adaptive refinement — the bias-sweep fast path.
+    pub fn accelerated(cache: Arc<SurfaceGfCache>) -> Self {
+        TransportOptions {
+            refine: Some(RefineOptions::default()),
+            cache: Some(cache),
+        }
+    }
+
+    /// Sets (or replaces) the refinement controls.
+    pub fn with_refine(mut self, refine: RefineOptions) -> Self {
+        self.refine = Some(refine);
+        self
+    }
+
+    /// Sets (or replaces) the shared surface-GF cache.
+    pub fn with_cache(mut self, cache: Arc<SurfaceGfCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// Evaluates one batch of energies on the pool (index-ordered), optionally
+/// through the surface-GF cache. Shards ride inside the samples and are
+/// merged by the caller in batch order.
+#[allow(clippy::too_many_arguments)]
+fn eval_samples(
+    ctx: &ExecCtx,
+    solver: &RgfSolver,
+    energies: &[f64],
+    cache: Option<&SurfaceGfCache>,
+    mu1: f64,
+    mu2: f64,
+    t_kelvin: f64,
+    atoms: usize,
+) -> Result<Vec<EnergySample>, NegfError> {
+    ctx.try_par_map_indexed(energies.len(), |idx| -> Result<EnergySample, NegfError> {
+        let mut shard = TelemetryShard::for_sink(ctx.telemetry());
+        let e = energies[idx];
+        let slice = match cache {
+            Some(c) => solver.spectral_slice_cached(e, c, &mut shard)?,
+            None => solver.spectral_slice(e)?,
+        };
+        shard.counter_inc("negf.energy_points");
+        let f1 = fermi(e, mu1, t_kelvin);
+        let f2 = fermi(e, mu2, t_kelvin);
+        let mut filled = Vec::with_capacity(atoms);
+        let mut empty = Vec::with_capacity(atoms);
+        let mut dos = 0.0;
+        for i in 0..atoms {
+            filled.push(slice.a1_diag[i] * f1 + slice.a2_diag[i] * f2);
+            empty.push(slice.a1_diag[i] * (1.0 - f1) + slice.a2_diag[i] * (1.0 - f2));
+            dos += slice.a1_diag[i] + slice.a2_diag[i];
+        }
+        Ok(EnergySample {
+            e,
+            transmission: slice.transmission,
+            kernel: slice.transmission * (f1 - f2),
+            dos,
+            filled,
+            empty,
+            shard,
+        })
+    })
+}
+
+/// Merges two energy-ascending sample runs into one (stable two-pointer
+/// merge; midpoints interleave between their parent endpoints).
+fn merge_by_energy(a: Vec<EnergySample>, b: Vec<EnergySample>) -> Vec<EnergySample> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ib = b.into_iter().peekable();
+    for s in a {
+        while ib.peek().is_some_and(|m| m.e < s.e) {
+            out.push(ib.next().expect("peeked"));
+        }
+        out.push(s);
+    }
+    out.extend(ib);
+    out
+}
+
+/// [`integrate_transport`] with the acceleration layer toggles. With
+/// default (empty) options this *is* the legacy integrator — same code
+/// path, bit-identical results. With `opts.cache` set, Sancho–Rubio lead
+/// solves are served from the shared bias-sweep cache (priming any missing
+/// base-grid entries through the serial pre-indexing path first). With
+/// `opts.refine` set, `grid` is treated as the coarse base lattice and
+/// intervals where `T(E)` jumps by more than the tolerance are bisected;
+/// current and charge then integrate on the resulting non-uniform grid
+/// (trapezoid weights), and the refinement telemetry lands on
+/// `negf.transport.refined_points` / `refine_rounds`.
+///
+/// Refinement midpoints are deduplicated by construction (each round
+/// bisects disjoint intervals), so cache hit/miss counters stay
+/// bit-identical across `GNR_THREADS=1/2/4`.
+///
+/// # Errors
+///
+/// Propagates RGF failures, and returns [`NegfError::Config`] if
+/// `neutral_ev` has the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_transport_with(
+    ctx: &ExecCtx,
+    solver: &RgfSolver,
+    grid: &EnergyGrid,
+    opts: &TransportOptions,
+    mu1: f64,
+    mu2: f64,
+    t_kelvin: f64,
+    neutral_ev: &[f64],
+) -> Result<TransportResult, NegfError> {
+    if opts.refine.is_none() && opts.cache.is_none() {
+        return integrate_transport(ctx, solver, grid, mu1, mu2, t_kelvin, neutral_ev);
+    }
+    let atoms = solver.layers() * solver.layer_dim();
+    if neutral_ev.len() != atoms {
+        return Err(NegfError::Config {
+            detail: format!(
+                "neutral point has {} entries for {} atoms",
+                neutral_ev.len(),
+                atoms
+            ),
+        });
+    }
+    ctx.counter_inc("negf.transport.integrations");
+
+    let base: Vec<f64> = grid.energies().collect();
+    if let Some(cache) = &opts.cache {
+        solver.prime_surface_cache(ctx, cache, &base)?;
+    }
+    let cache = opts.cache.as_deref();
+    let mut samples = eval_samples(ctx, solver, &base, cache, mu1, mu2, t_kelvin, atoms)?;
+
+    let mut refined_points = 0u64;
+    let mut rounds = 0u64;
+    if let Some(refine) = opts.refine {
+        // Fixed from the base grid (not per round) so the refinement
+        // trajectory is independent of what earlier rounds discovered.
+        let dos_floor = 0.01 * samples.iter().map(|s| s.dos).fold(0.0, f64::max);
+        // Midpoints of one round are distinct energies (disjoint intervals
+        // far wider than the cache quantum), so the serial scan below is
+        // the pre-index that fixes cache order and counter totals.
+        for _ in 0..refine.max_depth {
+            let mut mids = Vec::new();
+            for w in samples.windows(2) {
+                if samples.len() + mids.len() >= refine.max_points {
+                    break;
+                }
+                let span = w[1].e - w[0].e;
+                let t_jump = (w[1].transmission - w[0].transmission).abs() > refine.tol_t;
+                let pair = w[0].dos + w[1].dos;
+                let dos_jump =
+                    pair > dos_floor && (w[1].dos - w[0].dos).abs() > refine.tol_dos_rel * pair;
+                if span > 1e-9 && (t_jump || dos_jump) {
+                    mids.push(0.5 * (w[0].e + w[1].e));
+                }
+            }
+            if mids.is_empty() {
+                break;
+            }
+            if let Some(c) = cache {
+                solver.prime_surface_cache(ctx, c, &mids)?;
+            }
+            let new = eval_samples(ctx, solver, &mids, cache, mu1, mu2, t_kelvin, atoms)?;
+            refined_points += new.len() as u64;
+            rounds += 1;
+            samples = merge_by_energy(samples, new);
+        }
+        ctx.counter_add("negf.transport.refined_points", refined_points);
+        ctx.counter_add("negf.transport.refine_rounds", rounds);
+    }
+
+    Ok(merge_samples(ctx, samples, neutral_ev, atoms))
+}
+
+/// Ordered serial merge on a (possibly non-uniform) energy-ascending
+/// sample run: trapezoid weights for both the current kernel and the
+/// charge integrals; each sample's shard lands in energy order.
+fn merge_samples(
+    ctx: &ExecCtx,
+    samples: Vec<EnergySample>,
+    neutral_ev: &[f64],
+    atoms: usize,
+) -> TransportResult {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let n = samples.len();
+    let mut t_of_e = Vec::with_capacity(n);
+    let mut electrons = vec![0.0; atoms];
+    let mut holes = vec![0.0; atoms];
+    let mut current = 0.0;
+    for (j, s) in samples.iter().enumerate() {
+        let left = if j > 0 { samples[j - 1].e } else { s.e };
+        let right = if j + 1 < n { samples[j + 1].e } else { s.e };
+        let w = 0.5 * (right - left);
+        t_of_e.push((s.e, s.transmission));
+        if j + 1 < n {
+            current += 0.5 * (s.kernel + samples[j + 1].kernel) * (samples[j + 1].e - s.e);
+        }
+        for i in 0..atoms {
+            if s.e >= neutral_ev[i] {
+                electrons[i] += s.filled[i] / two_pi * w;
+            } else {
+                holes[i] += s.empty[i] / two_pi * w;
+            }
+        }
+    }
+    for s in samples {
+        s.shard.merge_into(ctx.telemetry());
+    }
+    let net: Vec<f64> = holes.iter().zip(&electrons).map(|(p, n)| p - n).collect();
+    TransportResult {
+        current_a: LANDAUER_2E_OVER_H * current,
+        transmission: t_of_e,
+        charge: ChargeProfile {
+            net,
+            electrons,
+            holes,
+        },
+    }
+}
+
+/// Transport on an explicit, energy-ascending sample list — the "frozen
+/// grid" companion to adaptive refinement. An SCF loop that refined its
+/// grid on the first iteration can re-integrate on exactly that grid for
+/// every later iteration (energies come straight from
+/// [`TransportResult::transmission`]), keeping the charge a *continuous*
+/// function of the potential: re-deriving the refinement set each
+/// iteration makes the charge jump whenever an interval flips across the
+/// tolerance, and the self-consistent fixed point turns into a limit
+/// cycle.
+///
+/// Only `opts.cache` is honored (`opts.refine` is ignored — the grid is
+/// the caller's). Integration uses the same non-uniform trapezoid weights
+/// as the refined path.
+///
+/// # Errors
+///
+/// Propagates RGF failures; returns [`NegfError::Config`] for an empty or
+/// unsorted energy list, or a wrong-length `neutral_ev`.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_transport_frozen(
+    ctx: &ExecCtx,
+    solver: &RgfSolver,
+    energies: &[f64],
+    opts: &TransportOptions,
+    mu1: f64,
+    mu2: f64,
+    t_kelvin: f64,
+    neutral_ev: &[f64],
+) -> Result<TransportResult, NegfError> {
+    let atoms = solver.layers() * solver.layer_dim();
+    if neutral_ev.len() != atoms {
+        return Err(NegfError::Config {
+            detail: format!(
+                "neutral point has {} entries for {} atoms",
+                neutral_ev.len(),
+                atoms
+            ),
+        });
+    }
+    if energies.len() < 2 || energies.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(NegfError::Config {
+            detail: "frozen energy grid must be >= 2 strictly ascending points".into(),
+        });
+    }
+    ctx.counter_inc("negf.transport.integrations");
+    if let Some(cache) = &opts.cache {
+        solver.prime_surface_cache(ctx, cache, energies)?;
+    }
+    let samples = eval_samples(
+        ctx,
+        solver,
+        energies,
+        opts.cache.as_deref(),
+        mu1,
+        mu2,
+        t_kelvin,
+        atoms,
+    )?;
+    Ok(merge_samples(ctx, samples, neutral_ev, atoms))
 }
 
 #[cfg(test)]
@@ -377,5 +739,144 @@ mod tests {
         let solver = ideal(9, 3);
         let grid = EnergyGrid::new(0.0, 1.0, 10).unwrap();
         assert!(integrate_transport(&ctx(), &solver, &grid, 0.0, 0.0, 300.0, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn with_step_picks_closest_spacing() {
+        let g = EnergyGrid::with_step(-0.5, 0.5, 0.1).unwrap();
+        assert_eq!(g.len(), 11);
+        assert!((g.step() - 0.1).abs() < 1e-14);
+        assert!(EnergyGrid::with_step(0.0, 1.0, 0.0).is_err());
+        assert!(EnergyGrid::with_step(0.0, 1.0, -0.1).is_err());
+        // A step wider than the range degrades to a single interval.
+        assert_eq!(EnergyGrid::with_step(0.0, 0.01, 0.1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn default_options_route_through_legacy_bitwise() {
+        let solver = ideal(9, 3);
+        let grid = EnergyGrid::new(0.4, 1.4, 31).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let zeros = vec![0.0; atoms];
+        let legacy = integrate_transport(&ctx(), &solver, &grid, 1.0, 0.8, 300.0, &zeros).unwrap();
+        let via_opts = integrate_transport_with(
+            &ctx(),
+            &solver,
+            &grid,
+            &TransportOptions::legacy(),
+            1.0,
+            0.8,
+            300.0,
+            &zeros,
+        )
+        .unwrap();
+        assert_eq!(legacy.current_a.to_bits(), via_opts.current_a.to_bits());
+        assert_eq!(legacy.transmission, via_opts.transmission);
+        assert_eq!(legacy.charge, via_opts.charge);
+    }
+
+    #[test]
+    fn cached_uniform_matches_legacy_closely() {
+        // Cache-served sigmas differ from fresh ones only through the key
+        // snapping (≤ half a quantum ≈ 6e-8 eV), far below eta.
+        let solver = ideal(9, 4);
+        let grid = EnergyGrid::new(0.4, 1.4, 41).unwrap();
+        let atoms = solver.layers() * solver.layer_dim();
+        let zeros = vec![0.0; atoms];
+        let legacy = integrate_transport(&ctx(), &solver, &grid, 1.0, 0.8, 300.0, &zeros).unwrap();
+        let opts = TransportOptions::legacy().with_cache(Arc::new(SurfaceGfCache::new()));
+        let cached =
+            integrate_transport_with(&ctx(), &solver, &grid, &opts, 1.0, 0.8, 300.0, &zeros)
+                .unwrap();
+        let scale = legacy.current_a.abs().max(1e-18);
+        assert!(
+            (legacy.current_a - cached.current_a).abs() / scale < 1e-6,
+            "legacy {} cached {}",
+            legacy.current_a,
+            cached.current_a
+        );
+        for (l, c) in legacy.transmission.iter().zip(&cached.transmission) {
+            assert_eq!(l.0.to_bits(), c.0.to_bits());
+            assert!((l.1 - c.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn adaptive_refinement_matches_dense_uniform_current() {
+        // Coarse base + refinement must reproduce a dense uniform grid's
+        // current through the first subband edge.
+        let gnr = AGnr::new(9).unwrap();
+        let ec = gnr.band_structure(96).unwrap().conduction_edge();
+        let solver = ideal(9, 4);
+        let atoms = solver.layers() * solver.layer_dim();
+        let zeros = vec![0.0; atoms];
+        let (mu1, mu2) = (ec + 0.12, ec - 0.08);
+        let dense = EnergyGrid::new(ec - 0.3, ec + 0.3, 241).unwrap();
+        let reference =
+            integrate_transport(&ctx(), &solver, &dense, mu1, mu2, 300.0, &zeros).unwrap();
+        let coarse = EnergyGrid::new(ec - 0.3, ec + 0.3, 16).unwrap();
+        let opts = TransportOptions::legacy().with_refine(RefineOptions {
+            tol_t: 0.02,
+            max_depth: 7,
+            ..RefineOptions::default()
+        });
+        let adaptive =
+            integrate_transport_with(&ctx(), &solver, &coarse, &opts, mu1, mu2, 300.0, &zeros)
+                .unwrap();
+        assert!(
+            adaptive.transmission.len() > coarse.len(),
+            "refinement must add points"
+        );
+        assert!(
+            adaptive.transmission.len() < dense.len(),
+            "adaptive should stay cheaper than dense"
+        );
+        let scale = reference.current_a.abs().max(1e-18);
+        assert!(
+            (reference.current_a - adaptive.current_a).abs() / scale < 2e-3,
+            "dense {} adaptive {}",
+            reference.current_a,
+            adaptive.current_a
+        );
+        // Samples stay sorted and unique after the merges.
+        for w in adaptive.transmission.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn accelerated_path_bit_identical_across_thread_counts() {
+        let gnr = AGnr::new(9).unwrap();
+        let ec = gnr.band_structure(96).unwrap().conduction_edge();
+        let solver = ideal(9, 3);
+        let atoms = solver.layers() * solver.layer_dim();
+        let zeros = vec![0.0; atoms];
+        let grid = EnergyGrid::new(ec - 0.25, ec + 0.25, 14).unwrap();
+        let run = |threads: usize| {
+            let cache = Arc::new(SurfaceGfCache::new());
+            let opts = TransportOptions::accelerated(cache);
+            integrate_transport_with(
+                &ExecCtx::with_threads(threads),
+                &solver,
+                &grid,
+                &opts,
+                ec + 0.1,
+                ec - 0.05,
+                300.0,
+                &zeros,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(
+                serial.current_a.to_bits(),
+                par.current_a.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(serial.transmission, par.transmission);
+            assert_eq!(serial.charge, par.charge);
+        }
     }
 }

@@ -1,0 +1,127 @@
+//! Physics-conformance goldens: the band-structure and transport facts the
+//! whole reproduction rests on, pinned to recorded values so any numerical
+//! drift (eigensolver, edge-correction, effective-mass stencil) fails
+//! loudly rather than silently re-tuning the device physics.
+//!
+//! Sources for the pins:
+//! * three-family A-GNR gap behavior with the Son–Cohen–Louie edge-bond
+//!   correction (Son, Cohen, Louie, PRL 97, 216803 (2006)): the 3p+1
+//!   family has the largest gap, 3p the middle, and 3p+2 — metallic in
+//!   plain pz tight binding — opens a small gap through the edge term;
+//! * band-edge effective masses, cross-checked against the Dirac-cone
+//!   estimate `m* ≈ E₁/v_F²` with `ħ v_F = 3 t a_cc / 2`;
+//! * ballistic on-current ordering versus ribbon width (wider ribbon,
+//!   smaller gap and barrier, more drive) through the SBFET surrogate.
+
+use gnrlab::device::sbfet::HBAR_VFERMI_EV_NM;
+use gnrlab::device::{DeviceConfig, SbfetModel};
+use gnrlab::lattice::bands::BandStructure;
+use gnrlab::lattice::AGnr;
+use gnrlab::num::consts::{HBAR, M_E, Q_E};
+
+/// k-point counts the goldens were recorded at; the pins are only valid at
+/// the same sampling.
+const K_GAP: usize = 192;
+const K_MASS: usize = 384;
+
+fn bands(n: usize, k_points: usize) -> BandStructure {
+    AGnr::new(n)
+        .expect("valid index")
+        .band_structure(k_points)
+        .expect("band solve")
+}
+
+/// N = 12, 13, 14 covers one ribbon of each family (3p, 3p+1, 3p+2).
+/// Golden gaps recorded from this codebase's pz TB with 12% Son–Cohen–Louie
+/// edge-bond contraction at `K_GAP` k-points.
+#[test]
+fn band_gap_three_family_goldens() {
+    let pins = [(12usize, 0.607009), (13, 0.858117), (14, 0.123404)];
+    let mut gaps = Vec::new();
+    for (n, golden) in pins {
+        let g = bands(n, K_GAP).gap();
+        assert!(
+            (g - golden).abs() < 1e-3,
+            "N={n}: gap {g:.6} eV drifted from golden {golden:.6} eV"
+        );
+        gaps.push(g);
+    }
+    // Family ordering: 3p+1 > 3p > 3p+2 > 0.
+    assert!(
+        gaps[1] > gaps[0] && gaps[0] > gaps[2],
+        "family ordering broke: {gaps:?}"
+    );
+    // The 3p+2 gap exists only because of the edge correction — plain pz
+    // tight binding gives a metal. Pin that it stays open.
+    assert!(
+        gaps[2] > 0.05,
+        "N=14 edge-correction gap collapsed: {:.4} eV",
+        gaps[2]
+    );
+}
+
+#[test]
+fn band_edges_are_particle_hole_symmetric() {
+    for n in [12usize, 13, 14] {
+        let bs = bands(n, K_GAP);
+        let (ec, ev) = (bs.conduction_edge(), bs.valence_edge());
+        assert!(
+            (ec + ev).abs() < 1e-9,
+            "N={n}: edges not symmetric (ec {ec:.6}, ev {ev:.6})"
+        );
+    }
+}
+
+/// Band-edge effective masses recorded at `K_MASS` k-points. The family
+/// ordering tracks the gaps: heavier mass with larger gap.
+#[test]
+fn effective_mass_goldens() {
+    let pins = [(12usize, 0.060444), (13, 0.111327), (14, 0.014719)];
+    for (n, golden) in pins {
+        let m = bands(n, K_MASS).conduction_effective_mass();
+        assert!(
+            (m - golden).abs() < 1e-4,
+            "N={n}: m* {m:.6} m0 drifted from golden {golden:.6} m0"
+        );
+    }
+}
+
+/// Hand-check: linearizing graphene's Dirac cone and quantizing transverse
+/// momentum gives `m* ≈ E₁ / v_F²` for the first subband. The tight-binding
+/// mass must land within ~30% of that estimate (the cone is only
+/// approximately isotropic at the subband k).
+#[test]
+fn effective_mass_matches_dirac_estimate() {
+    let bs = bands(12, K_MASS);
+    let e1_ev = bs.conduction_edge();
+    let v_f = HBAR_VFERMI_EV_NM * 1e-9 * Q_E / HBAR; // m/s
+    let dirac_mass = e1_ev * Q_E / (v_f * v_f) / M_E; // units of m0
+    let m = bs.conduction_effective_mass();
+    let ratio = m / dirac_mass;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "m* {m:.4} m0 vs Dirac estimate {dirac_mass:.4} m0 (ratio {ratio:.3})"
+    );
+}
+
+/// Ballistic on-current grows with ribbon width within the 3p family:
+/// smaller gap means lower mid-gap Schottky barriers, so the same overdrive
+/// pushes more current. Checked through the SBFET surrogate that feeds
+/// every circuit experiment.
+#[test]
+fn on_current_increases_with_width() {
+    let (vg, vd) = (0.6, 0.4);
+    let mut currents = Vec::new();
+    for n in [9usize, 12, 15] {
+        let cfg = DeviceConfig::test_small(n).expect("valid config");
+        let model = SbfetModel::new(&cfg).expect("builds");
+        currents.push((n, model.drain_current(vg, vd).expect("evaluates")));
+    }
+    for pair in currents.windows(2) {
+        let ((n0, i0), (n1, i1)) = (pair[0], pair[1]);
+        assert!(
+            i1 > i0,
+            "on-current ordering broke: I(N={n0}) = {i0:.3e} A vs I(N={n1}) = {i1:.3e} A"
+        );
+    }
+}

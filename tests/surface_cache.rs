@@ -1,0 +1,148 @@
+//! Surface-GF cache determinism contract (DESIGN.md §11): the accelerated
+//! bias-sweep table build must be bit-identical — table values AND cache
+//! telemetry — across pool sizes, and a poisoned/evicted cache entry must
+//! fall back to a fresh Sancho–Rubio solve that reproduces the cached
+//! value exactly.
+//!
+//! The fault injector and its per-site RNG stream are process-wide, so
+//! every test here serializes through [`fault_lock`] (arming in one test
+//! must not leak probes into another's build).
+
+use gnrlab::device::negf_table::{ballistic_negf_table, NegfTableOptions};
+use gnrlab::device::table::TableGrid;
+use gnrlab::device::{DeviceConfig, Polarity, SbfetModel};
+use gnrlab::num::fault::{self, FaultPlan};
+use gnrlab::num::par::ExecCtx;
+use gnrlab::num::Telemetry;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+const CACHE_SITE: &str = "negf.surface_cache";
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Disarms on drop so a panicking assertion cannot leak an armed plan.
+struct Armed;
+
+impl Armed {
+    fn arm(plan: FaultPlan) -> Self {
+        fault::arm(plan);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+fn small_model() -> SbfetModel {
+    let mut cfg = DeviceConfig::test_small(7).expect("valid");
+    cfg.channel_cells = 4;
+    SbfetModel::new(&cfg).expect("builds")
+}
+
+fn small_grid() -> TableGrid {
+    TableGrid {
+        vgs: (0.0, 0.5),
+        vds: (0.05, 0.35),
+        points: 3,
+    }
+}
+
+/// The counters whose values the determinism contract covers.
+const PINNED_COUNTERS: &[&str] = &[
+    "negf.surface_cache.miss",
+    "negf.surface_cache.hit",
+    "negf.surface_cache.fallback",
+    "negf.transport.refined_points",
+    "negf.transport.refine_rounds",
+    "device.negf_table.bias_points",
+];
+
+/// One accelerated build on an isolated telemetry sink; returns the table
+/// JSON and the pinned counter values.
+fn build(threads: usize) -> (String, Vec<(String, Option<u64>)>) {
+    let model = small_model();
+    let ctx = ExecCtx::with_threads(threads).with_telemetry(Telemetry::isolated());
+    let table = ballistic_negf_table(
+        &ctx,
+        &model,
+        Polarity::NType,
+        small_grid(),
+        2,
+        &NegfTableOptions::accelerated(),
+    )
+    .expect("table builds");
+    let snap = ctx.telemetry().snapshot();
+    let counters = PINNED_COUNTERS
+        .iter()
+        .map(|&name| (name.to_string(), snap.counter(name)))
+        .collect();
+    (table.to_json().expect("serialises"), counters)
+}
+
+/// Cache hit/miss/refinement counters — not just the physics — are
+/// bit-identical across 1-, 2-, and 4-thread pools: the serial pre-indexing
+/// fixes the miss set, so the pool only changes who computes each entry.
+#[test]
+fn counters_and_table_bit_identical_across_pools() {
+    let _guard = fault_lock();
+    let (json1, counters1) = build(1);
+    assert!(
+        counters1.iter().any(|(_, v)| v.unwrap_or(0) > 0),
+        "no cache telemetry recorded: {counters1:?}"
+    );
+    let miss = counters1
+        .iter()
+        .find(|(n, _)| n.ends_with(".miss"))
+        .and_then(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(miss > 0, "priming recorded no misses");
+    for threads in [2usize, 4] {
+        let (json, counters) = build(threads);
+        assert_eq!(json1, json, "{threads}-thread table JSON differs");
+        assert_eq!(
+            counters1, counters,
+            "{threads}-thread cache counters differ"
+        );
+    }
+}
+
+/// A poisoned/evicted cache entry (injected via the fault site probed on
+/// every lookup) silently falls back to a fresh Sancho–Rubio solve at the
+/// same snapped energy — bit-identical table, nonzero fallback counter.
+#[test]
+fn evicted_entries_fall_back_bit_identically() {
+    let _guard = fault_lock();
+    let (clean_json, _) = build(4);
+    let armed = Armed::arm(FaultPlan::seeded(20080608).with_site(CACHE_SITE, 0.25));
+    let (faulted_json, counters) = build(4);
+    let probes = fault::probe_count(CACHE_SITE);
+    let injected = fault::injection_count(CACHE_SITE);
+    drop(armed);
+    assert!(probes > 0, "cache lookups never probed the fault site");
+    assert!(
+        injected > 0,
+        "plan at p=0.25 injected nothing over {probes} probes"
+    );
+    let fallback = counters
+        .iter()
+        .find(|(n, _)| n.ends_with(".fallback"))
+        .and_then(|(_, v)| *v)
+        .unwrap_or(0);
+    assert_eq!(
+        fallback as usize, injected,
+        "every injected eviction must surface as a fallback"
+    );
+    assert_eq!(
+        clean_json, faulted_json,
+        "fallback recompute drifted from the cached value"
+    );
+}

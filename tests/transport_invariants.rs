@@ -1,0 +1,173 @@
+//! Property-style transport invariants on seeded random devices, checked
+//! against BOTH solver paths — the legacy fresh-Sancho–Rubio route and the
+//! cached/adaptive acceleration layer (DESIGN.md §11) — so the fast path
+//! can never drift from the physics the slow path pins:
+//!
+//! * `0 ≤ T(E) ≤` number of propagating lead modes at `E`;
+//! * zero bias window (`μ₁ = μ₂`) carries exactly zero current;
+//! * swapping the contact Fermi levels reverses the current;
+//! * mirroring the device along transport leaves `T(E)` unchanged.
+
+use gnrlab::lattice::{AGnr, DeviceHamiltonian};
+use gnrlab::negf::transport::{EnergyGrid, RefineOptions, TransportOptions};
+use gnrlab::negf::{
+    integrate_transport, integrate_transport_with, Lead, RgfSolver, SurfaceGfCache,
+};
+use gnrlab::num::par::ExecCtx;
+use gnrlab::num::{Rng, Telemetry, TelemetryShard};
+use std::sync::Arc;
+
+const SEED: u64 = 20080608;
+const N: usize = 7;
+const CELLS: usize = 5;
+
+/// A random disordered channel potential, constant within each layer so the
+/// device can be exactly mirrored by reversing the array.
+fn random_layer_potential(rng: &mut Rng) -> Vec<f64> {
+    let m = AGnr::new(N).unwrap().atoms_per_cell();
+    let mut pot = Vec::with_capacity(CELLS * m);
+    for _ in 0..CELLS {
+        let u = rng.uniform_in(-0.15, 0.35);
+        pot.extend(std::iter::repeat_n(u, m));
+    }
+    pot
+}
+
+fn solver_for(pot: &[f64]) -> (DeviceHamiltonian, AGnr) {
+    let gnr = AGnr::new(N).unwrap();
+    (DeviceHamiltonian::new(gnr, CELLS, pot).unwrap(), gnr)
+}
+
+/// Number of lead modes propagating at energy `e`: bands whose Bloch
+/// dispersion spans `e`.
+fn open_modes(gnr: AGnr, e: f64) -> usize {
+    let bs = gnr.band_structure(128).unwrap();
+    bs.bands()
+        .iter()
+        .filter(|band| {
+            let lo = band.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = band.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            lo <= e && e <= hi
+        })
+        .count()
+}
+
+#[test]
+fn transmission_bounded_by_open_modes_on_both_paths() {
+    let mut rng = Rng::seed_from_u64(SEED);
+    let cache = SurfaceGfCache::new();
+    let sink = Telemetry::isolated();
+    let mut shard = TelemetryShard::for_sink(&sink);
+    for _ in 0..4 {
+        let pot = random_layer_potential(&mut rng);
+        let (ham, gnr) = solver_for(&pot);
+        let solver = RgfSolver::new(&ham, Lead::gnr_contact(), Lead::gnr_contact());
+        for _ in 0..6 {
+            let e = rng.uniform_in(-1.0, 1.0);
+            let bound = open_modes(gnr, e) as f64;
+            let t_legacy = solver.transmission(e).expect("legacy solves");
+            let t_cached = solver
+                .transmission_cached(e, &cache, &mut shard)
+                .expect("cached solves");
+            for (label, t) in [("legacy", t_legacy), ("cached", t_cached)] {
+                assert!(
+                    (-1e-9..=bound + 1e-6).contains(&t),
+                    "{label} T({e:.4}) = {t:.6} outside [0, {bound}]"
+                );
+            }
+            // The cached path evaluates at the snapped energy (one key
+            // quantum away at most); T may move by the local slope only.
+            assert!(
+                (t_legacy - t_cached).abs() < 5e-3,
+                "paths disagree at E = {e:.4}: {t_legacy:.6} vs {t_cached:.6}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_bias_window_carries_no_current() {
+    let mut rng = Rng::seed_from_u64(SEED + 1);
+    let pot = random_layer_potential(&mut rng);
+    let (ham, _) = solver_for(&pot);
+    let solver = RgfSolver::new(&ham, Lead::gnr_contact(), Lead::gnr_contact());
+    let ctx = ExecCtx::serial();
+    let grid = EnergyGrid::new(-0.8, 0.8, 41).unwrap();
+    let mu = 0.12;
+    let legacy = integrate_transport(&ctx, &solver, &grid, mu, mu, 300.0, &pot).unwrap();
+    let opts = TransportOptions::legacy()
+        .with_cache(Arc::new(SurfaceGfCache::new()))
+        .with_refine(RefineOptions::default());
+    let accel = integrate_transport_with(&ctx, &solver, &grid, &opts, mu, mu, 300.0, &pot).unwrap();
+    // The integrand carries (f1 - f2) per energy point: identically zero.
+    assert_eq!(legacy.current_a, 0.0, "legacy leaks at zero bias");
+    assert_eq!(accel.current_a, 0.0, "accelerated path leaks at zero bias");
+    // Charge does not vanish: the window still fills states.
+    assert!(legacy.charge.total().abs() > 0.0);
+}
+
+#[test]
+fn bias_reversal_flips_the_current() {
+    let mut rng = Rng::seed_from_u64(SEED + 2);
+    let pot = random_layer_potential(&mut rng);
+    let (ham, _) = solver_for(&pot);
+    let solver = RgfSolver::new(&ham, Lead::gnr_contact(), Lead::gnr_contact());
+    let ctx = ExecCtx::serial();
+    let grid = EnergyGrid::new(-0.8, 0.8, 41).unwrap();
+    let (mu1, mu2) = (0.15, -0.15);
+    for opts in [
+        TransportOptions::legacy(),
+        TransportOptions::legacy()
+            .with_cache(Arc::new(SurfaceGfCache::new()))
+            .with_refine(RefineOptions::default()),
+    ] {
+        let fwd =
+            integrate_transport_with(&ctx, &solver, &grid, &opts, mu1, mu2, 300.0, &pot).unwrap();
+        let rev =
+            integrate_transport_with(&ctx, &solver, &grid, &opts, mu2, mu1, 300.0, &pot).unwrap();
+        let (i1, i2) = (fwd.current_a, rev.current_a);
+        assert!(
+            (i1 + i2).abs() <= 1e-9 * i1.abs().max(i2.abs()),
+            "bias reversal not antisymmetric: {i1:.6e} vs {i2:.6e}"
+        );
+        assert!(i1 != 0.0, "finite bias should drive current");
+    }
+}
+
+#[test]
+fn transmission_invariant_under_device_mirror() {
+    let mut rng = Rng::seed_from_u64(SEED + 3);
+    let cache = SurfaceGfCache::new();
+    let sink = Telemetry::isolated();
+    let mut shard = TelemetryShard::for_sink(&sink);
+    for _ in 0..3 {
+        let pot = random_layer_potential(&mut rng);
+        let mirrored: Vec<f64> = pot.iter().rev().copied().collect();
+        let (ham_f, _) = solver_for(&pot);
+        let (ham_m, _) = solver_for(&mirrored);
+        let fwd = RgfSolver::new(&ham_f, Lead::gnr_contact(), Lead::gnr_contact());
+        let rev = RgfSolver::new(&ham_m, Lead::gnr_contact(), Lead::gnr_contact());
+        for e in [-0.6, -0.25, 0.3, 0.55, 0.8] {
+            // Reversing the layer potentials mirrors the device only up to
+            // the within-cell atom ordering (the unit cell is not exactly
+            // reflection-symmetric), so this is a physics-level check, not
+            // a bit pin.
+            let tf = fwd.transmission(e).expect("solves");
+            let tr = rev.transmission(e).expect("solves");
+            assert!(
+                (tf - tr).abs() <= 5e-3 * (1.0 + tf.abs()),
+                "mirror symmetry broke at E = {e}: {tf:.9} vs {tr:.9}"
+            );
+            let tfc = fwd
+                .transmission_cached(e, &cache, &mut shard)
+                .expect("solves");
+            let trc = rev
+                .transmission_cached(e, &cache, &mut shard)
+                .expect("solves");
+            assert!(
+                (tfc - trc).abs() <= 5e-3 * (1.0 + tfc.abs()),
+                "cached mirror symmetry broke at E = {e}: {tfc:.9} vs {trc:.9}"
+            );
+        }
+    }
+}
