@@ -225,6 +225,145 @@ fn device_table(h: &mut Harness) {
     }
 }
 
+/// Sparse versus dense MNA (DESIGN.md §12): the KLU-style solver pays a
+/// one-time symbolic analysis per circuit and a cheap pattern-replay
+/// refactor per Newton step, versus the legacy dense assembly + O(n³) LU
+/// every step. Gate target: sparse median >= 2x faster on the resistor
+/// meshes (>= 50 unknowns), with solutions pinned within 1e-12 of dense
+/// by the `sparse_mna` test suite.
+fn sparse_mna(h: &mut Harness) {
+    use gnr_spice::circuit::{Circuit, Element, NodeId, Waveform};
+    use gnr_spice::dc::{dc_operating_point, DcOptions};
+    use gnr_spice::transient::{transient, TransientOptions};
+    use gnr_spice::MnaSolverKind;
+
+    // Large resistor-mesh DC op: a k x k grid bridged corner-to-corner,
+    // k^2 + 1 unknowns.
+    let mesh = |k: usize| -> Circuit {
+        let mut c = Circuit::new();
+        let nodes: Vec<Vec<NodeId>> = (0..k)
+            .map(|i| (0..k).map(|j| c.node(&format!("n{i}_{j}"))).collect())
+            .collect();
+        for i in 0..k {
+            for j in 0..k {
+                if i + 1 < k {
+                    c.add(Element::Resistor {
+                        a: nodes[i][j],
+                        b: nodes[i + 1][j],
+                        ohms: 1e3 + (i * k + j) as f64,
+                    });
+                }
+                if j + 1 < k {
+                    c.add(Element::Resistor {
+                        a: nodes[i][j],
+                        b: nodes[i][j + 1],
+                        ohms: 1.5e3 + (i + j) as f64,
+                    });
+                }
+            }
+        }
+        c.add(Element::VSource {
+            p: nodes[0][0],
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(1.0),
+        });
+        c.add(Element::Resistor {
+            a: nodes[k - 1][k - 1],
+            b: NodeId::GROUND,
+            ohms: 2e3,
+        });
+        c
+    };
+    for k in [8usize, 16] {
+        let c = mesh(k);
+        for (label, solver) in [
+            ("dense", MnaSolverKind::Dense),
+            ("sparse", MnaSolverKind::Sparse),
+        ] {
+            let opts = DcOptions {
+                solver,
+                ..DcOptions::default()
+            };
+            let circuit = c.clone();
+            h.bench(
+                SUITE,
+                &format!("sparse_mna/mesh_dc/k{k}/{label}"),
+                move || black_box(dc_operating_point(&circuit, None, opts).expect("solves")),
+            );
+        }
+    }
+
+    // 9-stage ring-oscillator transient on surrogate lookup-table FETs:
+    // per-step Newton with gm/gds table lookups, where the residual-only
+    // line search and the pattern-replay refactor both show up.
+    let grid = TableGrid {
+        vgs: (-0.3, 0.9),
+        vds: (0.0, 0.9),
+        points: 9,
+    };
+    let nfet = DeviceTable::from_samples(
+        grid,
+        Polarity::NType,
+        |vg, vd| {
+            let vov = (vg - 0.2).max(0.0);
+            4e-5 * vov * vov * (vd / 0.08).tanh() + 1e-9 * vd
+        },
+        |vg, _| 2e-16 * vg,
+    )
+    .expect("surrogate nfet");
+    let pfet = nfet.mirrored();
+    let vdd = 0.8;
+    let mut ro = Circuit::new();
+    let vdd_node = ro.node("vdd");
+    ro.add(Element::VSource {
+        p: vdd_node,
+        n: NodeId::GROUND,
+        wave: Waveform::Dc(vdd),
+    });
+    let stages = 9usize;
+    let outs: Vec<NodeId> = (0..stages).map(|i| ro.node(&format!("s{i}"))).collect();
+    let nfet = std::sync::Arc::new(nfet);
+    let pfet = std::sync::Arc::new(pfet);
+    for i in 0..stages {
+        let inp = outs[(i + stages - 1) % stages];
+        ro.add(Element::Fet {
+            d: outs[i],
+            g: inp,
+            s: vdd_node,
+            table: pfet.clone(),
+        });
+        ro.add(Element::Fet {
+            d: outs[i],
+            g: inp,
+            s: NodeId::GROUND,
+            table: nfet.clone(),
+        });
+        ro.add(Element::Capacitor {
+            a: outs[i],
+            b: NodeId::GROUND,
+            farads: 5e-16,
+        });
+    }
+    for (label, solver) in [
+        ("dense", MnaSolverKind::Dense),
+        ("sparse", MnaSolverKind::Sparse),
+    ] {
+        let circuit = ro.clone();
+        let kick = outs[0];
+        h.bench(
+            SUITE,
+            &format!("sparse_mna/ro9_transient/{label}"),
+            move || {
+                let mut opts = TransientOptions::new(2e-10, 2e-12);
+                opts.newton.solver = solver;
+                opts.skip_dc = true;
+                opts.initial_voltages = vec![(kick, vdd)];
+                black_box(transient(&ExecCtx::strict(), &circuit, &opts).expect("simulates"))
+            },
+        );
+    }
+}
+
 pub fn register(h: &mut Harness) {
     rgf_vs_dense(h);
     table_vs_model(h);
@@ -233,4 +372,5 @@ pub fn register(h: &mut Harness) {
     scf_recovery(h);
     par_scaling(h);
     device_table(h);
+    sparse_mna(h);
 }

@@ -189,7 +189,8 @@ pub fn design_space_map(
                 // over-shifted tables defeat Newton, are infeasible rather
                 // than fatal.
                 Err(gnr_spice::SpiceError::Measurement { .. })
-                | Err(gnr_spice::SpiceError::NewtonDiverged { .. }) => None,
+                | Err(gnr_spice::SpiceError::NewtonDiverged { .. })
+                | Err(gnr_spice::SpiceError::RescueChainFailed { .. }) => None,
                 Err(e) => return Err(e.into()),
             };
             points.push(point);

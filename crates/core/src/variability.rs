@@ -77,7 +77,8 @@ pub fn inverter_figures_from_tables(
     // near-zero gain margins); record those as non-functional cells.
     let vtc = match inverter_vtc(&cell, vdd, 41) {
         Ok(v) => v,
-        Err(gnr_spice::SpiceError::NewtonDiverged { .. }) => {
+        Err(gnr_spice::SpiceError::NewtonDiverged { .. })
+        | Err(gnr_spice::SpiceError::RescueChainFailed { .. }) => {
             return Ok(InverterFigures {
                 delay_s: f64::NAN,
                 static_w: f64::NAN,

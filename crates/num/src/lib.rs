@@ -44,6 +44,7 @@ pub mod rng;
 pub mod roots;
 pub mod solver;
 pub mod sparse;
+pub mod sparse_lu;
 pub mod stats;
 pub mod telemetry;
 
@@ -60,4 +61,5 @@ pub use recover::{
 };
 pub use rng::Rng;
 pub use sparse::{CsrMatrix, TripletBuilder};
+pub use sparse_lu::{sparse_solve, LuSymbolic, Refactorization, SparseLu};
 pub use telemetry::{MetricValue, Telemetry, TelemetryShard, TelemetrySnapshot};

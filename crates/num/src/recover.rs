@@ -34,7 +34,7 @@ pub enum Quality {
 /// One attempt at one rung of a ladder.
 #[derive(Clone, Debug)]
 pub struct Attempt {
-    /// Rung label (e.g. `"nominal"`, `"mixing-backoff"`, `"dense-lu"`).
+    /// Rung label (e.g. `"nominal"`, `"mixing-backoff"`, `"sparse-lu"`).
     pub policy: String,
     /// Iterations the attempt used (0 when unknown).
     pub iterations: usize,
@@ -371,14 +371,12 @@ impl SharedFaultLog {
     }
 }
 
-/// Largest system routed to the dense-LU fallback rung of
-/// [`solve_linear_robust`]; larger systems stay iterative-only (O(n³)
-/// dense factorization would dominate).
-pub const DENSE_FALLBACK_MAX_DIM: usize = 768;
-
 /// Solves `A x = b` with an escalation ladder: preconditioned CG (for
-/// `symmetric` operators; skipped otherwise), then BiCGSTAB, then — for
-/// systems up to [`DENSE_FALLBACK_MAX_DIM`] unknowns — dense LU.
+/// `symmetric` operators; skipped otherwise), then BiCGSTAB, then a
+/// sparse direct LU ([`crate::sparse_lu`]). The direct rung works at any
+/// dimension — it factors the CSR pattern in place of the historical
+/// `to_dense()` fallback, which was capped at 768 unknowns because the
+/// O(n³) densification dominated beyond that.
 ///
 /// The first rung issues exactly the call sites used before the ladder
 /// existed, so fault-free results are bit-identical to plain
@@ -399,16 +397,14 @@ pub fn solve_linear_robust(
     enum Rung {
         Cg,
         Bicgstab,
-        DenseLu,
+        SparseLu,
     }
     let mut ladder = EscalationLadder::new();
     if symmetric {
         ladder = ladder.rung("cg", Rung::Cg);
     }
     ladder = ladder.rung("bicgstab", Rung::Bicgstab);
-    if a.rows() <= DENSE_FALLBACK_MAX_DIM {
-        ladder = ladder.rung("dense-lu", Rung::DenseLu);
-    }
+    ladder = ladder.rung("sparse-lu", Rung::SparseLu);
 
     let mut first_err: Option<NumError> = None;
     let outcome = ladder.run(|label, rung| {
@@ -425,7 +421,7 @@ pub fn solve_linear_robust(
             match rung {
                 Rung::Cg => cg_solve(a, b, x0, ctrl),
                 Rung::Bicgstab => bicgstab_solve(a, b, x0, ctrl),
-                Rung::DenseLu => dense_lu_attempt(a, b, ctrl),
+                Rung::SparseLu => sparse_lu_attempt(a, b, ctrl),
             }
         };
         match result {
@@ -464,13 +460,12 @@ pub fn solve_linear_robust(
     }
 }
 
-fn dense_lu_attempt(
+fn sparse_lu_attempt(
     a: &CsrMatrix,
     b: &[f64],
     ctrl: IterControl,
 ) -> NumResult<(Vec<f64>, SolveStats)> {
-    let dense = a.to_dense();
-    let x = dense.solve(b)?;
+    let x = crate::sparse_lu::sparse_solve(a, b)?;
     let mut ax = vec![0.0; b.len()];
     a.matvec_into(&x, &mut ax);
     let residual = b
@@ -610,7 +605,7 @@ mod tests {
 
     #[test]
     fn robust_solve_falls_back_when_budget_too_small() {
-        // A 2-iteration budget kills both Krylov rungs; dense LU rescues.
+        // A 2-iteration budget kills both Krylov rungs; sparse LU rescues.
         let n = 60;
         let a = laplacian_1d(n);
         let b = vec![1.0; n];
@@ -621,7 +616,7 @@ mod tests {
         let (result, report) = solve_linear_robust(&a, &b, &vec![0.0; n], ctrl, true);
         let (x, _) = result.unwrap();
         assert!(report.converged());
-        assert_eq!(report.policy_used.as_deref(), Some("dense-lu"));
+        assert_eq!(report.policy_used.as_deref(), Some("sparse-lu"));
         assert_eq!(report.attempts.len(), 3);
         let r = a.matvec(&x);
         for (ri, bi) in r.iter().zip(&b) {
@@ -630,13 +625,34 @@ mod tests {
     }
 
     #[test]
+    fn robust_solve_direct_rung_handles_large_systems() {
+        // Above the historical 768-unknown dense cap, the sparse rung
+        // still rescues a budget-starved Krylov ladder.
+        let n = 1200;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let ctrl = IterControl {
+            max_iter: 2,
+            ..IterControl::default()
+        };
+        let (result, report) = solve_linear_robust(&a, &b, &vec![0.0; n], ctrl, true);
+        let (x, _) = result.unwrap();
+        assert_eq!(report.policy_used.as_deref(), Some("sparse-lu"));
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
     fn robust_solve_reports_first_error_when_everything_fails() {
-        // Zero diagonal kills the Jacobi rungs; size above the dense cap
-        // removes the LU rung entirely.
-        let n = DENSE_FALLBACK_MAX_DIM + 1;
+        // Zero diagonal kills the Jacobi-preconditioned Krylov rungs, and
+        // an empty column makes the pattern structurally singular so even
+        // the direct rung fails.
+        let n = 40;
         let mut tb = TripletBuilder::new(n, n);
         for i in 0..n {
-            let j = if i + 1 < n { i + 1 } else { 0 };
+            let j = if i + 1 < n { i + 1 } else { 1 };
             tb.push(i, j, 1.0);
         }
         let a = tb.build();
@@ -645,6 +661,6 @@ mod tests {
             solve_linear_robust(&a, &b, &vec![0.0; n], IterControl::default(), true);
         assert!(matches!(result, Err(NumError::InvalidInput { .. })));
         assert_eq!(report.quality, Quality::Failed);
-        assert_eq!(report.attempts.len(), 2, "no dense rung above the cap");
+        assert_eq!(report.attempts.len(), 3, "all three rungs attempted");
     }
 }

@@ -59,8 +59,14 @@ impl TripletBuilder {
         self.entries.is_empty()
     }
 
-    /// Compresses the triplets into CSR form, summing duplicates and
-    /// dropping exact zeros produced by cancellation.
+    /// Compresses the triplets into CSR form, summing duplicates.
+    ///
+    /// Entries whose duplicates cancel to exactly `0.0` are *kept* as
+    /// explicit structural zeros: the resulting sparsity pattern depends
+    /// only on the coordinates pushed, never on the values. Two assemblies
+    /// of the same stencil therefore always agree in `row_ptr`/`col_idx`,
+    /// which is the invariant the symbolic-reuse sparse LU
+    /// ([`crate::sparse_lu`]) relies on.
     pub fn build(mut self) -> CsrMatrix {
         self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut row_ptr = vec![0usize; self.rows + 1];
@@ -76,11 +82,9 @@ impl TripletBuilder {
                     break;
                 }
             }
-            if v != 0.0 {
-                col_idx.push(c);
-                values.push(v);
-                row_ptr[r + 1] += 1;
-            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
         }
         for r in 0..self.rows {
             row_ptr[r + 1] += row_ptr[r];
@@ -197,14 +201,106 @@ impl CsrMatrix {
 
     /// Symmetry defect `max |A_ij - A_ji|` over stored entries; useful to
     /// validate finite-volume assembly before handing the matrix to CG.
-    pub fn symmetry_defect(&self) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] for non-square matrices
+    /// (symmetry is undefined there, and transposed lookups would index
+    /// out of bounds).
+    pub fn symmetry_defect(&self) -> NumResult<f64> {
+        if self.rows != self.cols {
+            return Err(NumError::dims(format!(
+                "symmetry_defect requires a square matrix, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
         let mut worst = 0.0f64;
         for r in 0..self.rows {
             for (c, v) in self.row(r) {
                 worst = worst.max((v - self.get(c, r)).abs());
             }
         }
-        worst
+        Ok(worst)
+    }
+
+    /// Builds a matrix directly from CSR parts (the inverse of
+    /// [`CsrMatrix::into_parts`]); used by fixed-pattern assemblers that
+    /// overwrite `values` in place between factorizations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] when the parts are inconsistent
+    /// (pointer length, monotonicity, column bounds, value count, or
+    /// unsorted/duplicate columns within a row).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> NumResult<Self> {
+        if row_ptr.len() != rows + 1 || row_ptr[0] != 0 || row_ptr[rows] != col_idx.len() {
+            return Err(NumError::invalid("csr row_ptr is inconsistent"));
+        }
+        if values.len() != col_idx.len() {
+            return Err(NumError::invalid("csr values length != col_idx length"));
+        }
+        for r in 0..rows {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            if lo > hi || hi > col_idx.len() {
+                return Err(NumError::invalid("csr row_ptr is not monotone"));
+            }
+            for k in lo..hi {
+                if col_idx[k] >= cols {
+                    return Err(NumError::invalid("csr column index out of bounds"));
+                }
+                if k > lo && col_idx[k] <= col_idx[k - 1] {
+                    return Err(NumError::invalid("csr columns must be strictly increasing"));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices of the stored entries, row-major.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values, aligned with [`CsrMatrix::col_idx`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values. The sparsity pattern itself is
+    /// immutable; this is the fixed-pattern restamping hook used by the
+    /// MNA assembler between Newton iterations.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// `true` when `other` has the identical sparsity pattern (shape,
+    /// `row_ptr`, and `col_idx`); values are ignored.
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
     }
 }
 
@@ -237,16 +333,47 @@ mod tests {
     }
 
     #[test]
-    fn duplicates_accumulate_and_zeros_drop() {
+    fn duplicates_accumulate_and_cancellation_keeps_structure() {
         let mut b = TripletBuilder::new(2, 2);
         b.push(0, 0, 1.0);
         b.push(0, 0, 2.0);
         b.push(1, 0, 5.0);
-        b.push(1, 0, -5.0); // cancels to zero -> dropped
+        b.push(1, 0, -5.0); // cancels to zero -> kept as a structural zero
         let m = b.build();
         assert_eq!(m.get(0, 0), 3.0);
         assert_eq!(m.get(1, 0), 0.0);
-        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.nnz(), 2, "cancelled entry stays in the pattern");
+    }
+
+    /// Two assemblies of one stencil with different values must yield the
+    /// identical sparsity pattern, even when one value-set cancels some
+    /// entries to exactly zero — the invariant symbolic-pattern reuse
+    /// depends on.
+    #[test]
+    fn pattern_is_value_independent() {
+        let assemble = |vals: [f64; 4]| {
+            let mut b = TripletBuilder::new(3, 3);
+            b.push(0, 0, vals[0]);
+            b.push(0, 0, vals[1]); // duplicate that may cancel
+            b.push(1, 1, vals[2]);
+            b.push(2, 0, vals[3]);
+            b.push(2, 2, 1.0);
+            b.build()
+        };
+        let a = assemble([2.0, 1.0, 5.0, -3.0]);
+        let b = assemble([4.0, -4.0, 0.0, 0.0]); // cancels (0,0); zeros elsewhere
+        assert_eq!(
+            a.row_ptr(),
+            b.row_ptr(),
+            "row_ptr must not depend on values"
+        );
+        assert_eq!(
+            a.col_idx(),
+            b.col_idx(),
+            "col_idx must not depend on values"
+        );
+        assert_eq!(a.nnz(), b.nnz());
+        assert!(a.same_pattern(&b));
     }
 
     #[test]
@@ -267,7 +394,7 @@ mod tests {
     fn diagonal_and_symmetry() {
         let m = sample();
         assert_eq!(m.diagonal().unwrap(), vec![4.0, 4.0, 4.0]);
-        assert_eq!(m.symmetry_defect(), 0.0);
+        assert_eq!(m.symmetry_defect().unwrap(), 0.0);
     }
 
     #[test]
@@ -278,7 +405,42 @@ mod tests {
         b.push(0, 0, 1.0);
         b.push(1, 1, 1.0);
         let m = b.build();
-        assert_eq!(m.symmetry_defect(), 4.0);
+        assert_eq!(m.symmetry_defect().unwrap(), 4.0);
+    }
+
+    /// Regression: `symmetry_defect` on a wide matrix used to index
+    /// `row_ptr[c + 1]` with a column index and panic; it must instead
+    /// report a dimension error like `diagonal()` does.
+    #[test]
+    fn symmetry_defect_rejects_non_square() {
+        let mut b = TripletBuilder::new(2, 4);
+        b.push(0, 3, 1.0); // col 3 > rows 2: the old code panicked here
+        b.push(1, 1, 2.0);
+        let m = b.build();
+        assert!(matches!(
+            m.symmetry_defect(),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+        let mut tall = TripletBuilder::new(4, 2);
+        tall.push(3, 0, 1.0);
+        assert!(tall.build().symmetry_defect().is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let m = sample();
+        let rebuilt = CsrMatrix::from_parts(
+            3,
+            3,
+            m.row_ptr().to_vec(),
+            m.col_idx().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, m);
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(1, 1, vec![0, 1], vec![2], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

@@ -1,0 +1,1088 @@
+//! KLU-style sparse direct LU solver with symbolic-analysis reuse.
+//!
+//! Built for the repeated-pattern linear systems of the workspace: the MNA
+//! Newton loops (DC and transient) and the 3D Poisson direct fallback both
+//! re-solve matrices whose *sparsity pattern never changes* — only the
+//! values do. The solver therefore splits the work KLU-style:
+//!
+//! 1. [`SparseLu::analyze`] — one-time symbolic analysis of the pattern:
+//!    a maximum transversal (zero-free diagonal), a block-triangular (BTF)
+//!    permutation from Tarjan's SCC algorithm, and a minimum-degree
+//!    fill-reducing ordering inside each diagonal block. Paid once per
+//!    pattern (per circuit / per grid), never per Newton step.
+//! 2. [`SparseLu::factor`] — a left-looking Gilbert–Peierls factorization
+//!    of each diagonal block with partial pivoting. Records the per-column
+//!    nonzero patterns and the pivot sequence.
+//! 3. [`SparseLu::refactor`] — a cheap numeric replay of the recorded
+//!    patterns with the *same* pivot sequence, for subsequent value sets.
+//!    A pivot-growth estimate guards the replay: when the reused pivot is
+//!    more than [`PIVOT_GROWTH_LIMIT`] times smaller than the column's
+//!    dominant entry (or exactly zero), `refactor` automatically falls
+//!    back to a fresh pivoting [`factor`](SparseLu::factor) — mirroring
+//!    the CG→BiCGSTAB→direct ladder idiom in [`crate::recover`].
+//!
+//! The symbolic phase relies on the structural-zero guarantee of
+//! [`crate::sparse::TripletBuilder::build`]: patterns depend only on the
+//! coordinates assembled, never on the values, so one analysis serves
+//! every value set stamped over the same stencil.
+
+use crate::error::{NumError, NumResult};
+use crate::sparse::CsrMatrix;
+
+/// Refactor stability guard: the reused pivot must be within this factor
+/// of the column's largest remaining entry, or the refactor is declared
+/// unstable and a fresh partial-pivoting factorization runs instead.
+pub const PIVOT_GROWTH_LIMIT: f64 = 1e6;
+
+const NONE: usize = usize::MAX;
+
+/// Which numeric path a [`SparseLu::refactor`] call actually took.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Refactorization {
+    /// No numeric factorization existed yet; a fresh `factor` ran.
+    Fresh,
+    /// The recorded pattern and pivot sequence were reused.
+    Reused,
+    /// The replay went unstable (pivot growth) and automatically fell
+    /// back to a fresh partial-pivoting factorization.
+    PivotFallback,
+}
+
+/// One-time symbolic analysis of a sparsity pattern: permutations, block
+/// structure, and a column-compressed view of the permuted pattern.
+#[derive(Clone, Debug)]
+pub struct LuSymbolic {
+    n: usize,
+    /// Pattern copy used to validate that factor/refactor inputs carry the
+    /// analyzed structure.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    /// Column permutation: original column of permuted column `j`.
+    qcol: Vec<usize>,
+    /// Row permutation: original row of permuted row `i` (diagonal of the
+    /// permuted matrix is structurally nonzero by the maximum transversal).
+    prow: Vec<usize>,
+    /// Block boundaries in permuted coordinates (`blocks[b]..blocks[b+1]`);
+    /// the permuted matrix is block *upper* triangular across them.
+    blocks: Vec<usize>,
+    /// Permuted-pattern CSC: for permuted column `q`, entries
+    /// `cptr[q]..cptr[q+1]` list (permuted row, index into the input
+    /// matrix's `values()` array) sorted by permuted row.
+    cptr: Vec<usize>,
+    crow: Vec<usize>,
+    capos: Vec<usize>,
+}
+
+impl LuSymbolic {
+    /// Dimension of the analyzed (square) pattern.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of diagonal blocks in the BTF permutation.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    fn check_pattern(&self, a: &CsrMatrix) -> NumResult<()> {
+        if a.rows() != self.n || a.cols() != self.n {
+            return Err(NumError::dims(format!(
+                "matrix is {}x{}, symbolic analysis is for {}x{}",
+                a.rows(),
+                a.cols(),
+                self.n,
+                self.n
+            )));
+        }
+        if a.row_ptr() != self.row_ptr.as_slice() || a.col_idx() != self.col_idx.as_slice() {
+            return Err(NumError::invalid(
+                "matrix sparsity pattern differs from the analyzed pattern",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Numeric L/U factors over a symbolic analysis, reusable across value
+/// sets via [`SparseLu::refactor`].
+#[derive(Clone, Debug)]
+struct LuNumeric {
+    /// Unit-lower factor, per permuted column: rows are final (pivoted)
+    /// positions strictly below the column.
+    lptr: Vec<usize>,
+    lrow: Vec<usize>,
+    lval: Vec<f64>,
+    /// Strictly-upper factor, per permuted column: rows are final pivot
+    /// positions strictly above the column, ascending.
+    uptr: Vec<usize>,
+    urow: Vec<usize>,
+    uval: Vec<f64>,
+    /// Diagonal of U, per permuted column.
+    udiag: Vec<f64>,
+    /// Final row permutation: original row feeding pivoted position `i`.
+    rperm: Vec<usize>,
+    /// Symbolic permuted row → final pivoted position (per-block pivoting
+    /// composed over the BTF permutation).
+    pinv: Vec<usize>,
+    /// Off-diagonal (block-coupling) entries per permuted column: rows are
+    /// final positions in *earlier* blocks; `oapos` indexes the input
+    /// matrix's `values()` for cheap regathering on refactor.
+    optr: Vec<usize>,
+    orow: Vec<usize>,
+    oval: Vec<f64>,
+    oapos: Vec<usize>,
+}
+
+/// A sparse LU solver bundling the symbolic analysis with (optionally)
+/// numeric factors.
+///
+/// # Example
+///
+/// ```
+/// use gnr_num::{SparseLu, TripletBuilder};
+///
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.push(0, 0, 4.0);
+/// b.push(0, 1, 1.0);
+/// b.push(1, 0, 1.0);
+/// b.push(1, 1, 3.0);
+/// let a = b.build();
+/// let mut lu = SparseLu::analyze(&a).expect("structurally nonsingular");
+/// lu.factor(&a).expect("numerically nonsingular");
+/// let x = lu.solve(&[1.0, 2.0]).expect("solves");
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseLu {
+    symbolic: LuSymbolic,
+    numeric: Option<LuNumeric>,
+}
+
+impl SparseLu {
+    /// Symbolic analysis of `a`'s sparsity pattern (values are ignored):
+    /// maximum transversal, BTF block permutation, and per-block
+    /// minimum-degree ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] for non-square input and
+    /// [`NumError::SingularMatrix`] when the pattern is structurally
+    /// singular (no zero-free diagonal exists).
+    pub fn analyze(a: &CsrMatrix) -> NumResult<SparseLu> {
+        if a.rows() != a.cols() {
+            return Err(NumError::dims(format!(
+                "sparse lu requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(NumError::invalid("sparse lu requires a non-empty matrix"));
+        }
+        let cmatch = maximum_transversal(a)?;
+        let sccs = strongly_connected_components(a, &cmatch);
+        // Tarjan emits SCCs successors-first (reverse topological order);
+        // reversing makes every structural edge point to an equal-or-later
+        // block, i.e. block *upper* triangular form.
+        let mut qcol = Vec::with_capacity(n);
+        let mut blocks = vec![0usize];
+        for scc in sccs.iter().rev() {
+            let start = qcol.len();
+            // Fill-reducing ordering inside the block (identity for 1x1).
+            let local = min_degree_order(a, &cmatch, scc);
+            for &node in &local {
+                qcol.push(node);
+            }
+            debug_assert_eq!(qcol.len(), start + scc.len());
+            blocks.push(qcol.len());
+        }
+        let prow: Vec<usize> = qcol.iter().map(|&c| cmatch[c]).collect();
+        // Inverse permutations for building the permuted CSC view.
+        let mut qinv = vec![0usize; n];
+        let mut pinv_sym = vec![0usize; n];
+        for (p, &c) in qcol.iter().enumerate() {
+            qinv[c] = p;
+        }
+        for (p, &r) in prow.iter().enumerate() {
+            pinv_sym[r] = p;
+        }
+        // Permuted CSC: sort entries by (permuted col, permuted row) and
+        // remember each entry's position in the input values array.
+        let row_ptr = a.row_ptr().to_vec();
+        let col_idx = a.col_idx().to_vec();
+        let nnz = col_idx.len();
+        let mut entries: Vec<(usize, usize, usize)> = Vec::with_capacity(nnz);
+        for r in 0..n {
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                entries.push((qinv[col_idx[k]], pinv_sym[r], k));
+            }
+        }
+        entries.sort_unstable();
+        let mut cptr = vec![0usize; n + 1];
+        let mut crow = Vec::with_capacity(nnz);
+        let mut capos = Vec::with_capacity(nnz);
+        for &(pc, pr, k) in &entries {
+            cptr[pc + 1] += 1;
+            crow.push(pr);
+            capos.push(k);
+        }
+        for q in 0..n {
+            cptr[q + 1] += cptr[q];
+        }
+        Ok(SparseLu {
+            symbolic: LuSymbolic {
+                n,
+                row_ptr,
+                col_idx,
+                qcol,
+                prow,
+                blocks,
+                cptr,
+                crow,
+                capos,
+            },
+            numeric: None,
+        })
+    }
+
+    /// The symbolic analysis (permutations and block structure).
+    pub fn symbolic(&self) -> &LuSymbolic {
+        &self.symbolic
+    }
+
+    /// `true` once numeric factors exist and [`SparseLu::solve`] may run.
+    pub fn is_factored(&self) -> bool {
+        self.numeric.is_some()
+    }
+
+    /// Fresh left-looking factorization with partial pivoting inside each
+    /// diagonal block. Records the pattern and pivot sequence that
+    /// subsequent [`refactor`](SparseLu::refactor) calls replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::SingularMatrix`] when a block is numerically
+    /// singular, and pattern/dimension errors when `a` does not carry the
+    /// analyzed structure.
+    pub fn factor(&mut self, a: &CsrMatrix) -> NumResult<()> {
+        self.symbolic.check_pattern(a)?;
+        let sym = &self.symbolic;
+        let n = sym.n;
+        let avals = a.values();
+        let mut num = LuNumeric {
+            lptr: vec![0; n + 1],
+            lrow: Vec::new(),
+            lval: Vec::new(),
+            uptr: vec![0; n + 1],
+            urow: Vec::new(),
+            uval: Vec::new(),
+            udiag: vec![0.0; n],
+            rperm: vec![NONE; n],
+            pinv: vec![NONE; n],
+            optr: vec![0; n + 1],
+            orow: Vec::new(),
+            oval: Vec::new(),
+            oapos: Vec::new(),
+        };
+        // Per-block Gilbert–Peierls working state, sized for the largest
+        // block but indexed with block-local raw rows.
+        let mut w = vec![0.0f64; n];
+        let mut lpinv = vec![NONE; n]; // local raw row -> local pivot pos
+        let mut visited = vec![0u32; n];
+        let mut stamp = 0u32;
+        let mut topo: Vec<usize> = Vec::new();
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+        // Block-local L in raw-row coordinates, remapped per block.
+        let mut bl_ptr: Vec<usize> = Vec::new();
+        let mut bl_row: Vec<usize> = Vec::new();
+        let mut bl_val: Vec<f64> = Vec::new();
+        let mut bu_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+
+        for b in 0..sym.block_count() {
+            let (k0, k1) = (sym.blocks[b], sym.blocks[b + 1]);
+            let m = k1 - k0;
+            for v in lpinv.iter_mut().take(m) {
+                *v = NONE;
+            }
+            bl_ptr.clear();
+            bl_ptr.push(0);
+            bl_row.clear();
+            bl_val.clear();
+            bu_cols.clear();
+            for j in 0..m {
+                let q = k0 + j;
+                // Gather the permuted column: block entries seed the solve,
+                // earlier-block entries go straight to off-diagonal storage.
+                stamp += 1;
+                topo.clear();
+                let mut seeds: Vec<(usize, f64)> = Vec::new();
+                for e in sym.cptr[q]..sym.cptr[q + 1] {
+                    let p = sym.crow[e];
+                    let k = sym.capos[e];
+                    if p < k0 {
+                        num.orow.push(num.pinv[p]);
+                        num.oval.push(avals[k]);
+                        num.oapos.push(k);
+                    } else {
+                        debug_assert!(p < k1, "entry below the diagonal block");
+                        seeds.push((p - k0, avals[k]));
+                    }
+                }
+                num.optr[q + 1] = num.orow.len();
+                // Symbolic: depth-first reach of the seed rows through the
+                // graph of the already-factored local L columns; reverse
+                // postorder is a valid elimination order.
+                for &(seed, _) in &seeds {
+                    if visited[seed] == stamp {
+                        continue;
+                    }
+                    visited[seed] = stamp;
+                    dfs_stack.push((seed, 0));
+                    while let Some(&mut (node, ref mut child)) = dfs_stack.last_mut() {
+                        let piv = lpinv[node];
+                        let mut descended = false;
+                        if piv != NONE {
+                            let lo = bl_ptr[piv];
+                            let hi = bl_ptr[piv + 1];
+                            while lo + *child < hi {
+                                let next = bl_row[lo + *child];
+                                *child += 1;
+                                if visited[next] != stamp {
+                                    visited[next] = stamp;
+                                    dfs_stack.push((next, 0));
+                                    descended = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !descended {
+                            if let Some((done, _)) = dfs_stack.pop() {
+                                topo.push(done);
+                            }
+                        }
+                    }
+                }
+                // Numeric: scatter, eliminate in reverse postorder.
+                for &(row, val) in &seeds {
+                    w[row] = val;
+                }
+                let mut ucol: Vec<(usize, f64)> = Vec::new();
+                for &node in topo.iter().rev() {
+                    let piv = lpinv[node];
+                    if piv == NONE {
+                        continue;
+                    }
+                    let ukj = w[node];
+                    ucol.push((piv, ukj));
+                    for e in bl_ptr[piv]..bl_ptr[piv + 1] {
+                        w[bl_row[e]] -= bl_val[e] * ukj;
+                    }
+                }
+                // Partial pivot among the not-yet-pivotal pattern rows.
+                let mut pivot_row = NONE;
+                let mut pivot_mag = 0.0f64;
+                for &node in &topo {
+                    if lpinv[node] == NONE {
+                        let mag = w[node].abs();
+                        if mag > pivot_mag || (pivot_row == NONE && mag > 0.0) {
+                            pivot_mag = mag;
+                            pivot_row = node;
+                        }
+                    }
+                }
+                if pivot_row == NONE || pivot_mag == 0.0 || !pivot_mag.is_finite() {
+                    // Clean up the scatter before reporting.
+                    for &node in &topo {
+                        w[node] = 0.0;
+                    }
+                    self.numeric = None;
+                    return Err(NumError::SingularMatrix { pivot: sym.qcol[q] });
+                }
+                let pivot = w[pivot_row];
+                lpinv[pivot_row] = j;
+                num.rperm[k0 + j] = sym.prow[k0 + pivot_row];
+                num.udiag[q] = pivot;
+                // L column: remaining non-pivotal pattern rows (kept even
+                // when numerically zero — refactor replays this pattern).
+                for &node in &topo {
+                    if lpinv[node] == NONE {
+                        bl_row.push(node);
+                        bl_val.push(w[node] / pivot);
+                    }
+                    w[node] = 0.0;
+                }
+                bl_ptr.push(bl_row.len());
+                // U column in ascending pivot order (a topological order
+                // the refactor replay can follow directly).
+                ucol.sort_unstable_by_key(|&(k, _)| k);
+                bu_cols.push(ucol);
+            }
+            // All local rows are pivotal now; publish final coordinates.
+            for (raw, &piv) in lpinv.iter().enumerate().take(m) {
+                debug_assert_ne!(piv, NONE);
+                num.pinv[k0 + raw] = k0 + piv;
+            }
+            for j in 0..m {
+                let q = k0 + j;
+                for e in bl_ptr[j]..bl_ptr[j + 1] {
+                    num.lrow.push(k0 + lpinv[bl_row[e]]);
+                    num.lval.push(bl_val[e]);
+                }
+                num.lptr[q + 1] = num.lrow.len();
+                for &(k, v) in &bu_cols[j] {
+                    num.urow.push(k0 + k);
+                    num.uval.push(v);
+                }
+                num.uptr[q + 1] = num.urow.len();
+            }
+        }
+        self.numeric = Some(num);
+        Ok(())
+    }
+
+    /// Numeric refactorization with the recorded pattern and pivot
+    /// sequence. Automatically falls back to a fresh pivoting
+    /// [`factor`](SparseLu::factor) when no factors exist yet or when the
+    /// pivot-growth estimate flags the replay unstable; the returned
+    /// [`Refactorization`] says which path ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::SingularMatrix`] when even the pivoting
+    /// fallback finds the matrix singular, and pattern/dimension errors
+    /// when `a` does not carry the analyzed structure.
+    pub fn refactor(&mut self, a: &CsrMatrix) -> NumResult<Refactorization> {
+        if self.numeric.is_none() {
+            self.factor(a)?;
+            return Ok(Refactorization::Fresh);
+        }
+        match self.refactor_strict(a) {
+            Ok(()) => Ok(Refactorization::Reused),
+            Err(NumError::DimensionMismatch { detail }) => {
+                Err(NumError::DimensionMismatch { detail })
+            }
+            Err(NumError::InvalidInput { detail }) => Err(NumError::InvalidInput { detail }),
+            Err(_) => {
+                // Unstable or singular under the reused pivots: repivot.
+                self.factor(a)?;
+                Ok(Refactorization::PivotFallback)
+            }
+        }
+    }
+
+    /// The strict replay: same pattern, same pivots, new values. Errors
+    /// (without falling back) when the reused pivot sequence goes
+    /// unstable.
+    fn refactor_strict(&mut self, a: &CsrMatrix) -> NumResult<()> {
+        self.symbolic.check_pattern(a)?;
+        let sym = &self.symbolic;
+        let num = self
+            .numeric
+            .as_mut()
+            .ok_or_else(|| NumError::invalid("refactor before factor"))?;
+        let n = sym.n;
+        let avals = a.values();
+        // Off-diagonal values: straight regather.
+        for (pos, &k) in num.oapos.iter().enumerate() {
+            num.oval[pos] = avals[k];
+        }
+        let mut w = vec![0.0f64; n];
+        for q in 0..n {
+            // Scatter the block part of permuted column q into final
+            // (pivoted) coordinates. Off-diagonal entries were handled
+            // above; `optr` tells how many lead entries of the column they
+            // consumed, and block entries are exactly the rest.
+            let ofs = num.optr[q + 1] - num.optr[q];
+            for e in sym.cptr[q] + ofs..sym.cptr[q + 1] {
+                w[num.pinv[sym.crow[e]]] = avals[sym.capos[e]];
+            }
+            // Eliminate with the recorded U pattern, ascending pivot order.
+            for pos in num.uptr[q]..num.uptr[q + 1] {
+                let k = num.urow[pos];
+                let ukj = w[k];
+                num.uval[pos] = ukj;
+                w[k] = 0.0;
+                if ukj != 0.0 {
+                    for e in num.lptr[k]..num.lptr[k + 1] {
+                        w[num.lrow[e]] -= num.lval[e] * ukj;
+                    }
+                }
+            }
+            let pivot = w[q];
+            w[q] = 0.0;
+            let mut colmax = pivot.abs();
+            for pos in num.lptr[q]..num.lptr[q + 1] {
+                colmax = colmax.max(w[num.lrow[pos]].abs());
+            }
+            if pivot == 0.0 || !pivot.is_finite() || pivot.abs() * PIVOT_GROWTH_LIMIT < colmax {
+                // Clean the scatter so the caller can retry with factor().
+                for pos in num.lptr[q]..num.lptr[q + 1] {
+                    w[num.lrow[pos]] = 0.0;
+                }
+                return Err(NumError::SingularMatrix { pivot: sym.qcol[q] });
+            }
+            num.udiag[q] = pivot;
+            for pos in num.lptr[q]..num.lptr[q + 1] {
+                let r = num.lrow[pos];
+                num.lval[pos] = w[r] / pivot;
+                w[r] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` with the current factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] when no numeric factorization
+    /// exists and [`NumError::DimensionMismatch`] for a wrong-length `b`.
+    pub fn solve(&self, b: &[f64]) -> NumResult<Vec<f64>> {
+        let sym = &self.symbolic;
+        let num = self
+            .numeric
+            .as_ref()
+            .ok_or_else(|| NumError::invalid("solve before factor"))?;
+        if b.len() != sym.n {
+            return Err(NumError::dims(format!(
+                "rhs length {} does not match dimension {}",
+                b.len(),
+                sym.n
+            )));
+        }
+        let mut y: Vec<f64> = num.rperm.iter().map(|&r| b[r]).collect();
+        // Block upper triangular: solve the last block first, then push its
+        // contribution into the earlier blocks through the off-diagonals.
+        for bidx in (0..sym.block_count()).rev() {
+            let (k0, k1) = (sym.blocks[bidx], sym.blocks[bidx + 1]);
+            // L forward solve (unit diagonal) within the block.
+            for j in k0..k1 {
+                let yj = y[j];
+                if yj != 0.0 {
+                    for e in num.lptr[j]..num.lptr[j + 1] {
+                        y[num.lrow[e]] -= num.lval[e] * yj;
+                    }
+                }
+            }
+            // U backward solve within the block.
+            for j in (k0..k1).rev() {
+                let xj = y[j] / num.udiag[j];
+                y[j] = xj;
+                if xj != 0.0 {
+                    for e in num.uptr[j]..num.uptr[j + 1] {
+                        y[num.urow[e]] -= num.uval[e] * xj;
+                    }
+                }
+            }
+            // Couple into earlier blocks.
+            for j in k0..k1 {
+                let xj = y[j];
+                if xj != 0.0 {
+                    for e in num.optr[j]..num.optr[j + 1] {
+                        y[num.orow[e]] -= num.oval[e] * xj;
+                    }
+                }
+            }
+        }
+        let mut x = vec![0.0; sym.n];
+        for (j, &c) in sym.qcol.iter().enumerate() {
+            x[c] = y[j];
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot convenience: analyze + factor + solve. Used by the direct
+/// rung of [`crate::recover::solve_linear_robust`].
+///
+/// # Errors
+///
+/// Propagates analysis and factorization failures.
+pub fn sparse_solve(a: &CsrMatrix, b: &[f64]) -> NumResult<Vec<f64>> {
+    let mut lu = SparseLu::analyze(a)?;
+    lu.factor(a)?;
+    lu.solve(b)
+}
+
+/// Maximum transversal (Duff's MC21 with a cheap-match warm start):
+/// returns `cmatch` with `cmatch[c]` the row matched to column `c`, such
+/// that `A[cmatch[c], c]` is a stored entry for every column.
+fn maximum_transversal(a: &CsrMatrix) -> NumResult<Vec<usize>> {
+    let n = a.rows();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let mut cmatch = vec![NONE; n];
+    let mut rmatch = vec![NONE; n];
+    // Cheap pass: match each row to the first free column in it.
+    for r in 0..n {
+        for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+            if cmatch[c] == NONE {
+                cmatch[c] = r;
+                rmatch[r] = c;
+                break;
+            }
+        }
+    }
+    // Augmenting passes for the rows the cheap match missed (iterative
+    // DFS over alternating paths; `visited` is a per-pass column stamp).
+    let mut visited = vec![0u32; n];
+    let mut pass = 0u32;
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (row, scan offset)
+    let mut via: Vec<usize> = Vec::new(); // column that led to stack[i] (i >= 1)
+    for r0 in 0..n {
+        if rmatch[r0] != NONE {
+            continue;
+        }
+        pass += 1;
+        stack.clear();
+        via.clear();
+        stack.push((r0, 0));
+        let mut augmented = false;
+        'dfs: while let Some(&mut (r, ref mut scan)) = stack.last_mut() {
+            let lo = row_ptr[r];
+            let hi = row_ptr[r + 1];
+            while lo + *scan < hi {
+                let c = col_idx[lo + *scan];
+                *scan += 1;
+                if visited[c] == pass {
+                    continue;
+                }
+                visited[c] = pass;
+                if cmatch[c] == NONE {
+                    // Free column: flip the alternating path along the stack.
+                    let mut col = c;
+                    for level in (0..stack.len()).rev() {
+                        let row = stack[level].0;
+                        let prev = rmatch[row];
+                        cmatch[col] = row;
+                        rmatch[row] = col;
+                        if level == 0 {
+                            debug_assert_eq!(prev, NONE);
+                        } else {
+                            debug_assert_eq!(prev, via[level - 1]);
+                            col = via[level - 1];
+                        }
+                    }
+                    augmented = true;
+                    break 'dfs;
+                }
+                via.push(c);
+                stack.push((cmatch[c], 0));
+                continue 'dfs;
+            }
+            stack.pop();
+            via.pop();
+        }
+        if !augmented {
+            return Err(NumError::SingularMatrix { pivot: r0 });
+        }
+    }
+    Ok(cmatch)
+}
+
+/// Tarjan's strongly-connected components (iterative) on the matched
+/// graph `j -> k` iff `A[cmatch[j], k]` is stored. SCCs are emitted
+/// successors-first (reverse topological order of the condensation).
+fn strongly_connected_components(a: &CsrMatrix, cmatch: &[usize]) -> Vec<Vec<usize>> {
+    let n = a.rows();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let succ = |j: usize| -> &[usize] {
+        let r = cmatch[j];
+        &col_idx[row_ptr[r]..row_ptr[r + 1]]
+    };
+    let mut index = vec![NONE; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new(); // (node, child offset)
+    for root in 0..n {
+        if index[root] != NONE {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        scc_stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            let succs = succ(v);
+            if *child < succs.len() {
+                let u = succs[*child];
+                *child += 1;
+                if index[u] == NONE {
+                    index[u] = next_index;
+                    lowlink[u] = next_index;
+                    next_index += 1;
+                    scc_stack.push(u);
+                    on_stack[u] = true;
+                    call.push((u, 0));
+                } else if on_stack[u] {
+                    lowlink[v] = lowlink[v].min(index[u]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let u = scc_stack.pop().expect("scc stack underflow");
+                        on_stack[u] = false;
+                        comp.push(u);
+                        if u == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Minimum-degree fill-reducing ordering of one diagonal block, run on
+/// the symmetrized block pattern (ties broken by smallest node index for
+/// determinism). Returns the block's nodes in elimination order.
+fn min_degree_order(a: &CsrMatrix, cmatch: &[usize], scc: &[usize]) -> Vec<usize> {
+    let m = scc.len();
+    if m <= 2 {
+        return scc.to_vec();
+    }
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let mut local = std::collections::HashMap::with_capacity(m);
+    for (i, &node) in scc.iter().enumerate() {
+        local.insert(node, i);
+    }
+    // Symmetrized local adjacency (pattern of B + Bᵀ restricted to the
+    // block), excluding the diagonal.
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); m];
+    for (i, &node) in scc.iter().enumerate() {
+        let r = cmatch[node];
+        for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+            if let Some(&j) = local.get(&c) {
+                if i != j {
+                    adj[i].insert(j);
+                    adj[j].insert(i);
+                }
+            }
+        }
+    }
+    let mut alive = vec![true; m];
+    let mut order = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut best = NONE;
+        let mut best_deg = usize::MAX;
+        for (i, alive_i) in alive.iter().enumerate() {
+            if *alive_i && adj[i].len() < best_deg {
+                best_deg = adj[i].len();
+                best = i;
+            }
+        }
+        let v = best;
+        alive[v] = false;
+        order.push(scc[v]);
+        let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+        for &u in &nbrs {
+            adj[u].remove(&v);
+        }
+        // Eliminating v turns its neighborhood into a clique (the fill).
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &t in &nbrs[i + 1..] {
+                adj[u].insert(t);
+                adj[t].insert(u);
+            }
+        }
+        adj[v].clear();
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::sparse::TripletBuilder;
+
+    fn dense_solve(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+        a.to_dense().solve(b).expect("dense solves")
+    }
+
+    fn residual_inf(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x);
+        ax.iter()
+            .zip(b)
+            .fold(0.0f64, |m, (axi, bi)| m.max((axi - bi).abs()))
+    }
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0 + 0.01 * i as f64);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    /// An MNA-shaped system: node conductances plus a voltage-source
+    /// branch row/column whose diagonal is structurally zero — the case
+    /// that forces a genuine maximum transversal.
+    fn mna_like() -> CsrMatrix {
+        // Unknowns: v1, v2, i_src. Source fixes v1 = 1 V; R = 2 between
+        // v1 and v2; R = 1 from v2 to ground.
+        let mut b = TripletBuilder::new(3, 3);
+        b.push(0, 0, 0.5);
+        b.push(0, 1, -0.5);
+        b.push(0, 2, 1.0);
+        b.push(1, 0, -0.5);
+        b.push(1, 1, 1.5);
+        b.push(2, 0, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn solves_spd_tridiagonal() {
+        let a = laplacian_1d(12);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x = sparse_solve(&a, &b).unwrap();
+        let xd = dense_solve(&a, &b);
+        for (xi, di) in x.iter().zip(&xd) {
+            assert!((xi - di).abs() < 1e-12, "{xi} vs {di}");
+        }
+    }
+
+    #[test]
+    fn solves_zero_diagonal_mna_system() {
+        let a = mna_like();
+        let rhs = vec![0.0, 0.0, 1.0];
+        let x = sparse_solve(&a, &rhs).unwrap();
+        // v1 = 1 V, v2 = 1/3 V, i_src = -(1 - 1/3)/2 = -1/3 A.
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn btf_finds_decoupled_blocks() {
+        // Two independent 2x2 systems interleaved: BTF must find >= 2
+        // diagonal blocks and still solve exactly.
+        let mut b = TripletBuilder::new(4, 4);
+        b.push(0, 0, 3.0);
+        b.push(0, 2, 1.0);
+        b.push(2, 0, 1.0);
+        b.push(2, 2, 2.0);
+        b.push(1, 1, 4.0);
+        b.push(1, 3, -1.0);
+        b.push(3, 1, -1.0);
+        b.push(3, 3, 5.0);
+        let a = b.build();
+        let lu = SparseLu::analyze(&a).unwrap();
+        assert!(lu.symbolic().block_count() >= 2);
+        let rhs = vec![1.0, 2.0, 3.0, 4.0];
+        let x = sparse_solve(&a, &rhs).unwrap();
+        assert!(residual_inf(&a, &x, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn triangular_chain_becomes_one_by_one_blocks() {
+        // Upper-triangular pattern: every SCC is a singleton, so the BTF
+        // solve is pure substitution.
+        let mut b = TripletBuilder::new(4, 4);
+        for i in 0..4 {
+            b.push(i, i, 2.0);
+            if i + 1 < 4 {
+                b.push(i, i + 1, 1.0);
+            }
+        }
+        let a = b.build();
+        let lu = SparseLu::analyze(&a).unwrap();
+        assert_eq!(lu.symbolic().block_count(), 4);
+        let rhs = vec![1.0, 1.0, 1.0, 1.0];
+        let x = sparse_solve(&a, &rhs).unwrap();
+        assert!(residual_inf(&a, &x, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn structurally_singular_pattern_is_an_error_not_a_panic() {
+        // Column 2 is empty: no transversal exists.
+        let mut b = TripletBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 2.0);
+        b.push(1, 1, 3.0);
+        b.push(2, 1, 4.0);
+        let a = b.build();
+        assert!(matches!(
+            SparseLu::analyze(&a),
+            Err(NumError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn numerically_singular_matrix_is_an_error_not_a_panic() {
+        // Structurally fine, numerically rank-deficient (row2 = 2*row1).
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, 2.0);
+        b.push(1, 1, 4.0);
+        let a = b.build();
+        let mut lu = SparseLu::analyze(&a).unwrap();
+        assert!(matches!(
+            lu.factor(&a),
+            Err(NumError::SingularMatrix { .. })
+        ));
+        assert!(!lu.is_factored());
+        assert!(lu.solve(&[1.0, 1.0]).is_err(), "solve before factor errors");
+    }
+
+    #[test]
+    fn explicit_structural_zero_pivot_is_singular() {
+        let mut b = TripletBuilder::new(1, 1);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, -1.0); // structural entry, numeric zero
+        let a = b.build();
+        assert_eq!(a.nnz(), 1);
+        let mut lu = SparseLu::analyze(&a).unwrap();
+        assert!(matches!(
+            lu.factor(&a),
+            Err(NumError::SingularMatrix { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn non_square_and_wrong_rhs_rejected() {
+        let mut b = TripletBuilder::new(2, 3);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 1.0);
+        assert!(matches!(
+            SparseLu::analyze(&b.build()),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+        let a = laplacian_1d(4);
+        let mut lu = SparseLu::analyze(&a).unwrap();
+        lu.factor(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pattern_mismatch_rejected() {
+        let a = laplacian_1d(5);
+        let mut lu = SparseLu::analyze(&a).unwrap();
+        let other = laplacian_1d(6);
+        assert!(lu.factor(&other).is_err());
+        let mut b = TripletBuilder::new(5, 5);
+        for i in 0..5 {
+            b.push(i, i, 1.0);
+        }
+        assert!(matches!(
+            lu.factor(&b.build()),
+            Err(NumError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_and_matches_dense() {
+        let n = 30;
+        let a = laplacian_1d(n);
+        let mut lu = SparseLu::analyze(&a).unwrap();
+        assert_eq!(lu.refactor(&a).unwrap(), Refactorization::Fresh);
+        // New values over the same pattern.
+        let mut vals2 = a.clone();
+        for (k, v) in vals2.values_mut().iter_mut().enumerate() {
+            *v += 0.1 * ((k % 7) as f64 - 3.0) * 0.01;
+        }
+        assert_eq!(lu.refactor(&vals2).unwrap(), Refactorization::Reused);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x = lu.solve(&b).unwrap();
+        let xd = dense_solve(&vals2, &b);
+        for (xi, di) in x.iter().zip(&xd) {
+            assert!((xi - di).abs() < 1e-10, "{xi} vs {di}");
+        }
+    }
+
+    #[test]
+    fn refactor_is_bit_deterministic() {
+        let n = 25;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut lu1 = SparseLu::analyze(&a).unwrap();
+        lu1.factor(&a).unwrap();
+        lu1.refactor(&a).unwrap();
+        let x1 = lu1.solve(&b).unwrap();
+        let mut lu2 = SparseLu::analyze(&a).unwrap();
+        lu2.factor(&a).unwrap();
+        lu2.refactor(&a).unwrap();
+        let x2 = lu2.solve(&b).unwrap();
+        assert_eq!(x1, x2, "refactor must be bit-deterministic");
+    }
+
+    #[test]
+    fn unstable_refactor_falls_back_to_pivoting_factor() {
+        // Factor with a dominant (0,0); then shrink it by 1e9 so the
+        // recorded pivot goes unstable and the guard must repivot.
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        b.push(1, 1, -1.0);
+        let a = b.build();
+        let mut lu = SparseLu::analyze(&a).unwrap();
+        lu.factor(&a).unwrap();
+        let mut shifted = a.clone();
+        shifted.values_mut()[0] = 1e-9; // (0,0): pivot collapses
+        shifted.values_mut()[3] = -1.0;
+        let kind = lu.refactor(&shifted).unwrap();
+        assert_eq!(kind, Refactorization::PivotFallback);
+        let rhs = vec![1.0, 0.0];
+        let x = lu.solve(&rhs).unwrap();
+        assert!(residual_inf(&shifted, &x, &rhs) < 1e-9);
+    }
+
+    #[test]
+    fn random_patterns_match_dense_lu() {
+        let mut rng = Rng::seed_from_u64(20080608);
+        for trial in 0..25 {
+            let n = 5 + rng.below(40);
+            let mut tb = TripletBuilder::new(n, n);
+            for i in 0..n {
+                // Diagonally dominant base keeps the systems well
+                // conditioned so 1e-10 agreement is meaningful.
+                tb.push(i, i, 4.0 + rng.uniform());
+                let fan = 1 + rng.below(4);
+                for _ in 0..fan {
+                    let j = rng.below(n);
+                    if j != i {
+                        tb.push(i, j, rng.uniform() - 0.5);
+                    }
+                }
+            }
+            let a = tb.build();
+            let b: Vec<f64> = (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+            let x = sparse_solve(&a, &b).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let xd = dense_solve(&a, &b);
+            for (xi, di) in x.iter().zip(&xd) {
+                assert!(
+                    (xi - di).abs() < 1e-10,
+                    "trial {trial} (n={n}): {xi} vs {di}"
+                );
+            }
+        }
+    }
+}

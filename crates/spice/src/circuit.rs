@@ -7,8 +7,8 @@
 //! engines drive with Newton's method.
 
 use crate::error::SpiceError;
+use crate::mna::MnaSink;
 use gnr_device::DeviceTable;
-use gnr_num::Matrix;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -123,8 +123,8 @@ pub enum Element {
 }
 
 /// Callback that stamps a capacitor companion model into the MNA system
-/// (element, trial solution, Jacobian, residual).
-pub(crate) type CapStamp<'a> = &'a mut dyn FnMut(&Element, &[f64], &mut Matrix, &mut Vec<f64>);
+/// (element, trial solution, Jacobian sink, residual).
+pub(crate) type CapStamp<'a> = &'a mut dyn FnMut(&Element, &[f64], &mut dyn MnaSink, &mut Vec<f64>);
 
 /// A flat netlist plus node interning.
 #[derive(Clone, Debug, Default)]
@@ -262,6 +262,12 @@ impl Circuit {
     /// leaving the node`. Capacitors are stamped by the caller-provided
     /// `cap_stamp` (empty in DC, companion model in transient); `gmin` adds
     /// a small conductance to ground at every node for convergence aid.
+    ///
+    /// The Jacobian goes through the [`MnaSink`] abstraction (dense
+    /// matrix, fixed-pattern sparse matrix, or residual-only); residual
+    /// values are identical across sinks, and Jacobian-only device
+    /// `gm`/`gds` lookups are skipped when the sink discards matrix
+    /// entries.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn stamp(
         &self,
@@ -269,7 +275,7 @@ impl Circuit {
         t: f64,
         gmin: f64,
         mut cap_stamp: Option<CapStamp<'_>>,
-        jac: &mut Matrix,
+        jac: &mut dyn MnaSink,
         res: &mut Vec<f64>,
     ) {
         let n_nodes = self.node_count - 1;
@@ -284,10 +290,10 @@ impl Circuit {
         for v in res.iter_mut() {
             *v = 0.0;
         }
-        *jac = Matrix::zeros(self.unknowns(), self.unknowns());
+        jac.clear();
         // gmin to ground on every node.
         for i in 0..n_nodes {
-            jac.add_to(i, i, gmin);
+            jac.add(i, i, gmin);
             res[i] += gmin * x[i];
         }
         let mut src_idx = 0usize;
@@ -299,22 +305,22 @@ impl Circuit {
                     let i_ab = g * (va - vb);
                     if let Some(ia) = self.mna_index(*a) {
                         res[ia] += i_ab;
-                        jac.add_to(ia, ia, g);
+                        jac.add(ia, ia, g);
                         if let Some(ib) = self.mna_index(*b) {
-                            jac.add_to(ia, ib, -g);
+                            jac.add(ia, ib, -g);
                         }
                     }
                     if let Some(ib) = self.mna_index(*b) {
                         res[ib] -= i_ab;
-                        jac.add_to(ib, ib, g);
+                        jac.add(ib, ib, g);
                         if let Some(ia) = self.mna_index(*a) {
-                            jac.add_to(ib, ia, -g);
+                            jac.add(ib, ia, -g);
                         }
                     }
                 }
                 Element::Capacitor { .. } => {
                     if let Some(f) = cap_stamp.as_deref_mut() {
-                        f(e, x, jac, res);
+                        f(e, x, &mut *jac, res);
                     }
                 }
                 Element::VSource { p, n, wave } => {
@@ -323,15 +329,15 @@ impl Circuit {
                     // Branch equation: V(p) - V(n) - v_target = 0.
                     res[row] = volt(*p, x) - volt(*n, x) - v_target;
                     if let Some(ip) = self.mna_index(*p) {
-                        jac.add_to(row, ip, 1.0);
+                        jac.add(row, ip, 1.0);
                         // Branch current flows out of p into the source.
                         res[ip] += x[row];
-                        jac.add_to(ip, row, 1.0);
+                        jac.add(ip, row, 1.0);
                     }
                     if let Some(in_) = self.mna_index(*n) {
-                        jac.add_to(row, in_, -1.0);
+                        jac.add(row, in_, -1.0);
                         res[in_] -= x[row];
-                        jac.add_to(in_, row, -1.0);
+                        jac.add(in_, row, -1.0);
                     }
                     src_idx += 1;
                 }
@@ -339,34 +345,42 @@ impl Circuit {
                     let (vd, vg, vs) = (volt(*d, x), volt(*g, x), volt(*s, x));
                     let vgs = vg - vs;
                     let vds = vd - vs;
-                    let id = table.current(vgs, vds);
-                    let gm = table.gm(vgs, vds);
-                    let gds = table.gds(vgs, vds);
                     // Current into drain = id; out of source = id.
+                    let id = table.current(vgs, vds);
                     if let Some(idd) = self.mna_index(*d) {
                         res[idd] += id;
-                        jac.add_to(idd, idd, gds);
-                        if let Some(ig) = self.mna_index(*g) {
-                            jac.add_to(idd, ig, gm);
-                        }
-                        if let Some(is) = self.mna_index(*s) {
-                            jac.add_to(idd, is, -(gm + gds));
-                        }
                     }
                     if let Some(is) = self.mna_index(*s) {
                         res[is] -= id;
-                        jac.add_to(is, is, gm + gds);
+                    }
+                    // The gm/gds table lookups only feed the Jacobian;
+                    // residual-only sinks skip them entirely.
+                    if jac.wants_matrix() {
+                        let gm = table.gm(vgs, vds);
+                        let gds = table.gds(vgs, vds);
                         if let Some(idd) = self.mna_index(*d) {
-                            jac.add_to(is, idd, -gds);
+                            jac.add(idd, idd, gds);
+                            if let Some(ig) = self.mna_index(*g) {
+                                jac.add(idd, ig, gm);
+                            }
+                            if let Some(is) = self.mna_index(*s) {
+                                jac.add(idd, is, -(gm + gds));
+                            }
                         }
-                        if let Some(ig) = self.mna_index(*g) {
-                            jac.add_to(is, ig, -gm);
+                        if let Some(is) = self.mna_index(*s) {
+                            jac.add(is, is, gm + gds);
+                            if let Some(idd) = self.mna_index(*d) {
+                                jac.add(is, idd, -gds);
+                            }
+                            if let Some(ig) = self.mna_index(*g) {
+                                jac.add(is, ig, -gm);
+                            }
                         }
                     }
                     // The FET's capacitive gate current is handled by the
                     // transient companion models, not here.
                     if let Some(f) = cap_stamp.as_deref_mut() {
-                        f(e, x, jac, res);
+                        f(e, x, &mut *jac, res);
                     }
                 }
             }

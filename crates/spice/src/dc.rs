@@ -3,8 +3,8 @@
 
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
+use crate::mna::{MnaSolverKind, MnaSystem, ResidualOnly};
 use gnr_num::telemetry;
-use gnr_num::Matrix;
 
 /// Newton iteration controls for DC solves.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -18,6 +18,9 @@ pub struct DcOptions {
     /// gmin homotopy ladder (descending); the last entry is used for the
     /// final solve and should be small enough not to load the circuit.
     pub gmin_ladder: &'static [f64],
+    /// Linear-system backend: legacy dense, KLU-style sparse, or size-based
+    /// auto selection (the default).
+    pub solver: MnaSolverKind,
 }
 
 impl Default for DcOptions {
@@ -27,6 +30,7 @@ impl Default for DcOptions {
             tolerance_a: 1e-12,
             step_clamp_v: 0.1,
             gmin_ladder: &[1e-3, 1e-6, 1e-9, 1e-12],
+            solver: MnaSolverKind::Auto,
         }
     }
 }
@@ -48,11 +52,14 @@ pub fn dc_operating_point(
 ) -> Result<Vec<f64>, SpiceError> {
     circuit.validate()?;
     let n = circuit.unknowns();
-    let run_ladder = |start: Vec<f64>| -> Result<Vec<f64>, SpiceError> {
+    // One linear system per circuit: the sparse backend's symbolic
+    // analysis is paid here once and reused by every gmin stage and seed.
+    let mut sys = MnaSystem::for_circuit(circuit, opts.solver);
+    let mut run_ladder = |start: Vec<f64>| -> Result<Vec<f64>, SpiceError> {
         let mut x = start;
         for (stage, &gmin) in opts.gmin_ladder.iter().enumerate() {
             let is_last = stage == opts.gmin_ladder.len() - 1;
-            match newton(circuit, &mut x, 0.0, gmin, opts) {
+            match newton(circuit, &mut x, 0.0, gmin, opts, &mut sys) {
                 Ok(()) => {}
                 Err(e) if is_last => return Err(e),
                 Err(_) => { /* keep the best-effort x and tighten gmin anyway */ }
@@ -112,7 +119,15 @@ pub fn dc_operating_point(
                     telemetry::counter_inc("spice.dc.source_stepping_rescues");
                     Ok(x)
                 }
-                Err(_) => Err(first_err),
+                Err(stepping_err) => {
+                    telemetry::counter_inc("spice.dc.source_stepping_failures");
+                    Err(SpiceError::RescueChainFailed {
+                        analysis: "dc",
+                        attempted: &["gmin-ladder", "mid-rail-seeds", "source-stepping"],
+                        primary: Box::new(first_err),
+                        last: Box::new(stepping_err),
+                    })
+                }
             }
         }
     }
@@ -134,6 +149,9 @@ pub(crate) fn source_stepping(circuit: &Circuit, opts: DcOptions) -> Result<Vec<
         .collect();
     let mut scaled = circuit.clone();
     let mut x = vec![0.0; circuit.unknowns()];
+    // Source scaling changes values, never the pattern: one system (and
+    // one symbolic analysis) serves the whole ramp.
+    let mut sys = MnaSystem::for_circuit(circuit, opts.solver);
     for frac in [0.25, 0.5, 0.75, 1.0] {
         let mut k = 0;
         for e in circuit_elements_mut(&mut scaled) {
@@ -147,7 +165,7 @@ pub(crate) fn source_stepping(circuit: &Circuit, opts: DcOptions) -> Result<Vec<
         let full_drive = frac == 1.0;
         for (stage, &gmin) in opts.gmin_ladder.iter().enumerate() {
             let is_last = stage == opts.gmin_ladder.len() - 1;
-            match newton(&scaled, &mut x, 0.0, gmin, opts) {
+            match newton(&scaled, &mut x, 0.0, gmin, opts, &mut sys) {
                 Ok(()) => {}
                 Err(e) if is_last && full_drive => return Err(e),
                 Err(_) => { /* intermediate ramp steps may stay loose */ }
@@ -157,20 +175,21 @@ pub(crate) fn source_stepping(circuit: &Circuit, opts: DcOptions) -> Result<Vec<
     Ok(x)
 }
 
-/// One Newton solve at fixed time and gmin; `x` is updated in place.
+/// One Newton solve at fixed time and gmin; `x` is updated in place. The
+/// caller owns the linear system so its (sparse) symbolic analysis is
+/// shared across stages and warm starts.
 pub(crate) fn newton(
     circuit: &Circuit,
     x: &mut [f64],
     t: f64,
     gmin: f64,
     opts: DcOptions,
+    sys: &mut MnaSystem,
 ) -> Result<(), SpiceError> {
     let n = circuit.unknowns();
-    let mut jac = Matrix::zeros(n, n);
     let mut res = vec![0.0; n];
     let mut trial = vec![0.0; n];
     let mut trial_res = vec![0.0; n];
-    let mut trial_jac = Matrix::zeros(n, n);
     let worst_of = |r: &[f64]| r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     // Iterations are accumulated locally and recorded once per call so the
     // disarmed path costs a single relaxed atomic load, not one per step.
@@ -180,19 +199,20 @@ pub(crate) fn newton(
         telemetry::counter_add("spice.newton.iterations", iters);
     };
     for _ in 0..opts.max_iterations {
-        circuit.stamp(x, t, gmin, None, &mut jac, &mut res);
+        circuit.stamp(x, t, gmin, None, sys.sink(), &mut res);
         let worst = worst_of(&res);
         if worst < opts.tolerance_a {
             record(iters);
             return Ok(());
         }
         iters += 1;
-        let dx = jac.solve(&res)?;
+        let dx = sys.solve(&res)?;
         // Residual line search: bilinear lookup tables have kinked
         // derivatives that make full Newton steps limit-cycle between grid
         // cells; backtracking on the residual norm restores global
         // convergence. Steps are also clamped per unknown for robustness
-        // far from the solution.
+        // far from the solution. Trial points only need the residual, so
+        // the backtracks skip the Jacobian assembly entirely.
         let mut accepted = false;
         let mut scale = 1.0;
         for _ in 0..7 {
@@ -200,7 +220,7 @@ pub(crate) fn newton(
                 let step = (scale * dx[i]).clamp(-opts.step_clamp_v, opts.step_clamp_v);
                 trial[i] = x[i] - step;
             }
-            circuit.stamp(&trial, t, gmin, None, &mut trial_jac, &mut trial_res);
+            circuit.stamp(&trial, t, gmin, None, &mut ResidualOnly, &mut trial_res);
             if worst_of(&trial_res) < worst {
                 x.copy_from_slice(&trial);
                 accepted = true;
@@ -214,12 +234,13 @@ pub(crate) fn newton(
             x.copy_from_slice(&trial);
         }
     }
-    // Final residual check after the last update. Accept a relaxed band:
-    // stacks of off devices leave near-floating internal nodes whose
-    // Jacobian is so flat that Newton stalls at a physically negligible
-    // residual (tens of nA against uA-scale signal currents); genuine
-    // non-convergence shows residuals orders of magnitude above this.
-    circuit.stamp(x, t, gmin, None, &mut jac, &mut res);
+    // Final residual check after the last update (residual-only). Accept a
+    // relaxed band: stacks of off devices leave near-floating internal
+    // nodes whose Jacobian is so flat that Newton stalls at a physically
+    // negligible residual (tens of nA against uA-scale signal currents);
+    // genuine non-convergence shows residuals orders of magnitude above
+    // this.
+    circuit.stamp(x, t, gmin, None, &mut ResidualOnly, &mut res);
     let worst = worst_of(&res);
     record(iters);
     if worst < opts.tolerance_a * 1e5 {

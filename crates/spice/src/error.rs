@@ -18,6 +18,19 @@ pub enum SpiceError {
         /// Worst KCL residual \[A\].
         residual: f64,
     },
+    /// Every rescue homotopy for an analysis was exhausted; records both
+    /// the primary failure and the last rescue's failure so neither is
+    /// hidden.
+    RescueChainFailed {
+        /// The analysis whose rescue chain ran dry ("dc", ...).
+        analysis: &'static str,
+        /// The rescue strategies tried, in order.
+        attempted: &'static [&'static str],
+        /// The original (pre-rescue) failure.
+        primary: Box<SpiceError>,
+        /// The failure of the final rescue attempt.
+        last: Box<SpiceError>,
+    },
     /// Invalid netlist or analysis configuration.
     Config {
         /// Human-readable description.
@@ -43,6 +56,16 @@ impl fmt::Display for SpiceError {
                 f,
                 "{analysis} newton iteration did not converge after {iterations} iterations (residual {residual:.3e} A)"
             ),
+            SpiceError::RescueChainFailed {
+                analysis,
+                attempted,
+                primary,
+                last,
+            } => write!(
+                f,
+                "{analysis} rescue chain exhausted ({}): primary failure: {primary}; last rescue failure: {last}",
+                attempted.join(", ")
+            ),
             SpiceError::Config { detail } => write!(f, "invalid circuit: {detail}"),
             SpiceError::Measurement { detail } => write!(f, "measurement failed: {detail}"),
         }
@@ -53,6 +76,7 @@ impl Error for SpiceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SpiceError::Linear(e) => Some(e),
+            SpiceError::RescueChainFailed { primary, .. } => Some(&**primary),
             _ => None,
         }
     }

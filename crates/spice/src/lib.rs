@@ -48,8 +48,10 @@ pub mod circuit;
 pub mod dc;
 pub mod error;
 pub mod measure;
+pub mod mna;
 pub mod transient;
 
 pub use circuit::{Circuit, Element, NodeId, Waveform};
 pub use error::SpiceError;
+pub use mna::MnaSolverKind;
 pub use transient::{transient, TransientOptions, TransientRecovery};

@@ -13,10 +13,10 @@
 use crate::circuit::{Circuit, Element, NodeId};
 use crate::dc::{dc_operating_point, DcOptions};
 use crate::error::SpiceError;
+use crate::mna::{MnaSink, MnaSystem, ResidualOnly};
 use gnr_num::par::{ExecCtx, RecoveryPolicy};
 use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
 use gnr_num::telemetry;
-use gnr_num::Matrix;
 use std::collections::HashMap;
 
 /// Time-integration method for the transient engine.
@@ -203,7 +203,9 @@ pub(crate) fn transient_nominal(
 
     let steps = (opts.t_stop / opts.dt).ceil() as usize;
     let dt = opts.dt;
-    let mut jac = Matrix::zeros(n, n);
+    // One linear system for the whole run: the sparse backend's symbolic
+    // analysis is shared by every time step's Newton loop.
+    let mut sys = MnaSystem::for_circuit(circuit, opts.newton.solver);
     let mut res = vec![0.0; n];
     // Per-branch capacitor current history (trapezoidal rule); zero at the
     // DC starting point by definition.
@@ -229,7 +231,7 @@ pub(crate) fn transient_nominal(
                 &caps,
                 opts.integrator,
                 &hist,
-                &mut jac,
+                sys.sink(),
                 &mut res,
             );
             let worst = res.iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -242,13 +244,14 @@ pub(crate) fn transient_nominal(
                 clamp = (clamp * 0.5).max(1e-5);
             }
             prev_worst = worst;
-            let dx = jac.solve(&res)?;
+            let dx = sys.solve(&res)?;
             for (xi, di) in x.iter_mut().zip(&dx) {
                 *xi -= di.clamp(-clamp, clamp);
             }
         }
         if !newton_ok {
-            // Accept with a softened tolerance before failing outright.
+            // Accept with a softened tolerance before failing outright;
+            // only the residual is needed here, so skip the Jacobian.
             stamp_with_caps(
                 circuit,
                 &x,
@@ -258,7 +261,7 @@ pub(crate) fn transient_nominal(
                 &caps,
                 opts.integrator,
                 &hist,
-                &mut jac,
+                &mut ResidualOnly,
                 &mut res,
             );
             let worst = res.iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -470,7 +473,7 @@ fn stamp_with_caps(
     caps: &FrozenCaps,
     integrator: Integrator,
     hist: &BranchHistory,
-    jac: &mut Matrix,
+    jac: &mut dyn MnaSink,
     res: &mut Vec<f64>,
 ) {
     // Companion models:
@@ -486,12 +489,12 @@ fn stamp_with_caps(
             r
         })
         .collect();
-    let mut cap_stamp = |e: &Element, x: &[f64], jac: &mut Matrix, res: &mut Vec<f64>| {
+    let mut cap_stamp = |e: &Element, x: &[f64], jac: &mut dyn MnaSink, res: &mut Vec<f64>| {
         let stamp_pair = |key: (usize, u8),
                           a: NodeId,
                           b: NodeId,
                           c: f64,
-                          jac: &mut Matrix,
+                          jac: &mut dyn MnaSink,
                           res: &mut Vec<f64>| {
             if c <= 0.0 {
                 return;
@@ -511,29 +514,29 @@ fn stamp_with_caps(
             };
             if let Some(ia) = circuit.mna_index(a) {
                 res[ia] += i;
-                jac.add_to(ia, ia, geq);
+                jac.add(ia, ia, geq);
                 if let Some(ib) = circuit.mna_index(b) {
-                    jac.add_to(ia, ib, -geq);
+                    jac.add(ia, ib, -geq);
                 }
             }
             if let Some(ib) = circuit.mna_index(b) {
                 res[ib] -= i;
-                jac.add_to(ib, ib, geq);
+                jac.add(ib, ib, geq);
                 if let Some(ia) = circuit.mna_index(a) {
-                    jac.add_to(ib, ia, -geq);
+                    jac.add(ib, ia, -geq);
                 }
             }
         };
         match e {
             Element::Capacitor { a, b, farads } => {
                 let idx = indices[&(e as *const Element)];
-                stamp_pair((idx, 0), *a, *b, *farads, jac, res);
+                stamp_pair((idx, 0), *a, *b, *farads, &mut *jac, res);
             }
             Element::Fet { d, g, s, .. } => {
                 let idx = indices[&(e as *const Element)];
                 if let Some(&(cgs, cgd)) = caps.get(&idx) {
-                    stamp_pair((idx, 0), *g, *s, cgs, jac, res);
-                    stamp_pair((idx, 1), *g, *d, cgd, jac, res);
+                    stamp_pair((idx, 0), *g, *s, cgs, &mut *jac, res);
+                    stamp_pair((idx, 1), *g, *d, cgd, &mut *jac, res);
                 }
             }
             _ => {}

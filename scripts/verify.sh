@@ -50,10 +50,12 @@ GNR_THREADS=4 cargo test --workspace -q --offline
 # The workspace pass above already runs these, but they are the named
 # gate for the transport acceleration layer (DESIGN.md §11): physics
 # goldens, transport invariants on both solver paths, and the surface-GF
-# cache determinism/fallback contract.
+# cache determinism/fallback contract. sparse_mna (DESIGN.md §12) pins
+# the sparse MNA backend against the legacy dense path.
 echo "== tier-1: acceleration-layer conformance suites (GNR_THREADS=4) =="
 GNR_THREADS=4 cargo test -q --offline \
-  --test physics_conformance --test transport_invariants --test surface_cache
+  --test physics_conformance --test transport_invariants --test surface_cache \
+  --test sparse_mna
 
 if [ "$TIER" = "1" ]; then
   echo "verify: tier-1 checks passed"

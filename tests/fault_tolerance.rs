@@ -305,9 +305,9 @@ fn injected_linear_fault_falls_through_to_dense_lu() {
     let a = tb.build();
     let b = vec![1.0; n];
     let (result, report) = solve_linear_robust(&a, &b, &vec![0.0; n], IterControl::default(), true);
-    let (x, _) = result.expect("dense LU rescues");
+    let (x, _) = result.expect("sparse LU rescues");
     assert!(report.converged());
-    assert_eq!(report.policy_used.as_deref(), Some("dense-lu"));
+    assert_eq!(report.policy_used.as_deref(), Some("sparse-lu"));
     assert_eq!(report.attempts.len(), 3);
     let r = a.matvec(&x);
     for (ri, bi) in r.iter().zip(&b) {
