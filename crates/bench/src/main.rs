@@ -16,6 +16,8 @@
 //! cargo run -p gnr-bench --release -- --json > BENCH_baseline.json
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod ablations;
 mod circuit_kernels;
 mod compare;

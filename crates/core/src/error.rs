@@ -1,6 +1,7 @@
 //! Error type for the exploration flows.
 
 use gnr_device::DeviceError;
+use gnr_num::NumError;
 use gnr_spice::SpiceError;
 use std::error::Error;
 use std::fmt;
@@ -12,6 +13,9 @@ pub enum ExploreError {
     Device(DeviceError),
     /// Circuit-level failure.
     Spice(SpiceError),
+    /// Numerics failure surfaced directly by a study driver (budget stops,
+    /// checkpoint corruption).
+    Num(NumError),
     /// Invalid study configuration.
     Config {
         /// Human-readable description.
@@ -24,6 +28,7 @@ impl fmt::Display for ExploreError {
         match self {
             ExploreError::Device(e) => write!(f, "device: {e}"),
             ExploreError::Spice(e) => write!(f, "circuit: {e}"),
+            ExploreError::Num(e) => write!(f, "numerics: {e}"),
             ExploreError::Config { detail } => write!(f, "invalid study: {detail}"),
         }
     }
@@ -34,6 +39,7 @@ impl Error for ExploreError {
         match self {
             ExploreError::Device(e) => Some(e),
             ExploreError::Spice(e) => Some(e),
+            ExploreError::Num(e) => Some(e),
             ExploreError::Config { .. } => None,
         }
     }
@@ -51,11 +57,28 @@ impl From<SpiceError> for ExploreError {
     }
 }
 
+impl From<NumError> for ExploreError {
+    fn from(e: NumError) -> Self {
+        ExploreError::Num(e)
+    }
+}
+
 impl ExploreError {
     /// Builds a configuration error.
     pub fn config(detail: impl Into<String>) -> Self {
         ExploreError::Config {
             detail: detail.into(),
+        }
+    }
+
+    /// True when this error is a budget stop ([`NumError::BudgetExhausted`]
+    /// or [`NumError::Cancelled`]) at any nesting level.
+    pub fn is_budget_stop(&self) -> bool {
+        match self {
+            ExploreError::Num(e) => e.is_budget_stop(),
+            ExploreError::Device(e) => e.is_budget_stop(),
+            ExploreError::Spice(SpiceError::Linear(e)) => e.is_budget_stop(),
+            _ => false,
         }
     }
 }

@@ -16,10 +16,24 @@ use crate::devices::{ArrayScenario, DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
 use crate::variability::{inverter_figures, inverter_figures_from_tables, InverterFigures};
 use gnr_device::DeviceTable;
+use gnr_num::checkpoint::{self, Checkpoint, KeyHasher, LoadOutcome};
 use gnr_num::par::ExecCtx;
 use gnr_num::rng::Rng;
 use gnr_num::stats::{summarize, Histogram, Summary};
+use gnr_num::NumError;
+use std::path::Path;
 use std::sync::Arc;
+
+/// Samples per checkpointable Monte Carlo chunk. Fixed (never derived from
+/// the pool size) so chunk boundaries — and therefore the completed-prefix
+/// records a checkpoint may hold — are identical at any `GNR_THREADS`.
+pub const MC_CHECKPOINT_CHUNK: usize = 256;
+
+/// Universe cells per checkpointable characterization chunk.
+const CHARACTERIZE_CHECKPOINT_CHUNK: usize = 27;
+
+const MC_CHECKPOINT_KIND: &str = "monte-carlo";
+const CHARACTERIZE_CHECKPOINT_KIND: &str = "characterize";
 
 /// Discrete ±1σ device-parameter distribution of the paper.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -172,6 +186,47 @@ pub fn characterize_stage_universe(
     vdd: f64,
     stages: usize,
 ) -> Result<StageUniverse, ExploreError> {
+    characterize_universe_engine(ctx, lib, vdd, stages, None, false)
+}
+
+/// [`characterize_stage_universe`] under the context's execution budget,
+/// with crash-consistent checkpoint/resume.
+///
+/// When `checkpoint_path` is set, the completed-cell prefix is persisted
+/// (write-temp-then-rename) after every chunk of
+/// [`CHARACTERIZE_CHECKPOINT_CHUNK`] cells, keyed on fidelity, `vdd`, and
+/// `stages`; a later call with the same arguments resumes from the prefix
+/// and produces a bit-identical universe. A stale or corrupt file is
+/// discarded (and deleted) for a clean from-scratch restart. The
+/// checkpoint is removed on completion. Restored dead cells are not
+/// re-recorded in `ctx.faults()` — their fault events belong to the run
+/// that computed them.
+///
+/// # Errors
+///
+/// As [`characterize_stage_universe`], plus
+/// [`NumError::BudgetExhausted`] / `Cancelled` (via [`ExploreError::Num`])
+/// when the context's budget trips between chunks — the checkpoint then
+/// holds every completed cell — and configuration errors for unwritable
+/// checkpoint paths.
+pub fn characterize_stage_universe_resumable(
+    ctx: &ExecCtx,
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+    stages: usize,
+    checkpoint_path: Option<&Path>,
+) -> Result<StageUniverse, ExploreError> {
+    characterize_universe_engine(ctx, lib, vdd, stages, checkpoint_path, true)
+}
+
+fn characterize_universe_engine(
+    ctx: &ExecCtx,
+    lib: &mut DeviceLibrary,
+    vdd: f64,
+    stages: usize,
+    checkpoint_path: Option<&Path>,
+    enforce_budget: bool,
+) -> Result<StageUniverse, ExploreError> {
     let _stage_timer = ctx.time_scope("mc.characterize.time");
     let shift = lib.min_leakage_shift(vdd)?;
     let nominal_freq_guess = {
@@ -211,32 +266,90 @@ pub fn characterize_stage_universe(
         );
     }
     // Pre-draw the injector probes in cell order so the per-site RNG stream
-    // advances exactly as in a serial run, whatever the pool size.
+    // advances exactly as in a serial run, whatever the pool size (and
+    // whether or not a checkpoint skips the leading cells).
     let injected: Vec<bool> = (0..81)
         .map(|_| gnr_num::fault::should_fail("characterize"))
         .collect();
-    let cells: Vec<Result<InverterFigures, String>> = ctx.par_map_indexed(81, |cell| {
-        if injected[cell] {
-            return Err(
-                ExploreError::config("injected fault: cell characterization suppressed")
-                    .to_string(),
-            );
-        }
-        let n = n_tables[cell / 9].as_ref().map_err(String::clone)?;
-        let p = p_tables[cell % 9].as_ref().map_err(String::clone)?;
-        inverter_figures_from_tables(n, p, vdd, Some(nominal_freq_guess)).map_err(|e| e.to_string())
-    });
+    let key = {
+        let mut h = KeyHasher::new();
+        h.write_str(CHARACTERIZE_CHECKPOINT_KIND);
+        h.write_str(&format!("{:?}", lib.fidelity()));
+        h.write_f64(vdd);
+        h.write_u64(stages as u64);
+        h.finish()
+    };
     let mut figures: Vec<InverterFigures> = Vec::with_capacity(81);
-    ctx.counter_add("mc.characterize.cells", 81);
-    for (cell, cell_result) in cells.into_iter().enumerate() {
-        match cell_result {
-            Ok(figs) => figures.push(figs),
-            Err(e) => {
-                ctx.record_fault(cell, "characterize", e);
-                ctx.counter_inc("mc.characterize.dead_cells");
-                figures.push(DEAD_CELL);
+    if let Some(path) = checkpoint_path {
+        if let LoadOutcome::Resume(cp) =
+            checkpoint::load(path, CHARACTERIZE_CHECKPOINT_KIND, key, 0, 81)
+        {
+            if cp.records.iter().all(|r| r.len() == 5) {
+                figures.extend(cp.records.iter().map(|r| InverterFigures {
+                    delay_s: r[0],
+                    static_w: r[1],
+                    dynamic_w: r[2],
+                    energy_j: r[3],
+                    snm_v: r[4],
+                }));
             }
         }
+    }
+    let mut interrupted: Option<NumError> = None;
+    while figures.len() < 81 {
+        if enforce_budget {
+            if let Err(e) = ctx.check_budget("characterize.chunk") {
+                interrupted = Some(e);
+                break;
+            }
+        }
+        let lo = figures.len();
+        let hi = (lo + CHARACTERIZE_CHECKPOINT_CHUNK).min(81);
+        let cells: Vec<Result<InverterFigures, String>> = ctx.par_map_indexed(hi - lo, |i| {
+            let cell = lo + i;
+            if injected[cell] {
+                return Err(ExploreError::config(
+                    "injected fault: cell characterization suppressed",
+                )
+                .to_string());
+            }
+            let n = n_tables[cell / 9].as_ref().map_err(String::clone)?;
+            let p = p_tables[cell % 9].as_ref().map_err(String::clone)?;
+            inverter_figures_from_tables(n, p, vdd, Some(nominal_freq_guess))
+                .map_err(|e| e.to_string())
+        });
+        ctx.counter_add("mc.characterize.cells", (hi - lo) as u64);
+        for (offset, cell_result) in cells.into_iter().enumerate() {
+            match cell_result {
+                Ok(figs) => figures.push(figs),
+                Err(e) => {
+                    ctx.record_fault(lo + offset, "characterize", e);
+                    ctx.counter_inc("mc.characterize.dead_cells");
+                    figures.push(DEAD_CELL);
+                }
+            }
+        }
+        if let Some(path) = checkpoint_path {
+            let cp = Checkpoint {
+                kind: CHARACTERIZE_CHECKPOINT_KIND.to_string(),
+                key,
+                seed: 0,
+                total: 81,
+                records: figures
+                    .iter()
+                    .map(|f| vec![f.delay_s, f.static_w, f.dynamic_w, f.energy_j, f.snm_v])
+                    .collect(),
+            };
+            checkpoint::save(path, &cp)
+                .map_err(|e| ExploreError::config(format!("checkpoint write failed: {e}")))?;
+        }
+    }
+    if let Some(e) = interrupted {
+        return Err(e.into());
+    }
+    if let Some(path) = checkpoint_path {
+        // Completed: the checkpoint has served its purpose.
+        let _ = std::fs::remove_file(path);
     }
     Ok(StageUniverse { figures, stages })
 }
@@ -288,17 +401,117 @@ pub fn monte_carlo_from_universe(
     samples: usize,
     seed: u64,
 ) -> MonteCarloResult {
+    let (totals, _) = mc_totals_engine(ctx, universe, samples, seed, None, false)
+        .expect("checkpoint-free unbudgeted engine cannot fail");
+    result_from_totals(ctx, universe, &totals)
+}
+
+/// Outcome of a budget-aware, checkpointable Monte Carlo run
+/// ([`monte_carlo_from_universe_resumable`]).
+#[derive(Clone, Debug)]
+pub struct McRunOutcome {
+    /// Statistics over the completed sample prefix (all samples when the
+    /// run finished; a partial population when it was interrupted).
+    pub result: MonteCarloResult,
+    /// Samples actually composed (or restored from a checkpoint).
+    pub completed_samples: usize,
+    /// Samples the caller asked for.
+    pub requested_samples: usize,
+    /// `Some(BudgetExhausted | Cancelled)` when the run stopped at a chunk
+    /// boundary before completing; `None` for a finished run.
+    pub interrupted: Option<NumError>,
+}
+
+impl McRunOutcome {
+    /// True when every requested sample was composed.
+    pub fn is_complete(&self) -> bool {
+        self.interrupted.is_none() && self.completed_samples == self.requested_samples
+    }
+}
+
+/// [`monte_carlo_from_universe`] under the context's execution budget, with
+/// crash-consistent checkpoint/resume.
+///
+/// The sample loop runs in chunks of [`MC_CHECKPOINT_CHUNK`]; the budget
+/// and cancel token (see [`ExecCtx::check_budget`]) are probed at every
+/// chunk boundary. When `checkpoint_path` is set, the completed per-sample
+/// records are persisted (write-temp-then-rename) after each chunk, keyed
+/// on the universe content, sample count, and RNG seed.
+///
+/// A resumed run replays the *entire* serial pre-draw (every RNG draw of
+/// every sample, finished or not) and then skips the restored prefix, so
+/// the final summary is bit-identical to an uninterrupted run at any
+/// `GNR_THREADS`. A stale or corrupt checkpoint is discarded (and deleted)
+/// for a clean from-scratch restart; the file is removed on completion.
+/// Stall fault events for restored samples are re-recorded during the
+/// final merge, in sample order.
+///
+/// # Errors
+///
+/// Returns a configuration error when the checkpoint path is unwritable.
+/// Budget exhaustion is NOT an error: it is reported via
+/// [`McRunOutcome::interrupted`] alongside the partial statistics.
+pub fn monte_carlo_from_universe_resumable(
+    ctx: &ExecCtx,
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+    checkpoint_path: Option<&Path>,
+) -> Result<McRunOutcome, ExploreError> {
+    let (totals, interrupted) =
+        mc_totals_engine(ctx, universe, samples, seed, checkpoint_path, true)?;
+    let completed = totals.len();
+    let result = result_from_totals(ctx, universe, &totals);
+    Ok(McRunOutcome {
+        result,
+        completed_samples: completed,
+        requested_samples: samples,
+        interrupted,
+    })
+}
+
+/// FNV identity of a sampling run: universe content, stage count, and
+/// sample count (the seed is carried separately in the checkpoint header).
+fn mc_universe_key(universe: &StageUniverse, samples: usize) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_str(MC_CHECKPOINT_KIND);
+    h.write_u64(universe.stages as u64);
+    h.write_u64(samples as u64);
+    for f in &universe.figures {
+        h.write_f64(f.delay_s);
+        h.write_f64(f.static_w);
+        h.write_f64(f.dynamic_w);
+        h.write_f64(f.energy_j);
+        h.write_f64(f.snm_v);
+    }
+    h.finish()
+}
+
+/// Per-sample `(period, energy, leakage)` totals for a completed prefix,
+/// plus the budget stop that ended the run early, if any.
+type McTotals = (Vec<(f64, f64, f64)>, Option<NumError>);
+
+/// The chunked composition engine shared by the plain and resumable entry
+/// points: pre-draws every sample serially, restores any checkpointed
+/// prefix, then composes the remaining samples chunk by chunk. Returns the
+/// per-sample `(period, energy, leakage)` totals for the completed prefix
+/// plus the budget stop that ended the run early, if any.
+fn mc_totals_engine(
+    ctx: &ExecCtx,
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+    checkpoint_path: Option<&Path>,
+    enforce_budget: bool,
+) -> Result<McTotals, ExploreError> {
     let _stage_timer = ctx.time_scope("mc.sample.time");
-    ctx.counter_add("mc.samples", samples as u64);
     let stages = universe.stages;
     let pair =
         |ncfg: usize, pcfg: usize| -> &InverterFigures { &universe.figures[ncfg * 9 + pcfg] };
-    let nominal = pair(cfg_index(12, 0.0), cfg_index(12, 0.0));
-    let nominal_period = 2.0 * stages as f64 * nominal.delay_s;
-    let nominal_frequency_hz = 1.0 / nominal_period;
-    let nominal_dynamic_w = stages as f64 * nominal.energy_j / nominal_period;
-    let nominal_static_w = 4.0 * stages as f64 * nominal.static_w;
 
+    // The full serial pre-draw runs unconditionally — also on resumed runs
+    // — so the RNG consumption pattern (per-sample, per-stage nw, nq, pw,
+    // pq) never depends on where a previous run stopped.
     let dist = DiscreteNormal::default();
     let mut rng = Rng::seed_from_u64(seed);
     let mut draws: Vec<(usize, usize)> = Vec::with_capacity(samples * stages);
@@ -311,27 +524,90 @@ pub fn monte_carlo_from_universe(
             draws.push((cfg_index(nw, nq), cfg_index(pw, pq)));
         }
     }
-    // Per-sample accumulation preserves the serial loop's operation order
-    // exactly (stage order within a sample); the merge below walks samples
-    // in index order, so stall records land in sample order too.
-    let totals: Vec<(f64, f64, f64)> = ctx.par_map_indexed(samples, |sample| {
-        let mut period = 0.0;
-        let mut energy = 0.0;
-        let mut leak = 0.0;
-        for &(ncfg, pcfg) in &draws[sample * stages..(sample + 1) * stages] {
-            let figs = pair(ncfg, pcfg);
-            period += 2.0 * figs.delay_s;
-            energy += figs.energy_j;
-            // Dummies (3 per stage) share the driving stage's config.
-            leak += 4.0 * figs.static_w;
+
+    let key = mc_universe_key(universe, samples);
+    let mut totals: Vec<(f64, f64, f64)> = Vec::with_capacity(samples);
+    if let Some(path) = checkpoint_path {
+        if let LoadOutcome::Resume(cp) =
+            checkpoint::load(path, MC_CHECKPOINT_KIND, key, seed, samples)
+        {
+            if cp.records.iter().all(|r| r.len() == 3) {
+                totals.extend(cp.records.iter().map(|r| (r[0], r[1], r[2])));
+            }
         }
-        (period, energy, leak)
-    });
-    let mut frequency_hz = Vec::with_capacity(samples);
-    let mut dynamic_w = Vec::with_capacity(samples);
-    let mut static_w = Vec::with_capacity(samples);
+    }
+
+    let mut interrupted: Option<NumError> = None;
+    while totals.len() < samples {
+        if enforce_budget {
+            if let Err(e) = ctx.check_budget("mc.chunk") {
+                interrupted = Some(e);
+                break;
+            }
+        }
+        let lo = totals.len();
+        let hi = (lo + MC_CHECKPOINT_CHUNK).min(samples);
+        // Per-sample accumulation preserves the serial loop's operation
+        // order exactly (stage order within a sample); samples are
+        // independent, so chunking cannot change their bits.
+        let chunk: Vec<(f64, f64, f64)> = ctx.par_map_indexed(hi - lo, |i| {
+            let sample = lo + i;
+            let mut period = 0.0;
+            let mut energy = 0.0;
+            let mut leak = 0.0;
+            for &(ncfg, pcfg) in &draws[sample * stages..(sample + 1) * stages] {
+                let figs = pair(ncfg, pcfg);
+                period += 2.0 * figs.delay_s;
+                energy += figs.energy_j;
+                // Dummies (3 per stage) share the driving stage's config.
+                leak += 4.0 * figs.static_w;
+            }
+            (period, energy, leak)
+        });
+        totals.extend(chunk);
+        ctx.counter_add("mc.samples", (hi - lo) as u64);
+        if let Some(path) = checkpoint_path {
+            let cp = Checkpoint {
+                kind: MC_CHECKPOINT_KIND.to_string(),
+                key,
+                seed,
+                total: samples,
+                records: totals.iter().map(|&(p, e, l)| vec![p, e, l]).collect(),
+            };
+            checkpoint::save(path, &cp)
+                .map_err(|e| ExploreError::config(format!("checkpoint write failed: {e}")))?;
+        }
+    }
+    if interrupted.is_none() {
+        if let Some(path) = checkpoint_path {
+            // Completed: the checkpoint has served its purpose.
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok((totals, interrupted))
+}
+
+/// Merges per-sample totals into a [`MonteCarloResult`], walking samples in
+/// index order so stall records land in sample order for any pool size.
+fn result_from_totals(
+    ctx: &ExecCtx,
+    universe: &StageUniverse,
+    totals: &[(f64, f64, f64)],
+) -> MonteCarloResult {
+    let stages = universe.stages;
+    let pair =
+        |ncfg: usize, pcfg: usize| -> &InverterFigures { &universe.figures[ncfg * 9 + pcfg] };
+    let nominal = pair(cfg_index(12, 0.0), cfg_index(12, 0.0));
+    let nominal_period = 2.0 * stages as f64 * nominal.delay_s;
+    let nominal_frequency_hz = 1.0 / nominal_period;
+    let nominal_dynamic_w = stages as f64 * nominal.energy_j / nominal_period;
+    let nominal_static_w = 4.0 * stages as f64 * nominal.static_w;
+
+    let mut frequency_hz = Vec::with_capacity(totals.len());
+    let mut dynamic_w = Vec::with_capacity(totals.len());
+    let mut static_w = Vec::with_capacity(totals.len());
     let mut stalled_samples = 0usize;
-    for (sample, (period, energy, leak)) in totals.into_iter().enumerate() {
+    for (sample, &(period, energy, leak)) in totals.iter().enumerate() {
         // A drawn stage with collapsed logic levels (NaN delay) stalls the
         // ring: count it as a functional-yield loss, keep its leakage.
         if !period.is_finite() || !energy.is_finite() {
@@ -431,6 +707,142 @@ mod tests {
             let mut sorted = samples.clone();
             sorted.sort_unstable();
             assert_eq!(samples, sorted);
+        }
+    }
+
+    fn synthetic_universe() -> StageUniverse {
+        let mut figures = vec![
+            InverterFigures {
+                delay_s: 1e-11,
+                static_w: 1e-7,
+                dynamic_w: 5e-7,
+                energy_j: 1e-16,
+                snm_v: 0.1,
+            };
+            81
+        ];
+        for (i, f) in figures.iter_mut().enumerate() {
+            f.delay_s *= 1.0 + 0.01 * i as f64;
+            f.static_w *= 1.0 + 0.02 * i as f64;
+        }
+        figures[7] = DEAD_CELL;
+        StageUniverse {
+            figures,
+            stages: 15,
+        }
+    }
+
+    fn temp_checkpoint(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gnr-mc-test-{}-{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn resumable_full_run_matches_plain_bit_for_bit() {
+        let universe = synthetic_universe();
+        let ctx = ExecCtx::with_threads(2);
+        let plain = monte_carlo_from_universe(&ctx, &universe, 700, 20080608);
+        let out = monte_carlo_from_universe_resumable(&ctx, &universe, 700, 20080608, None)
+            .expect("no checkpoint IO");
+        assert!(out.is_complete());
+        assert_eq!(plain.stalled_samples, out.result.stalled_samples);
+        for (a, b) in plain.frequency_hz.iter().zip(&out.result.frequency_hz) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in plain.static_w.iter().zip(&out.result.static_w) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn interrupted_run_checkpoints_and_resumes_bit_identically() {
+        use gnr_num::budget::{Budget, ExecLimits};
+        let universe = synthetic_universe();
+        let path = temp_checkpoint("resume");
+        let _ = std::fs::remove_file(&path);
+
+        let plain_ctx = ExecCtx::serial();
+        let uninterrupted = monte_carlo_from_universe(&plain_ctx, &universe, 700, 20080608);
+
+        // Budget for exactly one chunk: 700 samples need three chunks, so
+        // the run stops early with a checkpoint holding 256 samples.
+        let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(1));
+        let ctx = ExecCtx::serial().with_limits(limits);
+        let partial =
+            monte_carlo_from_universe_resumable(&ctx, &universe, 700, 20080608, Some(&path))
+                .expect("checkpoint writes");
+        assert!(partial.interrupted.is_some(), "budget should have tripped");
+        assert_eq!(partial.completed_samples, MC_CHECKPOINT_CHUNK);
+        assert!(path.exists(), "checkpoint file persisted");
+        // The partial population is a strict prefix of the full run.
+        assert!(partial.result.frequency_hz.len() < uninterrupted.frequency_hz.len());
+        for (a, b) in partial
+            .result
+            .frequency_hz
+            .iter()
+            .zip(&uninterrupted.frequency_hz)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Resume on a differently-sized pool: bit-identical final summary.
+        let ctx = ExecCtx::with_threads(4);
+        let resumed =
+            monte_carlo_from_universe_resumable(&ctx, &universe, 700, 20080608, Some(&path))
+                .expect("resumes");
+        assert!(resumed.is_complete());
+        assert!(!path.exists(), "checkpoint removed on completion");
+        assert_eq!(
+            resumed.result.stalled_samples,
+            uninterrupted.stalled_samples
+        );
+        assert_eq!(
+            resumed.result.frequency_hz.len(),
+            uninterrupted.frequency_hz.len()
+        );
+        for (a, b) in resumed
+            .result
+            .frequency_hz
+            .iter()
+            .zip(&uninterrupted.frequency_hz)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in resumed
+            .result
+            .dynamic_w
+            .iter()
+            .zip(&uninterrupted.dynamic_w)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in resumed.result.static_w.iter().zip(&uninterrupted.static_w) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_discarded_and_run_restarts_clean() {
+        let universe = synthetic_universe();
+        let path = temp_checkpoint("mismatch");
+        let _ = std::fs::remove_file(&path);
+        // Checkpoint a run with a different seed...
+        let ctx = ExecCtx::serial();
+        let limits = gnr_num::budget::ExecLimits::none()
+            .with_budget(gnr_num::budget::Budget::unlimited().with_check_cap(1));
+        let bctx = ctx.with_limits(limits);
+        let partial = monte_carlo_from_universe_resumable(&bctx, &universe, 700, 1, Some(&path))
+            .expect("checkpoint writes");
+        assert!(partial.interrupted.is_some());
+        // ...then ask for seed 20080608: the stale file must be discarded
+        // and the result must equal a from-scratch run.
+        let resumed =
+            monte_carlo_from_universe_resumable(&ctx, &universe, 700, 20080608, Some(&path))
+                .expect("restarts");
+        assert!(resumed.is_complete());
+        let fresh = monte_carlo_from_universe(&ctx, &universe, 700, 20080608);
+        assert_eq!(resumed.result.stalled_samples, fresh.stalled_samples);
+        for (a, b) in resumed.result.frequency_hz.iter().zip(&fresh.frequency_hz) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

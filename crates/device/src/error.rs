@@ -94,6 +94,19 @@ impl DeviceError {
             detail: detail.into(),
         }
     }
+
+    /// True when this error wraps a budget stop
+    /// ([`NumError::BudgetExhausted`] / [`NumError::Cancelled`]) at any
+    /// nesting level: budget stops must propagate unchanged instead of
+    /// triggering rescue ladders.
+    pub fn is_budget_stop(&self) -> bool {
+        match self {
+            DeviceError::Num(e) => e.is_budget_stop(),
+            DeviceError::Poisson(PoissonError::Solve(e)) => e.is_budget_stop(),
+            DeviceError::Negf(NegfError::Linear(e)) => e.is_budget_stop(),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -241,7 +241,13 @@ impl ScfSolver {
 
         let mut carry_u: Option<Vec<f64>> = None;
         let mut first_err: Option<DeviceError> = None;
+        // A budget stop must not burn further rescue rungs: record it and
+        // short-circuit the remaining ladder.
+        let mut stop_err: Option<DeviceError> = None;
         let outcome = ladder.run(|_, policy: &ScfPolicy| {
+            if stop_err.is_some() {
+                return AttemptReport::failed("skipped: budget stop");
+            }
             if gnr_num::fault::should_fail("scf") {
                 return AttemptReport::failed("injected fault: scf attempt suppressed");
             }
@@ -260,7 +266,10 @@ impl ScfSolver {
                 }
                 Err(err) => {
                     let msg = err.to_string();
-                    if first_err.is_none() {
+                    let budget_stop = matches!(&err, DeviceError::Num(e) if e.is_budget_stop());
+                    if budget_stop {
+                        stop_err = Some(err);
+                    } else if first_err.is_none() {
                         first_err = Some(err);
                     }
                     match best {
@@ -285,7 +294,7 @@ impl ScfSolver {
         }
         match outcome.value {
             Some(result) => Ok((result, outcome.report)),
-            None => Err(first_err.unwrap_or(DeviceError::ScfDiverged {
+            None => Err(stop_err.or(first_err).unwrap_or(DeviceError::ScfDiverged {
                 iterations: 0,
                 residual_v: f64::NAN,
             })),
@@ -340,7 +349,7 @@ impl ScfSolver {
         // a ladder rung hands in a previous iterate, to seed the Poisson
         // warm start).
         let problem = cfg.build_poisson(0.0, v_d, v_g)?;
-        let mut poisson_sol: PoissonSolution = problem.solve(None)?;
+        let mut poisson_sol: PoissonSolution = problem.solve_limited(None, ctx.limits())?;
         let mut u_atoms: Vec<f64> = match init_u {
             Some(prev) if prev.len() == atoms => prev.to_vec(),
             _ => positions
@@ -367,6 +376,7 @@ impl ScfSolver {
         let mut frozen_energies: Option<Vec<f64>> = None;
 
         for it in 0..opts.max_iterations {
+            ctx.check_budget("scf.iteration")?;
             // NEGF with the current potential.
             let ham = DeviceHamiltonian::new(gnr, cells, &u_atoms)?;
             let solver = RgfSolver::new(
@@ -418,7 +428,7 @@ impl ScfSolver {
             for (i, &(x, y, z)) in positions.iter().enumerate() {
                 problem.add_point_charge(x, y, z, transport.charge.net[i]);
             }
-            let new_sol = problem.solve(Some(poisson_sol.raw()))?;
+            let new_sol = problem.solve_limited(Some(poisson_sol.raw()), ctx.limits())?;
             let new_u: Vec<f64> = positions
                 .iter()
                 .map(|&(x, y, z)| -new_sol.potential_at(x, y, z))
@@ -428,6 +438,15 @@ impl ScfSolver {
                 .zip(&u_atoms)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
+            // `f64::max` silently drops NaN, so probe the update directly: a
+            // non-finite potential means the fixed point is lost for good.
+            if !residual.is_finite() || new_u.iter().any(|u| !u.is_finite()) {
+                return Err(gnr_num::NumError::non_finite(format!(
+                    "scf potential update at iteration {}",
+                    it + 1
+                ))
+                .into());
+            }
 
             // Damped linear mixing of the potential with adaptive step.
             if residual > prev_residual {

@@ -102,7 +102,7 @@ impl BandStructure {
                 }
             })
             .collect();
-        mins.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        mins.sort_by(f64::total_cmp);
         mins.truncate(count);
         mins
     }

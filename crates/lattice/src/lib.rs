@@ -32,6 +32,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod bands;
 pub mod error;
 pub mod geometry;

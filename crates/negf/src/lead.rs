@@ -11,6 +11,7 @@
 //!   `Φ_Bn = Φ_Bp = E_g/2`).
 
 use crate::error::NegfError;
+use gnr_num::budget::ExecLimits;
 use gnr_num::telemetry;
 use gnr_num::{c64, CMatrix, Complex64};
 
@@ -83,6 +84,24 @@ impl Lead {
         h01: &CMatrix,
         tau: &CMatrix,
     ) -> Result<CMatrix, NegfError> {
+        self.self_energy_limited(e, h00, h01, tau, &ExecLimits::none())
+    }
+
+    /// [`Lead::self_energy`] under execution limits: the Sancho–Rubio
+    /// decimation probes the budget each doubling (site
+    /// `"negf.surface_gf"`). Unlimited limits reproduce the plain call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-GF convergence failures and budget stops.
+    pub fn self_energy_limited(
+        &self,
+        e: f64,
+        h00: &CMatrix,
+        h01: &CMatrix,
+        tau: &CMatrix,
+        limits: &ExecLimits,
+    ) -> Result<CMatrix, NegfError> {
         match *self {
             Lead::GnrContact { potential_ev } => {
                 let m = h00.rows();
@@ -90,7 +109,14 @@ impl Lead {
                 for i in 0..m {
                     h00_shifted.add_to(i, i, c64(potential_ev, 0.0));
                 }
-                let gs = surface_gf(e, &h00_shifted, h01, DEFAULT_ETA, SURFACE_GF_MAX_ITER)?;
+                let gs = surface_gf_limited(
+                    e,
+                    &h00_shifted,
+                    h01,
+                    DEFAULT_ETA,
+                    SURFACE_GF_MAX_ITER,
+                    limits,
+                )?;
                 // Σ = τ g_s τ†
                 let t1 = tau.matmul(&gs);
                 Ok(t1.matmul(&tau.adjoint()))
@@ -127,6 +153,25 @@ pub fn surface_gf(
     eta: f64,
     max_iter: usize,
 ) -> Result<CMatrix, NegfError> {
+    surface_gf_limited(e, h00, h01, eta, max_iter, &ExecLimits::none())
+}
+
+/// [`surface_gf`] under execution limits: the budget is probed at the top
+/// of every decimation doubling (site `"negf.surface_gf"`), so a wedged
+/// lead solve cannot hold a pool worker past its deadline. Unlimited
+/// limits reproduce the plain call bit for bit.
+///
+/// # Errors
+///
+/// As [`surface_gf`], plus budget stops via [`NegfError::Linear`].
+pub fn surface_gf_limited(
+    e: f64,
+    h00: &CMatrix,
+    h01: &CMatrix,
+    eta: f64,
+    max_iter: usize,
+    limits: &ExecLimits,
+) -> Result<CMatrix, NegfError> {
     let m = h00.rows();
     let ez = c64(e, eta);
     let mut eye_e = CMatrix::zeros(m, m);
@@ -140,6 +185,7 @@ pub fn surface_gf(
     let mut beta = h01.adjoint();
     let tol = 1e-12;
     for it in 0..max_iter {
+        limits.check("negf.surface_gf")?;
         let a_norm = alpha.norm_fro();
         if a_norm < tol {
             telemetry::counter_inc("negf.sancho_rubio.calls");
@@ -211,6 +257,27 @@ mod tests {
         let (h00, h01) = chain_blocks(1.0);
         let g = surface_gf(3.0, &h00, &h01, 1e-7, 400).unwrap().get(0, 0);
         assert!(g.im.abs() < 1e-3, "outside the band the DOS vanishes: {g}");
+    }
+
+    #[test]
+    fn surface_gf_limited_stops_on_exhausted_budget() {
+        use gnr_num::budget::Budget;
+        let (h00, h01) = chain_blocks(1.0);
+        // Two decimation doublings are nowhere near convergence at E = 0;
+        // the third check trips and surfaces a typed budget error.
+        let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(2));
+        let err = surface_gf_limited(0.0, &h00, &h01, 1e-6, 400, &limits).unwrap_err();
+        assert!(
+            err.to_string().contains("budget"),
+            "expected budget stop, got: {err}"
+        );
+        // Unlimited limits reproduce the plain call bit for bit.
+        let plain = surface_gf(0.5, &h00, &h01, 1e-6, 400).unwrap().get(0, 0);
+        let limited = surface_gf_limited(0.5, &h00, &h01, 1e-6, 400, &ExecLimits::none())
+            .unwrap()
+            .get(0, 0);
+        assert_eq!(plain.re.to_bits(), limited.re.to_bits());
+        assert_eq!(plain.im.to_bits(), limited.im.to_bits());
     }
 
     #[test]

@@ -12,8 +12,9 @@
 
 use crate::cache::{LeadSlot, Lookup, SurfaceGfCache};
 use crate::error::NegfError;
-use crate::lead::{broadening, surface_gf, Lead, DEFAULT_ETA, SURFACE_GF_MAX_ITER};
+use crate::lead::{broadening, surface_gf_limited, Lead, DEFAULT_ETA, SURFACE_GF_MAX_ITER};
 use gnr_lattice::DeviceHamiltonian;
+use gnr_num::budget::ExecLimits;
 use gnr_num::par::ExecCtx;
 use gnr_num::telemetry;
 use gnr_num::TelemetryShard;
@@ -90,16 +91,20 @@ impl RgfSolver {
         self.h01.rows()
     }
 
-    fn contact_self_energies(&self, e: f64) -> Result<(CMatrix, CMatrix), NegfError> {
+    fn contact_self_energies(
+        &self,
+        e: f64,
+        limits: &ExecLimits,
+    ) -> Result<(CMatrix, CMatrix), NegfError> {
         // Source lead grows towards -x: its inter-cell coupling (away from
         // the device) is H10, and the device couples into it through H10 as
         // well; mirror for the drain.
-        let sigma1 = self
-            .lead1
-            .self_energy(e, &self.lead_h00, &self.h10, &self.h10)?;
-        let sigma2 = self
-            .lead2
-            .self_energy(e, &self.lead_h00, &self.lead_h01, &self.h01)?;
+        let sigma1 =
+            self.lead1
+                .self_energy_limited(e, &self.lead_h00, &self.h10, &self.h10, limits)?;
+        let sigma2 =
+            self.lead2
+                .self_energy_limited(e, &self.lead_h00, &self.lead_h01, &self.h01, limits)?;
         Ok((sigma1, sigma2))
     }
 
@@ -126,10 +131,11 @@ impl RgfSolver {
         slot: LeadSlot,
         e: f64,
         shard: &mut TelemetryShard,
+        limits: &ExecLimits,
     ) -> Result<CMatrix, NegfError> {
         let (lead, h01_dir, tau) = self.lead_parts(slot);
         let Lead::GnrContact { potential_ev } = *lead else {
-            return lead.self_energy(e, &self.lead_h00, h01_dir, tau);
+            return lead.self_energy_limited(e, &self.lead_h00, h01_dir, tau, limits);
         };
         let key = cache.key(e - potential_ev);
         let gs = match cache.lookup(slot, key) {
@@ -142,24 +148,26 @@ impl RgfSolver {
                 // solve at the same snapped energy (bit-identical value)
                 // and heal the store.
                 shard.counter_inc("negf.surface_cache.fallback");
-                let g = Arc::new(surface_gf(
+                let g = Arc::new(surface_gf_limited(
                     cache.snapped(key),
                     &self.lead_h00,
                     h01_dir,
                     DEFAULT_ETA,
                     SURFACE_GF_MAX_ITER,
+                    limits,
                 )?);
                 cache.insert(slot, key, Arc::clone(&g));
                 g
             }
             Lookup::Miss => {
                 shard.counter_inc("negf.surface_cache.miss");
-                let g = Arc::new(surface_gf(
+                let g = Arc::new(surface_gf_limited(
                     cache.snapped(key),
                     &self.lead_h00,
                     h01_dir,
                     DEFAULT_ETA,
                     SURFACE_GF_MAX_ITER,
+                    limits,
                 )?);
                 cache.insert_or_get(slot, key, g)
             }
@@ -179,8 +187,24 @@ impl RgfSolver {
         e: f64,
         shard: &mut TelemetryShard,
     ) -> Result<(CMatrix, CMatrix), NegfError> {
-        let sigma1 = self.cached_self_energy(cache, LeadSlot::Source, e, shard)?;
-        let sigma2 = self.cached_self_energy(cache, LeadSlot::Drain, e, shard)?;
+        self.cached_self_energies_limited(cache, e, shard, &ExecLimits::none())
+    }
+
+    /// [`Self::cached_self_energies`] under execution limits (threaded into
+    /// any fresh Sancho–Rubio solve a cache miss triggers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-GF convergence failures and budget stops.
+    pub fn cached_self_energies_limited(
+        &self,
+        cache: &SurfaceGfCache,
+        e: f64,
+        shard: &mut TelemetryShard,
+        limits: &ExecLimits,
+    ) -> Result<(CMatrix, CMatrix), NegfError> {
+        let sigma1 = self.cached_self_energy(cache, LeadSlot::Source, e, shard, limits)?;
+        let sigma2 = self.cached_self_energy(cache, LeadSlot::Drain, e, shard, limits)?;
         Ok((sigma1, sigma2))
     }
 
@@ -226,12 +250,13 @@ impl RgfSolver {
         let solved = ctx.try_par_map_indexed(pending.len(), |i| {
             let (slot, key) = pending[i];
             let (_, h01_dir, _) = self.lead_parts(slot);
-            surface_gf(
+            surface_gf_limited(
                 cache.snapped(key),
                 &self.lead_h00,
                 h01_dir,
                 DEFAULT_ETA,
                 SURFACE_GF_MAX_ITER,
+                ctx.limits(),
             )
         })?;
         for (&(slot, key), gs) in pending.iter().zip(solved) {
@@ -247,7 +272,21 @@ impl RgfSolver {
     ///
     /// Propagates lead and linear-algebra failures.
     pub fn spectral_slice(&self, e: f64) -> Result<SpectralSlice, NegfError> {
-        let (sigma1, sigma2) = self.contact_self_energies(e)?;
+        self.spectral_slice_limited(e, &ExecLimits::none())
+    }
+
+    /// [`Self::spectral_slice`] under execution limits (threaded into the
+    /// lead surface-GF solves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures and budget stops.
+    pub fn spectral_slice_limited(
+        &self,
+        e: f64,
+        limits: &ExecLimits,
+    ) -> Result<SpectralSlice, NegfError> {
+        let (sigma1, sigma2) = self.contact_self_energies(e, limits)?;
         self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
     }
 
@@ -266,7 +305,22 @@ impl RgfSolver {
         cache: &SurfaceGfCache,
         shard: &mut TelemetryShard,
     ) -> Result<SpectralSlice, NegfError> {
-        let (sigma1, sigma2) = self.cached_self_energies(cache, e, shard)?;
+        self.spectral_slice_cached_limited(e, cache, shard, &ExecLimits::none())
+    }
+
+    /// [`Self::spectral_slice_cached`] under execution limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures and budget stops.
+    pub fn spectral_slice_cached_limited(
+        &self,
+        e: f64,
+        cache: &SurfaceGfCache,
+        shard: &mut TelemetryShard,
+        limits: &ExecLimits,
+    ) -> Result<SpectralSlice, NegfError> {
+        let (sigma1, sigma2) = self.cached_self_energies_limited(cache, e, shard, limits)?;
         self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
     }
 
@@ -379,7 +433,7 @@ impl RgfSolver {
     ///
     /// Propagates lead and linear-algebra failures.
     pub fn transmission(&self, e: f64) -> Result<f64, NegfError> {
-        let (sigma1, sigma2) = self.contact_self_energies(e)?;
+        let (sigma1, sigma2) = self.contact_self_energies(e, &ExecLimits::none())?;
         self.transmission_with_sigmas(e, &sigma1, &sigma2)
     }
 

@@ -195,9 +195,10 @@ pub fn integrate_transport(
 
     let samples =
         ctx.try_par_map_indexed(grid.len(), |idx| -> Result<EnergySample, NegfError> {
+            ctx.check_budget("negf.energy_point")?;
             let mut shard = TelemetryShard::for_sink(ctx.telemetry());
             let e = grid.energy(idx);
-            let slice = solver.spectral_slice(e)?;
+            let slice = solver.spectral_slice_limited(e, ctx.limits())?;
             shard.counter_inc("negf.energy_points");
             let f1 = fermi(e, mu1, t_kelvin);
             let f2 = fermi(e, mu2, t_kelvin);
@@ -342,11 +343,12 @@ fn eval_samples(
     atoms: usize,
 ) -> Result<Vec<EnergySample>, NegfError> {
     ctx.try_par_map_indexed(energies.len(), |idx| -> Result<EnergySample, NegfError> {
+        ctx.check_budget("negf.energy_point")?;
         let mut shard = TelemetryShard::for_sink(ctx.telemetry());
         let e = energies[idx];
         let slice = match cache {
-            Some(c) => solver.spectral_slice_cached(e, c, &mut shard)?,
-            None => solver.spectral_slice(e)?,
+            Some(c) => solver.spectral_slice_cached_limited(e, c, &mut shard, ctx.limits())?,
+            None => solver.spectral_slice_limited(e, ctx.limits())?,
         };
         shard.counter_inc("negf.energy_points");
         let f1 = fermi(e, mu1, t_kelvin);

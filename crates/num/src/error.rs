@@ -32,6 +32,21 @@ pub enum NumError {
         /// Human-readable description of the problem.
         detail: String,
     },
+    /// A residual or iterate became NaN/Inf; iterating further is pointless.
+    NonFinite {
+        /// Stage or quantity in which the non-finite value appeared.
+        detail: String,
+    },
+    /// The execution budget (deadline or solve-unit cap) expired at `site`.
+    BudgetExhausted {
+        /// The fragile-loop boundary at which the expiry was observed.
+        site: String,
+    },
+    /// The run's cancel token was triggered; observed at `site`.
+    Cancelled {
+        /// The fragile-loop boundary at which cancellation was observed.
+        site: String,
+    },
 }
 
 impl fmt::Display for NumError {
@@ -51,6 +66,13 @@ impl fmt::Display for NumError {
                 "no convergence after {iterations} iterations (residual {residual:.3e})"
             ),
             NumError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            NumError::NonFinite { detail } => {
+                write!(f, "non-finite value encountered in {detail}")
+            }
+            NumError::BudgetExhausted { site } => {
+                write!(f, "execution budget exhausted at {site}")
+            }
+            NumError::Cancelled { site } => write!(f, "run cancelled at {site}"),
         }
     }
 }
@@ -71,6 +93,23 @@ impl NumError {
             detail: detail.into(),
         }
     }
+
+    /// Builds a [`NumError::NonFinite`] from a formatted detail string.
+    pub fn non_finite(detail: impl Into<String>) -> Self {
+        NumError::NonFinite {
+            detail: detail.into(),
+        }
+    }
+
+    /// `true` for the budget/cancellation variants: these must propagate
+    /// unchanged through escalation ladders instead of triggering further
+    /// (budget-burning) rescue attempts.
+    pub fn is_budget_stop(&self) -> bool {
+        matches!(
+            self,
+            NumError::BudgetExhausted { .. } | NumError::Cancelled { .. }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +127,22 @@ mod tests {
             residual: 1e-3,
         };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn budget_stop_classification() {
+        let budget = NumError::BudgetExhausted { site: "scf".into() };
+        let cancel = NumError::Cancelled {
+            site: "transient.step".into(),
+        };
+        assert!(budget.is_budget_stop());
+        assert!(cancel.is_budget_stop());
+        assert!(budget.to_string().contains("scf"));
+        assert!(cancel.to_string().contains("transient.step"));
+        assert!(!NumError::non_finite("dc newton residual").is_budget_stop());
+        assert!(NumError::non_finite("dc newton residual")
+            .to_string()
+            .contains("non-finite"));
     }
 
     #[test]

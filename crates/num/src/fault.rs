@@ -24,6 +24,22 @@ use std::sync::Mutex;
 static ARMED: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 
+/// Every fault site probed anywhere in the workspace. The chaos-soak CI
+/// step enumerates this list and runs the fault-tolerance suite with each
+/// site armed; a new `should_fail("...")` call must be registered here so
+/// the soak exercises it.
+pub const REGISTERED_SITES: &[&str] = &[
+    "scf",
+    "newton",
+    "newton-dc",
+    "dc.source_stepping",
+    "linear",
+    "characterize",
+    "negf.surface_cache",
+    "checkpoint.corrupt",
+    "budget.spurious_expiry",
+];
+
 /// A seeded fault-injection plan: per-site failure probabilities.
 #[derive(Debug)]
 pub struct FaultPlan {

@@ -27,7 +27,9 @@
 //! assert!(id.get(0, 1).norm() < 1e-12);
 //! ```
 
+pub mod budget;
 pub mod cdense;
+pub mod checkpoint;
 pub mod complex;
 pub mod consts;
 pub mod dense;
@@ -48,7 +50,9 @@ pub mod sparse_lu;
 pub mod stats;
 pub mod telemetry;
 
+pub use budget::{Budget, CancelToken, ExecLimits};
 pub use cdense::CMatrix;
+pub use checkpoint::{Checkpoint, KeyHasher, LoadOutcome};
 pub use complex::{c64, Complex64};
 pub use dense::Matrix;
 pub use error::{NumError, NumResult};

@@ -26,6 +26,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use crate::budget::ExecLimits;
+use crate::error::NumResult;
 use crate::recover::SharedFaultLog;
 use crate::telemetry::{ScopedTimer, Telemetry};
 
@@ -246,17 +248,19 @@ pub struct ExecCtx {
     recovery: RecoveryPolicy,
     faults: SharedFaultLog,
     telemetry: Telemetry,
+    limits: ExecLimits,
 }
 
 impl ExecCtx {
-    /// Context with an explicit pool and policy, a fresh fault log, and
-    /// the global telemetry sink.
+    /// Context with an explicit pool and policy, a fresh fault log, the
+    /// global telemetry sink, and no execution limits.
     pub fn new(pool: ThreadPool, recovery: RecoveryPolicy) -> Self {
         ExecCtx {
             pool,
             recovery,
             faults: SharedFaultLog::new(),
             telemetry: Telemetry::global(),
+            limits: ExecLimits::none(),
         }
     }
 
@@ -283,24 +287,41 @@ impl ExecCtx {
         ExecCtx::new(ThreadPool::new(threads), RecoveryPolicy::default())
     }
 
-    /// Same context with a different recovery policy (fault log and
-    /// telemetry sink shared).
+    /// Same context with a different recovery policy (fault log, telemetry
+    /// sink, and limits shared).
     pub fn with_recovery(&self, recovery: RecoveryPolicy) -> Self {
         ExecCtx {
             pool: self.pool,
             recovery,
             faults: self.faults.clone(),
             telemetry: self.telemetry.clone(),
+            limits: self.limits.clone(),
         }
     }
 
-    /// Same context with a different telemetry sink (fault log shared).
+    /// Same context with a different telemetry sink (fault log and limits
+    /// shared).
     pub fn with_telemetry(&self, telemetry: Telemetry) -> Self {
         ExecCtx {
             pool: self.pool,
             recovery: self.recovery,
             faults: self.faults.clone(),
             telemetry,
+            limits: self.limits.clone(),
+        }
+    }
+
+    /// Same context with execution limits attached (fault log and
+    /// telemetry sink shared). Limits clone *shared* state: every context
+    /// derived from this one observes the same cancel flag and budget
+    /// counter.
+    pub fn with_limits(&self, limits: ExecLimits) -> Self {
+        ExecCtx {
+            pool: self.pool,
+            recovery: self.recovery,
+            faults: self.faults.clone(),
+            telemetry: self.telemetry.clone(),
+            limits,
         }
     }
 
@@ -332,6 +353,22 @@ impl ExecCtx {
     /// The telemetry sink.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The execution limits (unlimited by default).
+    pub fn limits(&self) -> &ExecLimits {
+        &self.limits
+    }
+
+    /// Probes the execution limits at the fragile-loop boundary `site`.
+    /// One relaxed atomic load when no limits are attached.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NumError::Cancelled`] / [`crate::NumError::BudgetExhausted`]
+    /// when the token has fired or the budget expired.
+    pub fn check_budget(&self, site: &str) -> NumResult<()> {
+        self.limits.check(site)
     }
 
     /// Adds `n` to counter `name` on this context's telemetry sink.
@@ -493,6 +530,25 @@ mod tests {
         let plain = ExecCtx::serial();
         plain.counter_inc("t.global");
         assert!(!plain.telemetry().active() || !plain.telemetry().snapshot().is_empty());
+    }
+
+    #[test]
+    fn ctx_limits_default_unlimited_and_shared_on_derive() {
+        use crate::budget::{Budget, CancelToken, ExecLimits};
+        let ctx = ExecCtx::serial();
+        assert!(!ctx.limits().is_limited());
+        ctx.check_budget("anywhere").expect("unlimited by default");
+        let token = CancelToken::new();
+        let limited = ctx.with_limits(
+            ExecLimits::none()
+                .with_cancel(token.clone())
+                .with_budget(Budget::unlimited().with_check_cap(100)),
+        );
+        // A derived context (policy swap) observes the same cancel flag.
+        let derived = limited.with_recovery(RecoveryPolicy::Strict);
+        limited.check_budget("scf").expect("not yet cancelled");
+        token.cancel();
+        assert!(derived.check_budget("scf").is_err());
     }
 
     #[test]

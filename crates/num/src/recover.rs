@@ -14,6 +14,7 @@
 //! byte for byte: recovery logic only runs on paths that previously
 //! returned an error, so fault-free results stay bit-identical.
 
+use crate::budget::ExecLimits;
 use crate::error::{NumError, NumResult};
 use crate::solver::{bicgstab_solve, cg_solve, IterControl, SolveStats};
 use crate::sparse::CsrMatrix;
@@ -393,6 +394,22 @@ pub fn solve_linear_robust(
     ctrl: IterControl,
     symmetric: bool,
 ) -> (NumResult<(Vec<f64>, SolveStats)>, SolveReport) {
+    solve_linear_robust_limited(a, b, x0, ctrl, symmetric, &ExecLimits::none())
+}
+
+/// [`solve_linear_robust`] under execution limits: the budget is probed
+/// before every ladder rung (site `"linear.ladder"`), so an expired
+/// budget or cancelled token stops the escalation instead of burning the
+/// remaining budget on rescue rungs. With unlimited [`ExecLimits`] this
+/// is the plain call bit for bit.
+pub fn solve_linear_robust_limited(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    ctrl: IterControl,
+    symmetric: bool,
+    limits: &ExecLimits,
+) -> (NumResult<(Vec<f64>, SolveStats)>, SolveReport) {
     #[derive(Clone, Copy)]
     enum Rung {
         Cg,
@@ -407,7 +424,16 @@ pub fn solve_linear_robust(
     ladder = ladder.rung("sparse-lu", Rung::SparseLu);
 
     let mut first_err: Option<NumError> = None;
+    let mut stop_err: Option<NumError> = None;
     let outcome = ladder.run(|label, rung| {
+        if stop_err.is_some() {
+            return AttemptReport::failed("skipped: budget stop");
+        }
+        if let Err(e) = limits.check("linear.ladder") {
+            let msg = e.to_string();
+            stop_err = Some(e);
+            return AttemptReport::failed(msg);
+        }
         if telemetry::is_armed() {
             telemetry::counter_inc(&format!("linear.{label}.calls"));
         }
@@ -454,7 +480,11 @@ pub fn solve_linear_robust(
     match outcome.value {
         Some(solution) => (Ok(solution), outcome.report),
         None => {
-            let err = first_err.unwrap_or_else(|| NumError::invalid("empty ladder"));
+            // A budget stop outranks solver errors: the caller must see
+            // that the ladder was cut short, not that a rung diverged.
+            let err = stop_err
+                .or(first_err)
+                .unwrap_or_else(|| NumError::invalid("empty ladder"));
             (Err(err), outcome.report)
         }
     }
@@ -642,6 +672,31 @@ mod tests {
         for (ri, bi) in r.iter().zip(&b) {
             assert!((ri - bi).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn robust_solve_limited_stops_on_exhausted_budget() {
+        use crate::budget::Budget;
+        let n = 40;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        // A zero check cap trips before the first rung runs: no solver
+        // work, a typed budget error, and every rung marked skipped.
+        let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0));
+        let (result, report) = solve_linear_robust_limited(
+            &a,
+            &b,
+            &vec![0.0; n],
+            IterControl::default(),
+            true,
+            &limits,
+        );
+        assert!(matches!(result, Err(NumError::BudgetExhausted { .. })));
+        assert_eq!(report.quality, Quality::Failed);
+        assert!(report.attempts[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("budget")));
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod error;
 pub mod grid;
 pub mod problem;

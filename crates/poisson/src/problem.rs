@@ -3,8 +3,9 @@
 use crate::error::PoissonError;
 use crate::grid::{Grid3, Region};
 use crate::solution::PoissonSolution;
+use gnr_num::budget::ExecLimits;
 use gnr_num::consts::{EPS_0, Q_E};
-use gnr_num::recover::solve_linear_robust;
+use gnr_num::recover::solve_linear_robust_limited;
 use gnr_num::solver::IterControl;
 use gnr_num::telemetry;
 use gnr_num::TripletBuilder;
@@ -140,6 +141,25 @@ impl PoissonProblem {
     /// Returns [`PoissonError::NoUnknowns`] if every cell is an electrode,
     /// or propagates CG failures.
     pub fn solve(&self, warm_start: Option<&[f64]>) -> Result<PoissonSolution, PoissonError> {
+        self.solve_limited(warm_start, &ExecLimits::none())
+    }
+
+    /// [`PoissonProblem::solve`] under an execution budget: the budget is
+    /// probed once before assembly and threaded into the laddered linear
+    /// solve, so a cancelled or expired run stops between CG rungs instead of
+    /// burning the rescue chain.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoissonProblem::solve`], plus
+    /// [`gnr_num::NumError::BudgetExhausted`] / `Cancelled` (via
+    /// [`PoissonError::Solve`]) when `limits` trips.
+    pub fn solve_limited(
+        &self,
+        warm_start: Option<&[f64]>,
+        limits: &ExecLimits,
+    ) -> Result<PoissonSolution, PoissonError> {
+        limits.check("poisson.solve")?;
         let n = self.grid.len();
         // Map interior cells to unknown indices.
         let mut unknown_of = vec![usize::MAX; n];
@@ -207,7 +227,7 @@ impl PoissonProblem {
         // Laddered solve: the first rung is the plain CG call (bit-identical
         // on the fault-free path); BiCGSTAB and, for small grids, dense LU
         // only run if CG errors out.
-        let (solved, _report) = solve_linear_robust(&a, &rhs, &x0, ctrl, true);
+        let (solved, _report) = solve_linear_robust_limited(&a, &rhs, &x0, ctrl, true, limits);
         let (x, stats) = solved?;
         telemetry::counter_inc("poisson.solves");
         telemetry::counter_add("poisson.iterations", stats.iterations as u64);
@@ -333,6 +353,27 @@ mod tests {
             "warm start iters {}",
             warm.iterations()
         );
+    }
+
+    #[test]
+    fn solve_limited_stops_on_exhausted_budget() {
+        use gnr_num::budget::Budget;
+        use gnr_num::NumError;
+        let grid = Grid3::new(11, 3, 3, 0.5).unwrap();
+        let mut p = PoissonProblem::new(grid);
+        p.set_electrode(Region::slab_x(0, 0), 0.0);
+        p.set_electrode(Region::slab_x(10, 10), 1.0);
+        let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0));
+        match p.solve_limited(None, &limits) {
+            Err(PoissonError::Solve(NumError::BudgetExhausted { site })) => {
+                assert_eq!(site, "poisson.solve");
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        // Unlimited solve_limited matches the plain path bit-for-bit.
+        let plain = p.solve(None).unwrap();
+        let limited = p.solve_limited(None, &ExecLimits::none()).unwrap();
+        assert_eq!(plain.raw(), limited.raw());
     }
 
     #[test]

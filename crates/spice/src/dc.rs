@@ -4,7 +4,15 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
 use crate::mna::{MnaSolverKind, MnaSystem, ResidualOnly};
+use gnr_num::budget::ExecLimits;
 use gnr_num::telemetry;
+
+/// True when `e` wraps a budget-stop numeric error ([`gnr_num::NumError`]
+/// `BudgetExhausted` / `Cancelled`): these must propagate unchanged instead
+/// of triggering further rescue stages.
+pub(crate) fn is_budget_stop(e: &SpiceError) -> bool {
+    matches!(e, SpiceError::Linear(inner) if inner.is_budget_stop())
+}
 
 /// Newton iteration controls for DC solves.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,6 +58,23 @@ pub fn dc_operating_point(
     x0: Option<&[f64]>,
     opts: DcOptions,
 ) -> Result<Vec<f64>, SpiceError> {
+    dc_operating_point_limited(circuit, x0, opts, &ExecLimits::none())
+}
+
+/// [`dc_operating_point`] under an execution budget: the budget is probed at
+/// every gmin stage and ramp step, and a budget stop aborts the rescue chain
+/// (mid-rail seeds, source stepping) instead of burning it.
+///
+/// # Errors
+///
+/// As [`dc_operating_point`], plus [`gnr_num::NumError::BudgetExhausted`] /
+/// `Cancelled` (via [`SpiceError::Linear`]) when `limits` trips.
+pub fn dc_operating_point_limited(
+    circuit: &Circuit,
+    x0: Option<&[f64]>,
+    opts: DcOptions,
+    limits: &ExecLimits,
+) -> Result<Vec<f64>, SpiceError> {
     circuit.validate()?;
     let n = circuit.unknowns();
     // One linear system per circuit: the sparse backend's symbolic
@@ -58,10 +83,11 @@ pub fn dc_operating_point(
     let mut run_ladder = |start: Vec<f64>| -> Result<Vec<f64>, SpiceError> {
         let mut x = start;
         for (stage, &gmin) in opts.gmin_ladder.iter().enumerate() {
+            limits.check("dc.gmin_stage")?;
             let is_last = stage == opts.gmin_ladder.len() - 1;
             match newton(circuit, &mut x, 0.0, gmin, opts, &mut sys) {
                 Ok(()) => {}
-                Err(e) if is_last => return Err(e),
+                Err(e) if is_last || is_budget_stop(&e) => return Err(e),
                 Err(_) => { /* keep the best-effort x and tighten gmin anyway */ }
             }
         }
@@ -85,6 +111,7 @@ pub fn dc_operating_point(
     };
     match primary_result {
         Ok(x) => Ok(x),
+        Err(first_err) if is_budget_stop(&first_err) => Err(first_err),
         Err(first_err) => {
             // Cold-start fallback: seed every node at half the largest
             // source magnitude (mid-rail), which sits inside the high-gain
@@ -107,14 +134,17 @@ pub fn dc_operating_point(
                     for v in seed.iter_mut().take(n_nodes) {
                         *v = vmax * frac;
                     }
-                    if let Ok(x) = run_ladder(seed) {
-                        return Ok(x);
+                    match run_ladder(seed) {
+                        Ok(x) => return Ok(x),
+                        Err(e) if is_budget_stop(&e) => return Err(e),
+                        Err(_) => {}
                     }
                 }
             }
             // Source stepping: ramp every source from a quarter of its
             // value to full drive, warm-starting each step from the last.
-            match source_stepping(circuit, opts) {
+            match source_stepping_limited(circuit, opts, limits) {
+                Err(e) if is_budget_stop(&e) => Err(e),
                 Ok(x) => {
                     telemetry::counter_inc("spice.dc.source_stepping_rescues");
                     Ok(x)
@@ -137,8 +167,21 @@ pub fn dc_operating_point(
 /// fraction of its `t = 0` value, warm-starting each ramp step with the
 /// previous solution. This is the classic homotopy for circuits whose
 /// full-drive Newton problem has no reachable solution from any cold seed.
-pub(crate) fn source_stepping(circuit: &Circuit, opts: DcOptions) -> Result<Vec<f64>, SpiceError> {
+pub(crate) fn source_stepping_limited(
+    circuit: &Circuit,
+    opts: DcOptions,
+    limits: &ExecLimits,
+) -> Result<Vec<f64>, SpiceError> {
     use crate::circuit::{Element, Waveform};
+    // Fault injection (disarmed in production): pretend the ramp diverged,
+    // driving the caller into the RescueChainFailed double-failure path.
+    if gnr_num::fault::should_fail("dc.source_stepping") {
+        return Err(SpiceError::NewtonDiverged {
+            analysis: "dc-source-stepping",
+            iterations: 0,
+            residual: f64::INFINITY,
+        });
+    }
     let originals: Vec<f64> = circuit
         .elements()
         .iter()
@@ -153,6 +196,7 @@ pub(crate) fn source_stepping(circuit: &Circuit, opts: DcOptions) -> Result<Vec<
     // one symbolic analysis) serves the whole ramp.
     let mut sys = MnaSystem::for_circuit(circuit, opts.solver);
     for frac in [0.25, 0.5, 0.75, 1.0] {
+        limits.check("dc.source_step")?;
         let mut k = 0;
         for e in circuit_elements_mut(&mut scaled) {
             if let Element::VSource { wave, .. } = e {
@@ -167,7 +211,7 @@ pub(crate) fn source_stepping(circuit: &Circuit, opts: DcOptions) -> Result<Vec<
             let is_last = stage == opts.gmin_ladder.len() - 1;
             match newton(&scaled, &mut x, 0.0, gmin, opts, &mut sys) {
                 Ok(()) => {}
-                Err(e) if is_last && full_drive => return Err(e),
+                Err(e) if (is_last && full_drive) || is_budget_stop(&e) => return Err(e),
                 Err(_) => { /* intermediate ramp steps may stay loose */ }
             }
         }
@@ -198,8 +242,19 @@ pub(crate) fn newton(
         telemetry::counter_inc("spice.newton.calls");
         telemetry::counter_add("spice.newton.iterations", iters);
     };
+    // `worst_of`'s `max` silently drops NaN, so divergence to non-finite
+    // values must be probed explicitly or Newton spins to max-iteration on
+    // garbage.
+    let non_finite = |r: &[f64]| r.iter().any(|v| !v.is_finite());
     for _ in 0..opts.max_iterations {
         circuit.stamp(x, t, gmin, None, sys.sink(), &mut res);
+        if non_finite(&res) {
+            record(iters);
+            return Err(gnr_num::NumError::non_finite(format!(
+                "newton residual at t = {t}, gmin = {gmin}"
+            ))
+            .into());
+        }
         let worst = worst_of(&res);
         if worst < opts.tolerance_a {
             record(iters);
@@ -241,8 +296,14 @@ pub(crate) fn newton(
     // genuine non-convergence shows residuals orders of magnitude above
     // this.
     circuit.stamp(x, t, gmin, None, &mut ResidualOnly, &mut res);
-    let worst = worst_of(&res);
     record(iters);
+    if non_finite(&res) {
+        return Err(gnr_num::NumError::non_finite(format!(
+            "newton residual at t = {t}, gmin = {gmin}"
+        ))
+        .into());
+    }
+    let worst = worst_of(&res);
     if worst < opts.tolerance_a * 1e5 {
         return Ok(());
     }
@@ -452,8 +513,62 @@ mod tests {
             b: NodeId::GROUND,
             ohms: 1e3,
         });
-        let x = source_stepping(&c, DcOptions::default()).unwrap();
+        let x = source_stepping_limited(&c, DcOptions::default(), &ExecLimits::none()).unwrap();
         assert!((c.voltage(&x, mid) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_residual_fails_fast_with_typed_error() {
+        use gnr_num::NumError;
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add(Element::VSource {
+            p: vin,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(f64::NAN),
+        });
+        c.add(Element::Resistor {
+            a: vin,
+            b: NodeId::GROUND,
+            ohms: 1e3,
+        });
+        let err = dc_operating_point(&c, None, DcOptions::default()).unwrap_err();
+        match err {
+            SpiceError::Linear(NumError::NonFinite { detail }) => {
+                assert!(detail.contains("newton residual"), "detail: {detail}");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dc_limited_stops_on_exhausted_budget() {
+        use gnr_num::budget::Budget;
+        use gnr_num::NumError;
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add(Element::VSource {
+            p: vin,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(1.0),
+        });
+        c.add(Element::Resistor {
+            a: vin,
+            b: NodeId::GROUND,
+            ohms: 1e3,
+        });
+        let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0));
+        let err = dc_operating_point_limited(&c, None, DcOptions::default(), &limits).unwrap_err();
+        assert!(
+            matches!(err, SpiceError::Linear(NumError::BudgetExhausted { .. })),
+            "got {err:?}"
+        );
+        // Unlimited limited variant matches the plain path bit-for-bit.
+        let plain = dc_operating_point(&c, None, DcOptions::default()).unwrap();
+        let limited =
+            dc_operating_point_limited(&c, None, DcOptions::default(), &ExecLimits::none())
+                .unwrap();
+        assert_eq!(plain, limited);
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! for smooth waveforms.
 
 use crate::circuit::{Circuit, Element, NodeId};
-use crate::dc::{dc_operating_point, DcOptions};
+use crate::dc::{dc_operating_point_limited, is_budget_stop, DcOptions};
 use crate::error::SpiceError;
 use crate::mna::{MnaSink, MnaSystem, ResidualOnly};
+use gnr_num::budget::ExecLimits;
 use gnr_num::par::{ExecCtx, RecoveryPolicy};
 use gnr_num::recover::{AttemptReport, EscalationLadder, SolveReport};
 use gnr_num::telemetry;
@@ -163,11 +164,11 @@ pub fn transient(
     telemetry::counter_inc("transient.solves");
     match ctx.recovery() {
         RecoveryPolicy::Strict => {
-            let result = transient_nominal(circuit, opts)?;
+            let result = transient_nominal_limited(circuit, opts, ctx.limits())?;
             let steps = result.len();
             Ok((result, SolveReport::single("nominal", steps, f64::NAN)))
         }
-        RecoveryPolicy::Ladder => transient_laddered(circuit, opts),
+        RecoveryPolicy::Ladder => transient_laddered(circuit, opts, ctx.limits()),
     }
 }
 
@@ -178,6 +179,15 @@ pub(crate) fn transient_nominal(
     circuit: &Circuit,
     opts: &TransientOptions,
 ) -> Result<TransientResult, SpiceError> {
+    transient_nominal_limited(circuit, opts, &ExecLimits::none())
+}
+
+/// [`transient_nominal`] with a budget probe at every time step.
+pub(crate) fn transient_nominal_limited(
+    circuit: &Circuit,
+    opts: &TransientOptions,
+    limits: &ExecLimits,
+) -> Result<TransientResult, SpiceError> {
     circuit.validate()?;
     if opts.dt.is_nan() || opts.dt <= 0.0 || opts.t_stop.is_nan() || opts.t_stop <= 0.0 {
         return Err(SpiceError::config("transient needs dt > 0 and t_stop > 0"));
@@ -187,7 +197,7 @@ pub(crate) fn transient_nominal(
     let mut x = if opts.skip_dc {
         vec![0.0; n]
     } else {
-        dc_operating_point(circuit, None, opts.newton)?
+        dc_operating_point_limited(circuit, None, opts.newton, limits)?
     };
     for &(node, v) in &opts.initial_voltages {
         if let Some(i) = circuit.mna_index(node) {
@@ -213,6 +223,7 @@ pub(crate) fn transient_nominal(
     let mut newton_iters: u64 = 0;
 
     for step in 1..=steps {
+        limits.check("transient.step")?;
         let t = step as f64 * dt;
         let x_prev = x.clone();
         // Freeze the FET capacitances at the previous bias for this step.
@@ -234,6 +245,15 @@ pub(crate) fn transient_nominal(
                 sys.sink(),
                 &mut res,
             );
+            // `max` silently drops NaN: probe non-finite residuals
+            // explicitly so divergence fails fast with a typed error.
+            if res.iter().any(|v| !v.is_finite()) {
+                telemetry::counter_add("transient.newton_iterations", newton_iters);
+                return Err(gnr_num::NumError::non_finite(format!(
+                    "transient newton residual at t = {t:.3e} s"
+                ))
+                .into());
+            }
             let worst = res.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if worst < opts.newton.tolerance_a {
                 newton_ok = true;
@@ -313,6 +333,7 @@ impl Default for TransientRecovery {
 fn transient_laddered(
     circuit: &Circuit,
     opts: &TransientOptions,
+    limits: &ExecLimits,
 ) -> Result<(TransientResult, SolveReport), SpiceError> {
     let rec = &opts.recovery;
     #[derive(Clone)]
@@ -330,6 +351,9 @@ fn transient_laddered(
     }
 
     let mut first_err: Option<SpiceError> = None;
+    // A budget stop must short-circuit the remaining rungs rather than
+    // re-integrate with smaller timesteps against an exhausted budget.
+    let mut stop_err: Option<SpiceError> = None;
     let record_err =
         |err: SpiceError, first: &mut Option<SpiceError>| -> AttemptReport<TransientResult> {
             let msg = err.to_string();
@@ -339,6 +363,9 @@ fn transient_laddered(
             AttemptReport::failed(msg)
         };
     let outcome = ladder.run(|_, policy| {
+        if stop_err.is_some() {
+            return AttemptReport::failed("skipped: budget stop");
+        }
         let attempt_opts = match policy {
             Policy::Nominal => opts.clone(),
             Policy::HalveDt(k) => {
@@ -355,8 +382,13 @@ fn transient_laddered(
                 // Solve the operating point by ramping the sources, then
                 // impose it as the starting state instead of the (failing)
                 // direct DC solve.
-                let x = match crate::dc::source_stepping(circuit, opts.newton) {
+                let x = match crate::dc::source_stepping_limited(circuit, opts.newton, limits) {
                     Ok(x) => x,
+                    Err(e) if is_budget_stop(&e) => {
+                        let msg = e.to_string();
+                        stop_err = Some(e);
+                        return AttemptReport::failed(msg);
+                    }
                     Err(e) => return record_err(e, &mut first_err),
                 };
                 let initial_voltages: Vec<(NodeId, f64)> = (1..circuit.node_count())
@@ -382,10 +414,15 @@ fn transient_laddered(
             }
             return AttemptReport::failed("injected fault: transient attempt suppressed");
         }
-        match transient_nominal(circuit, &attempt_opts) {
+        match transient_nominal_limited(circuit, &attempt_opts, limits) {
             Ok(result) => {
                 let steps = result.len();
                 AttemptReport::converged(result, steps, f64::NAN)
+            }
+            Err(err) if is_budget_stop(&err) => {
+                let msg = err.to_string();
+                stop_err = Some(err);
+                AttemptReport::failed(msg)
             }
             Err(err) => record_err(err, &mut first_err),
         }
@@ -404,7 +441,9 @@ fn transient_laddered(
     }
     match outcome.value {
         Some(result) => Ok((result, outcome.report)),
-        None => Err(first_err.unwrap_or_else(|| SpiceError::config("transient ladder was empty"))),
+        None => Err(stop_err
+            .or(first_err)
+            .unwrap_or_else(|| SpiceError::config("transient ladder was empty"))),
     }
 }
 
@@ -785,6 +824,69 @@ mod tests {
         assert!(transient(&strict(), &c, &TransientOptions::new(1e-9, 0.0)).is_err());
         // The ladder cannot rescue a configuration error either.
         assert!(transient(&ExecCtx::serial(), &c, &TransientOptions::new(1e-9, 0.0)).is_err());
+    }
+
+    #[test]
+    fn transient_stops_on_exhausted_budget() {
+        use gnr_num::budget::Budget;
+        use gnr_num::NumError;
+        let mut c = Circuit::new();
+        let out = c.node("out");
+        c.add(Element::Resistor {
+            a: out,
+            b: NodeId::GROUND,
+            ohms: 1e3,
+        });
+        c.add(Element::Capacitor {
+            a: out,
+            b: NodeId::GROUND,
+            farads: 1e-12,
+        });
+        let mut opts = TransientOptions::new(1e-9, 1e-11);
+        opts.skip_dc = true;
+        opts.initial_voltages = vec![(out, 1.0)];
+        let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(2));
+        let ctx = ExecCtx::strict().with_limits(limits);
+        let err = transient(&ctx, &c, &opts).unwrap_err();
+        match err {
+            SpiceError::Linear(NumError::BudgetExhausted { site }) => {
+                assert_eq!(site, "transient.step");
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        // The ladder must not burn dt-halving rungs on an exhausted budget
+        // either: same typed error, no rescue.
+        let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(2));
+        let ctx = ExecCtx::serial().with_limits(limits);
+        let err = transient(&ctx, &c, &opts).unwrap_err();
+        assert!(
+            matches!(err, SpiceError::Linear(NumError::BudgetExhausted { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_transient_residual_fails_fast() {
+        use gnr_num::NumError;
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add(Element::VSource {
+            p: vin,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(f64::NAN),
+        });
+        c.add(Element::Resistor {
+            a: vin,
+            b: NodeId::GROUND,
+            ohms: 1e3,
+        });
+        let mut opts = TransientOptions::new(1e-10, 1e-11);
+        opts.skip_dc = true;
+        let err = transient(&strict(), &c, &opts).unwrap_err();
+        assert!(
+            matches!(err, SpiceError::Linear(NumError::NonFinite { .. })),
+            "got {err:?}"
+        );
     }
 
     #[test]

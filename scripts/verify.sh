@@ -57,6 +57,14 @@ GNR_THREADS=4 cargo test -q --offline \
   --test physics_conformance --test transport_invariants --test surface_cache \
   --test sparse_mna
 
+# Budgeted-execution acceptance gate (DESIGN.md §13): cancel / checkpoint /
+# resume bit-identity with the §4 pins intact, partial results on budget
+# exhaustion, corrupt-checkpoint discard. Named on both pool sizes because
+# resume determinism across thread counts is the whole contract.
+echo "== tier-1: budget/checkpoint acceptance suite (GNR_THREADS=1 and 4) =="
+GNR_THREADS=1 cargo test -q --offline --test budget_checkpoint
+GNR_THREADS=4 cargo test -q --offline --test budget_checkpoint
+
 if [ "$TIER" = "1" ]; then
   echo "verify: tier-1 checks passed"
   exit 0
@@ -64,6 +72,13 @@ fi
 
 echo "== tier-2: fault-injection suite (release) =="
 cargo test --release --offline --test fault_tolerance
+
+# Chaos soak: every site in gnr_num::fault::REGISTERED_SITES armed at
+# p = 0.3 over the composite workload (SCF, DC rescue chain, transient
+# ladder, checkpointed Monte Carlo). Fails on any panic or non-typed
+# error; new fault sites join the soak just by registering.
+echo "== tier-2: chaos soak over all registered fault sites (release) =="
+cargo test --release --offline --test chaos_soak -- --nocapture
 
 echo "== tier-2: par_scaling ablation (serial vs 4-thread table build) =="
 cargo run -p gnr-bench --release --offline -- --suite ablations --filter par_scaling --quick

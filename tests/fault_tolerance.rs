@@ -22,10 +22,11 @@ use gnrlab::num::fault::{self, FaultPlan};
 use gnrlab::num::par::ExecCtx;
 use gnrlab::num::recover::solve_linear_robust;
 use gnrlab::num::solver::IterControl;
+use gnrlab::num::telemetry;
 use gnrlab::num::TripletBuilder;
 use gnrlab::spice::dc::{dc_operating_point, DcOptions};
 use gnrlab::spice::transient::{transient, TransientOptions, TransientRecovery};
-use gnrlab::spice::{Circuit, Element, NodeId, Waveform};
+use gnrlab::spice::{Circuit, Element, NodeId, SpiceError, Waveform};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// The fault injector is process-global: tests that arm it must not
@@ -274,6 +275,81 @@ fn dc_disarmed_is_bit_identical() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.to_bits(), y.to_bits());
     }
+}
+
+/// Disarms the global telemetry sink on drop so a failed assertion cannot
+/// leak an armed sink into the next test.
+struct ArmedTelemetry;
+
+impl ArmedTelemetry {
+    fn arm() -> Self {
+        telemetry::reset();
+        telemetry::arm();
+        ArmedTelemetry
+    }
+}
+
+impl Drop for ArmedTelemetry {
+    fn drop(&mut self) {
+        telemetry::disarm();
+    }
+}
+
+#[test]
+fn double_dc_failure_surfaces_rescue_chain_failed_with_both_errors() {
+    let _g = injector_lock();
+    // Kill both the primary path ("newton-dc" suppresses the gmin ladder
+    // and mid-rail seeds) and the last-resort source stepping: the rescue
+    // chain runs dry and must report both failures, hiding neither.
+    let _armed = ArmedPlan::arm(
+        FaultPlan::seeded(7)
+            .with_site("newton-dc", 1.0)
+            .with_site("dc.source_stepping", 1.0),
+    );
+    let _t = ArmedTelemetry::arm();
+    let (c, _) = rc_circuit();
+    let err = dc_operating_point(&c, None, DcOptions::default()).unwrap_err();
+    let snap = telemetry::snapshot();
+    match &err {
+        SpiceError::RescueChainFailed {
+            analysis,
+            attempted,
+            primary,
+            last,
+        } => {
+            assert_eq!(*analysis, "dc");
+            assert_eq!(
+                *attempted,
+                &["gmin-ladder", "mid-rail-seeds", "source-stepping"]
+            );
+            assert!(
+                matches!(**primary, SpiceError::NewtonDiverged { analysis: "dc", .. }),
+                "primary: {primary:?}"
+            );
+            assert!(
+                matches!(
+                    **last,
+                    SpiceError::NewtonDiverged {
+                        analysis: "dc-source-stepping",
+                        ..
+                    }
+                ),
+                "last: {last:?}"
+            );
+        }
+        other => panic!("expected RescueChainFailed, got {other:?}"),
+    }
+    // The display keeps both embedded failures visible.
+    let msg = err.to_string();
+    assert!(msg.contains("primary failure"), "msg: {msg}");
+    assert!(msg.contains("dc-source-stepping"), "msg: {msg}");
+    assert_eq!(fault::injection_count("newton-dc"), 1);
+    assert_eq!(fault::injection_count("dc.source_stepping"), 1);
+    assert_eq!(
+        snap.counter("spice.dc.source_stepping_failures"),
+        Some(1),
+        "double failure must count a stepping failure"
+    );
 }
 
 // ------------------------------------------------------ linear solver --
