@@ -8,6 +8,7 @@ use gnr_device::table::TableGrid;
 use gnr_device::{DeviceConfig, DeviceTable, Polarity, SbfetModel, ScfOptions, ScfSolver};
 use gnr_lattice::{AGnr, DeviceHamiltonian};
 use gnr_negf::{Lead, RgfSolver};
+use gnr_num::budget::ExecLimits;
 use gnr_num::par::{ExecCtx, ThreadPool};
 use gnr_num::{c64, CMatrix};
 use std::hint::black_box;
@@ -225,6 +226,57 @@ fn device_table(h: &mut Harness) {
     }
 }
 
+/// Content-addressed table cache (DESIGN.md §14): a cold NEGF table
+/// build versus a warm store hit serving the same request from its
+/// canonical JSON. The warm path is one FNV-1a key, one map probe, and
+/// one JSON parse, so the gate target is steep: warm median >= 50x
+/// faster than cold, with the hit byte-identical to the cold build
+/// (pinned by the `table_cache` test suite).
+fn table_cache(h: &mut Harness) {
+    use gnr_device::{ballistic_negf_table, NegfTableOptions, TableKey, TableStore};
+    let mut cfg = DeviceConfig::test_small(9).expect("valid");
+    cfg.channel_cells = 6;
+    let model = SbfetModel::new(&cfg).expect("builds");
+    let grid = TableGrid {
+        vgs: (0.0, 0.6),
+        vds: (0.05, 0.35),
+        points: 3,
+    };
+    let ctx = ExecCtx::new(ThreadPool::new(4), Default::default());
+    let opts = NegfTableOptions::accelerated();
+    // The full request key is recomputed per iteration: the warm number
+    // is the end-to-end cost of a cache hit, not just the map probe.
+    let key = |cfg: &DeviceConfig, opts: &NegfTableOptions| {
+        TableKey::new("bench-table-cache")
+            .device(cfg)
+            .grid(&grid)
+            .polarity(Polarity::NType)
+            .ribbons(4)
+            .negf(opts)
+            .finish()
+    };
+    h.bench(SUITE, "table_cache/cold_build", || {
+        black_box(
+            ballistic_negf_table(&ctx, &model, Polarity::NType, grid, 4, &opts).expect("table"),
+        )
+    });
+    let store = TableStore::in_memory();
+    store
+        .get_or_build(key(&cfg, &opts), || {
+            ballistic_negf_table(&ctx, &model, Polarity::NType, grid, 4, &opts)
+        })
+        .expect("prime the store");
+    h.bench(SUITE, "table_cache/warm_hit", || {
+        black_box(
+            store
+                .get_or_build(key(&cfg, &opts), || -> Result<DeviceTable, _> {
+                    unreachable!("the warm run must hit")
+                })
+                .expect("hit"),
+        )
+    });
+}
+
 /// Sparse versus dense MNA (DESIGN.md §12): the KLU-style solver pays a
 /// one-time symbolic analysis per circuit and a cheap pattern-replay
 /// refactor per Newton step, versus the legacy dense assembly + O(n³) LU
@@ -288,7 +340,12 @@ fn sparse_mna(h: &mut Harness) {
             h.bench(
                 SUITE,
                 &format!("sparse_mna/mesh_dc/k{k}/{label}"),
-                move || black_box(dc_operating_point(&circuit, None, opts).expect("solves")),
+                move || {
+                    black_box(
+                        dc_operating_point(&circuit, None, opts, &ExecLimits::none())
+                            .expect("solves"),
+                    )
+                },
             );
         }
     }
@@ -372,5 +429,6 @@ pub fn register(h: &mut Harness) {
     scf_recovery(h);
     par_scaling(h);
     device_table(h);
+    table_cache(h);
     sparse_mna(h);
 }

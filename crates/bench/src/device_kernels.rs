@@ -7,6 +7,7 @@ use gnr_device::{DeviceConfig, SbfetModel};
 use gnr_lattice::{unit_cell_hamiltonian, AGnr, DeviceHamiltonian, ZGnr};
 use gnr_negf::lead::surface_gf;
 use gnr_negf::{Lead, RgfSolver};
+use gnr_num::budget::ExecLimits;
 use gnr_poisson::{Grid3, PoissonProblem, Region};
 use std::hint::black_box;
 
@@ -25,7 +26,10 @@ pub fn register(h: &mut Harness) {
 
     let (h00, h01) = unit_cell_hamiltonian(gnr);
     h.bench(SUITE, "sancho_rubio_surface_gf_24x24", || {
-        black_box(surface_gf(black_box(0.9), &h00, &h01, 1e-5, 200).expect("converges"))
+        black_box(
+            surface_gf(black_box(0.9), &h00, &h01, 1e-5, 200, &ExecLimits::none())
+                .expect("converges"),
+        )
     });
 
     let ham = DeviceHamiltonian::flat_band(gnr, 12).expect("builds");
@@ -34,7 +38,11 @@ pub fn register(h: &mut Harness) {
         black_box(solver.transmission(black_box(0.7)).expect("solves"))
     });
     h.bench(SUITE, "rgf_spectral_slice_12layers", || {
-        black_box(solver.spectral_slice(black_box(0.7)).expect("solves"))
+        black_box(
+            solver
+                .spectral_slice(black_box(0.7), &ExecLimits::none())
+                .expect("solves"),
+        )
     });
 
     let grid = Grid3::new(40, 12, 12, 0.5).expect("valid grid");
@@ -44,11 +52,14 @@ pub fn register(h: &mut Harness) {
     p.set_dielectric(Region::new((1, 38), (0, 11), (0, 11)), 3.9);
     p.add_point_charge(5.0, 3.0, 3.0, 1.0);
     h.bench(SUITE, "poisson_cg_5760_cells_cold", || {
-        black_box(p.solve(None).expect("solves"))
+        black_box(p.solve(None, &ExecLimits::none()).expect("solves"))
     });
-    let warm = p.solve(None).expect("solves");
+    let warm = p.solve(None, &ExecLimits::none()).expect("solves");
     h.bench(SUITE, "poisson_cg_5760_cells_warm", || {
-        black_box(p.solve(Some(warm.raw())).expect("solves"))
+        black_box(
+            p.solve(Some(warm.raw()), &ExecLimits::none())
+                .expect("solves"),
+        )
     });
 
     let cfg = DeviceConfig::test_small(12).expect("valid");

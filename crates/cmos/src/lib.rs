@@ -26,7 +26,7 @@
 //! ```
 
 use gnr_device::table::TableGrid;
-use gnr_device::{DeviceError, DeviceTable, Polarity};
+use gnr_device::{DeviceError, DeviceTable, Polarity, TableKey, TableStore};
 use gnr_num::consts::thermal_voltage;
 
 /// Scaled technology nodes of the paper's Table 1.
@@ -175,6 +175,35 @@ impl CmosTransistor {
             |vg, vd| me.drain_current(vg, vd),
             |vg, vd| me.channel_charge(vg, vd),
         )
+    }
+
+    /// [`to_table`](CmosTransistor::to_table) through a content-addressed
+    /// [`TableStore`]: the table is keyed on every model card field, the
+    /// polarity, and the grid, so repeated invocations (the benchmark
+    /// sweeps every node at several supplies) are served from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction and serialization failures.
+    pub fn to_table_cached(
+        &self,
+        store: &TableStore,
+        polarity: Polarity,
+        vmax: f64,
+    ) -> Result<DeviceTable, DeviceError> {
+        let key = TableKey::new("cmos-alpha-power/v1")
+            .field_f64("vth0", self.vth0)
+            .field_f64("alpha", self.alpha)
+            .field_f64("k", self.k)
+            .field_f64("n_sub", self.n_sub)
+            .field_f64("dibl", self.dibl)
+            .field_f64("k_sat", self.k_sat)
+            .field_f64("c_gate", self.c_gate)
+            .field_f64("temperature_k", self.temperature_k)
+            .field_f64("vmax", vmax)
+            .polarity(polarity)
+            .finish();
+        store.get_or_build(key, || self.to_table(polarity, vmax))
     }
 }
 

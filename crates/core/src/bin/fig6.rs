@@ -2,21 +2,45 @@
 //! dynamic power, and static power for the 15-stage FO4 ring oscillator
 //! with per-inverter width (N = 9/12/15) and charge (−q/0/+q) variations
 //! drawn from a discretized normal distribution.
+//!
+//! Runs as a streaming [`JobRequest::McSweep`] through the
+//! characterization service: chunks print as they land, an interrupted
+//! run checkpoints, and re-running resumes by seed range. Device tables
+//! come from the shared on-disk content-addressed cache, so repeated
+//! invocations skip straight to the sampling.
 
-use gnr_num::par::ExecCtx;
-use gnrfet_explore::monte_carlo::{ring_oscillator_monte_carlo, MonteCarloResult};
+use gnrfet_explore::monte_carlo::MonteCarloResult;
 use gnrfet_explore::report;
+use gnrfet_explore::service::JobRequest;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut lib = report::standard_library("fig6 — Monte Carlo ring-oscillator study");
+    let mut service = report::standard_service("fig6 — Monte Carlo ring-oscillator study");
     let vdd = 0.4;
     let samples = match std::env::var("GNRLAB_MC_SAMPLES") {
         Ok(s) => s.parse().unwrap_or(10_000),
         Err(_) => 10_000,
     };
     println!("characterizing the 81-configuration stage universe...");
-    let ctx = ExecCtx::from_env();
-    let result = ring_oscillator_monte_carlo(&ctx, &mut lib, vdd, 15, samples, 0x5eed)?;
+    std::fs::create_dir_all(report::CACHE_DIR)?;
+    let request = JobRequest::mc_sweep(vdd, 15, samples, 0x5eed)
+        .with_checkpoint(format!("{}/fig6-mc.json", report::CACHE_DIR));
+    let mut delivered = 0usize;
+    let response = service.submit_streaming(request, &mut |chunk| {
+        delivered += chunk.totals.len();
+        if chunk.restored {
+            println!("  resumed {delivered} checkpointed samples (seed range restored)");
+        } else if delivered % 2048 < chunk.totals.len() || delivered == samples {
+            println!("  {delivered}/{samples} samples");
+        }
+    })?;
+    let outcome = response.mc().expect("sweep jobs return a sweep payload");
+    if let Some(stop) = &outcome.interrupted {
+        println!(
+            "interrupted ({stop}) after {}/{} samples — rerun to resume",
+            outcome.completed_samples, outcome.requested_samples
+        );
+    }
+    let result = &outcome.result;
 
     if result.stalled_samples > 0 {
         println!(
@@ -62,5 +86,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", MonteCarloResult::histogram(&dyn_uw, 18)?.ascii(46));
     println!("static power histogram (uW):");
     println!("{}", MonteCarloResult::histogram(&stat_uw, 18)?.ascii(46));
+    report::cache_summary(&response.telemetry);
     Ok(())
 }

@@ -9,7 +9,7 @@ use crate::contours::DesignPoint;
 use crate::devices::{DeviceLibrary, DeviceVariant};
 use crate::error::ExploreError;
 use gnr_cmos::{CmosNode, CmosTransistor};
-use gnr_device::Polarity;
+use gnr_device::{Polarity, TableStore};
 use gnr_num::par::ExecCtx;
 use gnr_spice::builders::{ExtrinsicParasitics, InverterCell, RingOscillator};
 use gnr_spice::measure::{
@@ -139,6 +139,21 @@ pub fn gnrfet_row(
 ///
 /// Propagates table-construction failures.
 pub fn cmos_cell(node: CmosNode, vdd: f64) -> Result<InverterCell, ExploreError> {
+    cmos_cell_with_store(&TableStore::in_memory(), node, vdd)
+}
+
+/// [`cmos_cell`] through a shared content-addressed [`TableStore`]: the
+/// node/supply tables are cached, so the Table 1 sweep (every node at
+/// several supplies) samples each model card once per store lifetime.
+///
+/// # Errors
+///
+/// Propagates table-construction failures.
+pub fn cmos_cell_with_store(
+    store: &TableStore,
+    node: CmosNode,
+    vdd: f64,
+) -> Result<InverterCell, ExploreError> {
     let nmos = CmosTransistor::nominal(node);
     // PMOS: ~2x weaker drive at ~1.8x width in real libraries; net ~0.9x
     // drive with ~1.8x capacitance.
@@ -147,8 +162,8 @@ pub fn cmos_cell(node: CmosNode, vdd: f64) -> Result<InverterCell, ExploreError>
         c_gate: nmos.c_gate * 1.8,
         ..nmos
     };
-    let n_table = nmos.to_table(Polarity::NType, vdd.max(0.85))?;
-    let p_table = pmos.to_table(Polarity::PType, vdd.max(0.85))?;
+    let n_table = nmos.to_table_cached(store, Polarity::NType, vdd.max(0.85))?;
+    let p_table = pmos.to_table_cached(store, Polarity::PType, vdd.max(0.85))?;
     // Contact resistance is already part of the compact model's effective
     // drive; no extrinsic parasitics are added.
     Ok(InverterCell::new(
@@ -164,7 +179,22 @@ pub fn cmos_cell(node: CmosNode, vdd: f64) -> Result<InverterCell, ExploreError>
 ///
 /// Propagates measurement failures.
 pub fn cmos_row(node: CmosNode, vdd: f64, stages: usize) -> Result<BenchRow, ExploreError> {
-    let cell = cmos_cell(node, vdd)?;
+    cmos_row_with_store(&TableStore::in_memory(), node, vdd, stages)
+}
+
+/// [`cmos_row`] through a shared [`TableStore`] (see
+/// [`cmos_cell_with_store`]).
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn cmos_row_with_store(
+    store: &TableStore,
+    node: CmosNode,
+    vdd: f64,
+    stages: usize,
+) -> Result<BenchRow, ExploreError> {
+    let cell = cmos_cell_with_store(store, node, vdd)?;
     let inv = fo4_metrics_for_cell(&cell, vdd)?;
     let static_w = inverter_static_power(&cell, vdd)?;
     let ro = RingOscillator::uniform(&cell, stages, vdd)?;
@@ -198,7 +228,7 @@ pub fn comparison_table(
     let mut cmos = Vec::new();
     for node in CmosNode::ALL {
         for vdd in [0.8, 0.6, 0.4] {
-            cmos.push(cmos_row(node, vdd, stages)?);
+            cmos.push(cmos_row_with_store(lib.store(), node, vdd, stages)?);
         }
     }
     Ok(ComparisonTable { gnrfet, cmos })

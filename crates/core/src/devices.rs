@@ -8,7 +8,10 @@
 
 use crate::error::ExploreError;
 use gnr_device::table::TableGrid;
-use gnr_device::{ChargeImpurity, DeviceConfig, DeviceTable, Polarity, SbfetModel};
+use gnr_device::{
+    ChargeImpurity, DeviceConfig, DeviceError, DeviceTable, Polarity, SbfetModel, TableKey,
+    TableStore,
+};
 use gnr_num::par::ExecCtx;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -114,6 +117,7 @@ impl DeviceVariant {
         self.n == 12 && self.charge_q == 0.0
     }
 
+    #[cfg(test)]
     fn key(&self) -> String {
         let affected = match self.scenario {
             _ if self.is_nominal() => 4,
@@ -132,35 +136,43 @@ impl DeviceVariant {
 pub struct DeviceLibrary {
     fidelity: Fidelity,
     models: HashMap<String, Arc<SbfetModel>>,
-    tables: HashMap<String, Arc<DeviceTable>>,
-    cache_dir: Option<PathBuf>,
+    tables: HashMap<u64, Arc<DeviceTable>>,
+    store: Arc<TableStore>,
 }
 
 impl DeviceLibrary {
     /// Creates an in-memory library.
     pub fn new(fidelity: Fidelity) -> Self {
-        DeviceLibrary {
-            fidelity,
-            models: HashMap::new(),
-            tables: HashMap::new(),
-            cache_dir: None,
-        }
+        Self::with_store(fidelity, Arc::new(TableStore::in_memory()))
     }
 
     /// Creates a library that also persists tables as JSON under `dir`
     /// (used by the regeneration binaries to amortize builds across runs).
     pub fn with_disk_cache(fidelity: Fidelity, dir: impl Into<PathBuf>) -> Self {
+        Self::with_store(fidelity, Arc::new(TableStore::on_disk(dir)))
+    }
+
+    /// Creates a library on an existing (possibly shared) table store —
+    /// libraries sharing a store share every table they build, even with
+    /// the disk layer disabled.
+    pub fn with_store(fidelity: Fidelity, store: Arc<TableStore>) -> Self {
         DeviceLibrary {
             fidelity,
             models: HashMap::new(),
             tables: HashMap::new(),
-            cache_dir: Some(dir.into()),
+            store,
         }
     }
 
     /// The library's fidelity.
     pub fn fidelity(&self) -> Fidelity {
         self.fidelity
+    }
+
+    /// The content-addressed store backing this library (clone the `Arc`
+    /// to share tables with another library or service handle).
+    pub fn store(&self) -> &Arc<TableStore> {
+        &self.store
     }
 
     /// The single-ribbon physical model for `(n, charge_q)`.
@@ -195,18 +207,6 @@ impl DeviceLibrary {
         ctx: &ExecCtx,
         variant: DeviceVariant,
     ) -> Result<Arc<DeviceTable>, ExploreError> {
-        // The version tag invalidates stale disk caches when the device
-        // model's physics or calibration changes.
-        const CACHE_VERSION: &str = "v2";
-        let key = format!("{}-{:?}-{CACHE_VERSION}", variant.key(), self.fidelity);
-        if let Some(t) = self.tables.get(&key) {
-            return Ok(Arc::clone(t));
-        }
-        if let Some(t) = self.load_cached(&key) {
-            let arc = Arc::new(t);
-            self.tables.insert(key, Arc::clone(&arc));
-            return Ok(arc);
-        }
         let affected = if variant.is_nominal() {
             0
         } else {
@@ -215,24 +215,58 @@ impl DeviceLibrary {
                 ArrayScenario::AllFour => 4,
             }
         };
-        let nominal = self.model(12, 0.0)?;
-        let variant_model = self.model(variant.n, variant.charge_q)?;
-        let mut ribbons: Vec<Arc<SbfetModel>> = Vec::with_capacity(4);
-        for i in 0..4 {
-            if i < affected {
-                ribbons.push(Arc::clone(&variant_model));
-            } else {
-                ribbons.push(Arc::clone(&nominal));
-            }
+        // The kind tag versions the canonical key: bump it when the
+        // device model's physics or calibration changes.
+        let key = TableKey::new("library-ntype/v3")
+            .field_str("fidelity", &format!("{:?}", self.fidelity))
+            .device(&self.fidelity.device_config(variant.n)?)
+            .device(&self.fidelity.device_config(12)?)
+            .grid(&self.fidelity.table_grid())
+            .polarity(Polarity::NType)
+            .ribbons(4)
+            .field_f64("charge_q", variant.charge_q)
+            .field_u64("affected", affected as u64)
+            .finish();
+        if let Some(t) = self.tables.get(&key) {
+            return Ok(Arc::clone(t));
         }
-        let refs: Vec<&SbfetModel> = ribbons.iter().map(|m| m.as_ref()).collect();
-        let table = DeviceTable::from_ribbon_models(
-            ctx,
-            &refs,
-            Polarity::NType,
-            self.fidelity.table_grid(),
-        )?;
-        self.store_cached(&key, &table);
+        let store = Arc::clone(&self.store);
+        let grid = self.fidelity.table_grid();
+        let mut build_err: Option<ExploreError> = None;
+        let built = store.get_or_build(key, || {
+            let models = (|| -> Result<(Arc<SbfetModel>, Arc<SbfetModel>), ExploreError> {
+                Ok((
+                    self.model(12, 0.0)?,
+                    self.model(variant.n, variant.charge_q)?,
+                ))
+            })();
+            let (nominal, variant_model) = match models {
+                Ok(pair) => pair,
+                Err(e) => {
+                    build_err = Some(e);
+                    return Err(DeviceError::config("device library: model build failed"));
+                }
+            };
+            let mut ribbons: Vec<Arc<SbfetModel>> = Vec::with_capacity(4);
+            for i in 0..4 {
+                if i < affected {
+                    ribbons.push(Arc::clone(&variant_model));
+                } else {
+                    ribbons.push(Arc::clone(&nominal));
+                }
+            }
+            let refs: Vec<&SbfetModel> = ribbons.iter().map(|m| m.as_ref()).collect();
+            DeviceTable::from_ribbon_models(ctx, &refs, Polarity::NType, grid)
+        });
+        let table = match built {
+            Ok(t) => t,
+            Err(e) => {
+                return Err(match build_err {
+                    Some(outer) => outer,
+                    None => e.into(),
+                })
+            }
+        };
         let arc = Arc::new(table);
         self.tables.insert(key, Arc::clone(&arc));
         Ok(arc)
@@ -269,30 +303,6 @@ impl DeviceLibrary {
     pub fn min_leakage_shift(&mut self, vdd: f64) -> Result<f64, ExploreError> {
         let nominal = self.model(12, 0.0)?;
         Ok(-nominal.minimum_leakage_vg(vdd)?)
-    }
-
-    fn cache_path(&self, key: &str) -> Option<PathBuf> {
-        self.cache_dir
-            .as_ref()
-            .map(|d| d.join(format!("{key}.json")))
-    }
-
-    fn load_cached(&self, key: &str) -> Option<DeviceTable> {
-        let path = self.cache_path(key)?;
-        let json = std::fs::read_to_string(path).ok()?;
-        DeviceTable::from_json(&json).ok()
-    }
-
-    fn store_cached(&self, key: &str, table: &DeviceTable) {
-        let Some(path) = self.cache_path(key) else {
-            return;
-        };
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        if let Ok(json) = table.to_json() {
-            let _ = std::fs::write(path, json);
-        }
     }
 }
 

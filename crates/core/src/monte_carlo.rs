@@ -151,6 +151,13 @@ pub struct StageUniverse {
     stages: usize,
 }
 
+impl StageUniverse {
+    /// The ring-oscillator stage count the universe was characterized for.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+}
+
 /// A characterization-failed universe cell: the stage is treated like one
 /// with collapsed logic levels (NaN delay/energy stalls any ring drawing
 /// it); its leakage is unknown, so it contributes none.
@@ -470,6 +477,59 @@ pub fn monte_carlo_from_universe_resumable(
     })
 }
 
+/// One streamed chunk of a Monte Carlo run: the per-sample
+/// `(period, energy, leakage)` totals for samples
+/// `start .. start + totals.len()`, emitted as soon as the chunk lands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McChunk {
+    /// Index of the first sample in this chunk.
+    pub start: usize,
+    /// Per-sample `(period \[s\], energy \[J\], leakage \[W\])` totals.
+    pub totals: Vec<(f64, f64, f64)>,
+    /// `true` when the chunk was restored from a checkpoint (resumed seed
+    /// range) instead of being computed by this run.
+    pub restored: bool,
+}
+
+/// [`monte_carlo_from_universe_resumable`] with incremental delivery:
+/// `sink` receives every completed chunk ([`MC_CHECKPOINT_CHUNK`] samples,
+/// last one possibly short) as soon as it lands, in sample order. On a
+/// resumed run the restored prefix arrives first as a single chunk with
+/// [`McChunk::restored`] set, so a consumer always sees the full
+/// contiguous sample range exactly once. Chunk contents are bit-identical
+/// for any `GNR_THREADS` (the chunk boundaries are fixed and the merge is
+/// ordered).
+///
+/// # Errors
+///
+/// As [`monte_carlo_from_universe_resumable`].
+pub fn monte_carlo_from_universe_streaming(
+    ctx: &ExecCtx,
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+    checkpoint_path: Option<&Path>,
+    sink: &mut dyn FnMut(&McChunk),
+) -> Result<McRunOutcome, ExploreError> {
+    let (totals, interrupted) = mc_totals_engine_with(
+        ctx,
+        universe,
+        samples,
+        seed,
+        checkpoint_path,
+        true,
+        Some(sink),
+    )?;
+    let completed = totals.len();
+    let result = result_from_totals(ctx, universe, &totals);
+    Ok(McRunOutcome {
+        result,
+        completed_samples: completed,
+        requested_samples: samples,
+        interrupted,
+    })
+}
+
 /// FNV identity of a sampling run: universe content, stage count, and
 /// sample count (the seed is carried separately in the checkpoint header).
 fn mc_universe_key(universe: &StageUniverse, samples: usize) -> u64 {
@@ -504,6 +564,28 @@ fn mc_totals_engine(
     checkpoint_path: Option<&Path>,
     enforce_budget: bool,
 ) -> Result<McTotals, ExploreError> {
+    mc_totals_engine_with(
+        ctx,
+        universe,
+        samples,
+        seed,
+        checkpoint_path,
+        enforce_budget,
+        None,
+    )
+}
+
+/// [`mc_totals_engine`] with an optional per-chunk sink (the streaming
+/// delivery path); `None` skips all chunk notifications.
+fn mc_totals_engine_with(
+    ctx: &ExecCtx,
+    universe: &StageUniverse,
+    samples: usize,
+    seed: u64,
+    checkpoint_path: Option<&Path>,
+    enforce_budget: bool,
+    mut sink: Option<&mut dyn FnMut(&McChunk)>,
+) -> Result<McTotals, ExploreError> {
     let _stage_timer = ctx.time_scope("mc.sample.time");
     let stages = universe.stages;
     let pair =
@@ -536,6 +618,15 @@ fn mc_totals_engine(
             }
         }
     }
+    if !totals.is_empty() {
+        if let Some(sink) = sink.as_mut() {
+            sink(&McChunk {
+                start: 0,
+                totals: totals.clone(),
+                restored: true,
+            });
+        }
+    }
 
     let mut interrupted: Option<NumError> = None;
     while totals.len() < samples {
@@ -564,6 +655,13 @@ fn mc_totals_engine(
             }
             (period, energy, leak)
         });
+        if let Some(sink) = sink.as_mut() {
+            sink(&McChunk {
+                start: lo,
+                totals: chunk.clone(),
+                restored: false,
+            });
+        }
         totals.extend(chunk);
         ctx.counter_add("mc.samples", (hi - lo) as u64);
         if let Some(path) = checkpoint_path {

@@ -179,9 +179,13 @@ impl DeviceConfig {
         // Unit-source response.
         let mut cfg = self.clone();
         cfg.gate_offset_v = 0.0;
-        let mut g_s = cfg.sample_along_channel(&cfg.build_poisson(1.0, 0.0, 0.0)?.solve(None)?);
-        let mut g_d = cfg.sample_along_channel(&cfg.build_poisson(0.0, 1.0, 0.0)?.solve(None)?);
-        let mut g_g = cfg.sample_along_channel(&cfg.build_poisson(0.0, 0.0, 1.0)?.solve(None)?);
+        let limits = gnr_num::budget::ExecLimits::none();
+        let mut g_s =
+            cfg.sample_along_channel(&cfg.build_poisson(1.0, 0.0, 0.0)?.solve(None, &limits)?);
+        let mut g_d =
+            cfg.sample_along_channel(&cfg.build_poisson(0.0, 1.0, 0.0)?.solve(None, &limits)?);
+        let mut g_g =
+            cfg.sample_along_channel(&cfg.build_poisson(0.0, 0.0, 1.0)?.solve(None, &limits)?);
         // Pin the contact faces explicitly: the metal Fermi level clamps the
         // ribbon potential at the interfaces (mid-gap Schottky pinning), and
         // the half-cell-offset samples would otherwise miss the thin barrier
@@ -299,7 +303,7 @@ mod tests {
         let direct = cfg.sample_along_channel(
             &cfg.build_poisson(0.0, 0.5, 0.3)
                 .unwrap()
-                .solve(None)
+                .solve(None, &gnr_num::budget::ExecLimits::none())
                 .unwrap(),
         );
         let sup = r.superpose(0.0, 0.5, 0.3);
@@ -335,7 +339,7 @@ mod tests {
         let direct = cfg.sample_along_channel(
             &cfg.build_poisson(0.0, 0.0, 0.1)
                 .unwrap()
-                .solve(None)
+                .solve(None, &gnr_num::budget::ExecLimits::none())
                 .unwrap(),
         );
         let r = cfg.electrode_responses().unwrap();

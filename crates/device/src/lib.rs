@@ -46,6 +46,7 @@ pub mod error;
 pub mod negf_table;
 pub mod sbfet;
 pub mod scf;
+pub mod store;
 pub mod table;
 pub mod variation;
 pub mod vt;
@@ -55,6 +56,7 @@ pub use error::DeviceError;
 pub use negf_table::{ballistic_negf_table, NegfTableOptions};
 pub use sbfet::SbfetModel;
 pub use scf::{ScfOptions, ScfResult, ScfSolver};
+pub use store::{TableKey, TableStore};
 pub use table::{DeviceTable, Polarity, TableGrid};
 pub use variation::{ChargeImpurity, GnrVariant};
 pub use vt::extract_vt;

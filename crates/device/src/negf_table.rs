@@ -78,6 +78,37 @@ impl NegfTableOptions {
             use_cache: true,
         }
     }
+
+    /// Sets the (coarse base) energy-grid step \[eV\].
+    pub fn with_energy_step_ev(mut self, step: f64) -> Self {
+        self.energy_step_ev = step;
+        self
+    }
+
+    /// Sets the window padding beyond the bias window \[eV\].
+    pub fn with_energy_pad_ev(mut self, pad: f64) -> Self {
+        self.energy_pad_ev = pad;
+        self
+    }
+
+    /// Sets (or clears) adaptive energy-grid refinement.
+    pub fn with_refine(mut self, refine: Option<RefineOptions>) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Enables or disables the sweep-wide surface-GF cache.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+}
+
+impl Default for NegfTableOptions {
+    /// The [`accelerated`](NegfTableOptions::accelerated) production path.
+    fn default() -> Self {
+        NegfTableOptions::accelerated()
+    }
 }
 
 /// Interpolates the surrogate potential profile (samples at

@@ -84,6 +84,43 @@ impl ScfOptions {
             ..ScfOptions::fast()
         }
     }
+
+    /// Sets the maximum number of SCF iterations.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the convergence threshold on the potential update \[V\].
+    pub fn with_tolerance_v(mut self, tol: f64) -> Self {
+        self.tolerance_v = tol;
+        self
+    }
+
+    /// Sets the linear mixing factor in `(0, 1]`.
+    pub fn with_mixing(mut self, mixing: f64) -> Self {
+        self.mixing = mixing;
+        self
+    }
+
+    /// Sets the number of energy grid points (the coarse base grid when
+    /// `refine` is set).
+    pub fn with_energy_points(mut self, n: usize) -> Self {
+        self.energy_points = n;
+        self
+    }
+
+    /// Sets the energy-window margin beyond the bias window \[eV\].
+    pub fn with_energy_margin_ev(mut self, margin: f64) -> Self {
+        self.energy_margin_ev = margin;
+        self
+    }
+
+    /// Sets (or clears) adaptive energy-grid refinement.
+    pub fn with_refine(mut self, refine: Option<RefineOptions>) -> Self {
+        self.refine = refine;
+        self
+    }
 }
 
 /// Converged output of one bias point.
@@ -349,7 +386,7 @@ impl ScfSolver {
         // a ladder rung hands in a previous iterate, to seed the Poisson
         // warm start).
         let problem = cfg.build_poisson(0.0, v_d, v_g)?;
-        let mut poisson_sol: PoissonSolution = problem.solve_limited(None, ctx.limits())?;
+        let mut poisson_sol: PoissonSolution = problem.solve(None, ctx.limits())?;
         let mut u_atoms: Vec<f64> = match init_u {
             Some(prev) if prev.len() == atoms => prev.to_vec(),
             _ => positions
@@ -428,7 +465,7 @@ impl ScfSolver {
             for (i, &(x, y, z)) in positions.iter().enumerate() {
                 problem.add_point_charge(x, y, z, transport.charge.net[i]);
             }
-            let new_sol = problem.solve_limited(Some(poisson_sol.raw()), ctx.limits())?;
+            let new_sol = problem.solve(Some(poisson_sol.raw()), ctx.limits())?;
             let new_u: Vec<f64> = positions
                 .iter()
                 .map(|&(x, y, z)| -new_sol.potential_at(x, y, z))

@@ -76,7 +76,7 @@ impl ChargeImpurity {
         let y = ny as f64 * h / 2.0;
         let z = (cfg.gnr_plane_k() as f64 + 0.5) * h + self.height_nm;
         problem.add_point_charge(x, y, z, self.charge_q);
-        let sol = problem.solve(None)?;
+        let sol = problem.solve(None, &gnr_num::budget::ExecLimits::none())?;
         Ok(cfg.sample_along_channel(&sol))
     }
 }

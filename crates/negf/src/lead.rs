@@ -74,27 +74,14 @@ impl Lead {
     ///
     /// For the wide-band metal the result is diagonal and `tau` is unused.
     ///
-    /// # Errors
-    ///
-    /// Propagates surface-GF convergence failures.
-    pub fn self_energy(
-        &self,
-        e: f64,
-        h00: &CMatrix,
-        h01: &CMatrix,
-        tau: &CMatrix,
-    ) -> Result<CMatrix, NegfError> {
-        self.self_energy_limited(e, h00, h01, tau, &ExecLimits::none())
-    }
-
-    /// [`Lead::self_energy`] under execution limits: the Sancho–Rubio
-    /// decimation probes the budget each doubling (site
-    /// `"negf.surface_gf"`). Unlimited limits reproduce the plain call.
+    /// The Sancho–Rubio decimation probes `limits` each doubling (site
+    /// `"negf.surface_gf"`); pass [`ExecLimits::none`] (or `ctx.limits()`
+    /// from an unlimited context) for the plain unbudgeted call.
     ///
     /// # Errors
     ///
     /// Propagates surface-GF convergence failures and budget stops.
-    pub fn self_energy_limited(
+    pub fn self_energy(
         &self,
         e: f64,
         h00: &CMatrix,
@@ -109,7 +96,7 @@ impl Lead {
                 for i in 0..m {
                     h00_shifted.add_to(i, i, c64(potential_ev, 0.0));
                 }
-                let gs = surface_gf_limited(
+                let gs = surface_gf(
                     e,
                     &h00_shifted,
                     h01,
@@ -132,6 +119,27 @@ impl Lead {
             }
         }
     }
+
+    /// Deprecated alias of [`Lead::self_energy`], kept for one release:
+    /// the base method now takes the execution limits directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Lead::self_energy`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `self_energy` — it takes the limits directly"
+    )]
+    pub fn self_energy_limited(
+        &self,
+        e: f64,
+        h00: &CMatrix,
+        h01: &CMatrix,
+        tau: &CMatrix,
+        limits: &ExecLimits,
+    ) -> Result<CMatrix, NegfError> {
+        self.self_energy(e, h00, h01, tau, limits)
+    }
 }
 
 /// Surface Green's function of a semi-infinite periodic lead growing in the
@@ -142,29 +150,17 @@ impl Lead {
 /// next *deeper* cell. Convergence is quadratic: each iteration doubles the
 /// effective decimated length.
 ///
+/// The budget is probed at the top of every decimation doubling (site
+/// `"negf.surface_gf"`), so a wedged lead solve cannot hold a pool worker
+/// past its deadline. Pass [`ExecLimits::none`] (or `ctx.limits()` from an
+/// unlimited context) for the plain unbudgeted call, bit for bit.
+///
 /// # Errors
 ///
 /// Returns [`NegfError::SurfaceGf`] if the coupling norm fails to fall below
-/// tolerance within `max_iter` doublings, or propagates linear failures.
+/// tolerance within `max_iter` doublings, propagates linear failures, and
+/// surfaces budget stops via [`NegfError::Linear`].
 pub fn surface_gf(
-    e: f64,
-    h00: &CMatrix,
-    h01: &CMatrix,
-    eta: f64,
-    max_iter: usize,
-) -> Result<CMatrix, NegfError> {
-    surface_gf_limited(e, h00, h01, eta, max_iter, &ExecLimits::none())
-}
-
-/// [`surface_gf`] under execution limits: the budget is probed at the top
-/// of every decimation doubling (site `"negf.surface_gf"`), so a wedged
-/// lead solve cannot hold a pool worker past its deadline. Unlimited
-/// limits reproduce the plain call bit for bit.
-///
-/// # Errors
-///
-/// As [`surface_gf`], plus budget stops via [`NegfError::Linear`].
-pub fn surface_gf_limited(
     e: f64,
     h00: &CMatrix,
     h01: &CMatrix,
@@ -209,6 +205,27 @@ pub fn surface_gf_limited(
     })
 }
 
+/// Deprecated alias of [`surface_gf`], kept for one release: the base
+/// function now takes the execution limits directly.
+///
+/// # Errors
+///
+/// As [`surface_gf`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `surface_gf` — it takes the limits directly"
+)]
+pub fn surface_gf_limited(
+    e: f64,
+    h00: &CMatrix,
+    h01: &CMatrix,
+    eta: f64,
+    max_iter: usize,
+    limits: &ExecLimits,
+) -> Result<CMatrix, NegfError> {
+    surface_gf(e, h00, h01, eta, max_iter, limits)
+}
+
 /// Broadening matrix `Γ = i(Σ − Σ†)` of a contact self-energy.
 pub fn broadening(sigma: &CMatrix) -> CMatrix {
     let d = sigma - &sigma.adjoint();
@@ -236,7 +253,9 @@ mod tests {
         for &e in &[0.0, 0.5, -1.2, 1.7] {
             // eta must be large enough to regularize the band-centre pole of
             // the decimation iteration; 1e-6 keeps the analytic error ~1e-5.
-            let g = surface_gf(e, &h00, &h01, 1e-6, 400).unwrap().get(0, 0);
+            let g = surface_gf(e, &h00, &h01, 1e-6, 400, &ExecLimits::none())
+                .unwrap()
+                .get(0, 0);
             let expect_re = e / (2.0 * t * t);
             let expect_im = -(4.0 * t * t - e * e).sqrt() / (2.0 * t * t);
             assert!(
@@ -255,7 +274,9 @@ mod tests {
     #[test]
     fn chain_surface_gf_real_outside_band() {
         let (h00, h01) = chain_blocks(1.0);
-        let g = surface_gf(3.0, &h00, &h01, 1e-7, 400).unwrap().get(0, 0);
+        let g = surface_gf(3.0, &h00, &h01, 1e-7, 400, &ExecLimits::none())
+            .unwrap()
+            .get(0, 0);
         assert!(g.im.abs() < 1e-3, "outside the band the DOS vanishes: {g}");
     }
 
@@ -266,13 +287,16 @@ mod tests {
         // Two decimation doublings are nowhere near convergence at E = 0;
         // the third check trips and surfaces a typed budget error.
         let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(2));
-        let err = surface_gf_limited(0.0, &h00, &h01, 1e-6, 400, &limits).unwrap_err();
+        let err = surface_gf(0.0, &h00, &h01, 1e-6, 400, &limits).unwrap_err();
         assert!(
             err.to_string().contains("budget"),
             "expected budget stop, got: {err}"
         );
-        // Unlimited limits reproduce the plain call bit for bit.
-        let plain = surface_gf(0.5, &h00, &h01, 1e-6, 400).unwrap().get(0, 0);
+        // The deprecated shim reproduces the base call bit for bit.
+        let plain = surface_gf(0.5, &h00, &h01, 1e-6, 400, &ExecLimits::none())
+            .unwrap()
+            .get(0, 0);
+        #[allow(deprecated)]
         let limited = surface_gf_limited(0.5, &h00, &h01, 1e-6, 400, &ExecLimits::none())
             .unwrap()
             .get(0, 0);
@@ -287,7 +311,9 @@ mod tests {
         let (h00, h01) = unit_cell_hamiltonian(gnr);
         let lead = Lead::gnr_contact();
         // tau from the device boundary layer into the lead = h01.
-        let sigma = lead.self_energy(0.8, &h00, &h01, &h01).unwrap();
+        let sigma = lead
+            .self_energy(0.8, &h00, &h01, &h01, &ExecLimits::none())
+            .unwrap();
         // Retarded: Gamma = i(Sigma - Sigma^+) is positive semidefinite; a
         // cheap proxy is that its trace (total broadening) is >= 0.
         let gamma = broadening(&sigma);
@@ -304,10 +330,14 @@ mod tests {
         // In the band gap — but away from E=0, where the cut armchair face
         // hosts physical end-localized states — the lead injects no
         // propagating states: Gamma ~ 0.
-        let sigma = lead.self_energy(0.2, &h00, &h01, &h01).unwrap();
+        let sigma = lead
+            .self_energy(0.2, &h00, &h01, &h01, &ExecLimits::none())
+            .unwrap();
         let g_gap = broadening(&sigma).trace().re;
         // Inside the band it injects orders of magnitude more.
-        let sigma = lead.self_energy(1.0, &h00, &h01, &h01).unwrap();
+        let sigma = lead
+            .self_energy(1.0, &h00, &h01, &h01, &ExecLimits::none())
+            .unwrap();
         let g_band = broadening(&sigma).trace().re;
         assert!(g_band > 0.1, "band broadening {g_band}");
         assert!(
@@ -327,7 +357,7 @@ mod tests {
         // Unshifted lead: probe is inside the conduction band -> broadening.
         let g0 = broadening(
             &Lead::gnr_contact()
-                .self_energy(probe, &h00, &h01, &h01)
+                .self_energy(probe, &h00, &h01, &h01, &ExecLimits::none())
                 .unwrap(),
         )
         .trace()
@@ -336,7 +366,7 @@ mod tests {
         // ~-0.12 eV relative to the lead, away from the end-state energy.
         let g1 = broadening(
             &Lead::gnr_contact_at(0.45)
-                .self_energy(probe, &h00, &h01, &h01)
+                .self_energy(probe, &h00, &h01, &h01, &ExecLimits::none())
                 .unwrap(),
         )
         .trace()
@@ -349,7 +379,7 @@ mod tests {
         let h00 = CMatrix::zeros(4, 4);
         let h01 = CMatrix::zeros(4, 4);
         let sigma = Lead::metal_with_gamma(0.4)
-            .self_energy(0.1, &h00, &h01, &h01)
+            .self_energy(0.1, &h00, &h01, &h01, &ExecLimits::none())
             .unwrap();
         for i in 0..4 {
             assert_eq!(sigma.get(i, i), c64(0.0, -0.2));
@@ -365,7 +395,7 @@ mod tests {
     fn broadening_of_metal_lead() {
         let h00 = CMatrix::zeros(2, 2);
         let sigma = Lead::metal_with_gamma(0.6)
-            .self_energy(0.0, &h00, &h00, &h00)
+            .self_energy(0.0, &h00, &h00, &h00, &ExecLimits::none())
             .unwrap();
         let gamma = broadening(&sigma);
         assert!((gamma.get(0, 0).re - 0.6).abs() < 1e-14);

@@ -12,7 +12,7 @@
 
 use crate::cache::{LeadSlot, Lookup, SurfaceGfCache};
 use crate::error::NegfError;
-use crate::lead::{broadening, surface_gf_limited, Lead, DEFAULT_ETA, SURFACE_GF_MAX_ITER};
+use crate::lead::{broadening, surface_gf, Lead, DEFAULT_ETA, SURFACE_GF_MAX_ITER};
 use gnr_lattice::DeviceHamiltonian;
 use gnr_num::budget::ExecLimits;
 use gnr_num::par::ExecCtx;
@@ -99,12 +99,12 @@ impl RgfSolver {
         // Source lead grows towards -x: its inter-cell coupling (away from
         // the device) is H10, and the device couples into it through H10 as
         // well; mirror for the drain.
-        let sigma1 =
-            self.lead1
-                .self_energy_limited(e, &self.lead_h00, &self.h10, &self.h10, limits)?;
+        let sigma1 = self
+            .lead1
+            .self_energy(e, &self.lead_h00, &self.h10, &self.h10, limits)?;
         let sigma2 =
             self.lead2
-                .self_energy_limited(e, &self.lead_h00, &self.lead_h01, &self.h01, limits)?;
+                .self_energy(e, &self.lead_h00, &self.lead_h01, &self.h01, limits)?;
         Ok((sigma1, sigma2))
     }
 
@@ -135,7 +135,7 @@ impl RgfSolver {
     ) -> Result<CMatrix, NegfError> {
         let (lead, h01_dir, tau) = self.lead_parts(slot);
         let Lead::GnrContact { potential_ev } = *lead else {
-            return lead.self_energy_limited(e, &self.lead_h00, h01_dir, tau, limits);
+            return lead.self_energy(e, &self.lead_h00, h01_dir, tau, limits);
         };
         let key = cache.key(e - potential_ev);
         let gs = match cache.lookup(slot, key) {
@@ -148,7 +148,7 @@ impl RgfSolver {
                 // solve at the same snapped energy (bit-identical value)
                 // and heal the store.
                 shard.counter_inc("negf.surface_cache.fallback");
-                let g = Arc::new(surface_gf_limited(
+                let g = Arc::new(surface_gf(
                     cache.snapped(key),
                     &self.lead_h00,
                     h01_dir,
@@ -161,7 +161,7 @@ impl RgfSolver {
             }
             Lookup::Miss => {
                 shard.counter_inc("negf.surface_cache.miss");
-                let g = Arc::new(surface_gf_limited(
+                let g = Arc::new(surface_gf(
                     cache.snapped(key),
                     &self.lead_h00,
                     h01_dir,
@@ -176,27 +176,15 @@ impl RgfSolver {
         Ok(t1.matmul(&tau.adjoint()))
     }
 
-    /// Both contact self-energies at `e`, served through `cache`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates surface-GF convergence failures.
-    pub fn cached_self_energies(
-        &self,
-        cache: &SurfaceGfCache,
-        e: f64,
-        shard: &mut TelemetryShard,
-    ) -> Result<(CMatrix, CMatrix), NegfError> {
-        self.cached_self_energies_limited(cache, e, shard, &ExecLimits::none())
-    }
-
-    /// [`Self::cached_self_energies`] under execution limits (threaded into
-    /// any fresh Sancho–Rubio solve a cache miss triggers).
+    /// Both contact self-energies at `e`, served through `cache`. The
+    /// limits are threaded into any fresh Sancho–Rubio solve a cache miss
+    /// triggers; pass [`ExecLimits::none`] (or `ctx.limits()`) when
+    /// unbudgeted.
     ///
     /// # Errors
     ///
     /// Propagates surface-GF convergence failures and budget stops.
-    pub fn cached_self_energies_limited(
+    pub fn cached_self_energies(
         &self,
         cache: &SurfaceGfCache,
         e: f64,
@@ -206,6 +194,26 @@ impl RgfSolver {
         let sigma1 = self.cached_self_energy(cache, LeadSlot::Source, e, shard, limits)?;
         let sigma2 = self.cached_self_energy(cache, LeadSlot::Drain, e, shard, limits)?;
         Ok((sigma1, sigma2))
+    }
+
+    /// Deprecated alias of [`Self::cached_self_energies`], kept for one
+    /// release: the base method now takes the execution limits directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::cached_self_energies`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `cached_self_energies` — it takes the limits directly"
+    )]
+    pub fn cached_self_energies_limited(
+        &self,
+        cache: &SurfaceGfCache,
+        e: f64,
+        shard: &mut TelemetryShard,
+        limits: &ExecLimits,
+    ) -> Result<(CMatrix, CMatrix), NegfError> {
+        self.cached_self_energies(cache, e, shard, limits)
     }
 
     /// Serial pre-indexing pass for the determinism contract: collects the
@@ -250,7 +258,7 @@ impl RgfSolver {
         let solved = ctx.try_par_map_indexed(pending.len(), |i| {
             let (slot, key) = pending[i];
             let (_, h01_dir, _) = self.lead_parts(slot);
-            surface_gf_limited(
+            surface_gf(
                 cache.snapped(key),
                 &self.lead_h00,
                 h01_dir,
@@ -266,28 +274,34 @@ impl RgfSolver {
     }
 
     /// Computes transmission and contact-resolved spectral functions at
-    /// energy `e` (eV) with one forward and one backward RGF sweep.
-    ///
-    /// # Errors
-    ///
-    /// Propagates lead and linear-algebra failures.
-    pub fn spectral_slice(&self, e: f64) -> Result<SpectralSlice, NegfError> {
-        self.spectral_slice_limited(e, &ExecLimits::none())
-    }
-
-    /// [`Self::spectral_slice`] under execution limits (threaded into the
-    /// lead surface-GF solves).
+    /// energy `e` (eV) with one forward and one backward RGF sweep. The
+    /// limits are threaded into the lead surface-GF solves; pass
+    /// [`ExecLimits::none`] (or `ctx.limits()`) when unbudgeted.
     ///
     /// # Errors
     ///
     /// Propagates lead and linear-algebra failures and budget stops.
+    pub fn spectral_slice(&self, e: f64, limits: &ExecLimits) -> Result<SpectralSlice, NegfError> {
+        let (sigma1, sigma2) = self.contact_self_energies(e, limits)?;
+        self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
+    }
+
+    /// Deprecated alias of [`Self::spectral_slice`], kept for one release:
+    /// the base method now takes the execution limits directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::spectral_slice`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `spectral_slice` — it takes the limits directly"
+    )]
     pub fn spectral_slice_limited(
         &self,
         e: f64,
         limits: &ExecLimits,
     ) -> Result<SpectralSlice, NegfError> {
-        let (sigma1, sigma2) = self.contact_self_energies(e, limits)?;
-        self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
+        self.spectral_slice(e, limits)
     }
 
     /// [`Self::spectral_slice`] with the contact self-energies served
@@ -298,21 +312,28 @@ impl RgfSolver {
     ///
     /// # Errors
     ///
-    /// Propagates lead and linear-algebra failures.
+    /// Propagates lead and linear-algebra failures and budget stops.
     pub fn spectral_slice_cached(
         &self,
         e: f64,
         cache: &SurfaceGfCache,
         shard: &mut TelemetryShard,
+        limits: &ExecLimits,
     ) -> Result<SpectralSlice, NegfError> {
-        self.spectral_slice_cached_limited(e, cache, shard, &ExecLimits::none())
+        let (sigma1, sigma2) = self.cached_self_energies(cache, e, shard, limits)?;
+        self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
     }
 
-    /// [`Self::spectral_slice_cached`] under execution limits.
+    /// Deprecated alias of [`Self::spectral_slice_cached`], kept for one
+    /// release: the base method now takes the execution limits directly.
     ///
     /// # Errors
     ///
-    /// Propagates lead and linear-algebra failures and budget stops.
+    /// As [`Self::spectral_slice_cached`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `spectral_slice_cached` — it takes the limits directly"
+    )]
     pub fn spectral_slice_cached_limited(
         &self,
         e: f64,
@@ -320,8 +341,7 @@ impl RgfSolver {
         shard: &mut TelemetryShard,
         limits: &ExecLimits,
     ) -> Result<SpectralSlice, NegfError> {
-        let (sigma1, sigma2) = self.cached_self_energies_limited(cache, e, shard, limits)?;
-        self.spectral_slice_with_sigmas(e, &sigma1, &sigma2)
+        self.spectral_slice_cached(e, cache, shard, limits)
     }
 
     fn spectral_slice_with_sigmas(
@@ -448,7 +468,7 @@ impl RgfSolver {
         cache: &SurfaceGfCache,
         shard: &mut TelemetryShard,
     ) -> Result<f64, NegfError> {
-        let (sigma1, sigma2) = self.cached_self_energies(cache, e, shard)?;
+        let (sigma1, sigma2) = self.cached_self_energies(cache, e, shard, &ExecLimits::none())?;
         self.transmission_with_sigmas(e, &sigma1, &sigma2)
     }
 
@@ -547,7 +567,7 @@ mod tests {
     fn spectral_slice_matches_dedicated_transmission() {
         let solver = ideal_solver(9, 4);
         let e = 0.9;
-        let slice = solver.spectral_slice(e).unwrap();
+        let slice = solver.spectral_slice(e, &ExecLimits::none()).unwrap();
         let t = solver.transmission(e).unwrap();
         assert!((slice.transmission - t).abs() < 1e-8);
     }
@@ -580,7 +600,7 @@ mod tests {
     #[test]
     fn ldos_vanishes_in_gap_inside_device() {
         let solver = ideal_solver(12, 6);
-        let slice = solver.spectral_slice(0.0).unwrap();
+        let slice = solver.spectral_slice(0.0, &ExecLimits::none()).unwrap();
         let ldos = slice.ldos();
         // Middle-layer atoms see only evanescent contact states.
         let m = 24;
@@ -591,7 +611,7 @@ mod tests {
     #[test]
     fn spectral_functions_nonnegative() {
         let solver = ideal_solver(9, 4);
-        let slice = solver.spectral_slice(1.1).unwrap();
+        let slice = solver.spectral_slice(1.1, &ExecLimits::none()).unwrap();
         assert!(slice.a1_diag.iter().all(|&v| v >= 0.0));
         assert!(slice.a2_diag.iter().all(|&v| v >= 0.0));
     }
@@ -625,7 +645,7 @@ mod tests {
         // pieces must therefore be bounded by the total LDOS and positive
         // where T is positive.
         let solver = ideal_solver(9, 4);
-        let slice = solver.spectral_slice(0.95).unwrap();
+        let slice = solver.spectral_slice(0.95, &ExecLimits::none()).unwrap();
         let total_a1: f64 = slice.a1_diag.iter().sum();
         let total_a2: f64 = slice.a2_diag.iter().sum();
         assert!(total_a1 > 0.0 && total_a2 > 0.0);
@@ -644,8 +664,10 @@ mod tests {
         let sink = Telemetry::isolated();
         let mut shard = TelemetryShard::for_sink(&sink);
         for &e in &[0.65, 0.9, 1.1] {
-            let legacy = solver.spectral_slice(e).unwrap();
-            let cached = solver.spectral_slice_cached(e, &cache, &mut shard).unwrap();
+            let legacy = solver.spectral_slice(e, &ExecLimits::none()).unwrap();
+            let cached = solver
+                .spectral_slice_cached(e, &cache, &mut shard, &ExecLimits::none())
+                .unwrap();
             assert!(
                 (legacy.transmission - cached.transmission).abs() < 1e-6,
                 "E={e}: {} vs {}",
@@ -684,7 +706,9 @@ mod tests {
         );
         let mut shard = TelemetryShard::for_sink(ctx.telemetry());
         for &e in &energies {
-            solver.spectral_slice_cached(e, &cache, &mut shard).unwrap();
+            solver
+                .spectral_slice_cached(e, &cache, &mut shard, &ExecLimits::none())
+                .unwrap();
         }
         shard.merge_into(ctx.telemetry());
         let snap = ctx.telemetry().snapshot();
@@ -738,9 +762,9 @@ mod tests {
         );
         let sink = Telemetry::isolated();
         let mut shard = TelemetryShard::for_sink(&sink);
-        let legacy = solver.spectral_slice(0.3).unwrap();
+        let legacy = solver.spectral_slice(0.3, &ExecLimits::none()).unwrap();
         let cached = solver
-            .spectral_slice_cached(0.3, &cache, &mut shard)
+            .spectral_slice_cached(0.3, &cache, &mut shard, &ExecLimits::none())
             .unwrap();
         assert_eq!(
             legacy.transmission.to_bits(),

@@ -198,7 +198,7 @@ pub fn integrate_transport(
             ctx.check_budget("negf.energy_point")?;
             let mut shard = TelemetryShard::for_sink(ctx.telemetry());
             let e = grid.energy(idx);
-            let slice = solver.spectral_slice_limited(e, ctx.limits())?;
+            let slice = solver.spectral_slice(e, ctx.limits())?;
             shard.counter_inc("negf.energy_points");
             let f1 = fermi(e, mu1, t_kelvin);
             let f2 = fermi(e, mu2, t_kelvin);
@@ -347,8 +347,8 @@ fn eval_samples(
         let mut shard = TelemetryShard::for_sink(ctx.telemetry());
         let e = energies[idx];
         let slice = match cache {
-            Some(c) => solver.spectral_slice_cached_limited(e, c, &mut shard, ctx.limits())?,
-            None => solver.spectral_slice_limited(e, ctx.limits())?,
+            Some(c) => solver.spectral_slice_cached(e, c, &mut shard, ctx.limits())?,
+            None => solver.spectral_slice(e, ctx.limits())?,
         };
         shard.counter_inc("negf.energy_points");
         let f1 = fermi(e, mu1, t_kelvin);

@@ -38,7 +38,9 @@ fn spectral_positivity_and_consistency() {
         let gnr = AGnr::new(6).expect("valid index");
         let h = DeviceHamiltonian::flat_band(gnr, 3).expect("builds");
         let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
-        let slice = solver.spectral_slice(e).expect("solves");
+        let slice = solver
+            .spectral_slice(e, &gnr_num::budget::ExecLimits::none())
+            .expect("solves");
         assert!(slice.a1_diag.iter().all(|&v| v >= 0.0 && v.is_finite()));
         assert!(slice.a2_diag.iter().all(|&v| v >= 0.0 && v.is_finite()));
         let t = solver.transmission(e).expect("solves");
@@ -56,7 +58,9 @@ fn symmetric_device_symmetric_spectra() {
         let gnr = AGnr::new(6).expect("valid index");
         let h = DeviceHamiltonian::flat_band(gnr, 4).expect("builds");
         let solver = RgfSolver::new(&h, Lead::metal(), Lead::metal());
-        let slice = solver.spectral_slice(e).expect("solves");
+        let slice = solver
+            .spectral_slice(e, &gnr_num::budget::ExecLimits::none())
+            .expect("solves");
         let total1: f64 = slice.a1_diag.iter().sum();
         let total2: f64 = slice.a2_diag.iter().sum();
         assert!(

@@ -38,6 +38,7 @@ pub const REGISTERED_SITES: &[&str] = &[
     "negf.surface_cache",
     "checkpoint.corrupt",
     "budget.spurious_expiry",
+    "table_cache.corrupt",
 ];
 
 /// A seeded fault-injection plan: per-site failure probabilities.

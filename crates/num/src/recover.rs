@@ -383,26 +383,17 @@ impl SharedFaultLog {
 /// existed, so fault-free results are bit-identical to plain
 /// [`cg_solve`]/[`bicgstab_solve`].
 ///
+/// The budget is probed before every ladder rung (site `"linear.ladder"`),
+/// so an expired budget or cancelled token stops the escalation instead of
+/// burning the remaining budget on rescue rungs. Pass
+/// [`ExecLimits::none`] (or `ctx.limits()` from an unlimited context) for
+/// the plain unbudgeted call, bit for bit.
+///
 /// # Errors
 ///
 /// Returns the first rung's error when every rung fails, alongside the
 /// report describing each failed attempt.
 pub fn solve_linear_robust(
-    a: &CsrMatrix,
-    b: &[f64],
-    x0: &[f64],
-    ctrl: IterControl,
-    symmetric: bool,
-) -> (NumResult<(Vec<f64>, SolveStats)>, SolveReport) {
-    solve_linear_robust_limited(a, b, x0, ctrl, symmetric, &ExecLimits::none())
-}
-
-/// [`solve_linear_robust`] under execution limits: the budget is probed
-/// before every ladder rung (site `"linear.ladder"`), so an expired
-/// budget or cancelled token stops the escalation instead of burning the
-/// remaining budget on rescue rungs. With unlimited [`ExecLimits`] this
-/// is the plain call bit for bit.
-pub fn solve_linear_robust_limited(
     a: &CsrMatrix,
     b: &[f64],
     x0: &[f64],
@@ -488,6 +479,23 @@ pub fn solve_linear_robust_limited(
             (Err(err), outcome.report)
         }
     }
+}
+
+/// Deprecated alias of [`solve_linear_robust`], kept for one release: the
+/// base function now takes the execution limits directly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `solve_linear_robust` — it takes the limits directly"
+)]
+pub fn solve_linear_robust_limited(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    ctrl: IterControl,
+    symmetric: bool,
+    limits: &ExecLimits,
+) -> (NumResult<(Vec<f64>, SolveStats)>, SolveReport) {
+    solve_linear_robust(a, b, x0, ctrl, symmetric, limits)
 }
 
 fn sparse_lu_attempt(
@@ -626,7 +634,7 @@ mod tests {
         let x0 = vec![0.0; n];
         let ctrl = IterControl::default();
         let (plain, _) = cg_solve(&a, &b, &x0, ctrl).unwrap();
-        let (robust, report) = solve_linear_robust(&a, &b, &x0, ctrl, true);
+        let (robust, report) = solve_linear_robust(&a, &b, &x0, ctrl, true, &ExecLimits::none());
         let (robust, _) = robust.unwrap();
         assert_eq!(plain, robust, "nominal rung must be bit-identical to cg");
         assert!(report.nominal());
@@ -643,7 +651,8 @@ mod tests {
             max_iter: 2,
             ..IterControl::default()
         };
-        let (result, report) = solve_linear_robust(&a, &b, &vec![0.0; n], ctrl, true);
+        let (result, report) =
+            solve_linear_robust(&a, &b, &vec![0.0; n], ctrl, true, &ExecLimits::none());
         let (x, _) = result.unwrap();
         assert!(report.converged());
         assert_eq!(report.policy_used.as_deref(), Some("sparse-lu"));
@@ -665,7 +674,8 @@ mod tests {
             max_iter: 2,
             ..IterControl::default()
         };
-        let (result, report) = solve_linear_robust(&a, &b, &vec![0.0; n], ctrl, true);
+        let (result, report) =
+            solve_linear_robust(&a, &b, &vec![0.0; n], ctrl, true, &ExecLimits::none());
         let (x, _) = result.unwrap();
         assert_eq!(report.policy_used.as_deref(), Some("sparse-lu"));
         let r = a.matvec(&x);
@@ -683,14 +693,8 @@ mod tests {
         // A zero check cap trips before the first rung runs: no solver
         // work, a typed budget error, and every rung marked skipped.
         let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0));
-        let (result, report) = solve_linear_robust_limited(
-            &a,
-            &b,
-            &vec![0.0; n],
-            IterControl::default(),
-            true,
-            &limits,
-        );
+        let (result, report) =
+            solve_linear_robust(&a, &b, &vec![0.0; n], IterControl::default(), true, &limits);
         assert!(matches!(result, Err(NumError::BudgetExhausted { .. })));
         assert_eq!(report.quality, Quality::Failed);
         assert!(report.attempts[0]
@@ -712,8 +716,14 @@ mod tests {
         }
         let a = tb.build();
         let b = vec![1.0; n];
-        let (result, report) =
-            solve_linear_robust(&a, &b, &vec![0.0; n], IterControl::default(), true);
+        let (result, report) = solve_linear_robust(
+            &a,
+            &b,
+            &vec![0.0; n],
+            IterControl::default(),
+            true,
+            &ExecLimits::none(),
+        );
         assert!(matches!(result, Err(NumError::InvalidInput { .. })));
         assert_eq!(report.quality, Quality::Failed);
         assert_eq!(report.attempts.len(), 3, "all three rungs attempted");

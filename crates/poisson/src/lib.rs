@@ -27,7 +27,7 @@
 //! let mut p = PoissonProblem::new(grid);
 //! p.set_electrode(Region::slab_x(0, 0), 0.0);
 //! p.set_electrode(Region::slab_x(10, 10), 1.0);
-//! let sol = p.solve(None)?;
+//! let sol = p.solve(None, &gnr_num::budget::ExecLimits::none())?;
 //! let mid = sol.potential_index(5, 1, 1);
 //! assert!((mid - 0.5).abs() < 1e-8);
 //! # Ok(())

@@ -5,7 +5,7 @@ use crate::grid::{Grid3, Region};
 use crate::solution::PoissonSolution;
 use gnr_num::budget::ExecLimits;
 use gnr_num::consts::{EPS_0, Q_E};
-use gnr_num::recover::solve_linear_robust_limited;
+use gnr_num::recover::solve_linear_robust;
 use gnr_num::solver::IterControl;
 use gnr_num::telemetry;
 use gnr_num::TripletBuilder;
@@ -136,25 +136,19 @@ impl PoissonProblem {
     /// `warm_start` (a previous full-grid potential) accelerates repeated
     /// solves inside self-consistent loops.
     ///
+    /// The budget is probed once before assembly and threaded into the
+    /// laddered linear solve, so a cancelled or expired run stops between CG
+    /// rungs instead of burning the rescue chain. Pass [`ExecLimits::none`]
+    /// (or `ctx.limits()` from an unlimited context) for the plain
+    /// unbudgeted call.
+    ///
     /// # Errors
     ///
     /// Returns [`PoissonError::NoUnknowns`] if every cell is an electrode,
-    /// or propagates CG failures.
-    pub fn solve(&self, warm_start: Option<&[f64]>) -> Result<PoissonSolution, PoissonError> {
-        self.solve_limited(warm_start, &ExecLimits::none())
-    }
-
-    /// [`PoissonProblem::solve`] under an execution budget: the budget is
-    /// probed once before assembly and threaded into the laddered linear
-    /// solve, so a cancelled or expired run stops between CG rungs instead of
-    /// burning the rescue chain.
-    ///
-    /// # Errors
-    ///
-    /// As [`PoissonProblem::solve`], plus
+    /// propagates CG failures, and surfaces
     /// [`gnr_num::NumError::BudgetExhausted`] / `Cancelled` (via
     /// [`PoissonError::Solve`]) when `limits` trips.
-    pub fn solve_limited(
+    pub fn solve(
         &self,
         warm_start: Option<&[f64]>,
         limits: &ExecLimits,
@@ -227,7 +221,7 @@ impl PoissonProblem {
         // Laddered solve: the first rung is the plain CG call (bit-identical
         // on the fault-free path); BiCGSTAB and, for small grids, dense LU
         // only run if CG errors out.
-        let (solved, _report) = solve_linear_robust_limited(&a, &rhs, &x0, ctrl, true, limits);
+        let (solved, _report) = solve_linear_robust(&a, &rhs, &x0, ctrl, true, limits);
         let (x, stats) = solved?;
         telemetry::counter_inc("poisson.solves");
         telemetry::counter_add("poisson.iterations", stats.iterations as u64);
@@ -241,6 +235,21 @@ impl PoissonProblem {
         }
         Ok(PoissonSolution::new(self.grid, potential, stats.iterations))
     }
+
+    /// Deprecated alias of [`PoissonProblem::solve`], kept for one release:
+    /// the base method now takes the execution limits directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoissonProblem::solve`].
+    #[deprecated(since = "0.1.0", note = "use `solve` — it takes the limits directly")]
+    pub fn solve_limited(
+        &self,
+        warm_start: Option<&[f64]>,
+        limits: &ExecLimits,
+    ) -> Result<PoissonSolution, PoissonError> {
+        self.solve(warm_start, limits)
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +262,7 @@ mod tests {
         let mut p = PoissonProblem::new(grid);
         p.set_electrode(Region::slab_x(0, 0), 0.0);
         p.set_electrode(Region::slab_x(20, 20), 2.0);
-        let sol = p.solve(None).unwrap();
+        let sol = p.solve(None, &ExecLimits::none()).unwrap();
         // Linear in x, uniform in y/z. The Dirichlet surfaces sit on the
         // electrode cell faces (x = h and x = 20h), so the profile through
         // the 19 interior cell centres is phi(i) = 2 (i - 1/2) / 19.
@@ -280,7 +289,7 @@ mod tests {
         p.set_electrode(Region::slab_x(0, 0), 0.0);
         p.set_electrode(Region::slab_x(21, 21), 1.0);
         p.set_dielectric(Region::new((11, 20), (0, 2), (0, 2)), 3.9);
-        let sol = p.solve(None).unwrap();
+        let sol = p.solve(None, &ExecLimits::none()).unwrap();
         // Drop across left slab: eps2/(eps1+eps2) of total.
         let v_mid = sol.potential_index(11, 1, 1);
         let expect = 3.9 / (1.0 + 3.9);
@@ -298,7 +307,7 @@ mod tests {
         p.set_electrode(Region::slab_z(14, 14), 0.0);
         p.add_point_charge(3.0, 3.0, 3.0, 1.0);
         assert!((p.total_charge() - 1.0).abs() < 1e-12);
-        let sol = p.solve(None).unwrap();
+        let sol = p.solve(None, &ExecLimits::none()).unwrap();
         let near = sol.potential_at(3.0, 3.0, 3.0);
         let far = sol.potential_at(5.5, 5.5, 5.5);
         assert!(near > far && far > 0.0, "near {near} far {far}");
@@ -316,7 +325,7 @@ mod tests {
         p.set_electrode(Region::slab_z(0, 0), 0.0);
         p.set_electrode(Region::slab_z(10, 10), 0.0);
         p.add_point_charge(2.75, 2.75, 2.75, -1.0);
-        let sol = p.solve(None).unwrap();
+        let sol = p.solve(None, &ExecLimits::none()).unwrap();
         assert!(sol.potential_at(2.75, 2.75, 2.75) < -0.05);
     }
 
@@ -337,7 +346,10 @@ mod tests {
         let grid = Grid3::new(3, 3, 3, 1.0).unwrap();
         let mut p = PoissonProblem::new(grid);
         p.set_electrode(Region::new((0, 2), (0, 2), (0, 2)), 1.0);
-        assert!(matches!(p.solve(None), Err(PoissonError::NoUnknowns)));
+        assert!(matches!(
+            p.solve(None, &ExecLimits::none()),
+            Err(PoissonError::NoUnknowns)
+        ));
     }
 
     #[test]
@@ -346,8 +358,8 @@ mod tests {
         let mut p = PoissonProblem::new(grid);
         p.set_electrode(Region::slab_x(0, 0), 0.0);
         p.set_electrode(Region::slab_x(15, 15), 1.0);
-        let cold = p.solve(None).unwrap();
-        let warm = p.solve(Some(cold.raw())).unwrap();
+        let cold = p.solve(None, &ExecLimits::none()).unwrap();
+        let warm = p.solve(Some(cold.raw()), &ExecLimits::none()).unwrap();
         assert!(
             warm.iterations() <= 1,
             "warm start iters {}",
@@ -364,14 +376,15 @@ mod tests {
         p.set_electrode(Region::slab_x(0, 0), 0.0);
         p.set_electrode(Region::slab_x(10, 10), 1.0);
         let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0));
-        match p.solve_limited(None, &limits) {
+        match p.solve(None, &limits) {
             Err(PoissonError::Solve(NumError::BudgetExhausted { site })) => {
                 assert_eq!(site, "poisson.solve");
             }
             other => panic!("expected budget exhaustion, got {other:?}"),
         }
         // Unlimited solve_limited matches the plain path bit-for-bit.
-        let plain = p.solve(None).unwrap();
+        let plain = p.solve(None, &ExecLimits::none()).unwrap();
+        #[allow(deprecated)]
         let limited = p.solve_limited(None, &ExecLimits::none()).unwrap();
         assert_eq!(plain.raw(), limited.raw());
     }
@@ -384,7 +397,7 @@ mod tests {
         let mut p = PoissonProblem::new(grid);
         p.set_electrode(Region::slab_x(0, 0), -0.3);
         p.set_electrode(Region::slab_x(8, 8), 0.7);
-        let sol = p.solve(None).unwrap();
+        let sol = p.solve(None, &ExecLimits::none()).unwrap();
         for i in 0..9 {
             let a = sol.potential_index(i, 0, 0);
             let b = sol.potential_index(i, 1, 1);

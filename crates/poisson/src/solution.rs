@@ -109,7 +109,7 @@ mod tests {
         let mut p = PoissonProblem::new(grid);
         p.set_electrode(Region::slab_x(0, 0), 0.0);
         p.set_electrode(Region::slab_x(10, 10), 1.0);
-        p.solve(None).unwrap()
+        p.solve(None, &gnr_num::budget::ExecLimits::none()).unwrap()
     }
 
     #[test]

@@ -17,7 +17,8 @@ fn electrode_superposition() {
             let mut p = PoissonProblem::new(grid);
             p.set_electrode(Region::slab_x(0, 0), va);
             p.set_electrode(Region::slab_x(9, 9), vb);
-            p.solve(None).expect("solves")
+            p.solve(None, &gnr_num::budget::ExecLimits::none())
+                .expect("solves")
         };
         let a = solve_at(v1, 0.0);
         let b = solve_at(0.0, v2);
@@ -43,7 +44,8 @@ fn charge_linearity() {
             p.set_electrode(Region::slab_z(0, 0), 0.0);
             p.set_electrode(Region::slab_z(7, 7), 0.0);
             p.add_point_charge(2.0, 2.0, 2.0, charge);
-            p.solve(None).expect("solves")
+            p.solve(None, &gnr_num::budget::ExecLimits::none())
+                .expect("solves")
         };
         let unit = solve_with(1.0);
         let scaled = solve_with(q);
@@ -69,7 +71,9 @@ fn maximum_principle() {
         let mut p = PoissonProblem::new(grid);
         p.set_electrode(Region::slab_x(0, 0), v1);
         p.set_electrode(Region::slab_x(7, 7), v2);
-        let sol = p.solve(None).expect("solves");
+        let sol = p
+            .solve(None, &gnr_num::budget::ExecLimits::none())
+            .expect("solves");
         let (lo, hi) = (v1.min(v2), v1.max(v2));
         for &phi in sol.raw() {
             assert!(phi >= lo - 1e-8 && phi <= hi + 1e-8, "phi = {phi}");

@@ -10,6 +10,7 @@
 use crate::circuit::{Circuit, Element, NodeId};
 use crate::dc::{dc_operating_point, DcOptions};
 use crate::error::SpiceError;
+use gnr_num::budget::ExecLimits;
 use gnr_num::{c64, CMatrix, Complex64, Matrix};
 
 /// One frequency point of an AC sweep: complex node phasors (per MNA
@@ -93,7 +94,7 @@ pub fn ac_analysis(
             "no voltage source #{excited_source}"
         )));
     }
-    let x0 = dc_operating_point(circuit, None, opts)?;
+    let x0 = dc_operating_point(circuit, None, opts, &ExecLimits::none())?;
     let n = circuit.unknowns();
     // Small-signal conductance matrix: the DC Jacobian at x0.
     let mut g = Matrix::zeros(n, n);

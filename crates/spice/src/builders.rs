@@ -394,7 +394,12 @@ impl Gate2 {
         let mut circuit = self.circuit.clone();
         crate::dc::set_source_value(&mut circuit, 0, if a_high { vdd } else { 0.0 })?;
         crate::dc::set_source_value(&mut circuit, 1, if b_high { vdd } else { 0.0 })?;
-        let x = crate::dc::dc_operating_point(&circuit, None, crate::dc::DcOptions::default())?;
+        let x = crate::dc::dc_operating_point(
+            &circuit,
+            None,
+            crate::dc::DcOptions::default(),
+            &gnr_num::budget::ExecLimits::none(),
+        )?;
         Ok(circuit.voltage(&x, self.output))
     }
 }

@@ -43,33 +43,56 @@ impl Default for DcOptions {
     }
 }
 
+impl DcOptions {
+    /// Sets the maximum Newton iterations per gmin step.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the KCL residual convergence target \[A\].
+    pub fn with_tolerance_a(mut self, tol: f64) -> Self {
+        self.tolerance_a = tol;
+        self
+    }
+
+    /// Sets the per-iteration voltage update clamp \[V\].
+    pub fn with_step_clamp_v(mut self, clamp: f64) -> Self {
+        self.step_clamp_v = clamp;
+        self
+    }
+
+    /// Sets the gmin homotopy ladder (descending conductances).
+    pub fn with_gmin_ladder(mut self, ladder: &'static [f64]) -> Self {
+        self.gmin_ladder = ladder;
+        self
+    }
+
+    /// Selects the linear-system backend.
+    pub fn with_solver(mut self, solver: MnaSolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
 /// Solves the DC operating point at time `t = 0`, starting from `x0`
 /// (zeros if `None`), with gmin stepping for robustness. When the gmin
 /// ladder fails from every seed, source stepping (ramping all sources up
 /// from a fraction of their value with warm starts) is tried as a last
 /// resort.
 ///
+/// The budget is probed at every gmin stage and ramp step, and a budget
+/// stop aborts the rescue chain (mid-rail seeds, source stepping) instead
+/// of burning it. Pass [`ExecLimits::none`] (or `ctx.limits()` from an
+/// unlimited context) for the plain unbudgeted call.
+///
 /// # Errors
 ///
-/// Returns [`SpiceError::NewtonDiverged`] if the final gmin stage fails, or
-/// propagates netlist/linear errors.
+/// Returns [`SpiceError::NewtonDiverged`] if the final gmin stage fails,
+/// propagates netlist/linear errors, and surfaces
+/// [`gnr_num::NumError::BudgetExhausted`] / `Cancelled` (via
+/// [`SpiceError::Linear`]) when `limits` trips.
 pub fn dc_operating_point(
-    circuit: &Circuit,
-    x0: Option<&[f64]>,
-    opts: DcOptions,
-) -> Result<Vec<f64>, SpiceError> {
-    dc_operating_point_limited(circuit, x0, opts, &ExecLimits::none())
-}
-
-/// [`dc_operating_point`] under an execution budget: the budget is probed at
-/// every gmin stage and ramp step, and a budget stop aborts the rescue chain
-/// (mid-rail seeds, source stepping) instead of burning it.
-///
-/// # Errors
-///
-/// As [`dc_operating_point`], plus [`gnr_num::NumError::BudgetExhausted`] /
-/// `Cancelled` (via [`SpiceError::Linear`]) when `limits` trips.
-pub fn dc_operating_point_limited(
     circuit: &Circuit,
     x0: Option<&[f64]>,
     opts: DcOptions,
@@ -143,7 +166,7 @@ pub fn dc_operating_point_limited(
             }
             // Source stepping: ramp every source from a quarter of its
             // value to full drive, warm-starting each step from the last.
-            match source_stepping_limited(circuit, opts, limits) {
+            match source_stepping(circuit, opts, limits) {
                 Err(e) if is_budget_stop(&e) => Err(e),
                 Ok(x) => {
                     telemetry::counter_inc("spice.dc.source_stepping_rescues");
@@ -163,11 +186,30 @@ pub fn dc_operating_point_limited(
     }
 }
 
+/// Deprecated alias of [`dc_operating_point`], kept for one release: the
+/// base function now takes the execution limits directly.
+///
+/// # Errors
+///
+/// As [`dc_operating_point`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dc_operating_point` — it takes the limits directly"
+)]
+pub fn dc_operating_point_limited(
+    circuit: &Circuit,
+    x0: Option<&[f64]>,
+    opts: DcOptions,
+    limits: &ExecLimits,
+) -> Result<Vec<f64>, SpiceError> {
+    dc_operating_point(circuit, x0, opts, limits)
+}
+
 /// Solves the operating point by ramping every voltage source up from a
 /// fraction of its `t = 0` value, warm-starting each ramp step with the
 /// previous solution. This is the classic homotopy for circuits whose
 /// full-drive Newton problem has no reachable solution from any cold seed.
-pub(crate) fn source_stepping_limited(
+pub(crate) fn source_stepping(
     circuit: &Circuit,
     opts: DcOptions,
     limits: &ExecLimits,
@@ -362,7 +404,7 @@ fn solve_with_continuation(
     depth: usize,
 ) -> Result<Vec<f64>, SpiceError> {
     set_source_value(circuit, swept_source, v)?;
-    match dc_operating_point(circuit, x0, opts) {
+    match dc_operating_point(circuit, x0, opts, &ExecLimits::none()) {
         Ok(sol) => Ok(sol),
         Err(e) => {
             let Some(pv) = prev_v else { return Err(e) };
@@ -437,7 +479,7 @@ mod tests {
             b: NodeId::GROUND,
             ohms: 1e3,
         });
-        let x = dc_operating_point(&c, None, DcOptions::default()).unwrap();
+        let x = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap();
         assert!((c.voltage(&x, mid) - 1.0).abs() < 1e-9);
         // Source current: 3 V across 3 kOhm = 1 mA flowing out of the
         // source's positive terminal into the circuit -> branch current is
@@ -465,7 +507,7 @@ mod tests {
         ] {
             c.add(Element::Resistor { a, b, ohms });
         }
-        let x = dc_operating_point(&c, None, DcOptions::default()).unwrap();
+        let x = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap();
         // Balanced bridge: no current through the middle resistor.
         assert!((c.voltage(&x, l) - c.voltage(&x, r)).abs() < 1e-9);
         assert!((c.voltage(&x, l) - 0.5).abs() < 1e-9);
@@ -487,7 +529,7 @@ mod tests {
             b: NodeId::GROUND,
             farads: 1e-15,
         });
-        let x = dc_operating_point(&c, None, DcOptions::default()).unwrap();
+        let x = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap();
         // No DC path through the cap: b floats up to a's voltage (gmin
         // leaks it negligibly towards ground).
         assert!((c.voltage(&x, b) - 2.0).abs() < 1e-6);
@@ -513,7 +555,7 @@ mod tests {
             b: NodeId::GROUND,
             ohms: 1e3,
         });
-        let x = source_stepping_limited(&c, DcOptions::default(), &ExecLimits::none()).unwrap();
+        let x = source_stepping(&c, DcOptions::default(), &ExecLimits::none()).unwrap();
         assert!((c.voltage(&x, mid) - 1.0).abs() < 1e-9);
     }
 
@@ -532,7 +574,8 @@ mod tests {
             b: NodeId::GROUND,
             ohms: 1e3,
         });
-        let err = dc_operating_point(&c, None, DcOptions::default()).unwrap_err();
+        let err =
+            dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap_err();
         match err {
             SpiceError::Linear(NumError::NonFinite { detail }) => {
                 assert!(detail.contains("newton residual"), "detail: {detail}");
@@ -558,16 +601,16 @@ mod tests {
             ohms: 1e3,
         });
         let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0));
-        let err = dc_operating_point_limited(&c, None, DcOptions::default(), &limits).unwrap_err();
+        let err = dc_operating_point(&c, None, DcOptions::default(), &limits).unwrap_err();
         assert!(
             matches!(err, SpiceError::Linear(NumError::BudgetExhausted { .. })),
             "got {err:?}"
         );
         // Unlimited limited variant matches the plain path bit-for-bit.
-        let plain = dc_operating_point(&c, None, DcOptions::default()).unwrap();
+        let plain =
+            dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap();
         let limited =
-            dc_operating_point_limited(&c, None, DcOptions::default(), &ExecLimits::none())
-                .unwrap();
+            dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap();
         assert_eq!(plain, limited);
     }
 

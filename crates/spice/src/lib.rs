@@ -52,6 +52,7 @@ pub mod mna;
 pub mod transient;
 
 pub use circuit::{Circuit, Element, NodeId, Waveform};
+pub use dc::{dc_operating_point, DcOptions};
 pub use error::SpiceError;
 pub use mna::MnaSolverKind;
-pub use transient::{transient, TransientOptions, TransientRecovery};
+pub use transient::{transient, Integrator, TransientOptions, TransientRecovery};

@@ -12,6 +12,7 @@ use crate::dc::{dc_operating_point, set_source_value, transfer_curve, DcOptions}
 use crate::error::SpiceError;
 use crate::transient::{transient_nominal, TransientOptions};
 use gnr_device::DeviceTable;
+use gnr_num::budget::ExecLimits;
 
 /// Measured figures of merit of a FO4 inverter.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -101,7 +102,7 @@ pub fn inverter_static_power(cell: &InverterCell, vdd: f64) -> Result<f64, Spice
     let mut leak = 0.0;
     for vin in [0.0, vdd] {
         set_source_value(&mut circuit, chain.input_source, vin)?;
-        let x = dc_operating_point(&circuit, None, DcOptions::default())?;
+        let x = dc_operating_point(&circuit, None, DcOptions::default(), &ExecLimits::none())?;
         leak += circuit.source_current(&x, chain.vdd_source).abs();
     }
     Ok(vdd * leak / 2.0)
@@ -206,7 +207,7 @@ fn fo4_metrics_attempt(
     };
     set_pulse(&mut circuit, chain.input_source, wave)?;
     let opts = TransientOptions::new(2.0 * period, period / 3000.0);
-    let result = transient_nominal(&circuit, &opts)?;
+    let result = transient_nominal(&circuit, &opts, &ExecLimits::none())?;
     let times = result.times();
     let vin = result.voltage(&circuit, chain.input);
     let vout = result.voltage(&circuit, chain.output);
@@ -299,7 +300,7 @@ pub fn ring_oscillator_metrics(
     let mut opts = TransientOptions::new(6.0 * period_est, period_est / (stages as f64 * 60.0));
     // Kick the ring out of its metastable DC point.
     opts.initial_voltages = vec![(ro.stage_outputs[0], ro.vdd)];
-    let result = transient_nominal(&ro.circuit, &opts)?;
+    let result = transient_nominal(&ro.circuit, &opts, &ExecLimits::none())?;
     let times = result.times();
     let probe = result.voltage(&ro.circuit, ro.stage_outputs[stages / 2]);
     let rising = crossing_times(times, &probe, ro.vdd / 2.0, true);

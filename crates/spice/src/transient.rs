@@ -11,7 +11,7 @@
 //! for smooth waveforms.
 
 use crate::circuit::{Circuit, Element, NodeId};
-use crate::dc::{dc_operating_point_limited, is_budget_stop, DcOptions};
+use crate::dc::{dc_operating_point, is_budget_stop, DcOptions};
 use crate::error::SpiceError;
 use crate::mna::{MnaSink, MnaSystem, ResidualOnly};
 use gnr_num::budget::ExecLimits;
@@ -77,6 +77,57 @@ impl TransientOptions {
     pub fn trapezoidal(mut self) -> Self {
         self.integrator = Integrator::Trapezoidal;
         self
+    }
+
+    /// Sets the simulation stop time \[s\].
+    pub fn with_t_stop(mut self, t_stop: f64) -> Self {
+        self.t_stop = t_stop;
+        self
+    }
+
+    /// Sets the fixed time step \[s\].
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Replaces the per-step Newton controls.
+    pub fn with_newton(mut self, newton: DcOptions) -> Self {
+        self.newton = newton;
+        self
+    }
+
+    /// Sets the initial node-voltage overrides.
+    pub fn with_initial_voltages(mut self, overrides: Vec<(NodeId, f64)>) -> Self {
+        self.initial_voltages = overrides;
+        self
+    }
+
+    /// Skips (or restores) the initial DC solve.
+    pub fn with_skip_dc(mut self, skip: bool) -> Self {
+        self.skip_dc = skip;
+        self
+    }
+
+    /// Selects the time-integration method.
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Replaces the retry ladder used under [`RecoveryPolicy::Ladder`].
+    pub fn with_recovery(mut self, recovery: TransientRecovery) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+impl Default for TransientOptions {
+    /// A 1 ns window at a 1 ps step — override with
+    /// [`with_t_stop`](TransientOptions::with_t_stop) /
+    /// [`with_dt`](TransientOptions::with_dt).
+    fn default() -> Self {
+        TransientOptions::new(1e-9, 1e-12)
     }
 }
 
@@ -164,7 +215,7 @@ pub fn transient(
     telemetry::counter_inc("transient.solves");
     match ctx.recovery() {
         RecoveryPolicy::Strict => {
-            let result = transient_nominal_limited(circuit, opts, ctx.limits())?;
+            let result = transient_nominal(circuit, opts, ctx.limits())?;
             let steps = result.len();
             Ok((result, SolveReport::single("nominal", steps, f64::NAN)))
         }
@@ -174,16 +225,9 @@ pub fn transient(
 
 /// The plain single-attempt integration engine behind [`transient`] — also
 /// used by the measurement layer, whose pinned figures must never be
-/// silently rescued by a ladder rung.
+/// silently rescued by a ladder rung. Probes `limits` at every time step;
+/// pass [`ExecLimits::none`] when unbudgeted.
 pub(crate) fn transient_nominal(
-    circuit: &Circuit,
-    opts: &TransientOptions,
-) -> Result<TransientResult, SpiceError> {
-    transient_nominal_limited(circuit, opts, &ExecLimits::none())
-}
-
-/// [`transient_nominal`] with a budget probe at every time step.
-pub(crate) fn transient_nominal_limited(
     circuit: &Circuit,
     opts: &TransientOptions,
     limits: &ExecLimits,
@@ -197,7 +241,7 @@ pub(crate) fn transient_nominal_limited(
     let mut x = if opts.skip_dc {
         vec![0.0; n]
     } else {
-        dc_operating_point_limited(circuit, None, opts.newton, limits)?
+        dc_operating_point(circuit, None, opts.newton, limits)?
     };
     for &(node, v) in &opts.initial_voltages {
         if let Some(i) = circuit.mna_index(node) {
@@ -382,7 +426,7 @@ fn transient_laddered(
                 // Solve the operating point by ramping the sources, then
                 // impose it as the starting state instead of the (failing)
                 // direct DC solve.
-                let x = match crate::dc::source_stepping_limited(circuit, opts.newton, limits) {
+                let x = match crate::dc::source_stepping(circuit, opts.newton, limits) {
                     Ok(x) => x,
                     Err(e) if is_budget_stop(&e) => {
                         let msg = e.to_string();
@@ -414,7 +458,7 @@ fn transient_laddered(
             }
             return AttemptReport::failed("injected fault: transient attempt suppressed");
         }
-        match transient_nominal_limited(circuit, &attempt_opts, limits) {
+        match transient_nominal(circuit, &attempt_opts, limits) {
             Ok(result) => {
                 let steps = result.len();
                 AttemptReport::converged(result, steps, f64::NAN)

@@ -1,6 +1,7 @@
 //! Property-based tests of the circuit-simulation invariants, driven by
 //! the in-house seeded RNG (deterministic across runs).
 
+use gnr_num::budget::ExecLimits;
 use gnr_num::rng::Rng;
 use gnr_spice::circuit::{Circuit, Element, NodeId, Waveform};
 use gnr_spice::dc::{dc_operating_point, DcOptions};
@@ -40,7 +41,8 @@ fn resistor_ladder_divider() {
             b: NodeId::GROUND,
             ohms: r3,
         });
-        let x = dc_operating_point(&c, None, DcOptions::default()).expect("solves");
+        let x = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none())
+            .expect("solves");
         let total = r1 + r2 + r3;
         let expect_m1 = v * (r2 + r3) / total;
         let expect_m2 = v * r3 / total;

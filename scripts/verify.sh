@@ -65,6 +65,16 @@ echo "== tier-1: budget/checkpoint acceptance suite (GNR_THREADS=1 and 4) =="
 GNR_THREADS=1 cargo test -q --offline --test budget_checkpoint
 GNR_THREADS=4 cargo test -q --offline --test budget_checkpoint
 
+# Characterization-service acceptance gate (DESIGN.md §14): the
+# content-addressed table store (byte-identical warm hits, keyed-field
+# misses, corrupt-entry eviction with pinned counters) and the job API
+# (streaming chunk boundaries, cancel/resume by seed range with the §4
+# pins intact, FIFO queue drain). Named on both pool sizes because both
+# the cached bytes and the counters must be thread-count invariant.
+echo "== tier-1: table-cache / service acceptance suites (GNR_THREADS=1 and 4) =="
+GNR_THREADS=1 cargo test -q --offline --test table_cache --test service_jobs
+GNR_THREADS=4 cargo test -q --offline --test table_cache --test service_jobs
+
 if [ "$TIER" = "1" ]; then
   echo "verify: tier-1 checks passed"
   exit 0

@@ -10,8 +10,9 @@
 //! nonsense result. This is the tier-2 safety net for new fault sites:
 //! registering a site makes it part of the soak automatically.
 
+use gnrlab::cmos::{CmosNode, CmosTransistor};
 use gnrlab::device::scf::ScfOptions;
-use gnrlab::device::{DeviceConfig, ScfSolver};
+use gnrlab::device::{DeviceConfig, Polarity, ScfSolver, TableStore};
 use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
 use gnrlab::explore::monte_carlo::{
     characterize_stage_universe, monte_carlo_from_universe_resumable, StageUniverse,
@@ -101,7 +102,7 @@ fn soak_site(site: &'static str) -> Vec<String> {
     let c = rc_circuit();
     note(
         "dc",
-        dc_operating_point(&c, None, DcOptions::default())
+        dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none())
             .map(|x| format!("{} unknowns", x.len()))
             .map_err(|e| e.to_string()),
     );
@@ -153,6 +154,39 @@ fn soak_site(site: &'static str) -> Vec<String> {
                 .map(|_| "universe built".to_string())
                 .map_err(|e| e.to_string()),
         );
+    }
+
+    // 6. Content-addressed table store under disk-read injection: each
+    //    re-read probes the corrupt-entry site and must either serve the
+    //    clean entry or evict and rebuild — never surface a bad table.
+    if site == gnrlab::device::store::FAULT_SITE {
+        let dir = std::env::temp_dir().join(format!("gnr-chaos-store-{}", std::process::id()));
+        let tx = CmosTransistor::nominal(CmosNode::N22);
+        let mut rebuilt = 0usize;
+        let mut outcome = Ok(String::new());
+        for round in 0..10 {
+            // A fresh handle each round forces the disk path (the
+            // in-memory tier would otherwise absorb every later read).
+            let store = TableStore::on_disk(&dir);
+            match tx.to_table_cached(&store, Polarity::NType, 0.8) {
+                Ok(t) => {
+                    assert!(
+                        t.current(0.8, 0.4).is_finite(),
+                        "cached table must be well-formed"
+                    );
+                    rebuilt += 1;
+                }
+                Err(e) => {
+                    outcome = Err(format!("round {round}: {e}"));
+                    break;
+                }
+            }
+        }
+        if outcome.is_ok() {
+            outcome = Ok(format!("{rebuilt}/10 reads served or rebuilt"));
+        }
+        note("table-store", outcome);
+        let _ = std::fs::remove_dir_all(&dir);
     }
     log
 }

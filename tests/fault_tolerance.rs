@@ -18,6 +18,7 @@ use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
 use gnrlab::explore::monte_carlo::{
     characterize_stage_universe, monte_carlo_from_universe, ring_oscillator_monte_carlo,
 };
+use gnrlab::num::budget::ExecLimits;
 use gnrlab::num::fault::{self, FaultPlan};
 use gnrlab::num::par::ExecCtx;
 use gnrlab::num::recover::solve_linear_robust;
@@ -260,7 +261,8 @@ fn injected_dc_fault_falls_back_to_source_stepping() {
     let (c, out) = rc_circuit();
     // The primary gmin ladder and mid-rail seeds are suppressed; source
     // stepping must still find the operating point.
-    let x = dc_operating_point(&c, None, DcOptions::default()).expect("source stepping rescues");
+    let x = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none())
+        .expect("source stepping rescues");
     assert!((c.voltage(&x, out) - 1.0).abs() < 1e-6);
     assert_eq!(fault::injection_count("newton-dc"), 1);
 }
@@ -270,8 +272,8 @@ fn dc_disarmed_is_bit_identical() {
     let _g = injector_lock();
     fault::disarm();
     let (c, _) = rc_circuit();
-    let a = dc_operating_point(&c, None, DcOptions::default()).expect("a");
-    let b = dc_operating_point(&c, None, DcOptions::default()).expect("b");
+    let a = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).expect("a");
+    let b = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).expect("b");
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.to_bits(), y.to_bits());
     }
@@ -308,7 +310,7 @@ fn double_dc_failure_surfaces_rescue_chain_failed_with_both_errors() {
     );
     let _t = ArmedTelemetry::arm();
     let (c, _) = rc_circuit();
-    let err = dc_operating_point(&c, None, DcOptions::default()).unwrap_err();
+    let err = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap_err();
     let snap = telemetry::snapshot();
     match &err {
         SpiceError::RescueChainFailed {
@@ -380,7 +382,14 @@ fn injected_linear_fault_falls_through_to_dense_lu() {
     }
     let a = tb.build();
     let b = vec![1.0; n];
-    let (result, report) = solve_linear_robust(&a, &b, &vec![0.0; n], IterControl::default(), true);
+    let (result, report) = solve_linear_robust(
+        &a,
+        &b,
+        &vec![0.0; n],
+        IterControl::default(),
+        true,
+        &ExecLimits::none(),
+    );
     let (x, _) = result.expect("sparse LU rescues");
     assert!(report.converged());
     assert_eq!(report.policy_used.as_deref(), Some("sparse-lu"));

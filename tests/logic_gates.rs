@@ -84,6 +84,7 @@ fn ambipolar_leakage_differs_by_input_vector() {
             &circuit,
             None,
             gnrlab::spice::dc::DcOptions::default(),
+            &gnrlab::num::budget::ExecLimits::none(),
         )
         .unwrap();
         leaks.push(circuit.source_current(&x, 2).abs() * VDD);

@@ -1,0 +1,235 @@
+//! Acceptance suite for the characterization service (DESIGN.md §14):
+//! typed jobs over the exploration engines, streaming Monte Carlo
+//! delivery in fixed chunks, interrupt/resume by seed range reproducing
+//! the §4 pins bit-identically at any pool size, and FIFO queue
+//! semantics under a tripped budget.
+//!
+//! The telemetry registry is process-global, so every test serializes
+//! through [`suite_lock`].
+
+use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
+use gnrlab::explore::monte_carlo::{McRunOutcome, MonteCarloResult, MC_CHECKPOINT_CHUNK};
+use gnrlab::explore::service::{service_with_limits, CharacterizationService, JobRequest};
+use gnrlab::num::budget::{Budget, CancelToken, ExecLimits};
+use gnrlab::num::fault;
+use gnrlab::num::par::ExecCtx;
+use gnrlab::num::telemetry;
+use gnrlab::num::NumError;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+const MC_SEED: u64 = 20080608;
+const MC_SAMPLES: usize = 2000;
+
+fn suite_lock() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn checkpoint_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "gnr-service-jobs-{}-{name}.json",
+        std::process::id()
+    ))
+}
+
+fn assert_pins(result: &MonteCarloResult, what: &str) {
+    assert_eq!(result.frequency_hz.len(), 1470, "{what}: functional pin");
+    assert_eq!(result.stalled_samples, 530, "{what}: stalled pin");
+    assert!(
+        (result.functional_yield() - 0.735).abs() < 1e-12,
+        "{what}: yield pin"
+    );
+}
+
+fn assert_bit_identical(a: &MonteCarloResult, b: &MonteCarloResult, what: &str) {
+    assert_eq!(a.frequency_hz.len(), b.frequency_hz.len(), "{what}: count");
+    assert_eq!(a.stalled_samples, b.stalled_samples, "{what}: stalls");
+    for (x, y) in a.frequency_hz.iter().zip(&b.frequency_hz) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: frequency");
+    }
+    for (x, y) in a.dynamic_w.iter().zip(&b.dynamic_w) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: dynamic power");
+    }
+    for (x, y) in a.static_w.iter().zip(&b.static_w) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: static power");
+    }
+}
+
+/// One recorded streaming run: `(start, len, restored)` per chunk.
+type ChunkLog = Arc<Mutex<Vec<(usize, usize, bool)>>>;
+
+fn record(chunks: &ChunkLog) -> impl FnMut(&gnrlab::explore::monte_carlo::McChunk) + '_ {
+    let chunks = Arc::clone(chunks);
+    move |c| {
+        chunks
+            .lock()
+            .expect("sink lock")
+            .push((c.start, c.totals.len(), c.restored));
+    }
+}
+
+/// The headline acceptance test, per pool size: a streaming sweep job is
+/// cancelled from its own sink after three chunks, checkpoints, and the
+/// SAME service (fresh limits, warm universe memo) resumes it by seed
+/// range — the restored prefix arrives first as one chunk, the computed
+/// chunks land on fixed boundaries, and the merged population carries
+/// the §4 pins bit-identically to the uninterrupted baseline.
+#[test]
+fn cancelled_streaming_sweep_resumes_bit_identically_on_serial_and_parallel_pools() {
+    let _g = suite_lock();
+    fault::disarm();
+    // One table store shared by both pool sizes: the device tables are
+    // bit-deterministic, so the 4-thread service may replay the tables
+    // the 1-thread service built.
+    let store = Arc::new(gnrlab::device::TableStore::in_memory());
+    let mut baseline: Option<McRunOutcome> = None;
+    for threads in [1usize, 4] {
+        let lib = DeviceLibrary::with_store(Fidelity::Fast, Arc::clone(&store));
+        let mut service =
+            CharacterizationService::with_library(ExecCtx::with_threads(threads), lib);
+
+        // Uninterrupted baseline (also warms the universe memo).
+        telemetry::reset();
+        telemetry::arm();
+        let full = service
+            .submit(JobRequest::mc_sweep(0.4, 15, MC_SAMPLES, MC_SEED))
+            .expect("baseline sweep");
+        telemetry::disarm();
+        assert!(
+            full.telemetry.counter("mc.samples").is_some(),
+            "responses embed the job's telemetry"
+        );
+        let full = full.mc().expect("sweep payload").clone();
+        assert!(full.is_complete());
+        assert_pins(&full.result, &format!("{threads}-thread baseline"));
+        if let Some(first) = &baseline {
+            assert_bit_identical(
+                &first.result,
+                &full.result,
+                &format!("{threads}-thread vs 1-thread baseline"),
+            );
+        } else {
+            baseline = Some(full.clone());
+        }
+
+        // A streaming Characterize request falls through to submit() and
+        // emits nothing; the memoized universe is returned by pointer.
+        let chunks = Arc::new(Mutex::new(Vec::new()));
+        let a = service
+            .submit_streaming(JobRequest::characterize(0.4, 15), &mut record(&chunks))
+            .expect("characterize");
+        let b = service
+            .submit(JobRequest::characterize(0.4, 15))
+            .expect("characterize again");
+        assert!(chunks.lock().expect("sink lock").is_empty());
+        assert!(
+            std::ptr::eq(
+                a.universe().expect("universe payload"),
+                b.universe().expect("universe payload")
+            ),
+            "repeated characterization must be served from the memo"
+        );
+
+        // Interrupt: the sink cancels its own job after three chunks.
+        let path = checkpoint_path(&format!("resume-{threads}"));
+        let _ = std::fs::remove_file(&path);
+        let token = CancelToken::new();
+        service.set_limits(ExecLimits::none().with_cancel(token.clone()));
+        let request = JobRequest::mc_sweep(0.4, 15, MC_SAMPLES, MC_SEED).with_checkpoint(&path);
+        chunks.lock().expect("sink lock").clear();
+        let partial = {
+            let mut sink = record(&chunks);
+            let mut seen = 0usize;
+            service
+                .submit_streaming(request.clone(), &mut |c| {
+                    sink(c);
+                    seen += 1;
+                    if seen == 3 {
+                        token.cancel();
+                    }
+                })
+                .expect("interrupted sweep still returns partial statistics")
+        };
+        let partial = partial.mc().expect("sweep payload");
+        assert!(!partial.is_complete());
+        assert_eq!(partial.completed_samples, 3 * MC_CHECKPOINT_CHUNK);
+        assert!(
+            matches!(partial.interrupted, Some(NumError::Cancelled { .. })),
+            "got {:?}",
+            partial.interrupted
+        );
+        assert!(path.exists(), "interrupted sweep must leave a checkpoint");
+        assert_eq!(
+            *chunks.lock().expect("sink lock"),
+            (0..3)
+                .map(|i| (i * MC_CHECKPOINT_CHUNK, MC_CHECKPOINT_CHUNK, false))
+                .collect::<Vec<_>>(),
+            "computed chunks land on fixed boundaries"
+        );
+
+        // Resume on the same service: fresh limits, warm memo. The
+        // restored prefix must arrive first as a single chunk, then the
+        // remaining fixed-size chunks (short tail last).
+        service.set_limits(ExecLimits::none().with_budget(Budget::unlimited()));
+        chunks.lock().expect("sink lock").clear();
+        let resumed = service
+            .submit_streaming(request, &mut record(&chunks))
+            .expect("resume completes");
+        let resumed = resumed.mc().expect("sweep payload");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.completed_samples, MC_SAMPLES);
+        assert!(!path.exists(), "finished sweep must remove its checkpoint");
+        let seen = chunks.lock().expect("sink lock").clone();
+        assert_eq!(
+            seen[0],
+            (0, 3 * MC_CHECKPOINT_CHUNK, true),
+            "restored prefix first"
+        );
+        let mut expected_start = 3 * MC_CHECKPOINT_CHUNK;
+        for &(start, len, restored) in &seen[1..] {
+            assert!(!restored);
+            assert_eq!(start, expected_start, "chunks arrive in sample order");
+            assert_eq!(len, MC_CHECKPOINT_CHUNK.min(MC_SAMPLES - start));
+            expected_start += len;
+        }
+        assert_eq!(
+            expected_start, MC_SAMPLES,
+            "every sample delivered exactly once"
+        );
+        assert_bit_identical(
+            &baseline.as_ref().expect("baseline").result,
+            &resumed.result,
+            &format!("{threads}-thread resume"),
+        );
+        assert_pins(&resumed.result, &format!("{threads}-thread resume"));
+    }
+}
+
+/// A tripped budget drains the queue FIFO as typed errors without
+/// touching the solvers; fresh limits restore admission.
+#[test]
+fn tripped_budget_drains_the_queue_as_typed_errors() {
+    let _g = suite_lock();
+    fault::disarm();
+    let mut service = service_with_limits(
+        Fidelity::Fast,
+        ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0)),
+    );
+    service.enqueue(JobRequest::characterize(0.4, 15));
+    service.enqueue(JobRequest::mc_sweep(0.4, 15, MC_SAMPLES, MC_SEED));
+    service.enqueue(JobRequest::edp_contour(vec![0.4], vec![0.0], 15));
+    assert_eq!(service.queued(), 3);
+    let results = service.run_queued();
+    assert_eq!(results.len(), 3, "one result per admitted job, in order");
+    assert_eq!(service.queued(), 0, "the queue drains even on errors");
+    for (i, r) in results.iter().enumerate() {
+        assert!(
+            r.as_ref().is_err_and(|e| e.to_string().contains("budget")),
+            "job {i}: expected a typed budget stop, got {r:?}"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! `GNR_THREADS=1` and `=4`, pinning that results are thread-count
 //! independent.
 
+use gnrlab::num::budget::ExecLimits;
 use gnrlab::num::{
     sparse_solve, CsrMatrix, NumError, Refactorization, Rng, SparseLu, TripletBuilder,
 };
@@ -67,8 +68,20 @@ fn opts_with(solver: MnaSolverKind) -> DcOptions {
 fn mesh_dc_sparse_matches_dense_within_1e12() {
     for k in [4usize, 8, 12] {
         let c = mesh(k);
-        let xd = dc_operating_point(&c, None, opts_with(MnaSolverKind::Dense)).expect("dense");
-        let xs = dc_operating_point(&c, None, opts_with(MnaSolverKind::Sparse)).expect("sparse");
+        let xd = dc_operating_point(
+            &c,
+            None,
+            opts_with(MnaSolverKind::Dense),
+            &ExecLimits::none(),
+        )
+        .expect("dense");
+        let xs = dc_operating_point(
+            &c,
+            None,
+            opts_with(MnaSolverKind::Sparse),
+            &ExecLimits::none(),
+        )
+        .expect("sparse");
         assert_eq!(xd.len(), xs.len());
         for (i, (a, b)) in xd.iter().zip(&xs).enumerate() {
             assert!(
@@ -101,8 +114,20 @@ fn auto_solver_is_bit_identical_to_dense_on_small_circuits() {
         b: NodeId::GROUND,
         ohms: 1e3,
     });
-    let auto = dc_operating_point(&c, None, opts_with(MnaSolverKind::Auto)).expect("auto");
-    let dense = dc_operating_point(&c, None, opts_with(MnaSolverKind::Dense)).expect("dense");
+    let auto = dc_operating_point(
+        &c,
+        None,
+        opts_with(MnaSolverKind::Auto),
+        &ExecLimits::none(),
+    )
+    .expect("auto");
+    let dense = dc_operating_point(
+        &c,
+        None,
+        opts_with(MnaSolverKind::Dense),
+        &ExecLimits::none(),
+    )
+    .expect("dense");
     assert_eq!(auto, dense, "auto must be bit-identical to dense here");
 }
 

@@ -1,0 +1,265 @@
+//! Acceptance suite for the content-addressed device-table store
+//! (DESIGN.md §14): a warm hit is byte-identical to the cold build's
+//! canonical JSON, perturbing any keyed field is a miss, a corrupted
+//! on-disk entry is evicted and rebuilt clean (counters pinned), and the
+//! hit/miss counters — and the cached bytes themselves — are independent
+//! of the pool size.
+//!
+//! The fault injector and the telemetry registry are process-global, so
+//! every test serializes through [`suite_lock`].
+
+use gnrlab::cmos::{CmosNode, CmosTransistor};
+use gnrlab::device::store::FAULT_SITE;
+use gnrlab::device::{Polarity, TableStore};
+use gnrlab::explore::devices::{ArrayScenario, DeviceLibrary, DeviceVariant, Fidelity};
+use gnrlab::num::fault::{self, FaultPlan};
+use gnrlab::num::par::ExecCtx;
+use gnrlab::num::telemetry;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn suite_lock() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn cache_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gnr-table-cache-{}-{name}", std::process::id()))
+}
+
+/// The `tbl-*.json` entries under `dir`, sorted by name.
+fn entries(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("tbl-") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+fn counter(snap: &gnrlab::num::telemetry::TelemetrySnapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+/// The headline byte-identity contract: the on-disk entry IS the cold
+/// build's canonical JSON, and a warm hit from a fresh handle serves
+/// exactly those bytes — counted as one hit, zero misses, zero rewrites.
+#[test]
+fn warm_hit_is_byte_identical_to_the_cold_build() {
+    let _g = suite_lock();
+    fault::disarm();
+    let dir = cache_dir("byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    telemetry::reset();
+    telemetry::arm();
+    let mut cold_lib = DeviceLibrary::with_disk_cache(Fidelity::Fast, &dir);
+    let cold = cold_lib
+        .ntype_table(&ExecCtx::serial(), DeviceVariant::nominal())
+        .expect("cold build");
+    let cold_snap = telemetry::snapshot();
+    let files = entries(&dir);
+    assert_eq!(files.len(), 1, "one request, one entry");
+    let on_disk = std::fs::read_to_string(&files[0]).expect("entry readable");
+    assert_eq!(
+        on_disk,
+        cold.to_json().expect("canonical json"),
+        "the stored entry must be the cold build's canonical JSON"
+    );
+    assert_eq!(counter(&cold_snap, "table_cache.misses"), 1);
+    assert_eq!(counter(&cold_snap, "table_cache.writes"), 1);
+    assert_eq!(counter(&cold_snap, "table_cache.hits"), 0);
+
+    telemetry::reset();
+    telemetry::arm();
+    let mut warm_lib = DeviceLibrary::with_disk_cache(Fidelity::Fast, &dir);
+    let warm = warm_lib
+        .ntype_table(&ExecCtx::serial(), DeviceVariant::nominal())
+        .expect("warm hit");
+    let warm_snap = telemetry::snapshot();
+    telemetry::disarm();
+    assert_eq!(
+        warm.to_json().expect("canonical json"),
+        on_disk,
+        "a warm hit must round-trip to bytes identical to the cold build"
+    );
+    assert_eq!(counter(&warm_snap, "table_cache.hits"), 1);
+    assert_eq!(counter(&warm_snap, "table_cache.misses"), 0);
+    assert_eq!(
+        counter(&warm_snap, "table_cache.writes"),
+        0,
+        "hits never rewrite"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every keyed field is load-bearing: single-field perturbations of the
+/// same request land in distinct entries (misses), and only the verbatim
+/// replay is a hit.
+#[test]
+fn perturbing_any_keyed_field_is_a_miss() {
+    let _g = suite_lock();
+    fault::disarm();
+    let dir = cache_dir("perturb");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TableStore::on_disk(&dir);
+
+    let base = CmosTransistor::nominal(CmosNode::N22);
+    let mut cards = vec![base];
+    for field in 0..8usize {
+        let mut c = base;
+        match field {
+            0 => c.vth0 += 1e-3,
+            1 => c.alpha += 1e-3,
+            2 => c.k *= 1.0 + 1e-3,
+            3 => c.n_sub += 1e-3,
+            4 => c.dibl += 1e-3,
+            5 => c.k_sat += 1e-3,
+            6 => c.c_gate *= 1.0 + 1e-3,
+            _ => c.temperature_k += 1.0,
+        }
+        cards.push(c);
+    }
+
+    telemetry::reset();
+    telemetry::arm();
+    for card in &cards {
+        card.to_table_cached(&store, Polarity::NType, 0.8)
+            .expect("builds");
+    }
+    // Polarity and bias range are keyed too...
+    base.to_table_cached(&store, Polarity::PType, 0.8)
+        .expect("builds");
+    base.to_table_cached(&store, Polarity::NType, 0.9)
+        .expect("builds");
+    // ...and only the verbatim replay hits.
+    base.to_table_cached(&store, Polarity::NType, 0.8)
+        .expect("hits");
+    let snap = telemetry::snapshot();
+    telemetry::disarm();
+
+    assert_eq!(
+        counter(&snap, "table_cache.misses"),
+        11,
+        "9 cards + polarity + vmax"
+    );
+    assert_eq!(counter(&snap, "table_cache.hits"), 1, "only the replay");
+    assert_eq!(entries(&dir).len(), 11, "one entry per distinct key");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted entry (injected via the `table_cache.corrupt` fault site)
+/// is evicted — counted — and rebuilt to bytes identical to the original;
+/// the rebuilt entry then serves clean hits.
+#[test]
+fn corrupt_entry_is_evicted_and_rebuilt_clean() {
+    let _g = suite_lock();
+    fault::disarm();
+    let dir = cache_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = CmosTransistor::nominal(CmosNode::N32);
+
+    let cold = TableStore::on_disk(&dir);
+    base.to_table_cached(&cold, Polarity::NType, 0.8)
+        .expect("cold build");
+    let files = entries(&dir);
+    assert_eq!(files.len(), 1);
+    let original = std::fs::read_to_string(&files[0]).expect("entry");
+
+    // A fresh handle forces the disk path; the armed site corrupts the
+    // read, which must evict and rebuild rather than serve a bad table.
+    fault::arm(FaultPlan::seeded(7).with_site(FAULT_SITE, 1.0));
+    telemetry::reset();
+    telemetry::arm();
+    let rebuilt = TableStore::on_disk(&dir);
+    let table = base.to_table_cached(&rebuilt, Polarity::NType, 0.8);
+    let injected = fault::injection_count(FAULT_SITE);
+    let snap = telemetry::snapshot();
+    telemetry::disarm();
+    fault::disarm();
+
+    let table = table.expect("corrupt entry must rebuild cleanly");
+    assert_eq!(injected, 1, "the corrupt-read fault fires exactly once");
+    assert_eq!(counter(&snap, "table_cache.evictions"), 1);
+    assert_eq!(counter(&snap, "table_cache.misses"), 1);
+    assert_eq!(counter(&snap, "table_cache.writes"), 1);
+    assert_eq!(counter(&snap, "table_cache.hits"), 0);
+    assert_eq!(
+        std::fs::read_to_string(&files[0]).expect("rewritten"),
+        original,
+        "the rebuilt entry must be byte-identical to the original"
+    );
+    assert_eq!(table.to_json().expect("canonical json"), original);
+
+    // With the injector disarmed the next fresh handle is a plain hit.
+    telemetry::reset();
+    telemetry::arm();
+    let again = TableStore::on_disk(&dir);
+    base.to_table_cached(&again, Polarity::NType, 0.8)
+        .expect("clean hit");
+    let snap = telemetry::snapshot();
+    telemetry::disarm();
+    assert_eq!(counter(&snap, "table_cache.hits"), 1);
+    assert_eq!(counter(&snap, "table_cache.evictions"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hit/miss counters — and the cached bytes — must not depend on the
+/// pool size: the store is consulted per request, not per worker, and the
+/// tables themselves are bit-deterministic.
+#[test]
+fn counters_and_bytes_are_pool_size_invariant() {
+    let _g = suite_lock();
+    fault::disarm();
+    let variants = [
+        DeviceVariant::nominal(),
+        DeviceVariant::width(9, ArrayScenario::OneOfFour),
+        DeviceVariant::charge(1.0, ArrayScenario::AllFour),
+    ];
+    let mut witness: Option<String> = None;
+    for threads in [1usize, 4] {
+        let store = Arc::new(TableStore::in_memory());
+        let ctx = ExecCtx::with_threads(threads);
+        telemetry::reset();
+        telemetry::arm();
+        // First library builds every variant (all misses)...
+        let mut builder = DeviceLibrary::with_store(Fidelity::Fast, Arc::clone(&store));
+        for v in variants {
+            builder.ntype_table(&ctx, v).expect("builds");
+        }
+        // ...a second library on the same store replays them (all hits).
+        let mut reader = DeviceLibrary::with_store(Fidelity::Fast, Arc::clone(&store));
+        for v in variants {
+            reader.ntype_table(&ctx, v).expect("hits");
+        }
+        let json = reader
+            .ntype_table(&ctx, DeviceVariant::nominal())
+            .expect("memoized")
+            .to_json()
+            .expect("canonical json");
+        let snap = telemetry::snapshot();
+        telemetry::disarm();
+        assert_eq!(
+            (
+                counter(&snap, "table_cache.misses"),
+                counter(&snap, "table_cache.hits"),
+            ),
+            (3, 3),
+            "{threads}-thread counters"
+        );
+        match &witness {
+            None => witness = Some(json),
+            Some(w) => assert_eq!(w, &json, "cached bytes must be pool-size invariant"),
+        }
+    }
+}
