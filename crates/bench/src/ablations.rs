@@ -226,6 +226,46 @@ fn device_table(h: &mut Harness) {
     }
 }
 
+/// Mode-space NEGF (DESIGN.md §15): the same bias-sweep table build as
+/// `device_table`, with the accelerated real-space path against the
+/// reduced mode-space path. The transform keeps only the transverse modes
+/// whose bands can reach the transport window, so every RGF block solve
+/// and Sancho–Rubio decimation runs on k x k instead of m x m blocks.
+/// Gate target: mode-space median >= 5x faster than the accelerated
+/// real-space build, with every I-V node within 1e-6 A (pinned by the
+/// gnr-device tests and the negf_vs_surrogate suite). Same N = 9 device
+/// as `device_table`, so the two ablations compose into one story:
+/// legacy -> cache+refine -> mode-space. Runs on the serial context so
+/// the ratio measures the solver algorithms, not pool dispatch: the
+/// reduced k x k blocks make each energy point so cheap that per-batch
+/// thread spawns would dominate the mode-space side of the comparison
+/// (`par_scaling` is the ablation that characterizes pool overhead).
+/// The bias grid is denser than `device_table`'s (4x4, the sweep regime
+/// both solver paths are built for) so the per-energy-point cost — where
+/// the k x k reduction lives — dominates the one-time per-build setup.
+fn mode_space(h: &mut Harness) {
+    use gnr_device::{ballistic_negf_table, NegfTableOptions};
+    let mut cfg = DeviceConfig::test_small(9).expect("valid");
+    cfg.channel_cells = 6;
+    let model = SbfetModel::new(&cfg).expect("builds");
+    let grid = TableGrid {
+        vgs: (0.0, 0.6),
+        vds: (0.05, 0.35),
+        points: 4,
+    };
+    let ctx = ExecCtx::serial();
+    for (label, opts) in [
+        ("real_space", NegfTableOptions::accelerated()),
+        ("mode_space", NegfTableOptions::mode_space()),
+    ] {
+        h.bench(SUITE, &format!("mode_space/{label}"), || {
+            black_box(
+                ballistic_negf_table(&ctx, &model, Polarity::NType, grid, 4, &opts).expect("table"),
+            )
+        });
+    }
+}
+
 /// Content-addressed table cache (DESIGN.md §14): a cold NEGF table
 /// build versus a warm store hit serving the same request from its
 /// canonical JSON. The warm path is one FNV-1a key, one map probe, and
@@ -429,6 +469,7 @@ pub fn register(h: &mut Harness) {
     scf_recovery(h);
     par_scaling(h);
     device_table(h);
+    mode_space(h);
     table_cache(h);
     sparse_mna(h);
 }

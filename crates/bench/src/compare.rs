@@ -3,20 +3,26 @@
 //!
 //! Policy (the CI perf gate):
 //!
-//! - **Fail** when a benchmark's median regresses by more than the timing
-//!   tolerance (default 25%).
+//! - **Fail** when a benchmark's best-case time (`min_ns`) regresses by
+//!   more than the timing tolerance (default 25%). The minimum is the
+//!   gate statistic because scheduler noise and hypervisor CPU steal only
+//!   ever *add* time: the fastest sample is the closest observation of
+//!   the code's true cost, so a real regression moves it while a noisy
+//!   neighbour on the host does not. (Baselines predating `min_ns` fall
+//!   back to the median.)
 //! - **Warn only** on telemetry counter drift (iteration counts moving is
 //!   a signal to investigate, not an automatic failure — convergence
 //!   changes are often intentional) and on added/removed benchmarks.
 //! - **Skip** (exit 0) when the baseline was recorded on different
-//!   hardware: wall-clock medians from another machine gate nothing.
+//!   hardware: wall-clock numbers from another machine gate nothing.
 
 use gnr_num::{Json, TelemetrySnapshot};
 
 /// Tolerances for one comparison.
 #[derive(Clone, Copy, Debug)]
 pub struct CompareOptions {
-    /// Allowed fractional median regression before failing (0.25 = +25%).
+    /// Allowed fractional timing regression before failing (0.25 = +25%),
+    /// measured on each benchmark's best-case (`min_ns`) sample.
     pub timing_tolerance: f64,
     /// Allowed fractional counter drift before warning (0.0 warns on any
     /// change).
@@ -97,7 +103,26 @@ fn host_tag(doc: &Json) -> Option<&str> {
     doc.get("host")?.get("hardware")?.as_str()
 }
 
-fn bench_entries(doc: &Json) -> Vec<(String, f64)> {
+/// Timing stats extracted from one benchmark record.
+#[derive(Clone, Copy, Debug)]
+struct BenchStat {
+    median_ns: f64,
+    /// Absent from baselines recorded before `min_ns` was emitted.
+    min_ns: Option<f64>,
+}
+
+impl BenchStat {
+    /// The value the gate compares, plus its label for messages: the
+    /// noise-robust minimum when available, the median otherwise.
+    fn gate_value(&self, other: &BenchStat) -> (f64, f64, &'static str) {
+        match (self.min_ns, other.min_ns) {
+            (Some(a), Some(b)) => (a, b, "min"),
+            _ => (self.median_ns, other.median_ns, "median"),
+        }
+    }
+}
+
+fn bench_entries(doc: &Json) -> Vec<(String, BenchStat)> {
     doc.get("benches")
         .and_then(Json::as_array)
         .map(|benches| {
@@ -106,8 +131,9 @@ fn bench_entries(doc: &Json) -> Vec<(String, f64)> {
                 .filter_map(|b| {
                     let suite = b.get("suite")?.as_str()?;
                     let name = b.get("name")?.as_str()?;
-                    let median = b.get("median_ns")?.as_f64()?;
-                    Some((format!("{suite}/{name}"), median))
+                    let median_ns = b.get("median_ns")?.as_f64()?;
+                    let min_ns = b.get("min_ns").and_then(Json::as_f64);
+                    Some((format!("{suite}/{name}"), BenchStat { median_ns, min_ns }))
                 })
                 .collect()
         })
@@ -134,23 +160,24 @@ pub fn compare(baseline: &Json, current: &Json, opts: CompareOptions) -> Compare
     }
     let base = bench_entries(baseline);
     let cur = bench_entries(current);
-    for (key, base_median) in &base {
-        let Some((_, cur_median)) = cur.iter().find(|(k, _)| k == key) else {
+    for (key, base_stat) in &base {
+        let Some((_, cur_stat)) = cur.iter().find(|(k, _)| k == key) else {
             report
                 .warnings
                 .push(format!("benchmark {key} missing from current run"));
             continue;
         };
         report.matched += 1;
-        if *base_median <= 0.0 {
+        let (base_t, cur_t, stat) = base_stat.gate_value(cur_stat);
+        if base_t <= 0.0 {
             continue;
         }
-        let change = (cur_median - base_median) / base_median;
+        let change = (cur_t - base_t) / base_t;
         if change > opts.timing_tolerance {
             report.failures.push(format!(
-                "{key}: median {:.0} ns -> {:.0} ns (+{:.1}%, tolerance {:.0}%)",
-                base_median,
-                cur_median,
+                "{key}: {stat} {:.0} ns -> {:.0} ns (+{:.1}%, tolerance {:.0}%)",
+                base_t,
+                cur_t,
                 change * 100.0,
                 opts.timing_tolerance * 100.0
             ));
@@ -193,21 +220,22 @@ pub fn compare(baseline: &Json, current: &Json, opts: CompareOptions) -> Compare
 mod tests {
     use super::*;
 
-    fn doc(hw: &str, median: f64, counter: u64) -> Json {
+    fn doc_with_min(hw: &str, median: f64, min: Option<f64>, counter: u64) -> Json {
+        let mut bench = vec![
+            ("suite".into(), Json::from("device")),
+            ("name".into(), Json::from("rgf")),
+            ("median_ns".into(), Json::Num(median)),
+        ];
+        if let Some(m) = min {
+            bench.push(("min_ns".into(), Json::Num(m)));
+        }
         Json::Obj(vec![
             ("schema".into(), Json::from("gnr-bench/v1")),
             (
                 "host".into(),
                 Json::Obj(vec![("hardware".into(), Json::from(hw))]),
             ),
-            (
-                "benches".into(),
-                Json::Arr(vec![Json::Obj(vec![
-                    ("suite".into(), Json::from("device")),
-                    ("name".into(), Json::from("rgf")),
-                    ("median_ns".into(), Json::Num(median)),
-                ])]),
-            ),
+            ("benches".into(), Json::Arr(vec![Json::Obj(bench)])),
             (
                 "telemetry".into(),
                 Json::Obj(vec![
@@ -223,6 +251,11 @@ mod tests {
                 ]),
             ),
         ])
+    }
+
+    /// Legacy-shaped document: median only, no `min_ns`.
+    fn doc(hw: &str, median: f64, counter: u64) -> Json {
+        doc_with_min(hw, median, None, counter)
     }
 
     #[test]
@@ -247,6 +280,32 @@ mod tests {
         assert!(!r.passed());
         assert_eq!(r.failures.len(), 1);
         assert!(r.failures[0].contains("device/rgf"));
+        // Median-only documents fall back to gating on the median.
+        assert!(r.failures[0].contains("median"));
+    }
+
+    /// Host noise (steal, scheduler) inflates the median but never the
+    /// minimum — the gate must stay green when the best case holds.
+    #[test]
+    fn noisy_median_with_stable_min_passes() {
+        let r = compare(
+            &doc_with_min("cpu x4", 100.0, Some(90.0), 10),
+            &doc_with_min("cpu x4", 180.0, Some(95.0), 10),
+            CompareOptions::default(),
+        );
+        assert!(r.passed(), "min within tolerance must gate green");
+        assert_eq!(r.matched, 1);
+    }
+
+    #[test]
+    fn min_regression_fails_even_with_flat_median() {
+        let r = compare(
+            &doc_with_min("cpu x4", 100.0, Some(60.0), 10),
+            &doc_with_min("cpu x4", 100.0, Some(90.0), 10),
+            CompareOptions::default(),
+        );
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("min"));
     }
 
     #[test]

@@ -45,7 +45,8 @@ OPTIONS:
 
 COMPARE MODE (the CI perf gate):
     Diffs a --json run against a checked-in baseline. Fails (exit 1) on a
-    median timing regression beyond --tolerance (default 0.25 = +25%),
+    best-case (min_ns) timing regression beyond --tolerance (default
+    0.25 = +25%; noise-robust — host interference only adds time),
     warns on telemetry counter drift and added/removed benchmarks, and
     skips (exit 0) when the baseline's hardware tag does not match this
     host. Set GNR_TELEMETRY=1 to embed solver counters in --json output.

@@ -42,7 +42,10 @@ use crate::monte_carlo::{
     characterize_stage_universe_resumable, monte_carlo_from_universe_resumable,
     monte_carlo_from_universe_streaming, McChunk, McRunOutcome, StageUniverse,
 };
-use gnr_device::TableStore;
+use gnr_device::table::TableGrid;
+use gnr_device::{
+    ballistic_negf_table, DeviceTable, NegfTableOptions, Polarity, TableKey, TableStore,
+};
 use gnr_num::budget::ExecLimits;
 use gnr_num::checkpoint::KeyHasher;
 use gnr_num::par::ExecCtx;
@@ -85,6 +88,21 @@ pub enum JobRequest {
         /// Ring-oscillator stage count.
         stages: usize,
     },
+    /// A ballistic NEGF device table at the library's fidelity, served
+    /// through the content-addressed store. The options select the solver
+    /// path (real-space vs mode-space RGF, grid, cache), and the cached
+    /// table records which path built it
+    /// ([`DeviceTable::solver_path`]).
+    NegfTable {
+        /// GNR index of the ribbon.
+        n: usize,
+        /// Bias grid to tabulate.
+        grid: TableGrid,
+        /// Identical parallel ribbons folded into the table.
+        ribbons: usize,
+        /// NEGF sweep options (energy grid, cache, mode-space reduction).
+        opts: NegfTableOptions,
+    },
 }
 
 impl JobRequest {
@@ -113,6 +131,16 @@ impl JobRequest {
         }
     }
 
+    /// A ballistic NEGF table job.
+    pub fn negf_table(n: usize, grid: TableGrid, ribbons: usize, opts: NegfTableOptions) -> Self {
+        JobRequest::NegfTable {
+            n,
+            grid,
+            ribbons,
+            opts,
+        }
+    }
+
     /// Attaches a checkpoint path (meaningful for [`JobRequest::McSweep`];
     /// a no-op for other job kinds).
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
@@ -132,6 +160,8 @@ pub enum JobOutput {
     McSweep(McRunOutcome),
     /// The design-space map.
     EdpContour(DesignSpaceMap),
+    /// The ballistic NEGF device table.
+    Table(Arc<DeviceTable>),
 }
 
 /// A completed job: its output plus the telemetry snapshot taken when it
@@ -167,6 +197,14 @@ impl JobResponse {
     pub fn contour(&self) -> Option<&DesignSpaceMap> {
         match &self.output {
             JobOutput::EdpContour(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The NEGF table payload, if this response carries one.
+    pub fn table(&self) -> Option<&DeviceTable> {
+        match &self.output {
+            JobOutput::Table(t) => Some(t),
             _ => None,
         }
     }
@@ -287,8 +325,41 @@ impl CharacterizationService {
                 &vt_axis,
                 stages,
             )?),
+            JobRequest::NegfTable {
+                n,
+                grid,
+                ribbons,
+                opts,
+            } => JobOutput::Table(Arc::new(self.negf_table(n, grid, ribbons, &opts)?)),
         };
         Ok(self.respond(output))
+    }
+
+    /// Builds (or serves from the store) the NEGF table for one request.
+    /// The canonical key covers the device geometry and every solver
+    /// option, mode-space fields included, so the two RGF paths never
+    /// alias each other's entries.
+    fn negf_table(
+        &mut self,
+        n: usize,
+        grid: TableGrid,
+        ribbons: usize,
+        opts: &NegfTableOptions,
+    ) -> Result<DeviceTable, ExploreError> {
+        let model = self.lib.model(n, 0.0)?;
+        let key = TableKey::new("service-negf/v1")
+            .field_str("fidelity", &format!("{:?}", self.lib.fidelity()))
+            .device(model.config())
+            .grid(&grid)
+            .polarity(Polarity::NType)
+            .ribbons(ribbons.max(1))
+            .negf(opts)
+            .finish();
+        let store = Arc::clone(self.lib.store());
+        let ctx = &self.ctx;
+        Ok(store.get_or_build(key, || {
+            ballistic_negf_table(ctx, &model, Polarity::NType, grid, ribbons, opts)
+        })?)
     }
 
     /// Runs an [`JobRequest::McSweep`] job with streaming delivery:

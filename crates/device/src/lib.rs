@@ -53,6 +53,7 @@ pub mod vt;
 
 pub use config::DeviceConfig;
 pub use error::DeviceError;
+pub use gnr_negf::mode_space::ModeSpaceOptions;
 pub use negf_table::{ballistic_negf_table, NegfTableOptions};
 pub use sbfet::SbfetModel;
 pub use scf::{ScfOptions, ScfResult, ScfSolver};

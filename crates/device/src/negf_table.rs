@@ -29,7 +29,10 @@ use crate::error::DeviceError;
 use crate::sbfet::SbfetModel;
 use crate::table::{DeviceTable, Polarity, TableGrid};
 use gnr_lattice::DeviceHamiltonian;
-use gnr_negf::transport::{integrate_transport_with, EnergyGrid, RefineOptions, TransportOptions};
+use gnr_negf::mode_space::{ModeBasis, ModeSpaceOptions, ModeSpaceSolver};
+use gnr_negf::transport::{
+    integrate_transport_with, EnergyGrid, RefineOptions, SpectralSolver, TransportOptions,
+};
 use gnr_negf::{Lead, RgfSolver, SurfaceGfCache};
 use gnr_num::par::ExecCtx;
 use gnr_num::Grid1;
@@ -47,6 +50,9 @@ pub struct NegfTableOptions {
     pub refine: Option<RefineOptions>,
     /// Serve lead self-energies from a sweep-wide [`SurfaceGfCache`].
     pub use_cache: bool,
+    /// Run the sweep through the reduced mode-space solver path
+    /// ([`ModeSpaceSolver`]); `None` keeps dense real-space RGF.
+    pub mode_space: Option<ModeSpaceOptions>,
 }
 
 impl NegfTableOptions {
@@ -58,6 +64,7 @@ impl NegfTableOptions {
             energy_pad_ev: 0.25,
             refine: None,
             use_cache: false,
+            mode_space: None,
         }
     }
 
@@ -76,6 +83,17 @@ impl NegfTableOptions {
                 ..RefineOptions::default()
             }),
             use_cache: true,
+            mode_space: None,
+        }
+    }
+
+    /// The mode-space path: the accelerated sweep run on reduced
+    /// transverse-mode blocks, with the separability monitor guarding the
+    /// transform (degraded devices transparently fall back to real-space).
+    pub fn mode_space() -> Self {
+        NegfTableOptions {
+            mode_space: Some(ModeSpaceOptions::default()),
+            ..NegfTableOptions::accelerated()
         }
     }
 
@@ -102,6 +120,22 @@ impl NegfTableOptions {
         self.use_cache = use_cache;
         self
     }
+
+    /// Sets (or clears) the mode-space solver path.
+    pub fn with_mode_space(mut self, mode_space: Option<ModeSpaceOptions>) -> Self {
+        self.mode_space = mode_space;
+        self
+    }
+
+    /// The provenance string recorded on tables built with these options
+    /// (see [`DeviceTable::solver_path`]).
+    pub fn solver_path(&self) -> &'static str {
+        if self.mode_space.is_some() {
+            "negf-mode-space"
+        } else {
+            "negf-real-space"
+        }
+    }
 }
 
 impl Default for NegfTableOptions {
@@ -125,6 +159,54 @@ fn profile_at(u: &[f64], dx_nm: f64, x_nm: f64) -> f64 {
     }
     let frac = s - i0 as f64;
     u[i0] * (1.0 - frac) + u[i0 + 1] * frac
+}
+
+/// Runs the frozen-potential transport sweep over the bias grid with one
+/// solver instance per node, in fixed row-major order. Generic over the
+/// solver path ([`RgfSolver`] or [`ModeSpaceSolver`]) so both share the
+/// exact bias/energy loop structure — and therefore the same determinism
+/// contract.
+#[allow(clippy::too_many_arguments)]
+fn sweep_grid<S, F>(
+    ctx: &ExecCtx,
+    gy: &Grid1,
+    points: usize,
+    gnr: gnr_lattice::AGnr,
+    cells: usize,
+    atom_pots: &[Vec<f64>],
+    energy_grid: &EnergyGrid,
+    topts: &TransportOptions,
+    temperature_k: f64,
+    scale: f64,
+    make_solver: F,
+) -> Result<(Vec<f64>, Vec<f64>), DeviceError>
+where
+    S: SpectralSolver + Sync,
+    F: Fn(&DeviceHamiltonian, f64) -> Result<S, DeviceError>,
+{
+    let mut id_vals = Vec::with_capacity(points * points);
+    let mut q_vals = Vec::with_capacity(points * points);
+    for i in 0..points {
+        for j in 0..points {
+            let vd = gy.point(j);
+            let atom_pot = &atom_pots[i * points + j];
+            let ham = DeviceHamiltonian::new(gnr, cells, atom_pot)?;
+            let solver = make_solver(&ham, vd)?;
+            let r = integrate_transport_with(
+                ctx,
+                &solver,
+                energy_grid,
+                topts,
+                0.0,
+                -vd,
+                temperature_k,
+                atom_pot,
+            )?;
+            id_vals.push(r.current_a * scale);
+            q_vals.push(r.charge.total() * gnr_num::consts::Q_E * scale);
+        }
+    }
+    Ok((id_vals, q_vals))
 }
 
 /// Builds a [`DeviceTable`] by ballistic NEGF transport at every bias node,
@@ -192,56 +274,125 @@ pub fn ballistic_negf_table(
         cache: cache.clone(),
     };
 
-    // Serial pre-indexing: prime every (slot, snapped-energy) base entry in
-    // fixed drain-bias order before the sweep. The lead blocks do not
-    // depend on the channel potential, so one representative Hamiltonian
-    // serves all gate voltages.
-    let zero_pot = vec![0.0; cells * m];
-    let rep_ham = DeviceHamiltonian::new(gnr, cells, &zero_pot)?;
-    if let Some(cache) = &cache {
+    // Freeze every bias node's channel potential up front (row-major), so
+    // the mode-space window pre-pass and the sweep see identical profiles.
+    let mut atom_pots: Vec<Vec<f64>> = Vec::with_capacity(grid.points * grid.points);
+    for i in 0..grid.points {
+        let vg = gx.point(i);
         for j in 0..grid.points {
-            let vd = gy.point(j);
-            let solver = RgfSolver::new(&rep_ham, Lead::gnr_contact(), Lead::gnr_contact_at(-vd));
-            solver.prime_surface_cache(ctx, cache, &base_energies)?;
+            let u = model.potential_profile(vg, gy.point(j));
+            atom_pots.push(
+                atom_x_nm
+                    .iter()
+                    .map(|&x| profile_at(&u, dx_nm, x))
+                    .collect(),
+            );
         }
     }
+
+    // Serial pre-indexing: prime every (slot, snapped-energy) base entry in
+    // fixed drain-bias order before the sweep. The lead blocks do not
+    // depend on the channel potential, so one representative (flat-band)
+    // Hamiltonian serves all gate voltages — and, on the mode-space path,
+    // is never degraded, so it primes the *reduced* lead entries.
+    let zero_pot = vec![0.0; cells * m];
+    let rep_ham = DeviceHamiltonian::new(gnr, cells, &zero_pot)?;
 
     // The sweep: bias points serial (the inner energy loop parallelizes on
     // ctx's pool; nesting pool dispatch is not supported), row-major order.
     let k = ribbons.max(1) as f64;
-    let mut id_vals = Vec::with_capacity(grid.points * grid.points);
-    let mut q_vals = Vec::with_capacity(grid.points * grid.points);
-    for i in 0..grid.points {
-        let vg = gx.point(i);
-        for j in 0..grid.points {
-            let vd = gy.point(j);
-            let u = model.potential_profile(vg, vd);
-            let atom_pot: Vec<f64> = atom_x_nm
-                .iter()
-                .map(|&x| profile_at(&u, dx_nm, x))
-                .collect();
-            let ham = DeviceHamiltonian::new(gnr, cells, &atom_pot)?;
-            let solver = RgfSolver::new(&ham, Lead::gnr_contact(), Lead::gnr_contact_at(-vd));
-            let r = integrate_transport_with(
+    let (id_vals, q_vals) = match &opts.mode_space {
+        Some(ms) => {
+            // Mode-selection window: a band at energy B under potential U
+            // appears at B + U, so covering E ∈ [lo, hi] for every swept
+            // potential U ∈ [u_min, u_max] needs B ∈ [lo − u_max, hi − u_min].
+            // The lead potentials 0 and −vd are folded in explicitly (the
+            // surrogate profile pins them at the faces anyway).
+            let (mut u_min, mut u_max) = (0.0f64, 0.0f64);
+            for &p in atom_pots.iter().flatten() {
+                u_min = u_min.min(p);
+                u_max = u_max.max(p);
+            }
+            for j in 0..grid.points {
+                u_min = u_min.min(-gy.point(j));
+                u_max = u_max.max(-gy.point(j));
+            }
+            let (lead_h00, lead_h01) = gnr_lattice::unit_cell_hamiltonian(gnr);
+            let basis = ModeBasis::build(&lead_h00, &lead_h01, lo - u_max, hi - u_min, ms)?;
+            if let Some(cache) = &cache {
+                for j in 0..grid.points {
+                    let vd = gy.point(j);
+                    let solver = ModeSpaceSolver::new(
+                        &rep_ham,
+                        Lead::gnr_contact(),
+                        Lead::gnr_contact_at(-vd),
+                        &basis,
+                        ms,
+                    )?;
+                    solver.prime_surface_cache(ctx, cache, &base_energies)?;
+                }
+            }
+            ctx.counter_add("device.negf_table.mode_space_modes", basis.modes() as u64);
+            sweep_grid(
                 ctx,
-                &solver,
+                &gy,
+                grid.points,
+                gnr,
+                cells,
+                &atom_pots,
                 &energy_grid,
                 &topts,
-                0.0,
-                -vd,
                 cfg.temperature_k,
-                &atom_pot,
-            )?;
-            id_vals.push(r.current_a * k);
-            q_vals.push(r.charge.total() * gnr_num::consts::Q_E * k);
+                k,
+                |ham, vd| {
+                    Ok(ModeSpaceSolver::new(
+                        ham,
+                        Lead::gnr_contact(),
+                        Lead::gnr_contact_at(-vd),
+                        &basis,
+                        ms,
+                    )?)
+                },
+            )?
         }
-    }
+        None => {
+            if let Some(cache) = &cache {
+                for j in 0..grid.points {
+                    let vd = gy.point(j);
+                    let solver =
+                        RgfSolver::new(&rep_ham, Lead::gnr_contact(), Lead::gnr_contact_at(-vd));
+                    solver.prime_surface_cache(ctx, cache, &base_energies)?;
+                }
+            }
+            sweep_grid(
+                ctx,
+                &gy,
+                grid.points,
+                gnr,
+                cells,
+                &atom_pots,
+                &energy_grid,
+                &topts,
+                cfg.temperature_k,
+                k,
+                |ham, vd| {
+                    Ok(RgfSolver::new(
+                        ham,
+                        Lead::gnr_contact(),
+                        Lead::gnr_contact_at(-vd),
+                    ))
+                },
+            )?
+        }
+    };
     ctx.counter_inc("device.negf_table.builds");
     ctx.counter_add(
         "device.negf_table.bias_points",
         (grid.points * grid.points) as u64,
     );
-    DeviceTable::from_node_values(grid, polarity, ribbons.max(1), id_vals, q_vals)
+    let mut table = DeviceTable::from_node_values(grid, polarity, ribbons.max(1), id_vals, q_vals)?;
+    table.set_solver_path(opts.solver_path());
+    Ok(table)
 }
 
 #[cfg(test)]
@@ -295,6 +446,45 @@ mod tests {
                 assert!(
                     (il - ia).abs() < 1e-6,
                     "I({vg}, {vd}): legacy {il:.6e} vs accelerated {ia:.6e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_space_matches_real_space_within_current_tolerance() {
+        let model = small_model();
+        let ctx = ExecCtx::serial();
+        let real = ballistic_negf_table(
+            &ctx,
+            &model,
+            Polarity::NType,
+            small_grid(),
+            1,
+            &NegfTableOptions::accelerated(),
+        )
+        .unwrap();
+        let ms = ballistic_negf_table(
+            &ctx,
+            &model,
+            Polarity::NType,
+            small_grid(),
+            1,
+            &NegfTableOptions::mode_space(),
+        )
+        .unwrap();
+        assert_eq!(real.solver_path(), "negf-real-space");
+        assert_eq!(ms.solver_path(), "negf-mode-space");
+        let (vgs, vds): (Vec<f64>, Vec<f64>) = {
+            let (a, b) = real.bias_nodes();
+            (a.collect(), b.collect())
+        };
+        for &vg in &vgs {
+            for &vd in &vds {
+                let (ir, im) = (real.current(vg, vd), ms.current(vg, vd));
+                assert!(
+                    (ir - im).abs() < 1e-6,
+                    "I({vg}, {vd}): real-space {ir:.6e} vs mode-space {im:.6e}"
                 );
             }
         }

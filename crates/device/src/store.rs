@@ -115,13 +115,23 @@ impl TableKey {
     }
 
     /// Mixes in the NEGF sweep options (the solver path: energy grid,
-    /// refinement, surface-GF cache).
+    /// refinement, surface-GF cache, mode-space reduction).
+    ///
+    /// The mode-space fields are appended only when the path is enabled,
+    /// so keys minted before mode-space existed are unchanged.
     pub fn negf(mut self, opts: &NegfTableOptions) -> Self {
         self.h.write_str("negf");
         self.h.write_f64(opts.energy_step_ev);
         self.h.write_f64(opts.energy_pad_ev);
         self.h.write_u64(u64::from(opts.use_cache));
         self = self.refine(opts.refine.as_ref());
+        if let Some(ms) = &opts.mode_space {
+            self.h.write_str("mode-space");
+            self.h.write_f64(ms.window_margin_ev);
+            self.h.write_f64(ms.coupling_tol_ev);
+            self.h.write_u64(ms.theta_samples as u64);
+            self.h.write_f64(ms.rank_tol);
+        }
         self
     }
 
@@ -386,6 +396,15 @@ mod tests {
                 .negf(&NegfTableOptions::accelerated())
                 .finish(),
             "solver path is part of the address"
+        );
+        assert_ne!(
+            TableKey::new("t")
+                .negf(&NegfTableOptions::accelerated())
+                .finish(),
+            TableKey::new("t")
+                .negf(&NegfTableOptions::mode_space())
+                .finish(),
+            "mode-space reduction is part of the address"
         );
     }
 

@@ -73,6 +73,10 @@ pub struct DeviceTable {
     /// V_T-engineering shift applied at lookup time \[V\] (positive shift
     /// raises the threshold).
     vg_shift: f64,
+    /// Provenance of the builder that produced the node values (e.g.
+    /// `"surrogate"`, `"negf-real-space"`, `"negf-mode-space"`, `"negf-scf"`);
+    /// recorded in the JSON form so cached tables identify their solver path.
+    solver_path: String,
 }
 
 impl DeviceTable {
@@ -142,6 +146,7 @@ impl DeviceTable {
             polarity,
             ribbons: 1,
             vg_shift: 0.0,
+            solver_path: "surrogate".into(),
         })
     }
 
@@ -205,6 +210,7 @@ impl DeviceTable {
             polarity,
             ribbons: models.len(),
             vg_shift: 0.0,
+            solver_path: "surrogate".into(),
         })
     }
 
@@ -238,6 +244,7 @@ impl DeviceTable {
             polarity,
             ribbons: ribbons.max(1),
             vg_shift: 0.0,
+            solver_path: "surrogate".into(),
         })
     }
 
@@ -309,6 +316,7 @@ impl DeviceTable {
         ctx.counter_add("device.table.warm_seeds", seeds);
         let mut t = Self::from_node_values(grid, polarity, ribbons, id_vals, q_vals)?;
         t.ribbons = ribbons;
+        t.solver_path = "negf-scf".into();
         Ok(t)
     }
 
@@ -336,6 +344,20 @@ impl DeviceTable {
     /// Number of parallel ribbons folded into the table.
     pub fn ribbons(&self) -> usize {
         self.ribbons
+    }
+
+    /// Which solver path produced the node values: `"surrogate"` for the
+    /// analytic SBFET model, `"negf-real-space"` / `"negf-mode-space"` for
+    /// the ballistic NEGF table builder, `"negf-scf"` for the rigorous
+    /// NEGF⇄Poisson sweep.
+    pub fn solver_path(&self) -> &str {
+        &self.solver_path
+    }
+
+    /// Stamps the builder provenance (crate-internal; tables default to
+    /// `"surrogate"`).
+    pub(crate) fn set_solver_path(&mut self, path: &str) {
+        self.solver_path = path.into();
     }
 
     /// The current V_T-engineering shift \[V\].
@@ -497,6 +519,7 @@ impl DeviceTable {
             polarity: self.polarity,
             ribbons: self.ribbons,
             vg_shift: self.vg_shift,
+            solver_path: self.solver_path.clone(),
         })
     }
 
@@ -537,6 +560,7 @@ impl DeviceTable {
             ),
             ("ribbons".into(), Json::from(self.ribbons)),
             ("vg_shift".into(), Json::Num(self.vg_shift)),
+            ("solver_path".into(), Json::from(self.solver_path.as_str())),
         ]);
         Ok(doc.dump())
     }
@@ -592,6 +616,12 @@ impl DeviceTable {
                 .get("vg_shift")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| bad("missing vg_shift"))?,
+            // Lenient for tables serialized before provenance existed.
+            solver_path: doc
+                .get("solver_path")
+                .and_then(Json::as_str)
+                .unwrap_or("surrogate")
+                .to_string(),
         })
     }
 }

@@ -190,12 +190,17 @@ pub fn surface_gf(
             return Ok(ges.inverse()?);
         }
         let g = (&eye_e - &eps).inverse()?;
-        let agb = alpha.matmul(&g).matmul(&beta);
-        let bga = beta.matmul(&g).matmul(&alpha);
-        eps_s = &eps_s + &agb;
-        eps = &(&eps + &agb) + &bga;
-        let new_alpha = alpha.matmul(&g).matmul(&alpha);
-        let new_beta = beta.matmul(&g).matmul(&beta);
+        // αg and βg each feed two products; computing them once halves the
+        // per-iteration matmul count without changing a single FP op.
+        let ag = alpha.matmul(&g);
+        let bg = beta.matmul(&g);
+        let agb = ag.matmul(&beta);
+        let bga = bg.matmul(&alpha);
+        eps_s += &agb;
+        eps += &agb;
+        eps += &bga;
+        let new_alpha = ag.matmul(&alpha);
+        let new_beta = bg.matmul(&beta);
         alpha = new_alpha;
         beta = new_beta;
     }

@@ -45,14 +45,16 @@
 pub mod cache;
 pub mod error;
 pub mod lead;
+pub mod mode_space;
 pub mod rgf;
 pub mod transport;
 
 pub use cache::{LeadSlot, SurfaceGfCache};
 pub use error::NegfError;
 pub use lead::Lead;
+pub use mode_space::{ModeBasis, ModeSpaceOptions, ModeSpaceSolver};
 pub use rgf::RgfSolver;
 pub use transport::{
     integrate_transport, integrate_transport_frozen, integrate_transport_with, ChargeProfile,
-    EnergyGrid, RefineOptions, TransportOptions, TransportResult,
+    EnergyGrid, RefineOptions, SpectralSolver, TransportOptions, TransportResult,
 };

@@ -51,6 +51,41 @@ impl SpectralSlice {
     }
 }
 
+/// Full per-layer spectral blocks resolved by the RGF sweeps — the matrix
+/// form of [`SpectralSlice`], needed when the solve runs in a transformed
+/// basis and the diagonals only become physical after rotating back.
+#[derive(Clone, Debug)]
+pub(crate) struct SpectralBlocks {
+    pub(crate) energy: f64,
+    pub(crate) transmission: f64,
+    /// Per-layer source-injected spectral blocks `A₁(l) = G_{l,0}Γ₁G_{l,0}†`.
+    pub(crate) a1: Vec<CMatrix>,
+    /// Per-layer drain-injected spectral blocks `A₂(l)`.
+    pub(crate) a2: Vec<CMatrix>,
+}
+
+impl SpectralBlocks {
+    /// Collapses the blocks to their clamped real diagonals — the same
+    /// arithmetic (and bit pattern) as the direct diagonal assembly.
+    pub(crate) fn into_slice(self) -> SpectralSlice {
+        let m = self.a1.first().map_or(0, CMatrix::rows);
+        let mut a1_diag = Vec::with_capacity(self.a1.len() * m);
+        let mut a2_diag = Vec::with_capacity(self.a2.len() * m);
+        for (a1, a2) in self.a1.iter().zip(&self.a2) {
+            for i in 0..m {
+                a1_diag.push(a1.get(i, i).re.max(0.0));
+                a2_diag.push(a2.get(i, i).re.max(0.0));
+            }
+        }
+        SpectralSlice {
+            energy: self.energy,
+            transmission: self.transmission,
+            a1_diag,
+            a2_diag,
+        }
+    }
+}
+
 /// Recursive Green's-function solver bound to one device Hamiltonian and a
 /// pair of contact models.
 #[derive(Clone, Debug)]
@@ -81,6 +116,30 @@ impl RgfSolver {
         }
     }
 
+    /// Binds a solver to explicit blocks — the hook the mode-space path
+    /// uses to run the identical RGF/Sancho–Rubio machinery on reduced
+    /// (basis-transformed) blocks. `diag` holds one square block per
+    /// layer, `h01` the inter-layer coupling, and `lead_h00`/`lead_h01`
+    /// the periodic lead cell in the same basis.
+    pub(crate) fn from_blocks(
+        diag: Vec<CMatrix>,
+        h01: CMatrix,
+        lead1: Lead,
+        lead2: Lead,
+        lead_h00: CMatrix,
+        lead_h01: CMatrix,
+    ) -> Self {
+        RgfSolver {
+            h10: h01.adjoint(),
+            diag,
+            h01,
+            lead1,
+            lead2,
+            lead_h00,
+            lead_h01,
+        }
+    }
+
     /// Number of layers.
     pub fn layers(&self) -> usize {
         self.diag.len()
@@ -91,7 +150,7 @@ impl RgfSolver {
         self.h01.rows()
     }
 
-    fn contact_self_energies(
+    pub(crate) fn contact_self_energies(
         &self,
         e: f64,
         limits: &ExecLimits,
@@ -350,6 +409,20 @@ impl RgfSolver {
         sigma1: &CMatrix,
         sigma2: &CMatrix,
     ) -> Result<SpectralSlice, NegfError> {
+        Ok(self
+            .spectral_blocks_with_sigmas(e, sigma1, sigma2)?
+            .into_slice())
+    }
+
+    /// The full-block core of the RGF solve: identical sweeps to
+    /// [`Self::spectral_slice_with_sigmas`], but keeping the per-layer
+    /// spectral matrices instead of collapsing to diagonals.
+    pub(crate) fn spectral_blocks_with_sigmas(
+        &self,
+        e: f64,
+        sigma1: &CMatrix,
+        sigma2: &CMatrix,
+    ) -> Result<SpectralBlocks, NegfError> {
         telemetry::counter_inc("negf.rgf.calls");
         telemetry::counter_add("negf.rgf.sweeps", 2);
         let m = self.layer_dim();
@@ -358,7 +431,8 @@ impl RgfSolver {
         let gamma1 = broadening(sigma1);
         let gamma2 = broadening(sigma2);
 
-        // D_l blocks.
+        // D_l blocks, built once per energy and shared by both sweeps (the
+        // sweeps subtract their connection corrections into a copy).
         let d_block = |l: usize| -> CMatrix {
             let mut d = CMatrix::from_fn(m, m, |i, j| -self.diag[l].get(i, j));
             for i in 0..m {
@@ -380,25 +454,26 @@ impl RgfSolver {
             }
             d
         };
+        let d_blocks: Vec<CMatrix> = (0..nl).map(d_block).collect();
 
         // Left-connected sweep: gl[l] includes everything to the left.
         let mut gl: Vec<CMatrix> = Vec::with_capacity(nl);
-        for l in 0..nl {
-            let mut d = d_block(l);
+        for (l, d_l) in d_blocks.iter().enumerate() {
+            let mut d = d_l.clone();
             if l > 0 {
                 // D_l - H10 gl[l-1] H01
                 let corr = self.h10.matmul(&gl[l - 1]).matmul(&self.h01);
-                d = &d - &corr;
+                d -= &corr;
             }
             gl.push(d.inverse()?);
         }
         // Right-connected sweep.
         let mut gr: Vec<CMatrix> = vec![CMatrix::zeros(0, 0); nl];
         for l in (0..nl).rev() {
-            let mut d = d_block(l);
+            let mut d = d_blocks[l].clone();
             if l + 1 < nl {
                 let corr = self.h01.matmul(&gr[l + 1]).matmul(&self.h10);
-                d = &d - &corr;
+                d -= &corr;
             }
             gr[l] = d.inverse()?;
         }
@@ -426,23 +501,19 @@ impl RgfSolver {
         let t_matrix = gamma2.matmul(g_n0).matmul(&gamma1).matmul(&g_n0.adjoint());
         let transmission = t_matrix.trace().re.max(0.0);
 
-        // Spectral function diagonals: A1(l) = G_{l,0} Γ1 G_{l,0}†,
+        // Spectral function blocks: A1(l) = G_{l,0} Γ1 G_{l,0}†,
         // A2(l) = G_{l,L-1} Γ2 G_{l,L-1}†.
-        let mut a1_diag = Vec::with_capacity(nl * m);
-        let mut a2_diag = Vec::with_capacity(nl * m);
+        let mut a1 = Vec::with_capacity(nl);
+        let mut a2 = Vec::with_capacity(nl);
         for l in 0..nl {
-            let a1 = g_col1[l].matmul(&gamma1).matmul(&g_col1[l].adjoint());
-            let a2 = g_coln[l].matmul(&gamma2).matmul(&g_coln[l].adjoint());
-            for i in 0..m {
-                a1_diag.push(a1.get(i, i).re.max(0.0));
-                a2_diag.push(a2.get(i, i).re.max(0.0));
-            }
+            a1.push(g_col1[l].matmul(&gamma1).matmul(&g_col1[l].adjoint()));
+            a2.push(g_coln[l].matmul(&gamma2).matmul(&g_coln[l].adjoint()));
         }
-        Ok(SpectralSlice {
+        Ok(SpectralBlocks {
             energy: e,
             transmission,
-            a1_diag,
-            a2_diag,
+            a1,
+            a2,
         })
     }
 

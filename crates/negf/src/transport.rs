@@ -14,13 +14,94 @@
 
 use crate::cache::SurfaceGfCache;
 use crate::error::NegfError;
-use crate::rgf::RgfSolver;
+use crate::rgf::{RgfSolver, SpectralSlice};
+use gnr_num::budget::ExecLimits;
 use gnr_num::consts::LANDAUER_2E_OVER_H;
 use gnr_num::fermi::fermi;
 use gnr_num::par::ExecCtx;
 use gnr_num::quad::trapezoid_samples;
 use gnr_num::TelemetryShard;
 use std::sync::Arc;
+
+/// A per-energy spectral-function source the transport integrators can
+/// drive: the dense real-space [`RgfSolver`] and the reduced
+/// [`ModeSpaceSolver`](crate::mode_space::ModeSpaceSolver) both implement
+/// it, so the Landauer integration, adaptive refinement, and surface-GF
+/// cache plumbing are shared verbatim between the solver paths.
+///
+/// Contract: [`spectral_slice`](SpectralSolver::spectral_slice) and
+/// [`spectral_slice_cached`](SpectralSolver::spectral_slice_cached) must
+/// return diagonals with exactly [`atoms`](SpectralSolver::atoms) entries,
+/// and every implementation must be deterministic per energy point — the
+/// integrators' ordered merges then keep results bit-identical for any
+/// `GNR_THREADS`.
+pub trait SpectralSolver {
+    /// Number of atoms (diagonal entries) in the device.
+    fn atoms(&self) -> usize;
+
+    /// Serially pre-indexes and solves the not-yet-cached surface-GF
+    /// entries for `energies` (see [`RgfSolver::prime_surface_cache`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-GF convergence failures and budget stops.
+    fn prime_surface_cache(
+        &self,
+        ctx: &ExecCtx,
+        cache: &SurfaceGfCache,
+        energies: &[f64],
+    ) -> Result<usize, NegfError>;
+
+    /// Transmission and spectral-function diagonals at energy `e`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures and budget stops.
+    fn spectral_slice(&self, e: f64, limits: &ExecLimits) -> Result<SpectralSlice, NegfError>;
+
+    /// As [`spectral_slice`](SpectralSolver::spectral_slice), with lead
+    /// self-energies served through `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lead and linear-algebra failures and budget stops.
+    fn spectral_slice_cached(
+        &self,
+        e: f64,
+        cache: &SurfaceGfCache,
+        shard: &mut TelemetryShard,
+        limits: &ExecLimits,
+    ) -> Result<SpectralSlice, NegfError>;
+}
+
+impl SpectralSolver for RgfSolver {
+    fn atoms(&self) -> usize {
+        self.layers() * self.layer_dim()
+    }
+
+    fn prime_surface_cache(
+        &self,
+        ctx: &ExecCtx,
+        cache: &SurfaceGfCache,
+        energies: &[f64],
+    ) -> Result<usize, NegfError> {
+        RgfSolver::prime_surface_cache(self, ctx, cache, energies)
+    }
+
+    fn spectral_slice(&self, e: f64, limits: &ExecLimits) -> Result<SpectralSlice, NegfError> {
+        RgfSolver::spectral_slice(self, e, limits)
+    }
+
+    fn spectral_slice_cached(
+        &self,
+        e: f64,
+        cache: &SurfaceGfCache,
+        shard: &mut TelemetryShard,
+        limits: &ExecLimits,
+    ) -> Result<SpectralSlice, NegfError> {
+        RgfSolver::spectral_slice_cached(self, e, cache, shard, limits)
+    }
+}
 
 /// A uniform energy grid for transport integrals (eV).
 #[derive(Clone, Debug, PartialEq)]
@@ -170,16 +251,16 @@ struct EnergySample {
 ///
 /// Propagates RGF failures, and returns [`NegfError::Config`] if
 /// `neutral_ev` has the wrong length.
-pub fn integrate_transport(
+pub fn integrate_transport<S: SpectralSolver + Sync>(
     ctx: &ExecCtx,
-    solver: &RgfSolver,
+    solver: &S,
     grid: &EnergyGrid,
     mu1: f64,
     mu2: f64,
     t_kelvin: f64,
     neutral_ev: &[f64],
 ) -> Result<TransportResult, NegfError> {
-    let atoms = solver.layers() * solver.layer_dim();
+    let atoms = solver.atoms();
     if neutral_ev.len() != atoms {
         return Err(NegfError::Config {
             detail: format!(
@@ -332,9 +413,9 @@ impl TransportOptions {
 /// through the surface-GF cache. Shards ride inside the samples and are
 /// merged by the caller in batch order.
 #[allow(clippy::too_many_arguments)]
-fn eval_samples(
+fn eval_samples<S: SpectralSolver + Sync>(
     ctx: &ExecCtx,
-    solver: &RgfSolver,
+    solver: &S,
     energies: &[f64],
     cache: Option<&SurfaceGfCache>,
     mu1: f64,
@@ -408,9 +489,9 @@ fn merge_by_energy(a: Vec<EnergySample>, b: Vec<EnergySample>) -> Vec<EnergySamp
 /// Propagates RGF failures, and returns [`NegfError::Config`] if
 /// `neutral_ev` has the wrong length.
 #[allow(clippy::too_many_arguments)]
-pub fn integrate_transport_with(
+pub fn integrate_transport_with<S: SpectralSolver + Sync>(
     ctx: &ExecCtx,
-    solver: &RgfSolver,
+    solver: &S,
     grid: &EnergyGrid,
     opts: &TransportOptions,
     mu1: f64,
@@ -421,7 +502,7 @@ pub fn integrate_transport_with(
     if opts.refine.is_none() && opts.cache.is_none() {
         return integrate_transport(ctx, solver, grid, mu1, mu2, t_kelvin, neutral_ev);
     }
-    let atoms = solver.layers() * solver.layer_dim();
+    let atoms = solver.atoms();
     if neutral_ev.len() != atoms {
         return Err(NegfError::Config {
             detail: format!(
@@ -547,9 +628,9 @@ fn merge_samples(
 /// Propagates RGF failures; returns [`NegfError::Config`] for an empty or
 /// unsorted energy list, or a wrong-length `neutral_ev`.
 #[allow(clippy::too_many_arguments)]
-pub fn integrate_transport_frozen(
+pub fn integrate_transport_frozen<S: SpectralSolver + Sync>(
     ctx: &ExecCtx,
-    solver: &RgfSolver,
+    solver: &S,
     energies: &[f64],
     opts: &TransportOptions,
     mu1: f64,
@@ -557,7 +638,7 @@ pub fn integrate_transport_frozen(
     t_kelvin: f64,
     neutral_ev: &[f64],
 ) -> Result<TransportResult, NegfError> {
-    let atoms = solver.layers() * solver.layer_dim();
+    let atoms = solver.atoms();
     if neutral_ev.len() != atoms {
         return Err(NegfError::Config {
             detail: format!(

@@ -8,7 +8,7 @@ use crate::complex::{c64, Complex64};
 use crate::dense::Matrix;
 use crate::error::{NumError, NumResult};
 use std::fmt;
-use std::ops::{Add, Mul, Sub};
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
 /// A dense, row-major complex matrix.
 ///
@@ -291,10 +291,11 @@ impl CMatrix {
         let n = self.rows;
         let mut out = CMatrix::zeros(n, n);
         let mut e = vec![Complex64::ZERO; n];
+        let mut col = vec![Complex64::ZERO; n];
         for j in 0..n {
             e.fill(Complex64::ZERO);
             e[j] = Complex64::ONE;
-            let col = f.solve(&e);
+            f.solve_into(&e, &mut col);
             for (i, &v) in col.iter().enumerate() {
                 out.set(i, j, v);
             }
@@ -319,11 +320,12 @@ impl CMatrix {
         let n = self.rows;
         let mut out = CMatrix::zeros(n, b.cols);
         let mut col = vec![Complex64::ZERO; n];
+        let mut x = vec![Complex64::ZERO; n];
         for j in 0..b.cols {
             for (i, ci) in col.iter_mut().enumerate() {
                 *ci = b.get(i, j);
             }
-            let x = f.solve(&col);
+            f.solve_into(&col, &mut x);
             for (i, &v) in x.iter().enumerate() {
                 out.set(i, j, v);
             }
@@ -448,6 +450,28 @@ impl Mul for &CMatrix {
     }
 }
 
+impl AddAssign<&CMatrix> for CMatrix {
+    /// Elementwise `self += rhs` — the same operations (and bit patterns)
+    /// as `&self + rhs`, without allocating the result.
+    fn add_assign(&mut self, rhs: &CMatrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += *b;
+        }
+    }
+}
+
+impl SubAssign<&CMatrix> for CMatrix {
+    /// Elementwise `self -= rhs` — the same operations (and bit patterns)
+    /// as `&self - rhs`, without allocating the result.
+    fn sub_assign(&mut self, rhs: &CMatrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= *b;
+        }
+    }
+}
+
 /// LU factors of a complex matrix, reusable for multiple right-hand sides.
 #[derive(Clone, Debug)]
 pub struct CLuFactors {
@@ -463,9 +487,27 @@ impl CLuFactors {
     ///
     /// Panics if `b.len()` does not match the factored dimension.
     pub fn solve(&self, b: &[Complex64]) -> Vec<Complex64> {
+        let mut x = vec![Complex64::ZERO; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// [`Self::solve`] into a caller-provided buffer — identical
+    /// substitution arithmetic, no allocation. The hot RGF and decimation
+    /// loops invert many small blocks; reusing one scratch vector keeps
+    /// those column solves off the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` does not match the factored
+    /// dimension.
+    pub fn solve_into(&self, b: &[Complex64], x: &mut [Complex64]) {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(x.len(), self.n, "solution length mismatch");
         let n = self.n;
-        let mut x: Vec<Complex64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for i in 1..n {
             let mut acc = x[i];
             for (j, &xj) in x.iter().enumerate().take(i) {
@@ -480,7 +522,6 @@ impl CLuFactors {
             }
             x[i] = acc / self.lu[i * n + i];
         }
-        x
     }
 }
 

@@ -36,6 +36,7 @@ pub const REGISTERED_SITES: &[&str] = &[
     "linear",
     "characterize",
     "negf.surface_cache",
+    "negf.mode_space.fallback",
     "checkpoint.corrupt",
     "budget.spurious_expiry",
     "table_cache.corrupt",

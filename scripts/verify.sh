@@ -5,26 +5,33 @@
 # runs with --offline: a network-isolated container must pass this script
 # unmodified.
 #
-# Usage: scripts/verify.sh [--tier N]
-#   --tier 1   build + full test suite (both thread counts)
-#   --tier 2   tier 1 plus the fault-injection suite, scaling ablation,
-#              and lints (fmt + clippy -D warnings)
-#   default    all tiers
+# Usage: scripts/verify.sh [--tier N] [--skip-lint]
+#   --tier 1     build + full test suite (both thread counts)
+#   --tier 2     tier 1 plus the fault-injection suite, scaling ablation,
+#                and lints (fmt + clippy -D warnings)
+#   --skip-lint  omit the fmt/clippy steps (CI runs them in a dedicated
+#                `lint` job, so the verify tiers must not duplicate them)
+#   default      all tiers
 #
-# CI runs `--tier 1` on every push and `--tier 2` on PRs; pre-commit runs
-# default to everything. The bench perf gate lives in scripts/bench_gate.sh.
+# CI runs `--tier 1` on every push and `--tier 2 --skip-lint` on PRs;
+# pre-commit runs default to everything. The bench perf gate lives in
+# scripts/bench_gate.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TIER=all
+SKIP_LINT=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --tier)
       shift
       TIER="${1:?--tier needs a value}"
       ;;
+    --skip-lint)
+      SKIP_LINT=1
+      ;;
     *)
-      echo "usage: scripts/verify.sh [--tier 1|2]" >&2
+      echo "usage: scripts/verify.sh [--tier 1|2] [--skip-lint]" >&2
       exit 2
       ;;
   esac
@@ -49,13 +56,15 @@ GNR_THREADS=4 cargo test --workspace -q --offline
 
 # The workspace pass above already runs these, but they are the named
 # gate for the transport acceleration layer (DESIGN.md §11): physics
-# goldens, transport invariants on both solver paths, and the surface-GF
+# goldens, transport invariants on every solver path, and the surface-GF
 # cache determinism/fallback contract. sparse_mna (DESIGN.md §12) pins
-# the sparse MNA backend against the legacy dense path.
+# the sparse MNA backend against the legacy dense path; mode_space
+# (DESIGN.md §15) pins the reduced transform's algebra, fallback
+# bit-identity, and pool-size determinism.
 echo "== tier-1: acceleration-layer conformance suites (GNR_THREADS=4) =="
 GNR_THREADS=4 cargo test -q --offline \
   --test physics_conformance --test transport_invariants --test surface_cache \
-  --test sparse_mna
+  --test sparse_mna --test mode_space
 
 # Budgeted-execution acceptance gate (DESIGN.md §13): cancel / checkpoint /
 # resume bit-identity with the §4 pins intact, partial results on budget
@@ -93,10 +102,14 @@ cargo test --release --offline --test chaos_soak -- --nocapture
 echo "== tier-2: par_scaling ablation (serial vs 4-thread table build) =="
 cargo run -p gnr-bench --release --offline -- --suite ablations --filter par_scaling --quick
 
-echo "== tier-2: cargo fmt --check =="
-cargo fmt --check
+if [ "$SKIP_LINT" = "1" ]; then
+  echo "== tier-2: lints skipped (--skip-lint; CI's lint job owns them) =="
+else
+  echo "== tier-2: cargo fmt --check =="
+  cargo fmt --check
 
-echo "== tier-2: cargo clippy -D warnings (offline) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+  echo "== tier-2: cargo clippy -D warnings (offline) =="
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
 
 echo "verify: all checks passed"

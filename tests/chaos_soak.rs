@@ -156,7 +156,40 @@ fn soak_site(site: &'static str) -> Vec<String> {
         );
     }
 
-    // 6. Content-addressed table store under disk-read injection: each
+    // 6. Mode-space NEGF table under fallback injection: every armed
+    //    probe reroutes that energy point through the fresh real-space
+    //    solve, so the build must still land (within the conformance the
+    //    gnr-device tests pin) — never panic or corrupt the table.
+    if site == gnrlab::negf::mode_space::FALLBACK_SITE {
+        use gnrlab::device::table::TableGrid;
+        use gnrlab::device::{ballistic_negf_table, NegfTableOptions, SbfetModel};
+        let mut cfg = DeviceConfig::test_small(9).expect("valid test config");
+        cfg.channel_cells = 6;
+        let grid = TableGrid {
+            vgs: (0.0, 0.5),
+            vds: (0.05, 0.35),
+            points: 2,
+        };
+        note(
+            "mode-space-table",
+            SbfetModel::new(&cfg)
+                .map_err(|e| e.to_string())
+                .and_then(|model| {
+                    ballistic_negf_table(
+                        &ExecCtx::serial(),
+                        &model,
+                        Polarity::NType,
+                        grid,
+                        1,
+                        &NegfTableOptions::mode_space(),
+                    )
+                    .map(|t| format!("solver_path = {}", t.solver_path()))
+                    .map_err(|e| e.to_string())
+                }),
+        );
+    }
+
+    // 7. Content-addressed table store under disk-read injection: each
     //    re-read probes the corrupt-entry site and must either serve the
     //    clean entry or evict and rebuild — never surface a bad table.
     if site == gnrlab::device::store::FAULT_SITE {

@@ -10,7 +10,11 @@
 //! point count, so the surrogate agreement is pinned for whichever grid a
 //! caller picks.
 
-use gnrlab::device::{DeviceConfig, SbfetModel, ScfOptions, ScfSolver};
+use gnrlab::device::table::TableGrid;
+use gnrlab::device::{
+    ballistic_negf_table, DeviceConfig, NegfTableOptions, Polarity, SbfetModel, ScfOptions,
+    ScfSolver,
+};
 use gnrlab::num::par::ExecCtx;
 
 fn small_device() -> DeviceConfig {
@@ -94,6 +98,56 @@ fn barrier_profiles_agree_qualitatively() {
             (mid_negf - mid_sur).abs() < 0.15,
             "mid-channel on the {grid} grid: negf {mid_negf:.3} vs surrogate {mid_sur:.3}"
         );
+    }
+}
+
+/// The third solver path: a ballistic table built through the reduced
+/// mode-space transform must conform to the real-space build within the
+/// 1e-6 A acceptance bound at every bias node, with both tables carrying
+/// their provenance (DESIGN.md §15).
+#[test]
+fn mode_space_table_conforms_to_real_space_within_1e6_a() {
+    let mut cfg = DeviceConfig::test_small(9).expect("valid index");
+    cfg.channel_cells = 6;
+    let model = SbfetModel::new(&cfg).unwrap();
+    let grid = TableGrid {
+        vgs: (0.0, 0.6),
+        vds: (0.05, 0.35),
+        points: 3,
+    };
+    let ctx = ExecCtx::serial();
+    let real = ballistic_negf_table(
+        &ctx,
+        &model,
+        Polarity::NType,
+        grid,
+        1,
+        &NegfTableOptions::accelerated(),
+    )
+    .unwrap();
+    let mode = ballistic_negf_table(
+        &ctx,
+        &model,
+        Polarity::NType,
+        grid,
+        1,
+        &NegfTableOptions::mode_space(),
+    )
+    .unwrap();
+    assert_eq!(real.solver_path(), "negf-real-space");
+    assert_eq!(mode.solver_path(), "negf-mode-space");
+    let (vgs, vds): (Vec<f64>, Vec<f64>) = {
+        let (a, b) = real.bias_nodes();
+        (a.collect(), b.collect())
+    };
+    for &vg in &vgs {
+        for &vd in &vds {
+            let (ir, im) = (real.current(vg, vd), mode.current(vg, vd));
+            assert!(
+                (ir - im).abs() < 1e-6,
+                "I({vg}, {vd}): real-space {ir:.6e} vs mode-space {im:.6e}"
+            );
+        }
     }
 }
 

@@ -209,6 +209,75 @@ fn cancelled_streaming_sweep_resumes_bit_identically_on_serial_and_parallel_pool
     }
 }
 
+/// NEGF table jobs flow through the content-addressed store: the first
+/// submission builds (one store miss), the repeat is served warm with the
+/// identical bytes, and the cached table records which solver path built
+/// it — the two RGF paths never alias each other's entries.
+#[test]
+fn negf_table_jobs_record_solver_path_and_hit_the_store() {
+    use gnrlab::device::table::TableGrid;
+    use gnrlab::device::NegfTableOptions;
+    let _g = suite_lock();
+    fault::disarm();
+    let lib = DeviceLibrary::new(Fidelity::Fast);
+    let mut service = CharacterizationService::with_library(ExecCtx::serial(), lib);
+    let grid = TableGrid {
+        vgs: (0.0, 0.5),
+        vds: (0.05, 0.35),
+        points: 3,
+    };
+    let request = || JobRequest::negf_table(7, grid, 1, NegfTableOptions::mode_space());
+
+    // The embedded telemetry accumulates from `arm`, so re-arming between
+    // submissions isolates each job's store traffic.
+    telemetry::reset();
+    telemetry::arm();
+    let first = service.submit(request()).expect("cold build");
+    telemetry::reset();
+    let second = service.submit(request()).expect("warm hit");
+    telemetry::reset();
+    let real = service
+        .submit(JobRequest::negf_table(
+            7,
+            grid,
+            1,
+            NegfTableOptions::accelerated(),
+        ))
+        .expect("real-space build");
+    telemetry::disarm();
+
+    let t1 = first.table().expect("table payload");
+    let t2 = second.table().expect("table payload");
+    assert_eq!(t1.solver_path(), "negf-mode-space", "provenance recorded");
+    assert_eq!(
+        t1.to_json().expect("serializes"),
+        t2.to_json().expect("serializes"),
+        "warm hit must serve the cold build's bytes"
+    );
+    assert_eq!(
+        first.telemetry.counter("table_cache.misses"),
+        Some(1),
+        "cold submission builds exactly once"
+    );
+    assert!(
+        second.telemetry.counter("table_cache.hits") >= Some(1),
+        "repeat submission must be served from the store"
+    );
+    assert_eq!(
+        second.telemetry.counter("table_cache.misses").unwrap_or(0),
+        0,
+        "repeat submission must not rebuild"
+    );
+    // The mode-space entry must not be served for the real-space request.
+    let t3 = real.table().expect("table payload");
+    assert_eq!(t3.solver_path(), "negf-real-space");
+    assert_eq!(
+        real.telemetry.counter("table_cache.misses"),
+        Some(1),
+        "a different solver path is a different key"
+    );
+}
+
 /// A tripped budget drains the queue FIFO as typed errors without
 /// touching the solvers; fresh limits restore admission.
 #[test]

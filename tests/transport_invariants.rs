@@ -1,17 +1,19 @@
 //! Property-style transport invariants on seeded random devices, checked
-//! against BOTH solver paths — the legacy fresh-Sancho–Rubio route and the
-//! cached/adaptive acceleration layer (DESIGN.md §11) — so the fast path
-//! can never drift from the physics the slow path pins:
+//! against EVERY solver path — the legacy fresh-Sancho–Rubio route, the
+//! cached/adaptive acceleration layer (DESIGN.md §11), and the reduced
+//! mode-space transform (DESIGN.md §15) — so no fast path can drift from
+//! the physics the slow path pins:
 //!
 //! * `0 ≤ T(E) ≤` number of propagating lead modes at `E`;
 //! * zero bias window (`μ₁ = μ₂`) carries exactly zero current;
 //! * swapping the contact Fermi levels reverses the current;
 //! * mirroring the device along transport leaves `T(E)` unchanged.
 
-use gnrlab::lattice::{AGnr, DeviceHamiltonian};
-use gnrlab::negf::transport::{EnergyGrid, RefineOptions, TransportOptions};
+use gnrlab::lattice::{unit_cell_hamiltonian, AGnr, DeviceHamiltonian};
+use gnrlab::negf::transport::{EnergyGrid, RefineOptions, SpectralSolver, TransportOptions};
 use gnrlab::negf::{
-    integrate_transport, integrate_transport_with, Lead, RgfSolver, SurfaceGfCache,
+    integrate_transport, integrate_transport_with, Lead, ModeBasis, ModeSpaceOptions,
+    ModeSpaceSolver, RgfSolver, SurfaceGfCache,
 };
 use gnrlab::num::par::ExecCtx;
 use gnrlab::num::{Rng, Telemetry, TelemetryShard};
@@ -36,6 +38,16 @@ fn random_layer_potential(rng: &mut Rng) -> Vec<f64> {
 fn solver_for(pot: &[f64]) -> (DeviceHamiltonian, AGnr) {
     let gnr = AGnr::new(N).unwrap();
     (DeviceHamiltonian::new(gnr, CELLS, pot).unwrap(), gnr)
+}
+
+/// The mode-space counterpart of a real-space solver, sharing the same
+/// device. The window is the transport grid widened enough to absorb the
+/// random potential shifts, so every propagating mode stays in the basis.
+fn mode_solver_for(ham: &DeviceHamiltonian) -> ModeSpaceSolver {
+    let (h00, h01) = unit_cell_hamiltonian(ham.gnr());
+    let opts = ModeSpaceOptions::default().with_window_margin_ev(0.7);
+    let basis = ModeBasis::build(&h00, &h01, -0.8, 0.8, &opts).unwrap();
+    ModeSpaceSolver::new(ham, Lead::gnr_contact(), Lead::gnr_contact(), &basis, &opts).unwrap()
 }
 
 /// Number of lead modes propagating at energy `e`: bands whose Bloch
@@ -170,4 +182,61 @@ fn transmission_invariant_under_device_mirror() {
             );
         }
     }
+}
+
+#[test]
+fn mode_space_transmission_bounded_and_tracks_real_space() {
+    let mut rng = Rng::seed_from_u64(SEED + 4);
+    let limits = gnrlab::num::budget::ExecLimits::none();
+    for _ in 0..3 {
+        let pot = random_layer_potential(&mut rng);
+        let (ham, gnr) = solver_for(&pot);
+        let real = RgfSolver::new(&ham, Lead::gnr_contact(), Lead::gnr_contact());
+        let mode = mode_solver_for(&ham);
+        // Layer-uniform potentials project to zero kept↔dropped coupling,
+        // so the monitor must keep these devices on the reduced path.
+        assert!(!mode.degraded(), "rigid shifts must not degrade");
+        for _ in 0..5 {
+            let e = rng.uniform_in(-0.75, 0.75);
+            let bound = open_modes(gnr, e) as f64;
+            let t_real = real.spectral_slice(e, &limits).expect("real").transmission;
+            let t_mode = mode.spectral_slice(e, &limits).expect("mode").transmission;
+            assert!(
+                (-1e-9..=bound + 1e-6).contains(&t_mode),
+                "mode-space T({e:.4}) = {t_mode:.6} outside [0, {bound}]"
+            );
+            assert!(
+                (t_real - t_mode).abs() <= 5e-3 * (1.0 + t_real.abs()),
+                "paths disagree at E = {e:.4}: real {t_real:.9} vs mode {t_mode:.9}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mode_space_path_keeps_the_current_invariants() {
+    let mut rng = Rng::seed_from_u64(SEED + 5);
+    let pot = random_layer_potential(&mut rng);
+    let (ham, _) = solver_for(&pot);
+    let solver = mode_solver_for(&ham);
+    let ctx = ExecCtx::serial();
+    let grid = EnergyGrid::new(-0.8, 0.8, 41).unwrap();
+    let opts = TransportOptions::legacy()
+        .with_cache(Arc::new(SurfaceGfCache::new()))
+        .with_refine(RefineOptions::default());
+    // Zero bias window: exactly zero current, finite filled charge.
+    let mu = 0.1;
+    let zero = integrate_transport_with(&ctx, &solver, &grid, &opts, mu, mu, 300.0, &pot).unwrap();
+    assert_eq!(zero.current_a, 0.0, "mode-space path leaks at zero bias");
+    assert!(zero.charge.total().abs() > 0.0);
+    // Bias reversal: antisymmetric, and finite bias drives current.
+    let (mu1, mu2) = (0.15, -0.15);
+    let fwd = integrate_transport_with(&ctx, &solver, &grid, &opts, mu1, mu2, 300.0, &pot).unwrap();
+    let rev = integrate_transport_with(&ctx, &solver, &grid, &opts, mu2, mu1, 300.0, &pot).unwrap();
+    let (i1, i2) = (fwd.current_a, rev.current_a);
+    assert!(
+        (i1 + i2).abs() <= 1e-9 * i1.abs().max(i2.abs()),
+        "mode-space bias reversal not antisymmetric: {i1:.6e} vs {i2:.6e}"
+    );
+    assert!(i1 != 0.0, "finite bias should drive current");
 }
