@@ -461,6 +461,89 @@ fn sparse_mna(h: &mut Harness) {
     }
 }
 
+/// Netlist front end on generated workloads (DESIGN.md §16): deck text →
+/// parse → subcircuit flattening at growing NAND-tree widths, then the
+/// elaborated circuit's DC operating point dense versus sparse. This is
+/// the deck-path counterpart to `sparse_mna`, with the parser and
+/// elaborator inside the measured region.
+fn circuit_zoo(h: &mut Harness) {
+    use gnr_spice::dc::{dc_operating_point, DcOptions};
+    use gnr_spice::{parse_deck, MnaSolverKind, ModelBindings};
+
+    // A balanced tree of nand2 subcircuit instances reducing `width`
+    // driven inputs to one output: ~width gates, ~3*width nodes after
+    // flattening.
+    let nand_tree_deck = |width: usize| -> String {
+        let mut d = String::new();
+        d.push_str(&format!("* bench: balanced nand tree, {width} inputs\n"));
+        d.push_str(".model nmos surrogate polarity=n\n");
+        d.push_str(".model pmos surrogate polarity=p\n");
+        d.push_str(".subckt nand2 a b out vdd\n");
+        d.push_str("mn1 out a mid nmos\nmn2 mid b 0 nmos\n");
+        d.push_str("mp1 out a vdd pmos\nmp2 out b vdd pmos\n");
+        d.push_str("cl out 0 5e-17\n.ends\n");
+        d.push_str("vdd vdd 0 dc 0.8\n");
+        for j in 0..width {
+            d.push_str(&format!("vi{j} l0_{j} 0 dc 0.8\n"));
+        }
+        let (mut level, mut w) = (0usize, width);
+        while w > 1 {
+            for j in 0..w / 2 {
+                d.push_str(&format!(
+                    "x{level}_{j} l{level}_{a} l{level}_{b} l{next}_{j} vdd nand2\n",
+                    a = 2 * j,
+                    b = 2 * j + 1,
+                    next = level + 1
+                ));
+            }
+            level += 1;
+            w /= 2;
+        }
+        d.push_str(".op\n.end\n");
+        d
+    };
+
+    for width in [8usize, 32] {
+        let text = nand_tree_deck(width);
+        h.bench(
+            SUITE,
+            &format!("circuit_zoo/parse_elaborate/nand_tree_{width}"),
+            || {
+                black_box(
+                    parse_deck(black_box(&text))
+                        .expect("parse")
+                        .elaborate(&ModelBindings::new())
+                        .expect("elaborate"),
+                )
+            },
+        );
+        let elab = parse_deck(&text)
+            .expect("parse")
+            .elaborate(&ModelBindings::new())
+            .expect("elaborate");
+        for (label, solver) in [
+            ("dense", MnaSolverKind::Dense),
+            ("sparse", MnaSolverKind::Sparse),
+        ] {
+            let circuit = elab.circuit.clone();
+            let opts = DcOptions {
+                solver,
+                ..DcOptions::default()
+            };
+            h.bench(
+                SUITE,
+                &format!("circuit_zoo/dc/nand_tree_{width}/{label}"),
+                move || {
+                    black_box(
+                        dc_operating_point(&circuit, None, opts, &ExecLimits::none())
+                            .expect("solves"),
+                    )
+                },
+            );
+        }
+    }
+}
+
 pub fn register(h: &mut Harness) {
     rgf_vs_dense(h);
     table_vs_model(h);
@@ -472,4 +555,5 @@ pub fn register(h: &mut Harness) {
     mode_space(h);
     table_cache(h);
     sparse_mna(h);
+    circuit_zoo(h);
 }

@@ -14,7 +14,9 @@
 //!   checkpoint/resume by seed range and (via
 //!   [`submit_streaming`](CharacterizationService::submit_streaming))
 //!   per-chunk incremental delivery;
-//! * [`JobRequest::EdpContour`] — the `(V_DD, V_T)` design-space map.
+//! * [`JobRequest::EdpContour`] — the `(V_DD, V_T)` design-space map;
+//! * [`JobRequest::DeckOp`] — DC operating point of a SPICE deck
+//!   (`gnr_spice::netlist`), returned as a `gnr-rawfile/v1` document.
 //!
 //! Jobs are admitted through a FIFO queue
 //! ([`enqueue`](CharacterizationService::enqueue) /
@@ -48,6 +50,7 @@ use gnr_device::{
 };
 use gnr_num::budget::ExecLimits;
 use gnr_num::checkpoint::KeyHasher;
+use gnr_num::json::Json;
 use gnr_num::par::ExecCtx;
 use gnr_num::telemetry::TelemetrySnapshot;
 use std::collections::{HashMap, VecDeque};
@@ -103,6 +106,14 @@ pub enum JobRequest {
         /// NEGF sweep options (energy grid, cache, mode-space reduction).
         opts: NegfTableOptions,
     },
+    /// DC operating point of a SPICE deck. The deck text is the whole
+    /// request (canonical form): surrogate `.model` cards auto-build
+    /// their tables during elaboration, and `extern` cards are rejected —
+    /// a deck job carries no out-of-band table bindings.
+    DeckOp {
+        /// Full netlist text (title line first, `.end` last).
+        deck: String,
+    },
 }
 
 impl JobRequest {
@@ -141,6 +152,11 @@ impl JobRequest {
         }
     }
 
+    /// A deck DC-operating-point job.
+    pub fn deck_op(deck: impl Into<String>) -> Self {
+        JobRequest::DeckOp { deck: deck.into() }
+    }
+
     /// Attaches a checkpoint path (meaningful for [`JobRequest::McSweep`];
     /// a no-op for other job kinds).
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
@@ -162,6 +178,8 @@ pub enum JobOutput {
     EdpContour(DesignSpaceMap),
     /// The ballistic NEGF device table.
     Table(Arc<DeviceTable>),
+    /// A deck DC solution as a `gnr-rawfile/v1` document.
+    DeckRaw(Json),
 }
 
 /// A completed job: its output plus the telemetry snapshot taken when it
@@ -205,6 +223,14 @@ impl JobResponse {
     pub fn table(&self) -> Option<&DeviceTable> {
         match &self.output {
             JobOutput::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The deck rawfile payload, if this response carries one.
+    pub fn deck_raw(&self) -> Option<&Json> {
+        match &self.output {
+            JobOutput::DeckRaw(j) => Some(j),
             _ => None,
         }
     }
@@ -331,8 +357,27 @@ impl CharacterizationService {
                 ribbons,
                 opts,
             } => JobOutput::Table(Arc::new(self.negf_table(n, grid, ribbons, &opts)?)),
+            JobRequest::DeckOp { deck } => JobOutput::DeckRaw(self.deck_op(&deck)?),
         };
         Ok(self.respond(output))
+    }
+
+    /// Parses, elaborates, and DC-solves one deck under the service's
+    /// execution limits, honoring the context's rescue policy exactly as
+    /// the builder-based flows do.
+    fn deck_op(&self, deck: &str) -> Result<Json, ExploreError> {
+        let parsed = gnr_spice::parse_deck(deck)
+            .map_err(|e| ExploreError::config(format!("deck parse: {e}")))?;
+        let elab = parsed
+            .elaborate(&gnr_spice::ModelBindings::new())
+            .map_err(|e| ExploreError::config(format!("deck elaboration: {e}")))?;
+        let x = gnr_spice::dc_operating_point(
+            &elab.circuit,
+            None,
+            gnr_spice::DcOptions::default(),
+            self.ctx.limits(),
+        )?;
+        Ok(gnr_spice::rawfile::dc_rawfile(&elab, &x))
     }
 
     /// Builds (or serves from the store) the NEGF table for one request.

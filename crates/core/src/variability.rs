@@ -79,9 +79,16 @@ pub fn inverter_figures_from_tables(
         Ok(v) => v,
         Err(gnr_spice::SpiceError::NewtonDiverged { .. })
         | Err(gnr_spice::SpiceError::RescueChainFailed { .. }) => {
+            // The rail operating points (vin at 0 and vdd) are far from the
+            // high-gain transition that defeated the sweep, so leakage is
+            // usually still measurable; if even that diverges, follow the
+            // dead-cell convention (leakage unknown contributes none) — a
+            // NaN here would poison the Monte Carlo static-power mean
+            // through the stalled-ring leakage sum.
+            let static_w = gnr_spice::measure::inverter_static_power(&cell, vdd).unwrap_or(0.0);
             return Ok(InverterFigures {
                 delay_s: f64::NAN,
-                static_w: f64::NAN,
+                static_w,
                 dynamic_w: f64::NAN,
                 energy_j: f64::NAN,
                 snm_v: 0.0,

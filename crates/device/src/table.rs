@@ -387,6 +387,14 @@ impl DeviceTable {
     /// Maps external `(v_gs, v_ds)` to internal n-type table coordinates,
     /// returning `(vg, vd, sign)` where `sign` flips the looked-up current.
     fn map_bias(&self, v_gs: f64, v_ds: f64) -> (f64, f64, f64) {
+        let (vg, vd, sign, _) = self.map_bias_swap(v_gs, v_ds);
+        (vg, vd, sign)
+    }
+
+    /// [`map_bias`](Self::map_bias) plus a flag for whether the
+    /// source/drain exchange fired — derivative chain rules differ in the
+    /// swapped region.
+    fn map_bias_swap(&self, v_gs: f64, v_ds: f64) -> (f64, f64, f64, bool) {
         // Polarity mirror first.
         let (mut vg, mut vd, mut sign) = match self.polarity {
             Polarity::NType => (v_gs, v_ds, 1.0),
@@ -396,12 +404,13 @@ impl DeviceTable {
         // Source/drain exchange for negative internal drain bias:
         // I(vg, -vd) = -I(vg - vd ... with both terminals swapped the
         // gate-to-new-source voltage is vg - vd.
-        if vd < 0.0 {
+        let swapped = vd < 0.0;
+        if swapped {
             vg -= vd;
             vd = -vd;
             sign = -sign;
         }
-        (vg, vd, sign)
+        (vg, vd, sign, swapped)
     }
 
     /// Drain current \[A\] at the external bias `(v_gs, v_ds)`.
@@ -412,9 +421,17 @@ impl DeviceTable {
 
     /// Output conductance `∂I_D/∂V_DS` \[S\].
     pub fn gds(&self, v_gs: f64, v_ds: f64) -> f64 {
-        let (vg, vd, _) = self.map_bias(v_gs, v_ds);
-        // Both sign flips (current and axis) cancel for the derivative.
-        self.id_a.deriv_y(vg, vd)
+        let (vg, vd, _, swapped) = self.map_bias_swap(v_gs, v_ds);
+        // Unswapped: both sign flips (current and axis) cancel, leaving
+        // deriv_y. Swapped: the exchange substitutes vg' = vg - vd, so the
+        // external V_DS derivative picks up the gate-axis term as well —
+        // dropping it makes the Newton Jacobian inconsistent exactly where
+        // series-stack internal nodes land mid-iteration.
+        if swapped {
+            self.id_a.deriv_x(vg, vd) + self.id_a.deriv_y(vg, vd)
+        } else {
+            self.id_a.deriv_y(vg, vd)
+        }
     }
 
     /// Transconductance `∂I_D/∂V_GS` \[S\].

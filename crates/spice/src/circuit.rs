@@ -107,6 +107,17 @@ pub enum Element {
         /// Source waveform.
         wave: Waveform,
     },
+    /// Independent current source driving a fixed current from `p` to
+    /// `n` through itself (SPICE convention: positive current flows
+    /// through the source from `p` to `n`, i.e. it leaves node `p`).
+    ISource {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Source waveform (value in amperes).
+        wave: Waveform,
+    },
     /// A table-lookup FET (drain, gate, source); the gate is capacitive
     /// only, with the bias-dependent intrinsic C_GS/C_GD handled by the
     /// transient engine.
@@ -175,6 +186,31 @@ impl Circuit {
         self.node_count
     }
 
+    /// Canonical name of a node, if it has one (`"0"` for ground; nodes
+    /// created via [`Circuit::fresh_node`] are anonymous). A node with
+    /// several aliases reports the lexicographically smallest, which keeps
+    /// the result deterministic regardless of hash-map iteration order.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.names
+            .iter()
+            .filter(|(_, &id)| id == node)
+            .map(|(name, _)| name.as_str())
+            .min()
+    }
+
+    /// Canonical names for every node in index order (`None` entries are
+    /// anonymous nodes from [`Circuit::fresh_node`]).
+    pub fn node_names(&self) -> Vec<Option<&str>> {
+        let mut out: Vec<Option<&str>> = vec![None; self.node_count];
+        for (name, &NodeId(i)) in &self.names {
+            match out[i] {
+                Some(existing) if existing <= name.as_str() => {}
+                _ => out[i] = Some(name.as_str()),
+            }
+        }
+        out
+    }
+
     /// Adds an element.
     pub fn add(&mut self, e: Element) {
         self.elements.push(e);
@@ -239,6 +275,15 @@ impl Circuit {
                     touched[b.0] = true;
                 }
                 Element::VSource { p, n, .. } => {
+                    touched[p.0] = true;
+                    touched[n.0] = true;
+                }
+                Element::ISource { p, n, wave } => {
+                    if let Waveform::Dc(v) = wave {
+                        if v.is_nan() {
+                            return Err(SpiceError::config("current source value is NaN"));
+                        }
+                    }
                     touched[p.0] = true;
                     touched[n.0] = true;
                 }
@@ -340,6 +385,18 @@ impl Circuit {
                         jac.add(in_, row, -1.0);
                     }
                     src_idx += 1;
+                }
+                Element::ISource { p, n, wave } => {
+                    // A known current leaving node p and entering node n;
+                    // contributes to the residual only (no Jacobian terms,
+                    // no branch unknown).
+                    let i = wave.value(t);
+                    if let Some(ip) = self.mna_index(*p) {
+                        res[ip] += i;
+                    }
+                    if let Some(in_) = self.mna_index(*n) {
+                        res[in_] -= i;
+                    }
                 }
                 Element::Fet { d, g, s, table } => {
                     let (vd, vg, vs) = (volt(*d, x), volt(*g, x), volt(*s, x));

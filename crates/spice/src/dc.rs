@@ -448,6 +448,31 @@ pub fn set_source_value(circuit: &mut Circuit, k: usize, volts: f64) -> Result<(
     Err(SpiceError::config(format!("no voltage source #{k}")))
 }
 
+/// Replaces the full waveform of the `k`-th voltage source (e.g. swapping
+/// a DC bias for a pulse before a transient run).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Config`] if the index is out of range.
+pub fn set_source_wave(
+    circuit: &mut Circuit,
+    k: usize,
+    wave: crate::circuit::Waveform,
+) -> Result<(), SpiceError> {
+    use crate::circuit::Element;
+    let mut idx = 0;
+    for e in circuit_elements_mut(circuit) {
+        if let Element::VSource { wave: w, .. } = e {
+            if idx == k {
+                *w = wave;
+                return Ok(());
+            }
+            idx += 1;
+        }
+    }
+    Err(SpiceError::config(format!("no voltage source #{k}")))
+}
+
 /// Crate-internal mutable access to the element list.
 pub(crate) fn circuit_elements_mut(c: &mut Circuit) -> &mut [crate::circuit::Element] {
     // Circuit stores elements privately; expose them within the crate.

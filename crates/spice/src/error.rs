@@ -42,6 +42,8 @@ pub enum SpiceError {
         /// Human-readable description.
         detail: String,
     },
+    /// A SPICE deck failed to parse or elaborate.
+    Parse(crate::netlist::ParseError),
 }
 
 impl fmt::Display for SpiceError {
@@ -68,6 +70,7 @@ impl fmt::Display for SpiceError {
             ),
             SpiceError::Config { detail } => write!(f, "invalid circuit: {detail}"),
             SpiceError::Measurement { detail } => write!(f, "measurement failed: {detail}"),
+            SpiceError::Parse(e) => write!(f, "deck parse: {e}"),
         }
     }
 }
@@ -77,6 +80,7 @@ impl Error for SpiceError {
         match self {
             SpiceError::Linear(e) => Some(e),
             SpiceError::RescueChainFailed { primary, .. } => Some(&**primary),
+            SpiceError::Parse(e) => Some(e),
             _ => None,
         }
     }
@@ -85,6 +89,12 @@ impl Error for SpiceError {
 impl From<NumError> for SpiceError {
     fn from(e: NumError) -> Self {
         SpiceError::Linear(e)
+    }
+}
+
+impl From<crate::netlist::ParseError> for SpiceError {
+    fn from(e: crate::netlist::ParseError) -> Self {
+        SpiceError::Parse(e)
     }
 }
 

@@ -49,10 +49,13 @@ pub mod dc;
 pub mod error;
 pub mod measure;
 pub mod mna;
+pub mod netlist;
+pub mod rawfile;
 pub mod transient;
 
 pub use circuit::{Circuit, Element, NodeId, Waveform};
 pub use dc::{dc_operating_point, DcOptions};
 pub use error::SpiceError;
 pub use mna::MnaSolverKind;
+pub use netlist::{parse_deck, Deck, ElaboratedDeck, ModelBindings, ParseError, ParseErrorKind};
 pub use transient::{transient, Integrator, TransientOptions, TransientRecovery};

@@ -108,6 +108,17 @@ pub fn inverter_static_power(cell: &InverterCell, vdd: f64) -> Result<f64, Spice
     Ok(vdd * leak / 2.0)
 }
 
+/// Builds a single unloaded inverter test bench (public handle for deck
+/// conformance: the netlist suite emits this circuit as a golden deck and
+/// pins the reparsed VTC bit-identically).
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn single_inverter_circuit(cell: &InverterCell, vdd: f64) -> Result<InverterChain, SpiceError> {
+    single_inverter(cell, vdd)
+}
+
 /// Builds a single unloaded inverter test bench.
 fn single_inverter(cell: &InverterCell, vdd: f64) -> Result<InverterChain, SpiceError> {
     let mut circuit = crate::circuit::Circuit::new();
@@ -447,6 +458,61 @@ pub fn latch_noise_margins(latch: &Latch, points: usize) -> Result<NoiseMargins,
 pub fn latch_static_power(latch: &Latch) -> Result<f64, SpiceError> {
     Ok(inverter_static_power(&latch.inv_a, latch.vdd)?
         + inverter_static_power(&latch.inv_b, latch.vdd)?)
+}
+
+/// Butterfly-curve static noise margin of a bistable cell (e.g. the 6T
+/// SRAM cell from the deck zoo) given its two storage nodes.
+///
+/// The loop is broken twice: a sweep source forces `q` while `V(qb)` is
+/// recorded, then forces `qb` while `V(q)` is recorded; the two half
+/// curves feed [`butterfly_snm`]. The input circuit is not modified — the
+/// forcing source is appended to a clone. Works on any circuit, including
+/// deck-elaborated ones (access transistors, word/bit lines and all).
+///
+/// # Errors
+///
+/// Propagates DC sweep failures.
+pub fn sram_butterfly_snm(
+    circuit: &crate::circuit::Circuit,
+    q: NodeId,
+    qb: NodeId,
+    vdd: f64,
+    points: usize,
+) -> Result<NoiseMargins, SpiceError> {
+    let points = points.max(2);
+    let values: Vec<f64> = (0..points)
+        .map(|i| vdd * i as f64 / (points - 1) as f64)
+        .collect();
+    let half_curve = |forced: NodeId, observed: NodeId| -> Result<Vec<(f64, f64)>, SpiceError> {
+        let mut c = circuit.clone();
+        let sweep_index = c.source_count();
+        c.add(Element::VSource {
+            p: forced,
+            n: NodeId::GROUND,
+            wave: Waveform::Dc(0.0),
+        });
+        transfer_curve(&c, sweep_index, &values, observed, DcOptions::default())
+    };
+    let vtc1 = half_curve(q, qb)?;
+    let vtc2 = half_curve(qb, q)?;
+    Ok(butterfly_snm(&vtc1, &vtc2, vdd))
+}
+
+/// Propagation delay between an input and an output waveform: the 50 %
+/// crossing of the last input edge (of the given direction) to the first
+/// later output crossing (of its direction). `None` if either waveform
+/// never crosses `level` the right way.
+pub fn propagation_delay(
+    times: &[f64],
+    vin: &[f64],
+    vout: &[f64],
+    level: f64,
+    rising_in: bool,
+    rising_out: bool,
+) -> Option<f64> {
+    let in_edges = crossing_times(times, vin, level, rising_in);
+    let out_edges = crossing_times(times, vout, level, rising_out);
+    pair_delay(&in_edges, &out_edges)
 }
 
 fn interp_curve(curve: &[(f64, f64)], x: f64) -> f64 {

@@ -143,6 +143,8 @@ pub(crate) fn mna_pattern(circuit: &Circuit) -> CsrMatrix {
                 }
                 src_idx += 1;
             }
+            // Current sources contribute to the residual only.
+            Element::ISource { .. } => {}
             Element::Fet { d, g, s, .. } => {
                 let (idd, ig, is) = (
                     circuit.mna_index(*d),

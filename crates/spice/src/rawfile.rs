@@ -1,0 +1,197 @@
+//! `gnr-rawfile/v1` — a JSON result format for deck analyses.
+//!
+//! The classic SPICE rawfile reshaped onto [`gnr_num::json`]: a format
+//! tag, the deck title, a plot name, a variable table, and a row-major
+//! point matrix. Numbers use shortest-round-trip formatting, so a DC
+//! solution survives `dump → parse` bit-for-bit. AC points carry
+//! `[re, im]` pairs per variable.
+//!
+//! ```json
+//! {
+//!   "format": "gnr-rawfile/v1",
+//!   "title": "6t sram cell",
+//!   "plotname": "Transient Analysis",
+//!   "variables": [
+//!     {"name": "time", "kind": "time"},
+//!     {"name": "v(q)", "kind": "voltage"},
+//!     {"name": "i(vdd)", "kind": "current"}
+//!   ],
+//!   "points": [[0.0, 0.4, -1.2e-9], …]
+//! }
+//! ```
+
+use crate::ac::AcSweep;
+use crate::circuit::NodeId;
+use crate::netlist::ElaboratedDeck;
+use crate::transient::TransientResult;
+use gnr_num::json::Json;
+
+/// Format tag written into every rawfile.
+pub const FORMAT: &str = "gnr-rawfile/v1";
+
+/// The variable table for a deck: every named (plus synthesised
+/// `_<id>` anonymous) non-ground node as `v(name)`, then every voltage
+/// source as `i(name)`, in MNA unknown order.
+fn variables(elab: &ElaboratedDeck) -> (Vec<Json>, Vec<String>) {
+    let circuit = &elab.circuit;
+    let names = circuit.node_names();
+    let mut vars = Vec::new();
+    let mut labels = Vec::new();
+    for id in 1..circuit.node_count() {
+        let name = match names.get(id).copied().flatten() {
+            Some(n) => n.to_string(),
+            None => format!("_{id}"),
+        };
+        labels.push(format!("v({name})"));
+        vars.push(var(&format!("v({name})"), "voltage"));
+    }
+    for name in elab.source_names() {
+        labels.push(format!("i({name})"));
+        vars.push(var(&format!("i({name})"), "current"));
+    }
+    (vars, labels)
+}
+
+fn var(name: &str, kind: &str) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.into())),
+        ("kind".into(), Json::Str(kind.into())),
+    ])
+}
+
+fn header(elab: &ElaboratedDeck, plotname: &str, vars: Vec<Json>, points: Vec<Json>) -> Json {
+    Json::Obj(vec![
+        ("format".into(), Json::Str(FORMAT.into())),
+        ("title".into(), Json::Str(elab.title.clone())),
+        ("plotname".into(), Json::Str(plotname.into())),
+        ("variables".into(), Json::Arr(vars)),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+/// A DC operating point as a one-row rawfile.
+pub fn dc_rawfile(elab: &ElaboratedDeck, x: &[f64]) -> Json {
+    let (vars, _) = variables(elab);
+    let row: Vec<Json> = x.iter().map(|&v| Json::Num(v)).collect();
+    header(elab, "DC operating point", vars, vec![Json::Arr(row)])
+}
+
+/// A DC transfer sweep: the swept source's value is the leading variable,
+/// each row holds one solved unknown vector.
+pub fn sweep_rawfile(
+    elab: &ElaboratedDeck,
+    swept_source: &str,
+    values: &[f64],
+    solutions: &[Vec<f64>],
+) -> Json {
+    let (mut vars, _) = variables(elab);
+    vars.insert(0, var(&format!("sweep({swept_source})"), "voltage"));
+    let points = values
+        .iter()
+        .zip(solutions)
+        .map(|(&v, x)| {
+            let mut row = Vec::with_capacity(x.len() + 1);
+            row.push(Json::Num(v));
+            row.extend(x.iter().map(|&u| Json::Num(u)));
+            Json::Arr(row)
+        })
+        .collect();
+    header(elab, "DC transfer characteristic", vars, points)
+}
+
+/// A transient result: `time` plus every unknown per accepted step.
+pub fn tran_rawfile(elab: &ElaboratedDeck, result: &TransientResult) -> Json {
+    let circuit = &elab.circuit;
+    let (mut vars, _) = variables(elab);
+    vars.insert(0, var("time", "time"));
+    let times = result.times();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for id in 1..circuit.node_count() {
+        columns.push(result.voltage(circuit, NodeId(id)));
+    }
+    for k in 0..circuit.source_count() {
+        columns.push(result.source_current(circuit, k));
+    }
+    let points = (0..times.len())
+        .map(|i| {
+            let mut row = Vec::with_capacity(columns.len() + 1);
+            row.push(Json::Num(times[i]));
+            row.extend(columns.iter().map(|c| Json::Num(c[i])));
+            Json::Arr(row)
+        })
+        .collect();
+    header(elab, "Transient Analysis", vars, points)
+}
+
+/// An AC sweep: `frequency` plus `[re, im]` phasor pairs per unknown.
+pub fn ac_rawfile(elab: &ElaboratedDeck, sweep: &AcSweep) -> Json {
+    let (mut vars, _) = variables(elab);
+    vars.insert(0, var("frequency", "frequency"));
+    let points = sweep
+        .points
+        .iter()
+        .map(|p| {
+            let mut row = Vec::with_capacity(p.phasors.len() + 1);
+            row.push(Json::Num(p.frequency_hz));
+            row.extend(
+                p.phasors
+                    .iter()
+                    .map(|z| Json::Arr(vec![Json::Num(z.re), Json::Num(z.im)])),
+            );
+            Json::Arr(row)
+        })
+        .collect();
+    header(elab, "AC Analysis", vars, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{parse_deck, ModelBindings};
+
+    fn rc_elab() -> ElaboratedDeck {
+        parse_deck("rc bench\nv1 in 0 dc 1.0\nr1 in out 1k\nc1 out 0 1p\n")
+            .expect("parses")
+            .elaborate(&ModelBindings::new())
+            .expect("elaborates")
+    }
+
+    #[test]
+    fn dc_rawfile_round_trips_bits() {
+        let elab = rc_elab();
+        let x = vec![1.0, 0.999_999_999_3, -2.718_281_828e-9];
+        let json = dc_rawfile(&elab, &x);
+        let back = Json::parse(&json.dump()).expect("reparses");
+        assert_eq!(back.get("format").and_then(Json::as_str), Some(FORMAT));
+        let points = back
+            .get("points")
+            .and_then(Json::as_array)
+            .expect("points array");
+        let row = points[0].as_array().expect("row");
+        for (a, b) in x.iter().zip(row) {
+            assert_eq!(*a, b.as_f64().expect("number"), "bit-exact round trip");
+        }
+        let vars = back
+            .get("variables")
+            .and_then(Json::as_array)
+            .expect("vars");
+        assert_eq!(vars.len(), x.len());
+        assert_eq!(
+            vars[0].get("name").and_then(Json::as_str),
+            Some("v(in)"),
+            "first unknown is node in"
+        );
+        assert_eq!(vars[2].get("name").and_then(Json::as_str), Some("i(v1)"));
+    }
+
+    #[test]
+    fn sweep_rawfile_shape() {
+        let elab = rc_elab();
+        let values = vec![0.0, 0.5, 1.0];
+        let solutions = vec![vec![0.0; 3], vec![0.5; 3], vec![1.0; 3]];
+        let json = sweep_rawfile(&elab, "v1", &values, &solutions);
+        let points = json.get("points").and_then(Json::as_array).expect("points");
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1].as_array().expect("row").len(), 4);
+    }
+}

@@ -1,0 +1,32 @@
+* conformance: fo4 inverter chain
+.nodes in out vdd load0 load1 load2 load3
+v0 in 0 pulse( 0.0 0.8 1e-10 2e-11 2e-11 9e-10 2e-9 )
+v1 vdd 0 dc 0.8
+m2 out in 0 mdl0
+m3 out in vdd mdl1
+c4 in 0 2e-18
+c5 in vdd 2e-18
+c6 in out 4e-18
+m7 load0 out 0 mdl0
+m8 load0 out vdd mdl1
+c9 out 0 2e-18
+c10 out vdd 2e-18
+c11 out load0 4e-18
+m12 load1 out 0 mdl0
+m13 load1 out vdd mdl1
+c14 out 0 2e-18
+c15 out vdd 2e-18
+c16 out load1 4e-18
+m17 load2 out 0 mdl0
+m18 load2 out vdd mdl1
+c19 out 0 2e-18
+c20 out vdd 2e-18
+c21 out load2 4e-18
+m22 load3 out 0 mdl0
+m23 load3 out vdd mdl1
+c24 out 0 2e-18
+c25 out vdd 2e-18
+c26 out load3 4e-18
+.model mdl0 extern
+.model mdl1 extern
+.end

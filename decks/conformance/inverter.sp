@@ -1,0 +1,12 @@
+* conformance: single inverter
+.nodes in out vdd
+v0 in 0 dc 0.0
+v1 vdd 0 dc 0.8
+m2 out in 0 mdl0
+m3 out in vdd mdl1
+c4 in 0 2e-18
+c5 in vdd 2e-18
+c6 in out 4e-18
+.model mdl0 extern
+.model mdl1 extern
+.end

@@ -1,0 +1,13 @@
+* conformance: nand2
+.nodes a b out vdd stack
+v0 a 0 dc 0.0
+v1 b 0 dc 0.0
+v2 vdd 0 dc 0.8
+m3 out a stack mdl0
+m4 stack b 0 mdl0
+m5 out a vdd mdl1
+m6 out b vdd mdl1
+c7 out 0 4e-18
+.model mdl0 extern
+.model mdl1 extern
+.end

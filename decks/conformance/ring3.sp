@@ -1,0 +1,66 @@
+* conformance: 3-stage ring oscillator
+.nodes vdd s0 s1 s2 s0d0 s0d1 s0d2 s1d0 s1d1 s1d2 s2d0 s2d1 s2d2
+v0 vdd 0 dc 0.8
+m1 s0 s2 0 mdl0
+m2 s0 s2 vdd mdl1
+c3 s2 0 2e-18
+c4 s2 vdd 2e-18
+c5 s2 s0 4e-18
+m6 s0d0 s0 0 mdl0
+m7 s0d0 s0 vdd mdl1
+c8 s0 0 2e-18
+c9 s0 vdd 2e-18
+c10 s0 s0d0 4e-18
+m11 s0d1 s0 0 mdl0
+m12 s0d1 s0 vdd mdl1
+c13 s0 0 2e-18
+c14 s0 vdd 2e-18
+c15 s0 s0d1 4e-18
+m16 s0d2 s0 0 mdl0
+m17 s0d2 s0 vdd mdl1
+c18 s0 0 2e-18
+c19 s0 vdd 2e-18
+c20 s0 s0d2 4e-18
+m21 s1 s0 0 mdl0
+m22 s1 s0 vdd mdl1
+c23 s0 0 2e-18
+c24 s0 vdd 2e-18
+c25 s0 s1 4e-18
+m26 s1d0 s1 0 mdl0
+m27 s1d0 s1 vdd mdl1
+c28 s1 0 2e-18
+c29 s1 vdd 2e-18
+c30 s1 s1d0 4e-18
+m31 s1d1 s1 0 mdl0
+m32 s1d1 s1 vdd mdl1
+c33 s1 0 2e-18
+c34 s1 vdd 2e-18
+c35 s1 s1d1 4e-18
+m36 s1d2 s1 0 mdl0
+m37 s1d2 s1 vdd mdl1
+c38 s1 0 2e-18
+c39 s1 vdd 2e-18
+c40 s1 s1d2 4e-18
+m41 s2 s1 0 mdl0
+m42 s2 s1 vdd mdl1
+c43 s1 0 2e-18
+c44 s1 vdd 2e-18
+c45 s1 s2 4e-18
+m46 s2d0 s2 0 mdl0
+m47 s2d0 s2 vdd mdl1
+c48 s2 0 2e-18
+c49 s2 vdd 2e-18
+c50 s2 s2d0 4e-18
+m51 s2d1 s2 0 mdl0
+m52 s2d1 s2 vdd mdl1
+c53 s2 0 2e-18
+c54 s2 vdd 2e-18
+c55 s2 s2d1 4e-18
+m56 s2d2 s2 0 mdl0
+m57 s2d2 s2 vdd mdl1
+c58 s2 0 2e-18
+c59 s2 vdd 2e-18
+c60 s2 s2d2 4e-18
+.model mdl0 extern
+.model mdl1 extern
+.end

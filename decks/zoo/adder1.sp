@@ -1,0 +1,29 @@
+* 1-bit full adder: 9 nand2 gates (sum and carry both nand-only)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+.subckt nand2 a b out vdd
+mn1 out a mid nmos
+mn2 mid b 0 nmos
+mp1 out a vdd pmos
+mp2 out b vdd pmos
+cl out 0 5e-17
+.ends
+.subckt fa a b cin sum cout vdd
+* n1 = nand(a,b); hx = a xor b; cout = nand(n1, n4)
+x1 a b n1 vdd nand2
+x2 a n1 n2 vdd nand2
+x3 b n1 n3 vdd nand2
+x4 n2 n3 hx vdd nand2
+x5 hx cin n4 vdd nand2
+x6 hx n4 n5 vdd nand2
+x7 cin n4 n6 vdd nand2
+x8 n5 n6 sum vdd nand2
+x9 n1 n4 cout vdd nand2
+.ends
+vdd vdd 0 dc 0.8
+va a 0 dc 0
+vb b 0 dc 0
+vc cin 0 dc 0
+xfa a b cin sum cout vdd fa
+.op
+.end

@@ -1,0 +1,37 @@
+* 4-bit ripple-carry adder: 36 nand2 gates (144 fets)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+.subckt nand2 a b out vdd
+mn1 out a mid nmos
+mn2 mid b 0 nmos
+mp1 out a vdd pmos
+mp2 out b vdd pmos
+cl out 0 5e-17
+.ends
+.subckt fa a b cin sum cout vdd
+x1 a b n1 vdd nand2
+x2 a n1 n2 vdd nand2
+x3 b n1 n3 vdd nand2
+x4 n2 n3 hx vdd nand2
+x5 hx cin n4 vdd nand2
+x6 hx n4 n5 vdd nand2
+x7 cin n4 n6 vdd nand2
+x8 n5 n6 sum vdd nand2
+x9 n1 n4 cout vdd nand2
+.ends
+vdd vdd 0 dc 0.8
+va0 a0 0 dc 0
+va1 a1 0 dc 0
+va2 a2 0 dc 0
+va3 a3 0 dc 0
+vb0 b0 0 dc 0
+vb1 b1 0 dc 0
+vb2 b2 0 dc 0
+vb3 b3 0 dc 0
+vcin cin 0 dc 0
+xfa0 a0 b0 cin s0 c1 vdd fa
+xfa1 a1 b1 c1 s1 c2 vdd fa
+xfa2 a2 b2 c2 s2 c3 vdd fa
+xfa3 a3 b3 c3 s3 cout vdd fa
+.op
+.end

@@ -1,0 +1,19 @@
+* 4-stage clock buffer chain, fanout taper f = 2 (load c0 * f^k)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+.subckt inv in out vdd
+mn out in 0 nmos
+mp out in vdd pmos
+.ends
+vdd vdd 0 dc 0.8
+vin in 0 pulse( 0 0.8 1e-10 2e-11 2e-11 9e-10 2e-9 )
+x1 in b1 vdd inv
+x2 b1 b2 vdd inv
+x3 b2 b3 vdd inv
+x4 b3 out vdd inv
+c1 b1 0 4e-17
+c2 b2 0 8e-17
+c3 b3 0 1.6e-16
+c4 out 0 3.2e-16
+.tran 5e-12 2e-9
+.end

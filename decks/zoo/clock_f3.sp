@@ -1,0 +1,19 @@
+* 4-stage clock buffer chain, fanout taper f = 3 (load c0 * f^k)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+.subckt inv in out vdd
+mn out in 0 nmos
+mp out in vdd pmos
+.ends
+vdd vdd 0 dc 0.8
+vin in 0 pulse( 0 0.8 1e-10 2e-11 2e-11 9e-10 2e-9 )
+x1 in b1 vdd inv
+x2 b1 b2 vdd inv
+x3 b2 b3 vdd inv
+x4 b3 out vdd inv
+c1 b1 0 6e-17
+c2 b2 0 1.8e-16
+c3 b3 0 5.4e-16
+c4 out 0 1.62e-15
+.tran 5e-12 2e-9
+.end

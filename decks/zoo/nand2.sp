@@ -1,0 +1,13 @@
+* 2-input nand gate (series n-stack, parallel p pull-ups)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+vdd vdd 0 dc 0.8
+vi0 i0 0 dc 0.8
+vi1 i1 0 dc 0.8
+mn0 out i0 m1 nmos
+mn1 m1 i1 0 nmos
+mp0 out i0 vdd pmos
+mp1 out i1 vdd pmos
+cl out 0 1e-16
+.op
+.end

@@ -1,0 +1,19 @@
+* 4-input nand gate (series n-stack, parallel p pull-ups)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+vdd vdd 0 dc 0.8
+vi0 i0 0 dc 0.8
+vi1 i1 0 dc 0.8
+vi2 i2 0 dc 0.8
+vi3 i3 0 dc 0.8
+mn0 out i0 m1 nmos
+mn1 m1 i1 m2 nmos
+mn2 m2 i2 m3 nmos
+mn3 m3 i3 0 nmos
+mp0 out i0 vdd pmos
+mp1 out i1 vdd pmos
+mp2 out i2 vdd pmos
+mp3 out i3 vdd pmos
+cl out 0 1e-16
+.op
+.end

@@ -1,0 +1,31 @@
+* 8-input nand gate (series n-stack, parallel p pull-ups)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+vdd vdd 0 dc 0.8
+vi0 i0 0 dc 0.8
+vi1 i1 0 dc 0.8
+vi2 i2 0 dc 0.8
+vi3 i3 0 dc 0.8
+vi4 i4 0 dc 0.8
+vi5 i5 0 dc 0.8
+vi6 i6 0 dc 0.8
+vi7 i7 0 dc 0.8
+mn0 out i0 m1 nmos
+mn1 m1 i1 m2 nmos
+mn2 m2 i2 m3 nmos
+mn3 m3 i3 m4 nmos
+mn4 m4 i4 m5 nmos
+mn5 m5 i5 m6 nmos
+mn6 m6 i6 m7 nmos
+mn7 m7 i7 0 nmos
+mp0 out i0 vdd pmos
+mp1 out i1 vdd pmos
+mp2 out i2 vdd pmos
+mp3 out i3 vdd pmos
+mp4 out i4 vdd pmos
+mp5 out i5 vdd pmos
+mp6 out i6 vdd pmos
+mp7 out i7 vdd pmos
+cl out 0 1e-16
+.op
+.end

@@ -1,0 +1,21 @@
+* 6t sram cell in hold state (word line low, bit lines precharged)
+.model nmos surrogate polarity=n
+.model pmos surrogate polarity=p
+.subckt inv in out vdd
+mn out in 0 nmos
+mp out in vdd pmos
+.ends
+vdd vdd 0 dc 0.8
+vwl wl 0 dc 0
+vbl bl 0 dc 0.8
+vblb blb 0 dc 0.8
+* cross-coupled pair: x1 drives qb from q, x2 drives q from qb
+x1 q qb vdd inv
+x2 qb q vdd inv
+* access transistors (off in hold)
+ma1 bl wl q nmos
+ma2 blb wl qb nmos
+cq q 0 1e-17
+cqb qb 0 1e-17
+.op
+.end

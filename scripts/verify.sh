@@ -84,6 +84,20 @@ echo "== tier-1: table-cache / service acceptance suites (GNR_THREADS=1 and 4) =
 GNR_THREADS=1 cargo test -q --offline --test table_cache --test service_jobs
 GNR_THREADS=4 cargo test -q --offline --test table_cache --test service_jobs
 
+# Netlist front-end acceptance gate (DESIGN.md §16): the deck-conformance
+# suite (committed golden decks reproduce the programmatic builders
+# bit-identically across DC / VTC / transient / SNM), the parser
+# robustness suite (seeded round-trips, malformed-deck corpus with typed
+# errors, scale-suffix goldens), and the circuit zoo (adder truth table,
+# SRAM butterfly SNM golden, NAND-tree and clock-chain orderings, the
+# deck job through the service API). Named on both pool sizes because the
+# bit-identity pins must be thread-count invariant.
+echo "== tier-1: netlist conformance / parser / circuit zoo (GNR_THREADS=1 and 4) =="
+GNR_THREADS=1 cargo test -q --offline \
+  --test netlist_conformance --test netlist_parser --test circuit_zoo
+GNR_THREADS=4 cargo test -q --offline \
+  --test netlist_conformance --test netlist_parser --test circuit_zoo
+
 if [ "$TIER" = "1" ]; then
   echo "verify: tier-1 checks passed"
   exit 0

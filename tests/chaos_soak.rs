@@ -107,7 +107,31 @@ fn soak_site(site: &'static str) -> Vec<String> {
             .map_err(|e| e.to_string()),
     );
 
-    // 3. Transient ladder (dt halvings, source ramp) under a budget, so
+    // 3. Netlist front end: the SRAM zoo deck parses, elaborates, and
+    //    solves its operating point with the site armed. The deck path
+    //    shares the DC rescue ladder with the builders, so a fault may
+    //    be rescued or surface — but only as a typed error.
+    note(
+        "sram-deck",
+        gnrlab::spice::parse_deck(include_str!("../decks/zoo/sram6t.sp"))
+            .map_err(|e| e.to_string())
+            .and_then(|deck| {
+                deck.elaborate(&gnrlab::spice::ModelBindings::new())
+                    .map_err(|e| e.to_string())
+            })
+            .and_then(|elab| {
+                dc_operating_point(
+                    &elab.circuit,
+                    None,
+                    DcOptions::default(),
+                    &ExecLimits::none(),
+                )
+                .map(|x| format!("{} unknowns", x.len()))
+                .map_err(|e| e.to_string())
+            }),
+    );
+
+    // 4. Transient ladder (dt halvings, source ramp) under a budget, so
     //    the budget checks themselves are inside the blast radius.
     let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(100_000));
     let ctx = ExecCtx::serial().with_limits(limits);
@@ -118,7 +142,7 @@ fn soak_site(site: &'static str) -> Vec<String> {
             .map_err(|e| e.to_string()),
     );
 
-    // 4. Monte Carlo: interrupt after one chunk, checkpoint, resume.
+    // 5. Monte Carlo: interrupt after one chunk, checkpoint, resume.
     let path = checkpoint_path(site);
     let _ = std::fs::remove_file(&path);
     let capped = ExecCtx::serial()
@@ -143,7 +167,7 @@ fn soak_site(site: &'static str) -> Vec<String> {
     );
     let _ = std::fs::remove_file(&path);
 
-    // 5. Characterization under injection — the one workload that reaches
+    // 6. Characterization under injection — the one workload that reaches
     //    the per-cell fault log and the surface-GF cache. Only for the
     //    sites that can fire inside it (it is the expensive step).
     if site == "characterize" || site == "negf.surface_cache" {
@@ -156,7 +180,7 @@ fn soak_site(site: &'static str) -> Vec<String> {
         );
     }
 
-    // 6. Mode-space NEGF table under fallback injection: every armed
+    // 7. Mode-space NEGF table under fallback injection: every armed
     //    probe reroutes that energy point through the fresh real-space
     //    solve, so the build must still land (within the conformance the
     //    gnr-device tests pin) — never panic or corrupt the table.
@@ -189,7 +213,7 @@ fn soak_site(site: &'static str) -> Vec<String> {
         );
     }
 
-    // 7. Content-addressed table store under disk-read injection: each
+    // 8. Content-addressed table store under disk-read injection: each
     //    re-read probes the corrupt-entry site and must either serve the
     //    clean entry or evict and rebuild — never surface a bad table.
     if site == gnrlab::device::store::FAULT_SITE {

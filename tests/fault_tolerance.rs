@@ -18,12 +18,13 @@ use gnrlab::explore::devices::{DeviceLibrary, Fidelity};
 use gnrlab::explore::monte_carlo::{
     characterize_stage_universe, monte_carlo_from_universe, ring_oscillator_monte_carlo,
 };
-use gnrlab::num::budget::ExecLimits;
+use gnrlab::num::budget::{Budget, ExecLimits};
 use gnrlab::num::fault::{self, FaultPlan};
 use gnrlab::num::par::ExecCtx;
 use gnrlab::num::recover::solve_linear_robust;
 use gnrlab::num::solver::IterControl;
 use gnrlab::num::telemetry;
+use gnrlab::num::NumError;
 use gnrlab::num::TripletBuilder;
 use gnrlab::spice::dc::{dc_operating_point, DcOptions};
 use gnrlab::spice::transient::{transient, TransientOptions, TransientRecovery};
@@ -351,6 +352,90 @@ fn double_dc_failure_surfaces_rescue_chain_failed_with_both_errors() {
         snap.counter("spice.dc.source_stepping_failures"),
         Some(1),
         "double failure must count a stepping failure"
+    );
+}
+
+// ------------------------------------------------------ netlist decks --
+
+/// The committed SRAM zoo deck, parsed and elaborated into a circuit.
+/// The deck path and the programmatic builders share the same solver
+/// stack, so the recovery contracts below must hold identically.
+fn sram_deck_circuit() -> Circuit {
+    gnrlab::spice::parse_deck(include_str!("../decks/zoo/sram6t.sp"))
+        .expect("parse sram deck")
+        .elaborate(&gnrlab::spice::ModelBindings::new())
+        .expect("elaborate sram deck")
+        .circuit
+}
+
+#[test]
+fn parser_built_sram_stops_cleanly_on_exhausted_budget() {
+    let _g = injector_lock();
+    fault::disarm();
+    let c = sram_deck_circuit();
+    // A zero check cap trips on the first budget probe inside the linear
+    // solve: the stop must surface as the typed budget error, unwrapped
+    // and unrescued (the rescue chain must not retry past a budget stop).
+    let limits = ExecLimits::none().with_budget(Budget::unlimited().with_check_cap(0));
+    let err = dc_operating_point(&c, None, DcOptions::default(), &limits).unwrap_err();
+    assert!(
+        matches!(err, SpiceError::Linear(NumError::BudgetExhausted { .. })),
+        "expected budget stop, got: {err:?}"
+    );
+    // The same deck with an open budget solves fine — the stop above was
+    // the budget, not the circuit.
+    dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none())
+        .expect("open budget solves the deck");
+}
+
+#[test]
+fn parser_built_sram_reports_rescue_chain_failure_with_typed_errors() {
+    let _g = injector_lock();
+    let _t = ArmedTelemetry::arm();
+    // Kill the primary DC path and the last-resort source stepping: the
+    // deck-elaborated circuit must surface the same structured
+    // RescueChainFailed report as a builder circuit would.
+    let _armed = ArmedPlan::arm(
+        FaultPlan::seeded(13)
+            .with_site("newton-dc", 1.0)
+            .with_site("dc.source_stepping", 1.0),
+    );
+    let c = sram_deck_circuit();
+    let err = dc_operating_point(&c, None, DcOptions::default(), &ExecLimits::none()).unwrap_err();
+    match &err {
+        SpiceError::RescueChainFailed {
+            analysis,
+            attempted,
+            primary,
+            last,
+        } => {
+            assert_eq!(*analysis, "dc");
+            assert_eq!(
+                *attempted,
+                &["gmin-ladder", "mid-rail-seeds", "source-stepping"]
+            );
+            assert!(
+                matches!(**primary, SpiceError::NewtonDiverged { analysis: "dc", .. }),
+                "primary: {primary:?}"
+            );
+            assert!(
+                matches!(
+                    **last,
+                    SpiceError::NewtonDiverged {
+                        analysis: "dc-source-stepping",
+                        ..
+                    }
+                ),
+                "last: {last:?}"
+            );
+        }
+        other => panic!("expected RescueChainFailed, got {other:?}"),
+    }
+    assert_eq!(fault::injection_count("newton-dc"), 1);
+    assert_eq!(fault::injection_count("dc.source_stepping"), 1);
+    assert_eq!(
+        telemetry::snapshot().counter("spice.dc.source_stepping_failures"),
+        Some(1)
     );
 }
 

@@ -1,0 +1,250 @@
+//! Deck-conformance suite: every circuit builder has a golden SPICE deck
+//! under `decks/conformance/`, emitted by `gnr_spice::netlist::emit_deck`.
+//! The committed text must match the emitter byte-for-byte, and the
+//! reparsed circuit must reproduce the builder's DC and transient
+//! solutions *bit-identically* — the netlist front end is pinned as a
+//! pure re-encoding of the programmatic API, not an approximation of it.
+//!
+//! Regenerate the goldens intentionally with `GNR_UPDATE_DECKS=1`.
+
+use gnrlab::device::table::TableGrid;
+use gnrlab::device::{DeviceTable, Polarity};
+use gnrlab::num::budget::ExecLimits;
+use gnrlab::num::par::ExecCtx;
+use gnrlab::spice::builders::{
+    ExtrinsicParasitics, Gate2, GateKind, InverterCell, InverterChain, Latch, RingOscillator,
+};
+use gnrlab::spice::dc::{set_source_value, set_source_wave, transfer_curve};
+use gnrlab::spice::measure::{butterfly_snm, latch_noise_margins};
+use gnrlab::spice::netlist::emit_deck;
+use gnrlab::spice::{
+    dc_operating_point, parse_deck, transient, Circuit, DcOptions, TransientOptions, Waveform,
+};
+
+const VDD: f64 = 0.8;
+
+/// Deterministic smooth square-law sample (same family as the parser's
+/// `surrogate` model cards, fixed constants so the goldens never move).
+fn square_law(beta: f64) -> impl Fn(f64, f64) -> f64 {
+    move |vg: f64, vd: f64| {
+        let (vth, vdsat, lambda, alpha, gleak) = (0.2, 0.08, 0.15, 0.04, 1e-9);
+        let x = (vg - vth) / alpha;
+        let vov = if x > 30.0 {
+            vg - vth
+        } else {
+            alpha * x.exp().ln_1p()
+        };
+        beta * vov * vov * (vd / vdsat).tanh() * (1.0 + lambda * vd) + gleak * vd
+    }
+}
+
+fn surrogate_cell(beta: f64) -> InverterCell {
+    let grid = TableGrid {
+        vgs: (-0.3, 0.9),
+        vds: (0.0, 0.9),
+        points: 9,
+    };
+    let n = DeviceTable::from_samples(grid, Polarity::NType, square_law(beta), |vg, _| 2e-16 * vg)
+        .expect("surrogate n table");
+    let p = n.mirrored();
+    InverterCell::new(&n, &p, &ExtrinsicParasitics::nominal()).expect("inverter cell")
+}
+
+/// Emits `circuit` as a deck, checks it against the committed golden
+/// (or rewrites it under `GNR_UPDATE_DECKS=1`), reparses the committed
+/// text, and returns the elaborated circuit.
+fn golden_roundtrip(name: &str, circuit: &Circuit, title: &str) -> Circuit {
+    let emitted = emit_deck(circuit, title).expect("emit deck");
+    let path = format!("{}/decks/conformance/{name}.sp", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("GNR_UPDATE_DECKS").is_ok() {
+        std::fs::write(&path, &emitted.text).expect("write golden deck");
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden deck {path}; regenerate with GNR_UPDATE_DECKS=1")
+    });
+    assert_eq!(
+        committed, emitted.text,
+        "deck {name} drifted from its builder; regenerate with GNR_UPDATE_DECKS=1 if intended"
+    );
+    let deck = parse_deck(&committed).expect("parse committed deck");
+    let elab = deck
+        .elaborate(&emitted.bindings())
+        .expect("elaborate committed deck");
+    elab.circuit
+}
+
+fn dc_solution(circuit: &Circuit) -> Vec<f64> {
+    dc_operating_point(circuit, None, DcOptions::default(), &ExecLimits::none())
+        .expect("dc operating point")
+}
+
+fn assert_bits(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: entry {i} differs ({x:?} vs {y:?})"
+        );
+    }
+}
+
+/// Bit-identical DC and voltage-transfer curve for the single inverter.
+#[test]
+fn inverter_deck_matches_builder_bitwise() {
+    let cell = surrogate_cell(4e-5);
+    let chain = gnrlab::spice::measure::single_inverter_circuit(&cell, VDD).expect("inverter");
+    let reparsed = golden_roundtrip("inverter", &chain.circuit, "conformance: single inverter");
+
+    assert_bits(
+        &dc_solution(&chain.circuit),
+        &dc_solution(&reparsed),
+        "inverter dc",
+    );
+
+    // Full 41-point VTC, both directions through the same warm-started
+    // sweep machinery.
+    let values: Vec<f64> = (0..41).map(|i| VDD * i as f64 / 40.0).collect();
+    let out_builder = chain.output;
+    let out_reparsed = reparsed.find_node("out").expect("out node");
+    let vtc_a = transfer_curve(
+        &chain.circuit,
+        chain.input_source,
+        &values,
+        out_builder,
+        DcOptions::default(),
+    )
+    .expect("builder vtc");
+    let vtc_b = transfer_curve(
+        &reparsed,
+        chain.input_source,
+        &values,
+        out_reparsed,
+        DcOptions::default(),
+    )
+    .expect("deck vtc");
+    for (i, ((xa, ya), (xb, yb))) in vtc_a.iter().zip(&vtc_b).enumerate() {
+        assert_eq!(xa.to_bits(), xb.to_bits(), "vtc point {i} input");
+        assert_eq!(ya.to_bits(), yb.to_bits(), "vtc point {i} output");
+    }
+}
+
+/// Bit-identical pulse transient for the FO4 chain, including the
+/// emitted `pulse(...)` card round-trip.
+#[test]
+fn fo4_transient_matches_builder_bitwise() {
+    let cell = surrogate_cell(4e-5);
+    let mut chain = InverterChain::fo4(&cell, VDD).expect("fo4 chain");
+    set_source_wave(
+        &mut chain.circuit,
+        chain.input_source,
+        Waveform::Pulse {
+            low: 0.0,
+            high: VDD,
+            delay: 1e-10,
+            rise: 2e-11,
+            fall: 2e-11,
+            width: 9e-10,
+            period: 2e-9,
+        },
+    )
+    .expect("set pulse");
+    let reparsed = golden_roundtrip("fo4", &chain.circuit, "conformance: fo4 inverter chain");
+
+    let ctx = ExecCtx::from_env();
+    let opts = TransientOptions::new(1.2e-9, 4e-12);
+    let (ra, _) = transient(&ctx, &chain.circuit, &opts).expect("builder transient");
+    let (rb, _) = transient(&ctx, &reparsed, &opts).expect("deck transient");
+    assert_bits(ra.times(), rb.times(), "fo4 time axis");
+    for name in ["in", "out", "vdd"] {
+        let na = chain.circuit.find_node(name).expect("builder node");
+        let nb = reparsed.find_node(name).expect("deck node");
+        assert_bits(
+            &ra.voltage(&chain.circuit, na),
+            &rb.voltage(&reparsed, nb),
+            &format!("fo4 v({name})"),
+        );
+    }
+}
+
+/// Bit-identical (metastable) DC solution for the 3-stage ring.
+#[test]
+fn ring_oscillator_deck_matches_builder_bitwise() {
+    let cell = surrogate_cell(4e-5);
+    let ro = RingOscillator::with_cells(&[cell], 3, VDD).expect("ring");
+    let reparsed = golden_roundtrip("ring3", &ro.circuit, "conformance: 3-stage ring oscillator");
+    assert_bits(
+        &dc_solution(&ro.circuit),
+        &dc_solution(&reparsed),
+        "ring dc",
+    );
+}
+
+/// Bit-identical DC truth tables for the 2-input NAND and NOR.
+#[test]
+fn gate_decks_match_builders_bitwise() {
+    let cell = surrogate_cell(4e-5);
+    for (kind, name) in [(GateKind::Nand2, "nand2"), (GateKind::Nor2, "nor2")] {
+        let gate = Gate2::new(&cell, kind, VDD).expect("gate");
+        let reparsed = golden_roundtrip(name, &gate.circuit, &format!("conformance: {name}"));
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut ca = gate.circuit.clone();
+            let mut cb = reparsed.clone();
+            for (c, tag) in [(&mut ca, "builder"), (&mut cb, "deck")] {
+                set_source_value(c, 0, if a { VDD } else { 0.0 })
+                    .unwrap_or_else(|e| panic!("{tag} source a: {e}"));
+                set_source_value(c, 1, if b { VDD } else { 0.0 })
+                    .unwrap_or_else(|e| panic!("{tag} source b: {e}"));
+            }
+            assert_bits(
+                &dc_solution(&ca),
+                &dc_solution(&cb),
+                &format!("{name} a={a} b={b}"),
+            );
+        }
+    }
+}
+
+/// The latch's butterfly SNM recomputed from its two emitted half-decks
+/// matches `latch_noise_margins` bitwise.
+#[test]
+fn latch_snm_matches_builder_bitwise() {
+    let inv_a = surrogate_cell(4e-5);
+    let inv_b = surrogate_cell(3.2e-5);
+    let latch = Latch::new(inv_a.clone(), inv_b.clone(), VDD);
+    let reference = latch_noise_margins(&latch, 31).expect("latch margins");
+
+    let values: Vec<f64> = (0..31).map(|i| VDD * i as f64 / 30.0).collect();
+    let mut vtcs = Vec::new();
+    for (cell, name) in [(&inv_a, "latch_a"), (&inv_b, "latch_b")] {
+        let chain = gnrlab::spice::measure::single_inverter_circuit(cell, VDD).expect("half");
+        let reparsed = golden_roundtrip(
+            name,
+            &chain.circuit,
+            &format!("conformance: latch half {name}"),
+        );
+        let out = reparsed.find_node("out").expect("out node");
+        vtcs.push(
+            transfer_curve(
+                &reparsed,
+                chain.input_source,
+                &values,
+                out,
+                DcOptions::default(),
+            )
+            .expect("half vtc"),
+        );
+    }
+    let margins = butterfly_snm(&vtcs[0], &vtcs[1], VDD);
+    assert_eq!(
+        margins.upper_v.to_bits(),
+        reference.upper_v.to_bits(),
+        "upper lobe"
+    );
+    assert_eq!(
+        margins.lower_v.to_bits(),
+        reference.lower_v.to_bits(),
+        "lower lobe"
+    );
+    assert_eq!(margins.snm().to_bits(), reference.snm().to_bits(), "snm");
+}
